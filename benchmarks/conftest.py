@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark writes its rendered artifact (the regenerated table/figure
+data) into ``benchmarks/results/`` so a ``pytest benchmarks/
+--benchmark-only`` run leaves the full paper reproduction on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

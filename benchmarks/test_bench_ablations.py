@@ -1,0 +1,134 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+ABL-1 — mixture component cap: accuracy (vs the numeric grid engine) and
+cost of the Gaussian-mixture TOP abstraction as the per-net component cap
+grows.  ABL-2 — correlation handling for signal probabilities: independent
+(Eq. 5) vs truncated first-order covariance tracking vs BDD-exact
+(Sec. 3.5), accuracy and cost.  ABL-3 — Monte Carlo trial count: estimate
+stability from 100 to 10,000 trials, justifying the paper's 10K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core.correlation import (
+    correlated_signal_probabilities,
+    exact_signal_probabilities,
+)
+from repro.core.inputs import CONFIG_I
+from repro.core.probability import signal_probabilities
+from repro.core.spsta import GridAlgebra, MixtureAlgebra, run_spsta
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+from repro.stats.grid import TimeGrid
+
+CIRCUIT = "s344"
+
+
+class TestAbl1MixtureCap:
+    @pytest.mark.parametrize("cap", [1, 2, 4, 8, 16])
+    def test_mixture_cap_cost(self, benchmark, cap):
+        netlist = benchmark_circuit(CIRCUIT)
+        benchmark.pedantic(run_spsta, args=(netlist, CONFIG_I),
+                           kwargs={"algebra": MixtureAlgebra(cap)},
+                           rounds=2, iterations=1)
+
+    def test_mixture_cap_accuracy(self, benchmark, results_dir):
+        netlist = benchmark_circuit(CIRCUIT)
+        endpoint, _ = critical_endpoint(netlist)
+        grid = benchmark.pedantic(
+            run_spsta, args=(netlist, CONFIG_I),
+            kwargs={"algebra": GridAlgebra(TimeGrid(-15, 30, 4096))},
+            rounds=1, iterations=1)
+        _, ref_mu, ref_sd = grid.report(endpoint, "rise")
+        lines = [f"ABL-1: mixture cap accuracy on {CIRCUIT} rise endpoint "
+                 f"(grid reference mu={ref_mu:.4f} sd={ref_sd:.4f})"]
+        errors = {}
+        for cap in (1, 2, 4, 8):
+            result = run_spsta(netlist, CONFIG_I,
+                               algebra=MixtureAlgebra(cap))
+            _, mu, sd = result.report(endpoint, "rise")
+            errors[cap] = abs(mu - ref_mu) + abs(sd - ref_sd)
+            lines.append(f"  cap {cap:>2}: mu={mu:.4f} sd={sd:.4f} "
+                         f"abs-err={errors[cap]:.4f}")
+        save_artifact(results_dir, "ablation_mixture_cap.txt",
+                      "\n".join(lines))
+        # More components must not hurt (weights are cap-independent, and
+        # shape converges toward the grid reference).
+        assert errors[8] <= errors[1] + 1e-6
+
+
+class TestAbl2CorrelationHandling:
+    def test_independent_cost(self, benchmark):
+        netlist = benchmark_circuit("s27")
+        benchmark(signal_probabilities, netlist, 0.5)
+
+    def test_truncated_cost(self, benchmark):
+        netlist = benchmark_circuit("s27")
+        benchmark(correlated_signal_probabilities, netlist, 0.5)
+
+    def test_bdd_exact_cost(self, benchmark):
+        netlist = benchmark_circuit("s27")
+        benchmark(exact_signal_probabilities, netlist, 0.5)
+
+    def test_accuracy_ordering(self, benchmark, results_dir):
+        netlist = benchmark_circuit("s27")
+        exact = benchmark.pedantic(exact_signal_probabilities,
+                                   args=(netlist, 0.5),
+                                   rounds=1, iterations=1)
+        indep = signal_probabilities(netlist, 0.5)
+        truncated = correlated_signal_probabilities(netlist, 0.5)
+        nets = [g.name for g in netlist.combinational_gates]
+        err_indep = float(np.mean([abs(indep[n] - exact[n]) for n in nets]))
+        err_trunc = float(np.mean([abs(truncated[n] - exact[n])
+                                   for n in nets]))
+        save_artifact(results_dir, "ablation_correlation.txt", "\n".join([
+            "ABL-2: signal probability error vs BDD-exact on s27",
+            f"  independent (Eq. 5):        {err_indep:.5f}",
+            f"  truncated 1st-order cov:    {err_trunc:.5f}",
+            "  BDD-exact:                  0 (reference)",
+        ]))
+        assert err_trunc < err_indep
+
+
+class TestAbl3TrialCount:
+    @pytest.mark.parametrize("trials", [100, 1000, 10_000])
+    def test_mc_cost_scaling(self, benchmark, trials):
+        netlist = benchmark_circuit(CIRCUIT)
+
+        def run():
+            return run_monte_carlo(netlist, CONFIG_I, trials,
+                                   rng=np.random.default_rng(0))
+
+        benchmark.pedantic(run, rounds=2, iterations=1)
+
+    def test_mc_convergence(self, benchmark, results_dir):
+        netlist = benchmark_circuit(CIRCUIT)
+        endpoint, _ = critical_endpoint(netlist)
+        reference = benchmark.pedantic(
+            run_monte_carlo, args=(netlist, CONFIG_I, 80_000),
+            kwargs={"rng": np.random.default_rng(999)},
+            rounds=1, iterations=1).direction_stats(endpoint, "rise")
+        lines = [f"ABL-3: MC estimate vs 80K-trial reference "
+                 f"(mu={reference.mean:.4f} sd={reference.std:.4f} "
+                 f"P={reference.probability:.4f})"]
+        spreads = {}
+        for trials in (100, 1000, 10_000):
+            mus = []
+            for seed in range(5):
+                mc = run_monte_carlo(netlist, CONFIG_I, trials,
+                                     rng=np.random.default_rng(seed))
+                stats = mc.direction_stats(endpoint, "rise")
+                if stats.n_occurrences:
+                    mus.append(stats.mean)
+            spreads[trials] = float(np.std(mus)) if len(mus) > 1 else np.inf
+            lines.append(f"  {trials:>6} trials: mu spread over 5 seeds "
+                         f"= {spreads[trials]:.4f}")
+        save_artifact(results_dir, "ablation_mc_trials.txt",
+                      "\n".join(lines))
+        # Seed-to-seed spread shrinks with trial count (~1/sqrt(N)).
+        assert spreads[10_000] < spreads[100]

@@ -1,0 +1,44 @@
+"""Benchmark A1: the abstract's headline error numbers.
+
+Paper: "SPSTA computes mean (standard deviation) of signal arrival times
+within 6.2% (18.6%), while SSTA computes mean (standard deviation) of
+signal arrival times within 13.40% (64.3%) of Monte Carlo simulation
+results; SPSTA also provides signal probability estimation within 14.28%".
+
+Our synthetic circuits are reconvergence-light along the critical cone, so
+SPSTA lands *below* the paper's error (the independence assumption is
+nearly exact here) while SSTA's error magnitudes land in the paper's range;
+the asserted claims are the ordering ones that transfer across netlists.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import save_artifact
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.experiments.errors import error_summary, format_error_summary
+from repro.experiments.table2 import run_table2
+
+
+def test_abstract_error_summary(benchmark, results_dir):
+    def run():
+        return {label: error_summary(run_table2(config, n_trials=10_000))
+                for label, config in (("I", CONFIG_I), ("II", CONFIG_II))}
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = []
+    for label, summary in summaries.items():
+        text.append(format_error_summary(
+            summary, title=f"Configuration ({label}) — error vs MC (%)"))
+    save_artifact(results_dir, "abstract_errors.txt", "\n\n".join(text))
+
+    for label, summary in summaries.items():
+        assert summary.spsta_beats_ssta(), label
+        # SPSTA at or under the paper's reported accuracy envelope.
+        assert summary.spsta_mean_error <= 6.2, label
+        assert summary.spsta_sigma_error <= 18.6, label
+        assert summary.spsta_probability_error <= 14.28, label
+        # SSTA sigma collapse: tens of percent, like the paper's 64.3%.
+        assert summary.ssta_sigma_error >= 20.0, label
+        assert not math.isnan(summary.ssta_mean_error)

@@ -1,0 +1,54 @@
+"""Benchmark T2: regenerate paper Table 2 (both configurations).
+
+Each run rebuilds the full table — all nine circuits, three analyzers,
+10,000 Monte Carlo trials — then checks the paper's qualitative claims:
+
+- every analyzer reports the same critical endpoint per circuit;
+- SSTA is input-statistics-oblivious (identical columns in I and II);
+- SPSTA tracks Monte Carlo more closely than SSTA on means and sigmas.
+
+The rendered tables land in benchmarks/results/table2_config_{i,ii}.txt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.experiments.errors import error_summary, format_error_summary
+from repro.experiments.csv_export import table2_csv
+from repro.experiments.table2 import format_table2, run_table2
+
+N_TRIALS = 10_000
+
+
+@pytest.mark.parametrize("label,config", [("i", CONFIG_I), ("ii", CONFIG_II)])
+def test_table2_config(benchmark, results_dir, label, config):
+    rows = benchmark.pedantic(
+        run_table2, args=(config,), kwargs={"n_trials": N_TRIALS},
+        rounds=1, iterations=1)
+    summary = error_summary(rows)
+    text = format_table2(rows, title=f"Table 2, configuration ({label.upper()})")
+    text += "\n\n" + format_error_summary(summary)
+    save_artifact(results_dir, f"table2_config_{label}.txt", text)
+    table2_csv(rows, results_dir / f"table2_config_{label}.csv")
+
+    assert len(rows) == 18
+    # The paper's headline: SPSTA closer to MC than SSTA on both moments.
+    assert summary.spsta_beats_ssta()
+    # And dramatically so on standard deviations (SSTA's MIN/MAX collapse).
+    assert summary.ssta_sigma_error > 2 * summary.spsta_sigma_error
+
+
+def test_table2_ssta_is_input_oblivious(benchmark, results_dir):
+    rows_i = benchmark.pedantic(
+        run_table2, args=(CONFIG_I,),
+        kwargs={"circuits": ("s208", "s344"), "n_trials": 100},
+        rounds=1, iterations=1)
+    rows_ii = run_table2(CONFIG_II, circuits=("s208", "s344"), n_trials=100)
+    for r1, r2 in zip(rows_i, rows_ii):
+        assert r1.ssta_mu == r2.ssta_mu
+        assert r1.ssta_sigma == r2.ssta_sigma
+        # ...while SPSTA responds to the input statistics.
+    assert any(r1.spsta_p != r2.spsta_p for r1, r2 in zip(rows_i, rows_ii))

@@ -1,0 +1,62 @@
+"""Benchmark T3: paper Table 3 — analyzer runtimes per circuit.
+
+pytest-benchmark times each analyzer on each circuit directly (its report
+IS the runtime table); the aggregated Table 3 artifact with the scalar-MC
+extrapolation is written to benchmarks/results/table3.txt and the paper's
+ordering claims are asserted: SSTA < SPSTA << scalar Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core.inputs import CONFIG_I
+from repro.core.spsta import run_spsta
+from repro.core.ssta import run_ssta
+from repro.experiments.csv_export import table3_csv
+from repro.experiments.table3 import format_table3, run_table3
+from repro.netlist.benchmarks import TABLE_CIRCUITS, benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+
+# Per-engine micro-benchmarks on a small, a medium, and the largest circuit.
+SPAN = ("s298", "s526", "s1196")
+
+
+@pytest.mark.parametrize("circuit", SPAN)
+def test_engine_spsta(benchmark, circuit):
+    netlist = benchmark_circuit(circuit)
+    benchmark(run_spsta, netlist, CONFIG_I)
+
+
+@pytest.mark.parametrize("circuit", SPAN)
+def test_engine_ssta(benchmark, circuit):
+    netlist = benchmark_circuit(circuit)
+    benchmark(run_ssta, netlist)
+
+
+@pytest.mark.parametrize("circuit", SPAN)
+def test_engine_monte_carlo_10k(benchmark, circuit):
+    netlist = benchmark_circuit(circuit)
+
+    def run():
+        return run_monte_carlo(netlist, CONFIG_I, 10_000,
+                               rng=np.random.default_rng(0))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_table3_artifact(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_table3, args=(CONFIG_I,),
+        kwargs={"n_trials": 10_000, "scalar_probe_trials": 100},
+        rounds=1, iterations=1)
+    save_artifact(results_dir, "table3.txt", format_table3(rows))
+    table3_csv(rows, results_dir / "table3.csv")
+    assert [r.circuit for r in rows] == list(TABLE_CIRCUITS)
+    for row in rows:
+        # Paper ordering: SSTA fastest, SPSTA a small multiple of it, a
+        # plain (scalar) logic simulator orders of magnitude slower.
+        assert row.ssta_seconds < row.spsta_seconds
+        assert row.mc_scalar_seconds > 10 * row.spsta_seconds

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Analyze your own circuit: build or parse a netlist, inspect TOP shapes.
+
+Shows the full API surface on a hand-written circuit:
+
+1. parse a ``.bench`` netlist from text (the ISCAS'89 format);
+2. run SPSTA with all three TOP abstractions (moments / Gaussian mixture /
+   numeric grid) and compare the conditional arrival shapes they report;
+3. regenerate the paper's Figure 4 contrast (MAX vs WEIGHTED SUM) at one
+   gate of the circuit;
+4. demonstrate four-value glitch filtering on a concrete trial.
+
+Run:  python examples/custom_circuit.py
+"""
+
+import numpy as np
+
+from repro.core.inputs import CONFIG_I
+from repro.core.spsta import GridAlgebra, MixtureAlgebra, MomentAlgebra, \
+    run_spsta
+from repro.logic.fourvalue import Logic4
+from repro.netlist.bench import parse_bench
+from repro.sim.reference import simulate_trial
+from repro.stats.grid import TimeGrid
+
+BENCH_TEXT = """
+# A small arbiter-like circuit.
+INPUT(req0)
+INPUT(req1)
+INPUT(enable)
+OUTPUT(grant0)
+OUTPUT(grant1)
+OUTPUT(busy)
+
+n0 = NOT(req1)
+grant0 = AND(req0, n0, enable)
+n1 = NOT(req0)
+grant1 = AND(req1, n1, enable)
+busy = OR(grant0, grant1)
+"""
+
+
+def main() -> None:
+    netlist = parse_bench(BENCH_TEXT, name="arbiter")
+    print(f"Parsed {netlist!r}")
+
+    # --- three TOP abstractions on the same circuit -----------------------
+    grid = TimeGrid(-8.0, 12.0, 4096)
+    engines = {
+        "moments": MomentAlgebra(),
+        "mixture(8)": MixtureAlgebra(8),
+        "grid": GridAlgebra(grid),
+    }
+    print("\nTOP report at net 'busy' (rise):")
+    print(f"{'engine':>12} {'P':>8} {'mean':>8} {'sigma':>8}")
+    for label, algebra in engines.items():
+        result = run_spsta(netlist, CONFIG_I, algebra=algebra)
+        p, mu, sd = result.report("busy", "rise")
+        print(f"{label:>12} {p:>8.4f} {mu:>8.4f} {sd:>8.4f}")
+    print("(weights agree exactly; shapes agree to approximation error)")
+
+    # --- the mixture engine exposes the multi-modal shape ------------------
+    mixture = run_spsta(netlist, CONFIG_I, algebra=MixtureAlgebra(8))
+    top = mixture.tops["busy"].rise
+    print(f"\n'busy' rise TOP as a Gaussian mixture "
+          f"(weight {top.weight:.4f}):")
+    for comp in top.conditional.components:
+        print(f"  {comp.weight:.3f} * N({comp.mu:+.3f}, {comp.sigma:.3f})")
+
+    # --- Figure 4 in miniature --------------------------------------------
+    from repro.experiments.figures import figure4_series
+    series = figure4_series(signal_probability=0.9, sigma1=0.5, sigma2=1.5)
+    print("\nFigure 4 contrast (2-input AND, P=0.9 inputs):")
+    print(f"  MAX result:          skew {series.max_skewness:+.3f}, "
+          f"std {series.max_std:.3f}")
+    print(f"  WEIGHTED SUM result: skew {series.weighted_sum_skewness:+.3f}, "
+          f"std {series.weighted_sum_std:.3f}")
+
+    # --- glitch filtering on a concrete trial ------------------------------
+    print("\nFour-value trial: req0 rises @0.2, req1 falls @0.7, enable=1")
+    states = simulate_trial(netlist, {
+        "req0": (Logic4.RISE, 0.2),
+        "req1": (Logic4.FALL, 0.7),
+        "enable": (Logic4.ONE, None),
+    })
+    for net in ("n0", "grant0", "grant1", "busy"):
+        symbol, t = states[net]
+        when = "-" if t is None else f"@{t:.2f}"
+        print(f"  {net:>7}: {symbol} {when}")
+    print("grant0 needs req0=1 AND req1=0: both transitions must land, so")
+    print("it rises at the LATER cause (the paper's MAX semantics), while")
+    print("simultaneous r/f combinations elsewhere are glitch-filtered.")
+
+
+if __name__ == "__main__":
+    main()

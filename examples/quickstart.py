@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: run all three analyzers on a benchmark circuit.
+
+Loads the bundled ISCAS'89 s27 circuit, asserts the paper's configuration
+(I) input statistics at every launch point, and compares SPSTA, SSTA, and a
+10,000-trial Monte Carlo simulation at the most critical endpoint —
+a miniature of the paper's Table 2.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CONFIG_I,
+    benchmark_circuit,
+    critical_endpoint,
+    run_monte_carlo,
+    run_spsta,
+    run_ssta,
+    run_sta,
+)
+
+
+def main() -> None:
+    netlist = benchmark_circuit("s27")
+    print(f"Loaded {netlist!r}")
+
+    endpoint, depth = critical_endpoint(netlist)
+    print(f"Critical endpoint: {endpoint} at structural depth {depth}\n")
+
+    # 1. Deterministic STA: the two bounds of the paper's Figure 1.
+    sta = run_sta(netlist)
+    lo, hi = sta.endpoint_window(endpoint)
+    print(f"STA arrival window:          [{lo:.2f}, {hi:.2f}]")
+
+    # 2. The SSTA baseline: always-switching rise/fall distributions.
+    ssta = run_ssta(netlist)
+    pair = ssta.endpoint(endpoint)
+    print(f"SSTA rise arrival:           N({pair.rise.mu:.2f}, "
+          f"{pair.rise.sigma:.2f})")
+    print(f"SSTA fall arrival:           N({pair.fall.mu:.2f}, "
+          f"{pair.fall.sigma:.2f})")
+
+    # 3. SPSTA: input-statistics-aware TOP functions (the contribution).
+    spsta = run_spsta(netlist, CONFIG_I)
+    for direction in ("rise", "fall"):
+        p, mu, sigma = spsta.report(endpoint, direction)
+        print(f"SPSTA {direction:<5} P={p:.3f}  arrival ~ ({mu:.2f}, "
+              f"{sigma:.2f})")
+    print(f"SPSTA signal probability:    "
+          f"{spsta.prob4[endpoint].signal_probability:.3f}")
+    print(f"SPSTA toggling rate:         "
+          f"{spsta.toggling_rate(endpoint):.3f} transitions/cycle")
+
+    # 4. Monte Carlo ground truth on the same statistics.
+    mc = run_monte_carlo(netlist, CONFIG_I, n_trials=10_000,
+                         rng=np.random.default_rng(0))
+    for direction in ("rise", "fall"):
+        stats = mc.direction_stats(endpoint, direction)
+        print(f"MC    {direction:<5} P={stats.probability:.3f}  "
+              f"arrival ~ ({stats.mean:.2f}, {stats.std:.2f})  "
+              f"[{stats.n_occurrences} occurrences]")
+
+    print("\nNote how SPSTA's P/mu/sigma track the simulator while SSTA")
+    print("reports a single always-switching distribution with a collapsed")
+    print("sigma — the paper's core observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Testability analysis and test generation on the signal-probability
+substrate.
+
+The same machinery SPSTA uses for timing (signal probabilities, Boolean
+differences, BDDs) powers manufacturing test:
+
+1. COP testability: per-net controllability/observability, per-fault
+   random-pattern detectability — straight from Eq. 5 and Eq. 7;
+2. random-pattern test-length estimates and expected coverage curves;
+3. BDD-based deterministic ATPG for the hard faults: miter construction,
+   exact test cubes, redundancy (untestability) proofs;
+4. a greedy complete test set with fault-simulation credit.
+
+Run:  python examples/test_generation.py
+"""
+
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.testability import (
+    compute_cop,
+    patterns_for_confidence,
+    random_pattern_coverage,
+)
+from repro.testability.atpg import AtpgEngine, generate_test_set
+
+
+def main() -> None:
+    netlist = benchmark_circuit("s27")
+    print(f"{netlist!r}\n")
+
+    # 1. COP measures.
+    cop = compute_cop(netlist, 0.5)
+    print("Hardest faults for random patterns (COP detectability):")
+    for fault, d in cop.hardest_faults(5):
+        needed = patterns_for_confidence(d, 0.95)
+        needed_text = ("untestable by random patterns" if needed == float("inf")
+                       else f"~{needed:.0f} patterns for 95% confidence")
+        print(f"  {str(fault):>9}: D={d:.4f}  ({needed_text})")
+
+    # 2. coverage curve.
+    print("\nExpected random-pattern stuck-at coverage:")
+    for n in (8, 32, 128, 512):
+        print(f"  {n:>4} patterns: {100 * random_pattern_coverage(cop, n):.1f}%")
+
+    # 3. deterministic ATPG for the hardest fault.
+    hardest, d = cop.hardest_faults(1)[0]
+    engine = AtpgEngine(netlist)
+    vector = engine.generate_test(hardest)
+    print(f"\nDeterministic test for the hardest fault {hardest} "
+          f"(D={d:.4f}):")
+    if vector is None:
+        print("  fault is UNTESTABLE (redundant logic) — proven by BDD miter")
+    else:
+        bits = " ".join(f"{net}={v}" for net, v in sorted(vector.items()))
+        print(f"  {bits}")
+
+    # 4. complete greedy test set.
+    result = generate_test_set(netlist)
+    print(f"\nComplete test set: {len(result.vectors)} vectors cover "
+          f"{len(result.covered)} faults "
+          f"({len(result.untestable)} untestable), "
+          f"coverage of testable faults {100 * result.coverage:.1f}%")
+    first = result.vectors[0]
+    print(f"  first vector detects {len(first.targets)} faults at once")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Process-variation timing yield with the Sec. 3.6 variational engine.
+
+Arrival times are first-order polynomials over two global process
+parameters (channel length L, supply voltage V) plus independent local
+noise.  Because every gate's delay shares the same global parameters, the
+endpoints are *correlated* — the joint timing yield is far better than the
+independence product would suggest.  This example:
+
+1. runs the canonical-form analysis on the s344 benchmark,
+2. prints per-endpoint sensitivities and 3-sigma corners,
+3. sweeps the clock deadline and reports correlation-aware timing yield
+   against the (wrong) per-endpoint independence estimate.
+
+Run:  python examples/timing_yield.py
+"""
+
+import numpy as np
+
+from repro.core.variational import (
+    ProcessSpace,
+    VariationalDelay,
+    run_variational,
+    timing_yield,
+)
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.stats.normal import Normal
+
+
+def main() -> None:
+    netlist = benchmark_circuit("s344")
+    space = ProcessSpace(("L", "V"))
+    delay = VariationalDelay(
+        space, nominal=1.0,
+        sensitivities={"L": 0.06, "V": 0.03},  # 6% / 3% per sigma
+        local_sigma=0.03)
+    result = run_variational(netlist, delay)
+
+    endpoint, depth = critical_endpoint(netlist)
+    worst = result.worst(endpoint)
+    print(f"{netlist!r}")
+    print(f"Critical endpoint {endpoint} (depth {depth}):")
+    print(f"  arrival  = {worst.mean:.3f} "
+          f"{worst.sensitivity('L'):+.3f}*L {worst.sensitivity('V'):+.3f}*V "
+          f"(+ local sd {np.sqrt(worst.local_var):.3f})")
+    print(f"  sigma    = {worst.sigma:.3f}")
+    print(f"  slow corner (L=V=+3): {worst.at_corner({'L': 3, 'V': 3}):.3f}")
+    print(f"  fast corner (L=V=-3): "
+          f"{worst.at_corner({'L': -3, 'V': -3}):.3f}")
+
+    endpoints = list(netlist.endpoints)
+    print(f"\nTiming yield over all {len(endpoints)} endpoints:")
+    print(f"{'deadline':>9} {'joint yield':>12} {'indep. product':>15}")
+    for deadline in np.arange(depth - 1.0, depth + 6.0, 1.0):
+        joint = timing_yield(result, endpoints, deadline, n_samples=20_000)
+        product = 1.0
+        for net in endpoints:
+            form = result.worst(net)
+            product *= Normal(form.mean, form.sigma).cdf(deadline)
+        print(f"{deadline:>9.1f} {joint:>12.4f} {product:>15.4f}")
+    print("\nThe joint yield exceeds the independence product because the")
+    print("global parameters move every path together (systematic skew).")
+
+
+if __name__ == "__main__":
+    main()

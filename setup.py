@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot use the PEP 517 editable-wheel path; with this shim (and no
+``[build-system]`` table in pyproject.toml) pip falls back to the legacy
+``setup.py develop`` flow, which needs no wheel building.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

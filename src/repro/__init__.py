@@ -1,0 +1,88 @@
+"""SPSTA — Signal Probability Based Statistical Timing Analysis.
+
+A from-scratch reproduction of Bao Liu, "Signal Probability Based
+Statistical Timing Analysis" (DATE 2008): the SPSTA engine with three TOP
+abstractions, the min/max-separated SSTA baseline, deterministic STA, a
+four-value-logic Monte Carlo timing simulator, the power-estimation
+substrate (signal probabilities, transition densities, BDDs), ISCAS'89
+netlist handling, and harnesses regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import (benchmark_circuit, CONFIG_I, run_spsta, run_ssta,
+                       run_monte_carlo, critical_endpoint)
+
+    netlist = benchmark_circuit("s27")
+    endpoint, _depth = critical_endpoint(netlist)
+    spsta = run_spsta(netlist, CONFIG_I)
+    print(spsta.report(endpoint, "rise"))   # (P, mean, sigma)
+"""
+
+from repro.core import (
+    CONFIG_I,
+    CONFIG_II,
+    GridAlgebra,
+    InputStats,
+    MixtureAlgebra,
+    MomentAlgebra,
+    NormalDelay,
+    Prob4,
+    SpstaResult,
+    SstaResult,
+    StaResult,
+    UnitDelay,
+    propagate_prob4,
+    run_spsta,
+    run_ssta,
+    run_sta,
+    signal_probabilities,
+)
+from repro.netlist import (
+    Gate,
+    Netlist,
+    benchmark_circuit,
+    benchmark_names,
+    critical_endpoint,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+from repro.sim import run_monte_carlo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # netlist
+    "Netlist",
+    "Gate",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "benchmark_circuit",
+    "benchmark_names",
+    "critical_endpoint",
+    # inputs
+    "InputStats",
+    "Prob4",
+    "CONFIG_I",
+    "CONFIG_II",
+    # delay
+    "UnitDelay",
+    "NormalDelay",
+    # engines
+    "run_sta",
+    "StaResult",
+    "run_ssta",
+    "SstaResult",
+    "run_spsta",
+    "SpstaResult",
+    "MomentAlgebra",
+    "MixtureAlgebra",
+    "GridAlgebra",
+    "run_monte_carlo",
+    # probabilities
+    "propagate_prob4",
+    "signal_probabilities",
+]

@@ -1,0 +1,317 @@
+"""Command-line interface: ``spsta`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``analyze`` — run SPSTA / SSTA / STA / Monte Carlo on a circuit and print
+  the critical-endpoint report.
+- ``table2`` / ``table3`` — regenerate the paper's tables.
+- ``errors`` — print the abstract's error summary.
+- ``report`` — per-endpoint slack / miss-probability signoff view.
+- ``slack`` — per-net slack and slack histogram.
+- ``testability`` — COP measures and optional BDD-miter ATPG.
+- ``stats`` — structural statistics of a circuit.
+- ``generate`` / ``convert`` — synthesize circuits; .bench <-> Verilog.
+
+Circuits are named benchmarks (``s27``, ``s208``, ... — see
+``repro.netlist.benchmarks``) or paths to ``.bench`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats
+from repro.core.spsta import run_spsta
+from repro.core.ssta import run_ssta
+from repro.core.sta import run_sta
+from repro.experiments.errors import error_summary, format_error_summary
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.netlist.analysis import circuit_stats, critical_endpoint
+from repro.netlist.bench import parse_bench_file
+from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
+from repro.netlist.core import Netlist
+from repro.sim.montecarlo import run_monte_carlo
+
+
+def _load_circuit(name: str) -> Netlist:
+    if name in benchmark_names():
+        return benchmark_circuit(name)
+    path = Path(name)
+    if path.exists():
+        return parse_bench_file(path)
+    raise SystemExit(
+        f"unknown circuit {name!r}: not a benchmark "
+        f"({', '.join(benchmark_names())}) and not a file")
+
+
+def _config(label: str) -> InputStats:
+    if label.upper() == "I":
+        return CONFIG_I
+    if label.upper() == "II":
+        return CONFIG_II
+    raise SystemExit(f"config must be I or II, got {label!r}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    netlist = _load_circuit(args.circuit)
+    config = _config(args.config)
+    endpoint, depth = critical_endpoint(netlist)
+    print(f"{netlist.name}: critical endpoint {endpoint} (depth {depth})")
+    sta = run_sta(netlist)
+    lo, hi = sta.endpoint_window(endpoint)
+    print(f"  STA bounds: [{lo:.2f}, {hi:.2f}]")
+    ssta = run_ssta(netlist)
+    spsta = run_spsta(netlist, config)
+    mc = None
+    if args.trials > 0:
+        mc = run_monte_carlo(netlist, config, args.trials,
+                             rng=np.random.default_rng(args.seed))
+    for direction in ("rise", "fall"):
+        p, mu, sigma = spsta.report(endpoint, direction)
+        pair = getattr(ssta.arrivals[endpoint], direction)
+        line = (f"  {direction:>4}: SPSTA P={p:.3f} mu={mu:.2f} "
+                f"sd={sigma:.2f} | SSTA mu={pair.mu:.2f} sd={pair.sigma:.2f}")
+        if mc is not None:
+            m = mc.direction_stats(endpoint, direction)
+            line += (f" | MC({args.trials}) P={m.probability:.3f} "
+                     f"mu={m.mean:.2f} sd={m.std:.2f}")
+        print(line)
+    print(f"  SPSTA signal probability at endpoint: "
+          f"{spsta.prob4[endpoint].signal_probability:.3f}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    config = _config(args.config)
+    rows = run_table2(config, n_trials=args.trials, seed=args.seed)
+    print(format_table2(rows, title=f"Table 2, configuration ({args.config})"))
+    print()
+    print(format_error_summary(error_summary(rows)))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    config = _config(args.config)
+    rows = run_table3(config, n_trials=args.trials, seed=args.seed)
+    print(format_table3(rows))
+    return 0
+
+
+def _cmd_errors(args: argparse.Namespace) -> int:
+    for label in ("I", "II"):
+        rows = run_table2(_config(label), n_trials=args.trials,
+                          seed=args.seed)
+        print(format_error_summary(
+            error_summary(rows),
+            title=f"Configuration ({label}) — error vs Monte Carlo (%)"))
+        print()
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.netlist.bench import write_bench
+    from repro.netlist.verilog import parse_verilog_file, write_verilog
+
+    source = Path(args.source)
+    if not source.exists():
+        raise SystemExit(f"no such file: {source}")
+    if source.suffix == ".bench":
+        netlist = parse_bench_file(source)
+    elif source.suffix in (".v", ".verilog"):
+        netlist = parse_verilog_file(source)
+    else:
+        raise SystemExit(f"unknown input format: {source.suffix!r} "
+                         f"(expected .bench or .v)")
+    target = Path(args.target)
+    if target.suffix == ".bench":
+        target.write_text(write_bench(netlist))
+    elif target.suffix in (".v", ".verilog"):
+        target.write_text(write_verilog(netlist))
+    else:
+        raise SystemExit(f"unknown output format: {target.suffix!r}")
+    print(f"wrote {target} ({len(netlist.gates)} gates)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.netlist.bench import write_bench
+    from repro.netlist.generator import GeneratorProfile, generate_circuit
+
+    profile = GeneratorProfile(
+        name=args.name, n_inputs=args.inputs, n_outputs=args.outputs,
+        n_dffs=args.dffs, n_gates=args.gates, depth=args.depth,
+        seed=args.seed, xor_fraction=args.xor_fraction)
+    netlist = generate_circuit(profile)
+    text = write_bench(netlist)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_slack(args: argparse.Namespace) -> int:
+    from repro.core.slack import compute_slacks, slack_histogram
+
+    netlist = _load_circuit(args.circuit)
+    result = compute_slacks(netlist, clock_period=args.clock)
+    print(f"{netlist.name}: worst slack {result.worst_slack:+.3f} "
+          f"at clock {args.clock:g}")
+    critical = result.critical_nets()
+    print(f"critical nets ({len(critical)}): "
+          f"{', '.join(critical[:12])}"
+          f"{' ...' if len(critical) > 12 else ''}")
+    print("slack histogram:")
+    for edge, count in slack_histogram(result):
+        bar = "#" * min(count, 60)
+        print(f"  {edge:>7.1f} | {count:>4} {bar}")
+    return 0
+
+
+def _cmd_testability(args: argparse.Namespace) -> int:
+    from repro.testability import (compute_cop, patterns_for_confidence,
+                                   random_pattern_coverage)
+
+    netlist = _load_circuit(args.circuit)
+    cop = compute_cop(netlist, args.probability)
+    print(f"{netlist.name}: COP testability at launch P(1) = "
+          f"{args.probability:g}")
+    print(f"hardest faults:")
+    for fault, d in cop.hardest_faults(args.top):
+        needed = patterns_for_confidence(d, 0.95)
+        needed_text = ("inf" if needed == float("inf")
+                       else f"{needed:.0f}")
+        print(f"  {str(fault):>10}: D={d:.4f}  "
+              f"(~{needed_text} patterns for 95%)")
+    for n in (16, 64, 256, 1024):
+        print(f"expected coverage after {n:>4} random patterns: "
+              f"{100 * random_pattern_coverage(cop, n):.1f}%")
+    if args.atpg:
+        from repro.testability.atpg import generate_test_set
+        result = generate_test_set(netlist)
+        print(f"deterministic test set: {len(result.vectors)} vectors, "
+              f"{len(result.untestable)} untestable faults, "
+              f"coverage {100 * result.coverage:.1f}%")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report
+
+    netlist = _load_circuit(args.circuit)
+    report = generate_report(netlist, clock_period=args.clock,
+                             stats=_config(args.config),
+                             n_paths=args.paths)
+    print(report.render(max_endpoints=args.endpoints))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = circuit_stats(_load_circuit(args.circuit))
+    print(f"{stats.name}: {stats.n_inputs} PI, {stats.n_outputs} PO, "
+          f"{stats.n_dffs} DFF, {stats.n_gates} gates, "
+          f"depth {stats.depth}, max fan-in {stats.max_fanin}")
+    for gate_type, count in sorted(stats.gate_histogram.items()):
+        print(f"  {gate_type:>5}: {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spsta",
+        description="Signal Probability Based Statistical Timing Analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run all analyzers on a circuit")
+    analyze.add_argument("circuit", help="benchmark name or .bench path")
+    analyze.add_argument("--config", default="I", help="input stats: I or II")
+    analyze.add_argument("--trials", type=int, default=10_000,
+                         help="Monte Carlo trials (0 disables MC)")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    table2 = sub.add_parser("table2", help="regenerate paper Table 2")
+    table2.add_argument("--config", default="I")
+    table2.add_argument("--trials", type=int, default=10_000)
+    table2.add_argument("--seed", type=int, default=0)
+    table2.set_defaults(func=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="regenerate paper Table 3")
+    table3.add_argument("--config", default="I")
+    table3.add_argument("--trials", type=int, default=10_000)
+    table3.add_argument("--seed", type=int, default=0)
+    table3.set_defaults(func=_cmd_table3)
+
+    errors = sub.add_parser("errors", help="abstract error summary, both configs")
+    errors.add_argument("--trials", type=int, default=10_000)
+    errors.add_argument("--seed", type=int, default=0)
+    errors.set_defaults(func=_cmd_errors)
+
+    report = sub.add_parser("report",
+                            help="per-endpoint slack/miss-probability report")
+    report.add_argument("circuit")
+    report.add_argument("--clock", type=float, required=True,
+                        help="clock period")
+    report.add_argument("--config", default="I")
+    report.add_argument("--paths", type=int, default=3,
+                        help="number of critical paths to print")
+    report.add_argument("--endpoints", type=int, default=10,
+                        help="endpoints to list (worst first)")
+    report.set_defaults(func=_cmd_report)
+
+    stats = sub.add_parser("stats", help="structural circuit statistics")
+    stats.add_argument("circuit")
+    stats.set_defaults(func=_cmd_stats)
+
+    convert = sub.add_parser("convert",
+                             help="convert between .bench and .v formats")
+    convert.add_argument("source")
+    convert.add_argument("target")
+    convert.set_defaults(func=_cmd_convert)
+
+    generate = sub.add_parser("generate",
+                              help="generate a synthetic benchmark circuit")
+    generate.add_argument("--name", default="synthetic")
+    generate.add_argument("--inputs", type=int, default=8)
+    generate.add_argument("--outputs", type=int, default=8)
+    generate.add_argument("--dffs", type=int, default=8)
+    generate.add_argument("--gates", type=int, default=100)
+    generate.add_argument("--depth", type=int, default=8)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--xor-fraction", type=float, default=0.0)
+    generate.add_argument("--output", help=".bench path (default: stdout)")
+    generate.set_defaults(func=_cmd_generate)
+
+    testability = sub.add_parser(
+        "testability", help="COP testability and optional BDD ATPG")
+    testability.add_argument("circuit")
+    testability.add_argument("--probability", type=float, default=0.5,
+                             help="launch-point P(1)")
+    testability.add_argument("--top", type=int, default=8,
+                             help="hardest faults to list")
+    testability.add_argument("--atpg", action="store_true",
+                             help="also build a deterministic test set")
+    testability.set_defaults(func=_cmd_testability)
+
+    slack = sub.add_parser("slack",
+                           help="per-net slack and slack histogram")
+    slack.add_argument("circuit")
+    slack.add_argument("--clock", type=float, required=True)
+    slack.set_defaults(func=_cmd_slack)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

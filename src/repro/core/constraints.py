@@ -1,0 +1,230 @@
+"""Timing constraints (an SDC subset) for the slack and report engines.
+
+Supports the constraint set that changes setup/hold arithmetic:
+
+- ``create_clock -period P [-name N]``
+- ``set_input_delay D [-min] [-port p | all inputs]``
+- ``set_output_delay D [-min] [-port p | all outputs]``
+- ``set_false_path -to <endpoint>``
+- ``set_clock_uncertainty U``
+
+Both a programmatic builder API and a small text parser (one command per
+line, ``#`` comments) are provided.  :func:`constrained_slacks` reruns the
+forward/backward propagation with the constraint arithmetic:
+
+    setup slack(endpoint) = P - uncertainty - output_delay - arrival_max
+    hold  slack(endpoint) = arrival_min - output_delay_min - hold_margin
+
+False-path endpoints are excluded from analysis entirely (the paper's
+Fig. 1 caption: "STA and SSTA estimates are pessimistic if false paths are
+not excluded").
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.sta import run_sta
+from repro.netlist.core import Netlist
+
+
+@dataclass
+class TimingConstraints:
+    """Mutable constraint set (the builder API)."""
+
+    clock_period: Optional[float] = None
+    clock_name: str = "clk"
+    clock_uncertainty: float = 0.0
+    hold_margin: float = 0.0
+    input_delays: Dict[str, float] = field(default_factory=dict)
+    input_delays_min: Dict[str, float] = field(default_factory=dict)
+    output_delays: Dict[str, float] = field(default_factory=dict)
+    output_delays_min: Dict[str, float] = field(default_factory=dict)
+    false_path_endpoints: set = field(default_factory=set)
+
+    # -- builder methods --------------------------------------------------
+
+    def create_clock(self, period: float, name: str = "clk") -> None:
+        if period <= 0.0:
+            raise ValueError("clock period must be > 0")
+        self.clock_period = period
+        self.clock_name = name
+
+    def set_input_delay(self, delay: float, port: Optional[str] = None,
+                        minimum: bool = False) -> None:
+        target = self.input_delays_min if minimum else self.input_delays
+        target["*" if port is None else port] = delay
+
+    def set_output_delay(self, delay: float, port: Optional[str] = None,
+                         minimum: bool = False) -> None:
+        target = self.output_delays_min if minimum else self.output_delays
+        target["*" if port is None else port] = delay
+
+    def set_false_path(self, endpoint: str) -> None:
+        self.false_path_endpoints.add(endpoint)
+
+    def set_clock_uncertainty(self, uncertainty: float) -> None:
+        if uncertainty < 0.0:
+            raise ValueError("uncertainty must be >= 0")
+        self.clock_uncertainty = uncertainty
+
+    # -- lookups ---------------------------------------------------------
+
+    def input_delay(self, port: str, minimum: bool = False) -> float:
+        table = self.input_delays_min if minimum else self.input_delays
+        return table.get(port, table.get("*", 0.0))
+
+    def output_delay(self, port: str, minimum: bool = False) -> float:
+        table = self.output_delays_min if minimum else self.output_delays
+        return table.get(port, table.get("*", 0.0))
+
+
+class SdcParseError(ValueError):
+    """Raised with line context on unsupported or malformed SDC."""
+
+
+def parse_sdc(text: str) -> TimingConstraints:
+    """Parse the supported SDC subset into a :class:`TimingConstraints`."""
+    constraints = TimingConstraints()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise SdcParseError(f"line {line_no}: {exc}") from exc
+        command, args = tokens[0], tokens[1:]
+        try:
+            _apply_command(constraints, command, args)
+        except (ValueError, IndexError, KeyError) as exc:
+            raise SdcParseError(f"line {line_no}: {exc}: {line!r}") from exc
+    return constraints
+
+
+def _apply_command(constraints: TimingConstraints, command: str,
+                   args: List[str]) -> None:
+    if command == "create_clock":
+        period = float(_option(args, "-period"))
+        name = _option(args, "-name", default="clk")
+        constraints.create_clock(period, name)
+    elif command in ("set_input_delay", "set_output_delay"):
+        minimum = "-min" in args
+        value, port = _delay_and_port(args)
+        if command == "set_input_delay":
+            constraints.set_input_delay(value, port, minimum)
+        else:
+            constraints.set_output_delay(value, port, minimum)
+    elif command == "set_false_path":
+        constraints.set_false_path(_option(args, "-to"))
+    elif command == "set_clock_uncertainty":
+        constraints.set_clock_uncertainty(float(args[0]))
+    else:
+        raise ValueError(f"unsupported SDC command {command!r}")
+
+
+def _delay_and_port(args: List[str]) -> Tuple[float, Optional[str]]:
+    value: Optional[float] = None
+    port: Optional[str] = None
+    skip = False
+    for i, token in enumerate(args):
+        if skip:
+            skip = False
+            continue
+        if token == "-port":
+            port = args[i + 1]
+            skip = True
+        elif token in ("-min", "-max"):
+            continue
+        elif token.startswith("-"):
+            raise ValueError(f"unsupported option {token!r}")
+        else:
+            value = float(token)
+    if value is None:
+        raise ValueError("missing delay value")
+    return value, port
+
+
+def _option(args: List[str], name: str,
+            default: Optional[str] = None) -> str:
+    for i, token in enumerate(args):
+        if token == name:
+            return args[i + 1]
+    if default is not None:
+        return default
+    raise ValueError(f"missing required option {name}")
+
+
+@dataclass(frozen=True)
+class ConstrainedSlack:
+    """Per-endpoint setup and hold slack under a constraint set."""
+
+    clock_period: float
+    setup_slack: Mapping[str, float]
+    hold_slack: Mapping[str, float]
+    excluded: Tuple[str, ...]
+
+    @property
+    def worst_setup(self) -> float:
+        return min(self.setup_slack.values())
+
+    @property
+    def worst_hold(self) -> float:
+        return min(self.hold_slack.values())
+
+    @property
+    def met(self) -> bool:
+        return self.worst_setup >= 0.0 and self.worst_hold >= 0.0
+
+
+def constrained_slacks(netlist: Netlist,
+                       constraints: TimingConstraints,
+                       delay_model: DelayModel = UnitDelay()
+                       ) -> ConstrainedSlack:
+    """Setup/hold endpoint slacks under the constraint arithmetic."""
+    if constraints.clock_period is None:
+        raise ValueError("constraints must define a clock (create_clock)")
+    period = constraints.clock_period
+
+    # Primary-input external delays shift launch arrivals; run STA per
+    # max/min with the corresponding offsets.
+    def arrivals(minimum: bool) -> Mapping[str, float]:
+        sta = run_sta(netlist, delay_model)
+        base = sta.min_arrival if minimum else sta.max_arrival
+        # Offsets propagate additively along paths; with per-input offsets
+        # an exact treatment re-runs STA with shifted launches:
+        offsets = {net: constraints.input_delay(net, minimum)
+                   for net in netlist.inputs}
+        if any(offsets.values()):
+            shifted: Dict[str, float] = {}
+            for net in netlist.launch_points:
+                shifted[net] = offsets.get(net, 0.0)
+            for gate in netlist.combinational_gates:
+                d = delay_model.delay(gate).mu
+                fold = min if minimum else max
+                shifted[gate.name] = fold(
+                    shifted[src] for src in gate.inputs) + d
+            return shifted
+        return base
+
+    arr_max = arrivals(minimum=False)
+    arr_min = arrivals(minimum=True)
+
+    setup: Dict[str, float] = {}
+    hold: Dict[str, float] = {}
+    excluded: List[str] = []
+    for net in netlist.endpoints:
+        if net in constraints.false_path_endpoints:
+            excluded.append(net)
+            continue
+        out_max = constraints.output_delay(net, minimum=False)
+        out_min = constraints.output_delay(net, minimum=True)
+        setup[net] = (period - constraints.clock_uncertainty - out_max
+                      - arr_max[net])
+        hold[net] = arr_min[net] - out_min - constraints.hold_margin
+    if not setup:
+        raise ValueError("every endpoint is a false path; nothing to time")
+    return ConstrainedSlack(period, setup, hold, tuple(excluded))

@@ -1,0 +1,165 @@
+"""Multi-corner and OCV-derated timing — the Fig. 1 "corner" world.
+
+The paper positions corner analysis as the pre-statistical state of the
+art: "corner based timing analysis ... captures intra-die variations" by
+evaluating at scaled operating points.  This module supplies that baseline
+so it can be compared against the statistical engines:
+
+- :class:`Corner` / :func:`run_corners` — evaluate STA and SSTA at scaled
+  delay corners (fast / typical / slow by default);
+- :func:`ocv_slacks` — on-chip-variation derating: late paths multiplied
+  up, early paths multiplied down, the standard pessimistic bracketing;
+- :func:`corner_vs_statistical` — the comparison the paper implies: the
+  slow-corner arrival vs the statistical 3-sigma arrival at the critical
+  endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.ssta import run_ssta
+from repro.core.sta import run_sta
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.core import Gate, Netlist
+from repro.stats.clark import clark_max
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A named operating point scaling the nominal delays."""
+
+    name: str
+    delay_scale: float
+    sigma_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay_scale <= 0.0:
+            raise ValueError("delay_scale must be > 0")
+        if self.sigma_scale < 0.0:
+            raise ValueError("sigma_scale must be >= 0")
+
+
+#: The classic three-corner set.
+STANDARD_CORNERS: Tuple[Corner, ...] = (
+    Corner("fast", 0.8),
+    Corner("typical", 1.0),
+    Corner("slow", 1.25),
+)
+
+
+@dataclass(frozen=True)
+class ScaledDelay:
+    """DelayModel wrapper applying a corner's scales to a base model."""
+
+    base: DelayModel
+    corner: Corner
+
+    def delay(self, gate: Gate) -> Normal:
+        d = self.base.delay(gate)
+        return Normal(d.mu * self.corner.delay_scale,
+                      d.sigma * self.corner.delay_scale
+                      * self.corner.sigma_scale)
+
+
+@dataclass(frozen=True)
+class CornerResult:
+    """One corner's timing summary."""
+
+    corner: Corner
+    worst_arrival: float             # STA max over endpoints
+    worst_endpoint: str
+    ssta_worst: Normal               # Clark-combined rise/fall at that net
+
+
+def run_corners(netlist: Netlist,
+                corners: Sequence[Corner] = STANDARD_CORNERS,
+                base_model: DelayModel = UnitDelay()
+                ) -> Dict[str, CornerResult]:
+    """STA + SSTA at every corner, keyed by corner name."""
+    results: Dict[str, CornerResult] = {}
+    for corner in corners:
+        model = ScaledDelay(base_model, corner)
+        sta = run_sta(netlist, model)
+        worst_net = max(netlist.endpoints,
+                        key=lambda n: (sta.max_arrival[n], n))
+        ssta = run_ssta(netlist, model)
+        pair = ssta.arrivals[worst_net]
+        results[corner.name] = CornerResult(
+            corner=corner,
+            worst_arrival=sta.max_arrival[worst_net],
+            worst_endpoint=worst_net,
+            ssta_worst=clark_max(pair.rise, pair.fall))
+    return results
+
+
+@dataclass(frozen=True)
+class OcvSlack:
+    """Setup/hold slacks under on-chip-variation derates."""
+
+    late_derate: float
+    early_derate: float
+    setup_slack: Mapping[str, float]
+    hold_slack: Mapping[str, float]
+
+    @property
+    def worst_setup(self) -> float:
+        return min(self.setup_slack.values())
+
+    @property
+    def worst_hold(self) -> float:
+        return min(self.hold_slack.values())
+
+
+def ocv_slacks(netlist: Netlist, clock_period: float,
+               late_derate: float = 1.1, early_derate: float = 0.9,
+               hold_margin: float = 0.0,
+               base_model: DelayModel = UnitDelay()) -> OcvSlack:
+    """Derated setup/hold slacks: the standard OCV bracketing.
+
+    Setup uses data arrivals derated late; hold uses arrivals derated
+    early.  Derates must bracket 1 (late >= 1 >= early > 0).
+    """
+    if clock_period <= 0.0:
+        raise ValueError("clock_period must be > 0")
+    if not (late_derate >= 1.0 >= early_derate > 0.0):
+        raise ValueError("derates must satisfy late >= 1 >= early > 0")
+    late = run_sta(netlist,
+                   ScaledDelay(base_model, Corner("late", late_derate)))
+    early = run_sta(netlist,
+                    ScaledDelay(base_model, Corner("early", early_derate)))
+    setup = {net: clock_period - late.max_arrival[net]
+             for net in netlist.endpoints}
+    hold = {net: early.min_arrival[net] - hold_margin
+            for net in netlist.endpoints}
+    return OcvSlack(late_derate, early_derate, setup, hold)
+
+
+def corner_vs_statistical(netlist: Netlist,
+                          corners: Sequence[Corner] = STANDARD_CORNERS,
+                          base_model: DelayModel = UnitDelay()
+                          ) -> Dict[str, float]:
+    """The Fig. 1 comparison at the critical endpoint: the slow-corner
+    deterministic arrival vs SSTA's typical-corner mean + 3 sigma.
+
+    Returns {'slow_corner', 'typical_3sigma', 'pessimism'} where pessimism
+    is slow_corner - typical_3sigma (positive when the corner is the more
+    pessimistic bound, the usual complaint about corner signoff).
+    """
+    endpoint, _ = critical_endpoint(netlist)
+    results = run_corners(netlist, corners, base_model)
+    slow = max(results.values(), key=lambda r: r.worst_arrival)
+    typical = results.get("typical")
+    if typical is None:
+        typical = min(results.values(),
+                      key=lambda r: abs(r.corner.delay_scale - 1.0))
+    stat3 = typical.ssta_worst.mu + 3.0 * typical.ssta_worst.sigma
+    return {
+        "slow_corner": slow.worst_arrival,
+        "typical_3sigma": stat3,
+        "pessimism": slow.worst_arrival - stat3,
+        "endpoint": endpoint,
+    }

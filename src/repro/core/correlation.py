@@ -1,0 +1,218 @@
+"""Higher-order correlations and exact signal probability (paper Sec. 3.5).
+
+Per-gate independent propagation (Eq. 5/10) is wrong in the presence of
+reconvergent fanout: the inputs of the reconverging gate share support and
+are correlated.  The paper sketches two remedies, both implemented here:
+
+1. **Exact, via symbolic simulation**: build each net's BDD over the launch
+   points and evaluate Eq. 5 on it (:func:`exact_signal_probabilities`);
+   correlations of any order are implicitly exact.  Pairwise and
+   higher-order covariances of nets (Eq. 14-16) are evaluated on the same
+   BDDs (:func:`pairwise_covariance_bdd`, :func:`higher_order_covariance`).
+
+2. **Truncated, via first-order covariance tracking**: propagate P plus a
+   sparse matrix of pairwise covariances, applying
+
+       P(x1 x2)    = P(x1) P(x2) + cov(x1, x2)                 (Eq. 15)
+       P(x1 + x2)  = P(x1) + P(x2) - P(x1 x2)                  (Eq. 17)
+       cov(x1 x2, k) ~ P(x1) cov(x2, k) + P(x2) cov(x1, k)     (truncation)
+
+   dropping third- and higher-order covariances (the accuracy/efficiency
+   trade-off the paper describes).  Covariances below ``threshold`` are
+   pruned to keep the matrix sparse.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from repro.logic.bdd import BDDManager, TRUE
+from repro.logic.gates import GateType, gate_spec
+from repro.netlist.core import Netlist
+from repro.power.density import build_net_bdds
+
+
+def exact_signal_probabilities(netlist: Netlist,
+                               launch_probs: Union[float, Mapping[str, float]]
+                               ) -> Dict[str, float]:
+    """BDD-exact P(net = 1) for independent launch points (Sec. 3.5)."""
+    manager = BDDManager()
+    funcs = build_net_bdds(netlist, manager)
+    probs = _launch_probabilities(netlist, launch_probs)
+    return {net: manager.signal_probability(f, probs)
+            for net, f in funcs.items()}
+
+
+def pairwise_covariance_bdd(manager: BDDManager, f: int, g: int,
+                            probabilities: Mapping[str, float]) -> float:
+    """cov(f, g) = P(f g) - P(f) P(g) on BDDs (Eq. 15/16)."""
+    probs = dict(probabilities)
+    p_fg = manager.signal_probability(manager.apply_and(f, g), probs)
+    p_f = manager.signal_probability(f, probs)
+    p_g = manager.signal_probability(g, probs)
+    return p_fg - p_f * p_g
+
+
+def higher_order_covariance(manager: BDDManager, funcs: Sequence[int],
+                            probabilities: Mapping[str, float]) -> float:
+    """n-th order covariance E[prod_i (x_i - E x_i)] of n+1 functions
+    (Eq. 14), by inclusion-exclusion over subsets:
+
+        E[prod (x_i - p_i)] = sum_{S} prod_{i not in S} (-p_i) * P(AND_{i in S} x_i)
+    """
+    probs = dict(probabilities)
+    p = [manager.signal_probability(f, probs) for f in funcs]
+    n = len(funcs)
+    total = 0.0
+    for r in range(n + 1):
+        for subset in combinations(range(n), r):
+            conj = TRUE
+            for i in subset:
+                conj = manager.apply_and(conj, funcs[i])
+            weight = 1.0
+            for i in range(n):
+                if i not in subset:
+                    weight *= -p[i]
+            total += weight * manager.signal_probability(conj, probs)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Truncated first-order covariance propagation.
+# ---------------------------------------------------------------------------
+
+#: A net's probability plus its sparse covariances with earlier nets.
+_State = Tuple[float, Dict[str, float]]
+
+
+def correlated_signal_probabilities(
+        netlist: Netlist,
+        launch_probs: Union[float, Mapping[str, float]],
+        threshold: float = 1e-9) -> Dict[str, float]:
+    """Signal probabilities with first-order covariance tracking.
+
+    More accurate than :func:`repro.core.probability.signal_probabilities`
+    on reconvergent circuits, far cheaper than full BDDs; the truncation
+    error is third-order in the covariances.
+    """
+    probs = _launch_probabilities(netlist, launch_probs)
+    states: Dict[str, _State] = {
+        net: (probs[net], {}) for net in netlist.launch_points}
+
+    for gate in netlist.combinational_gates:
+        operands = [(src, states[src]) for src in gate.inputs]
+        states[gate.name] = _gate_state(gate.gate_type, operands, states,
+                                        threshold)
+    return {net: state[0] for net, state in states.items()}
+
+
+def _gate_state(gate_type: GateType,
+                operands: Sequence[Tuple[str, _State]],
+                states: Mapping[str, _State],
+                threshold: float) -> _State:
+    spec = gate_spec(gate_type)
+    if gate_type in (GateType.BUFF, GateType.NOT):
+        name, (p, cov) = operands[0]
+        # The output is (anti-)identical to its operand, so its covariance
+        # with the operand net itself is (minus) the operand variance —
+        # the entry downstream reconvergent gates need.
+        out_cov = dict(cov)
+        out_cov[name] = p * (1.0 - p)
+        if gate_type is GateType.NOT:
+            return 1.0 - p, {k: -c for k, c in out_cov.items()}
+        return p, out_cov
+    # Fold the gate as a chain of two-input cores; the accumulator is a
+    # virtual net whose covariances with *real* nets are tracked, which is
+    # all the next fold step needs.
+    name0, state0 = operands[0]
+    acc = (state0[0], dict(state0[1]))
+    acc_name = name0
+    for name, state in operands[1:]:
+        acc = _combine(gate_type, acc, acc_name, state, name, threshold)
+        acc_name = ""  # virtual from now on
+    if spec.inverting:
+        p, cov = acc
+        acc = 1.0 - p, {k: -c for k, c in cov.items()}
+    return acc
+
+
+def _combine(gate_type: GateType, a: _State, a_name: str,
+             b: _State, b_name: str, threshold: float) -> _State:
+    """One two-input fold step of AND/OR/XOR cores with Eq. 15/17.
+
+    Self-covariances (an operand with itself) are resolved to Bernoulli
+    variances p(1-p); cross terms with other tracked nets use the stored
+    first-order covariances, truncating third and higher orders.
+    """
+    p_a, cov_a = a
+    p_b, cov_b = b
+    var_a = p_a * (1.0 - p_a)
+    var_b = p_b * (1.0 - p_b)
+    # cov(a, b): the accumulator's covariance with the incoming real net.
+    if a_name and a_name == b_name:
+        cov_ab = var_a
+    else:
+        cov_ab = cov_a.get(b_name, cov_b.get(a_name, 0.0))
+    p_and = _clip(p_a * p_b + cov_ab)
+
+    def cov_a_with(k: str) -> float:
+        if a_name and k == a_name:
+            return var_a
+        if b_name and k == b_name:
+            return cov_ab
+        return cov_a.get(k, 0.0)
+
+    def cov_b_with(k: str) -> float:
+        if b_name and k == b_name:
+            return var_b
+        if a_name and k == a_name:
+            return cov_ab
+        return cov_b.get(k, 0.0)
+
+    def cov_and_with(k: str) -> float:
+        # Exact for the product's own operands: cov(ab, a) = P(ab)(1 - P(a)).
+        if a_name and k == a_name:
+            return p_and * (1.0 - p_a)
+        if b_name and k == b_name:
+            return p_and * (1.0 - p_b)
+        return p_a * cov_b.get(k, 0.0) + p_b * cov_a.get(k, 0.0)
+
+    tracked = set(cov_a) | set(cov_b)
+    tracked.update(n for n in (a_name, b_name) if n)
+
+    if gate_type in (GateType.AND, GateType.NAND):
+        p_out = p_and
+        cov_out = {k: cov_and_with(k) for k in tracked}
+    elif gate_type in (GateType.OR, GateType.NOR):
+        p_out = _clip(p_a + p_b - p_and)
+        cov_out = {k: cov_a_with(k) + cov_b_with(k) - cov_and_with(k)
+                   for k in tracked}
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        p_out = _clip(p_a + p_b - 2.0 * p_and)
+        cov_out = {k: cov_a_with(k) + cov_b_with(k) - 2.0 * cov_and_with(k)
+                   for k in tracked}
+    else:
+        raise ValueError(f"unsupported gate type {gate_type}")
+    return p_out, _pruned(cov_out, threshold)
+
+
+def _pruned(cov: Dict[str, float], threshold: float) -> Dict[str, float]:
+    return {k: c for k, c in cov.items() if abs(c) >= threshold}
+
+
+def _clip(p: float) -> float:
+    return min(max(p, 0.0), 1.0)
+
+
+def _launch_probabilities(netlist: Netlist,
+                          launch_probs: Union[float, Mapping[str, float]]
+                          ) -> Dict[str, float]:
+    result: Dict[str, float] = {}
+    for net in netlist.launch_points:
+        p = (launch_probs if isinstance(launch_probs, (int, float))
+             else launch_probs[net])
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"P({net}) = {p} outside [0, 1]")
+        result[net] = float(p)
+    return result

@@ -1,0 +1,224 @@
+"""Liberty (.lib) subset parser feeding the NLDM substrate.
+
+Reads the industry cell-library format's timing-relevant subset:
+
+    library (demo) {
+      cell (NAND2) {
+        pin (A) { direction : input; capacitance : 1.1; }
+        pin (Y) {
+          direction : output;
+          timing () {
+            cell_rise (tbl) {
+              index_1 ("0.1, 0.5, 1.0");      /* input slew  */
+              index_2 ("0.5, 1.0, 2.0");      /* output load */
+              values ("0.4, 0.6, 0.9", \\
+                      "0.5, 0.7, 1.0", \\
+                      "0.7, 0.9, 1.2");
+            }
+            rise_transition (tbl) { ... }
+          }
+        }
+      }
+    }
+
+Cells are mapped onto gate types by name prefix (NAND2 -> NAND, INV/NOT ->
+NOT, ...), and the result is an :class:`~repro.core.nldm.NldmLibrary` ready
+for :func:`~repro.core.nldm.run_nldm_sta`.  Constructs outside the subset
+(power tables, when-conditions, buses) are skipped, not errors: real .lib
+files are full of them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.nldm import LookupTable, NldmLibrary, TimingArc
+from repro.logic.gates import GateType
+
+_CELL_PREFIXES: Tuple[Tuple[str, GateType], ...] = (
+    ("NAND", GateType.NAND),
+    ("NOR", GateType.NOR),
+    ("XNOR", GateType.XNOR),
+    ("XOR", GateType.XOR),
+    ("AND", GateType.AND),
+    ("OR", GateType.OR),
+    ("INV", GateType.NOT),
+    ("NOT", GateType.NOT),
+    ("BUF", GateType.BUFF),
+)
+
+
+class LibertyParseError(ValueError):
+    """Raised on malformed .lib input within the supported subset."""
+
+
+def gate_type_for_cell(cell_name: str) -> Optional[GateType]:
+    """Map a cell name to a gate type by prefix (case-insensitive);
+    None for unrecognized cells (they are skipped)."""
+    upper = cell_name.upper()
+    for prefix, gate_type in _CELL_PREFIXES:
+        if upper.startswith(prefix):
+            return gate_type
+    return None
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text.replace("\\\n", " ")
+
+
+class _Group:
+    """One liberty group: ``name (arg) { attributes...; subgroups... }``."""
+
+    def __init__(self, kind: str, arg: str) -> None:
+        self.kind = kind
+        self.arg = arg
+        self.attributes: Dict[str, str] = {}
+        self.children: List["_Group"] = []
+
+    def find_all(self, kind: str) -> List["_Group"]:
+        return [c for c in self.children if c.kind == kind]
+
+
+_TOKEN_RE = re.compile(
+    r"""(?P<group>[A-Za-z_][\w]*)\s*\(\s*(?P<arg>[^();]*?)\s*\)\s*\{"""
+    r"""|(?P<cattr>[A-Za-z_][\w]*)\s*\(\s*(?P<cvalue>[^;{}]*?)\s*\)\s*;"""
+    r"""|(?P<close>\})"""
+    r"""|(?P<attr>[A-Za-z_][\w]*)\s*:\s*(?P<value>[^;]*);""",
+    re.DOTALL)
+
+
+def _parse_groups(text: str) -> _Group:
+    root = _Group("root", "")
+    stack = [root]
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.search(text, pos)
+        if match is None:
+            break
+        pos = match.end()
+        if match.group("close"):
+            if len(stack) == 1:
+                raise LibertyParseError("unbalanced '}'")
+            stack.pop()
+        elif match.group("group"):
+            group = _Group(match.group("group"), match.group("arg").strip())
+            stack[-1].children.append(group)
+            stack.append(group)
+        elif match.group("cattr"):
+            # Complex attribute: name ("...", "...");  (index_1, values, ...)
+            stack[-1].attributes[match.group("cattr")] = \
+                match.group("cvalue").strip()
+        else:
+            stack[-1].attributes[match.group("attr")] = \
+                match.group("value").strip()
+    if len(stack) != 1:
+        raise LibertyParseError("unbalanced '{'")
+    return root
+
+
+def _parse_float_list(raw: str) -> Tuple[float, ...]:
+    cleaned = raw.replace('"', " ").replace(",", " ")
+    try:
+        return tuple(float(tok) for tok in cleaned.split())
+    except ValueError as exc:
+        raise LibertyParseError(f"bad numeric list: {raw!r}") from exc
+
+
+def _parse_table(group: _Group) -> LookupTable:
+    try:
+        slews = _parse_float_list(group.attributes["index_1"])
+        loads = _parse_float_list(group.attributes["index_2"])
+        flat = _parse_float_list(group.attributes["values"])
+    except KeyError as exc:
+        raise LibertyParseError(
+            f"table missing {exc.args[0]}") from exc
+    if len(flat) != len(slews) * len(loads):
+        raise LibertyParseError(
+            f"table has {len(flat)} values for {len(slews)}x{len(loads)} "
+            f"axes")
+    rows = tuple(tuple(flat[i * len(loads):(i + 1) * len(loads)])
+                 for i in range(len(slews)))
+    return LookupTable(slews, loads, rows)
+
+
+def parse_liberty(text: str,
+                  wire_capacitance: float = 0.5) -> NldmLibrary:
+    """Parse .lib text into an :class:`NldmLibrary`.
+
+    For each recognized cell the first output-pin ``timing()`` group with a
+    ``cell_rise`` (or ``cell_fall``) table is used; rise and fall are
+    averaged when both exist (this library models direction-independent
+    delays).  Input capacitance is averaged over the cell's input pins.
+    """
+    root = _parse_groups(_strip_comments(text))
+    libraries = root.find_all("library")
+    if not libraries:
+        raise LibertyParseError("no library group found")
+    arcs: Dict[GateType, TimingArc] = {}
+    for cell in libraries[0].find_all("cell"):
+        gate_type = gate_type_for_cell(cell.arg)
+        if gate_type is None or gate_type in arcs:
+            continue
+        arc = _cell_arc(cell)
+        if arc is not None:
+            arcs[gate_type] = arc
+    if not arcs:
+        raise LibertyParseError("no usable cells in library")
+    return NldmLibrary(arcs=arcs, wire_capacitance=wire_capacitance)
+
+
+def _cell_arc(cell: _Group) -> Optional[TimingArc]:
+    input_caps: List[float] = []
+    delay_tables: List[LookupTable] = []
+    slew_tables: List[LookupTable] = []
+    for pin in cell.find_all("pin"):
+        direction = pin.attributes.get("direction", "").strip().lower()
+        if direction == "input":
+            cap = pin.attributes.get("capacitance")
+            if cap is not None:
+                input_caps.append(float(cap))
+        elif direction == "output":
+            for timing in pin.find_all("timing"):
+                for kind in ("cell_rise", "cell_fall"):
+                    for table in timing.find_all(kind):
+                        delay_tables.append(_parse_table(table))
+                for kind in ("rise_transition", "fall_transition"):
+                    for table in timing.find_all(kind):
+                        slew_tables.append(_parse_table(table))
+    if not delay_tables or not slew_tables:
+        return None
+    return TimingArc(
+        delay=_average_tables(delay_tables),
+        output_slew=_average_tables(slew_tables),
+        input_capacitance=(sum(input_caps) / len(input_caps)
+                           if input_caps else 1.0))
+
+
+def _average_tables(tables: List[LookupTable]) -> LookupTable:
+    first = tables[0]
+    for other in tables[1:]:
+        if (other.slew_axis != first.slew_axis
+                or other.load_axis != first.load_axis):
+            raise LibertyParseError(
+                "rise/fall tables with different axes are not supported")
+    rows = tuple(
+        tuple(sum(t.values[i][j] for t in tables) / len(tables)
+              for j in range(len(first.load_axis)))
+        for i in range(len(first.slew_axis)))
+    return LookupTable(first.slew_axis, first.load_axis, rows)
+
+
+def parse_liberty_file(path: Union[str, Path],
+                       wire_capacitance: float = 0.5) -> NldmLibrary:
+    return parse_liberty(Path(path).read_text(), wire_capacitance)
+
+
+def demo_library(wire_capacitance: float = 0.5) -> NldmLibrary:
+    """The bundled demo cell library (``src/repro/core/data/demo.lib``):
+    every combinational gate type characterized with monotone tables."""
+    return parse_liberty_file(Path(__file__).parent / "data" / "demo.lib",
+                              wire_capacitance)

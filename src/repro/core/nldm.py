@@ -1,0 +1,211 @@
+"""NLDM-style lookup-table delay with slew propagation.
+
+Production timing flows characterize each cell with non-linear delay model
+(NLDM) tables: delay and output slew as functions of (input slew, output
+load).  This module supplies that substrate so the statistical engines can
+run on realistic, topology-dependent delays instead of unit delays:
+
+- :class:`LookupTable` — bilinear interpolation with clamped extrapolation;
+- :class:`NldmLibrary` — per-gate-type timing arcs, plus a synthesized
+  ``generic()`` library with plausible monotone characteristics;
+- :func:`run_nldm_sta` — arrival + slew propagation (the classic STA inner
+  loop: load from fanout pin caps + wire cap, worst-arrival slew merging);
+- :class:`FrozenDelays` — freezes the per-gate delays found by the NLDM
+  pass into a :class:`~repro.core.delay.DelayModel`, so SPSTA / SSTA / the
+  Monte Carlo engines consume topology-aware delays unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class LookupTable:
+    """A 2-D characterization table over (input slew, output load)."""
+
+    slew_axis: Tuple[float, ...]
+    load_axis: Tuple[float, ...]
+    values: Tuple[Tuple[float, ...], ...]  # values[i][j]: slew i, load j
+
+    def __post_init__(self) -> None:
+        if len(self.slew_axis) < 2 or len(self.load_axis) < 2:
+            raise ValueError("axes need at least two breakpoints")
+        if list(self.slew_axis) != sorted(self.slew_axis) or \
+                list(self.load_axis) != sorted(self.load_axis):
+            raise ValueError("axes must be ascending")
+        if len(self.values) != len(self.slew_axis) or any(
+                len(row) != len(self.load_axis) for row in self.values):
+            raise ValueError("table shape must match the axes")
+
+    def interpolate(self, slew: float, load: float) -> float:
+        """Bilinear interpolation; queries outside the axes clamp to the
+        boundary (the standard liberty-tool behaviour)."""
+        si, sf = _bracket(self.slew_axis, slew)
+        li, lf = _bracket(self.load_axis, load)
+        v00 = self.values[si][li]
+        v01 = self.values[si][li + 1]
+        v10 = self.values[si + 1][li]
+        v11 = self.values[si + 1][li + 1]
+        top = v00 * (1 - lf) + v01 * lf
+        bottom = v10 * (1 - lf) + v11 * lf
+        return top * (1 - sf) + bottom * sf
+
+
+def _bracket(axis: Tuple[float, ...], x: float) -> Tuple[int, float]:
+    """(lower index, fraction) with clamping at both ends."""
+    if x <= axis[0]:
+        return 0, 0.0
+    if x >= axis[-1]:
+        return len(axis) - 2, 1.0
+    hi = bisect.bisect_right(axis, x)
+    lo = hi - 1
+    span = axis[hi] - axis[lo]
+    return lo, (x - axis[lo]) / span if span > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """One cell's input-to-output characterization."""
+
+    delay: LookupTable
+    output_slew: LookupTable
+    input_capacitance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.input_capacitance <= 0.0:
+            raise ValueError("input_capacitance must be > 0")
+
+
+@dataclass(frozen=True)
+class NldmLibrary:
+    """Per-gate-type timing arcs plus the wire-load convention."""
+
+    arcs: Mapping[GateType, TimingArc]
+    wire_capacitance: float = 0.5
+    default_output_load: float = 1.0   # load seen by unconnected outputs
+
+    def arc(self, gate_type: GateType) -> TimingArc:
+        try:
+            return self.arcs[gate_type]
+        except KeyError:
+            raise KeyError(
+                f"library has no arc for {gate_type.value}") from None
+
+    @classmethod
+    def generic(cls, base_delay: float = 1.0) -> "NldmLibrary":
+        """A synthesized library with plausible monotone characteristics:
+        delay and output slew grow with input slew and load; inverting
+        gates are slightly faster, parity gates slower."""
+        slews = (0.1, 0.5, 1.0, 2.0)
+        loads = (0.5, 1.0, 2.0, 4.0)
+        speed = {
+            GateType.NOT: 0.6, GateType.BUFF: 0.7,
+            GateType.NAND: 0.9, GateType.NOR: 1.0,
+            GateType.AND: 1.1, GateType.OR: 1.2,
+            GateType.XOR: 1.5, GateType.XNOR: 1.5,
+        }
+        arcs = {}
+        for gate_type, k in speed.items():
+            delay_rows = tuple(
+                tuple(base_delay * k * (0.6 + 0.25 * s + 0.35 * ld)
+                      for ld in loads)
+                for s in slews)
+            slew_rows = tuple(
+                tuple(0.3 * k + 0.35 * s + 0.3 * ld for ld in loads)
+                for s in slews)
+            arcs[gate_type] = TimingArc(
+                delay=LookupTable(slews, loads, delay_rows),
+                output_slew=LookupTable(slews, loads, slew_rows),
+                input_capacitance=1.0 + 0.2 * (k - 1.0))
+        return cls(arcs=arcs)
+
+
+@dataclass(frozen=True)
+class NldmResult:
+    """NLDM STA output: per-net worst arrival, slew, and per-gate delay."""
+
+    arrival: Mapping[str, float]
+    slew: Mapping[str, float]
+    gate_delay: Mapping[str, float]
+    load: Mapping[str, float]
+
+
+def run_nldm_sta(netlist: Netlist, library: NldmLibrary,
+                 input_slew: float = 0.5,
+                 launch_arrival: float = 0.0) -> NldmResult:
+    """Worst-arrival STA with slew propagation under NLDM tables.
+
+    Net load = wire capacitance + the input capacitance of every fanout
+    pin; the slew forwarded from a gate is the output slew computed at the
+    input pin that set the worst arrival (the standard merging rule).
+    """
+    if input_slew <= 0.0:
+        raise ValueError("input_slew must be > 0")
+    loads: Dict[str, float] = {}
+    for net in netlist.nets:
+        total = library.wire_capacitance
+        sinks = netlist.fanouts(net)
+        for sink in sinks:
+            gate = netlist.gates[sink]
+            if gate.gate_type is GateType.DFF:
+                total += 1.0  # a flop data pin
+            else:
+                total += library.arc(gate.gate_type).input_capacitance
+        if not sinks:
+            total += library.default_output_load
+        loads[net] = total
+
+    arrival: Dict[str, float] = {}
+    slew: Dict[str, float] = {}
+    gate_delay: Dict[str, float] = {}
+    for net in netlist.launch_points:
+        arrival[net] = launch_arrival
+        slew[net] = input_slew
+    for gate in netlist.combinational_gates:
+        arc = library.arc(gate.gate_type)
+        load = loads[gate.name]
+        best_arrival = -float("inf")
+        best_slew = input_slew
+        worst_delay = 0.0
+        for src in gate.inputs:
+            d = arc.delay.interpolate(slew[src], load)
+            worst_delay = max(worst_delay, d)
+            if arrival[src] + d > best_arrival:
+                best_arrival = arrival[src] + d
+                best_slew = arc.output_slew.interpolate(slew[src], load)
+        arrival[gate.name] = best_arrival
+        slew[gate.name] = best_slew
+        gate_delay[gate.name] = worst_delay
+    return NldmResult(arrival, slew, gate_delay, loads)
+
+
+@dataclass(frozen=True)
+class FrozenDelays:
+    """Adapter: per-gate delays fixed by an NLDM pass, optionally with a
+    relative Gaussian spread, usable by every statistical engine."""
+
+    delays: Mapping[str, float]
+    relative_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.relative_sigma < 0.0:
+            raise ValueError("relative_sigma must be >= 0")
+
+    @classmethod
+    def from_nldm(cls, result: NldmResult,
+                  relative_sigma: float = 0.0) -> "FrozenDelays":
+        return cls(dict(result.gate_delay), relative_sigma)
+
+    def delay(self, gate: Gate) -> Normal:
+        try:
+            d = self.delays[gate.name]
+        except KeyError:
+            raise KeyError(f"no frozen delay for gate {gate.name}") from None
+        return Normal(d, d * self.relative_sigma)

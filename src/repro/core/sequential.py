@@ -1,0 +1,233 @@
+"""Sequential (multi-cycle) statistics — computing what the paper assumes.
+
+The paper's experiments *assign* four-value statistics to flip-flop outputs
+(Sec. 4: "we assign the four logic values ... to the primary inputs and the
+flip-flop outputs").  In a real sequential circuit those statistics are
+determined by the circuit itself: the value a DFF launches in cycle n+1 is
+the value its data input settled to in cycle n.  This module closes that
+loop two ways:
+
+- :func:`steady_state_launch_stats` — fixpoint iteration.  Under the
+  cycle-independence approximation (successive settled values of a D input
+  treated as i.i.d. Bernoulli with its settled-one probability q), a DFF
+  output's four-value vector is
+
+      P1 = q^2,  P0 = (1-q)^2,  Pr = Pf = q (1-q)
+
+  and q is updated from the propagated D-input statistics until the vector
+  converges.  Spatial and temporal correlations are ignored — the same
+  independence trade-off the combinational engines make.
+
+- :func:`run_sequential_monte_carlo` — ground truth: one long cycle-accurate
+  random simulation in which DFF state actually evolves (temporal
+  correlation preserved exactly) and primary inputs follow the two-state
+  Markov chain consistent with their four-value vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.inputs import InputStats, Prob4
+from repro.core.probability import propagate_prob4
+from repro.netlist.core import Netlist
+from repro.sim.montecarlo import run_monte_carlo
+from repro.sim.sampler import LaunchSample
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Fixpoint launch statistics plus convergence diagnostics."""
+
+    launch_stats: Mapping[str, InputStats]
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def prob4_from_settled_one(q: float) -> Prob4:
+    """Four-value vector of a DFF output whose settled data input is one
+    with probability ``q``, cycles independent."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    return Prob4((1.0 - q) ** 2, q * q, q * (1.0 - q), q * (1.0 - q))
+
+
+def steady_state_launch_stats(
+        netlist: Netlist,
+        pi_stats: Union[InputStats, Mapping[str, InputStats]],
+        ff_arrival: Optional[Normal] = None,
+        max_iters: int = 200,
+        tol: float = 1e-10) -> SteadyStateResult:
+    """Iterate FF-output four-value statistics to a fixpoint.
+
+    ``pi_stats`` applies to primary inputs (one value or per-PI mapping);
+    ``ff_arrival`` is the clock-launch arrival distribution for FF outputs
+    (default: the PI arrival of the first primary input's stats — the
+    paper's setup treats both alike).
+    """
+    if max_iters < 1:
+        raise ValueError("max_iters must be >= 1")
+
+    def pi_stat(net: str) -> InputStats:
+        return pi_stats if isinstance(pi_stats, InputStats) else pi_stats[net]
+
+    if ff_arrival is None:
+        first = (pi_stats if isinstance(pi_stats, InputStats)
+                 else pi_stat(netlist.inputs[0]))
+        ff_arrival = first.rise_arrival
+
+    ff_outputs = [g.name for g in netlist.dffs]
+    ff_data = {g.name: g.inputs[0] for g in netlist.dffs}
+    # Start from the maximum-uncertainty point q = 0.5.
+    q: Dict[str, float] = {name: 0.5 for name in ff_outputs}
+
+    residual = 0.0
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        launch: Dict[str, Prob4] = {}
+        for net in netlist.inputs:
+            launch[net] = pi_stat(net).prob4
+        for name in ff_outputs:
+            launch[name] = prob4_from_settled_one(q[name])
+        values = propagate_prob4(netlist, launch)
+        residual = 0.0
+        for name in ff_outputs:
+            new_q = values[ff_data[name]].final_one_probability
+            residual = max(residual, abs(new_q - q[name]))
+            q[name] = new_q
+        if residual <= tol:
+            break
+
+    stats: Dict[str, InputStats] = {}
+    for net in netlist.inputs:
+        stats[net] = pi_stat(net)
+    for name in ff_outputs:
+        stats[name] = InputStats(prob4_from_settled_one(q[name]),
+                                 rise_arrival=ff_arrival,
+                                 fall_arrival=ff_arrival)
+    return SteadyStateResult(stats, iterations, residual,
+                             residual <= tol)
+
+
+@dataclass(frozen=True)
+class SequentialMcResult:
+    """Observed per-net four-value frequencies over a long cycle run."""
+
+    n_cycles: int
+    prob4: Mapping[str, Prob4]
+
+    def settled_one_probability(self, net: str) -> float:
+        return self.prob4[net].final_one_probability
+
+
+def run_sequential_monte_carlo(
+        netlist: Netlist,
+        pi_stats: Union[InputStats, Mapping[str, InputStats]],
+        n_cycles: int = 10_000,
+        delay_model: DelayModel = UnitDelay(),
+        rng: Optional[np.random.Generator] = None,
+        warmup: int = 100) -> SequentialMcResult:
+    """Cycle-accurate sequential simulation measuring four-value frequencies.
+
+    Each cycle reuses the vectorized combinational simulator with a single
+    trial per cycle?  No — all cycles are simulated as one batch with the
+    *correct temporal chaining*: cycle t's DFF initial values are cycle
+    t-1's settled data values, and each PI's settled bit follows the Markov
+    chain implied by its four-value vector.  ``warmup`` initial cycles are
+    discarded before measuring.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if n_cycles <= warmup:
+        raise ValueError("n_cycles must exceed warmup")
+
+    def pi_stat(net: str) -> InputStats:
+        return pi_stats if isinstance(pi_stats, InputStats) else pi_stats[net]
+
+    # 1. Primary-input bit streams: two-state Markov chains whose joint
+    # (init, final) distribution matches the requested Prob4 conditionals.
+    total = n_cycles + 1
+    pi_final: Dict[str, np.ndarray] = {}
+    for net in netlist.inputs:
+        p = pi_stat(net).prob4
+        p_stay_one = (p.p_one / (p.p_one + p.p_fall)
+                      if p.p_one + p.p_fall > 0.0 else 0.0)
+        p_go_one = (p.p_rise / (p.p_zero + p.p_rise)
+                    if p.p_zero + p.p_rise > 0.0 else 0.0)
+        bits = np.empty(total, dtype=bool)
+        bits[0] = rng.random() < p.initial_one_probability
+        uniforms = rng.random(total - 1)
+        for t in range(1, total):
+            prob = p_stay_one if bits[t - 1] else p_go_one
+            bits[t] = uniforms[t - 1] < prob
+        pi_final[net] = bits
+
+    # 2. Chain the cycles: simulate all n_cycles as parallel "trials" whose
+    # launch samples are built from the shifted bit streams, then iterate
+    # because DFF inits depend on previous settled values.  One pass per
+    # sequential depth is enough: we simply simulate cycle-by-cycle but
+    # vectorize over nothing — circuits here are small, so a Python loop
+    # over cycles with the scalar-free vector engine on batch=1 would be
+    # slow; instead simulate in waves: since cycle t's DFF init needs cycle
+    # t-1's settled D value, we run the combinational evaluation once per
+    # cycle on numpy scalars (batch size 1 arrays).
+    #
+    # For speed we exploit that settled (final) values form a pure logic
+    # recurrence: settled bits of all nets can be computed for all cycles
+    # first (bit-parallel over cycles), and transition statistics follow
+    # from consecutive settled values.
+    settled: Dict[str, np.ndarray] = {}
+    for net in netlist.inputs:
+        settled[net] = pi_final[net]
+    for g in netlist.dffs:
+        settled[g.name] = np.empty(total, dtype=bool)
+        settled[g.name][0] = rng.random() < 0.5
+
+    # Settled value of cycle t: DFF outputs hold the data settled at t-1.
+    # Compute launch-settled bits cycle by cycle, but evaluate the
+    # combinational logic bit-parallel over all cycles when possible:
+    # the recurrence couples cycles only through DFFs, so process in cycle
+    # order, evaluating the combinational cone on scalar bits.
+    from repro.logic.gates import gate_spec
+
+    comb = netlist.combinational_gates
+    ff_data = {g.name: g.inputs[0] for g in netlist.dffs}
+    values: Dict[str, int] = {}
+    net_settled: Dict[str, np.ndarray] = {
+        net: np.empty(total, dtype=bool) for net in netlist.nets}
+    for net in netlist.inputs:
+        net_settled[net][:] = pi_final[net]
+    ff_state = {name: bool(settled[name][0]) for name in ff_data}
+    for t in range(total):
+        for name, state in ff_state.items():
+            values[name] = int(state)
+            net_settled[name][t] = state
+        for net in netlist.inputs:
+            values[net] = int(pi_final[net][t])
+        for gate in comb:
+            spec = gate_spec(gate.gate_type)
+            values[gate.name] = spec.eval_bits(
+                [values[src] for src in gate.inputs])
+            net_settled[gate.name][t] = bool(values[gate.name])
+        for name, data_net in ff_data.items():
+            ff_state[name] = bool(values[data_net])
+
+    # 3. Four-value frequencies from consecutive settled values.
+    freqs: Dict[str, Prob4] = {}
+    lo, hi = warmup, total - 1
+    for net in netlist.nets:
+        prev = net_settled[net][lo:hi]
+        curr = net_settled[net][lo + 1:hi + 1]
+        n = prev.size
+        p1 = float((prev & curr).sum()) / n
+        p0 = float((~prev & ~curr).sum()) / n
+        pr = float((~prev & curr).sum()) / n
+        pf = float((prev & ~curr).sum()) / n
+        freqs[net] = Prob4(p0, p1, pr, pf)
+    return SequentialMcResult(hi - lo, freqs)

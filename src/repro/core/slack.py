@@ -1,0 +1,90 @@
+"""Required-time and slack propagation (the backward half of STA).
+
+Forward propagation gives each net's latest arrival; backward propagation
+gives the latest *required* time such that every endpoint still meets the
+clock: a net's required time is the minimum over its fanout gates of
+(gate's required time - gate delay).  Slack = required - arrival; nets with
+slack <= 0 form the critical sub-network that optimization (e.g.
+:mod:`repro.opt.sizing`) must attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.sta import run_sta
+from repro.netlist.core import Netlist
+
+
+@dataclass(frozen=True)
+class SlackResult:
+    """Per-net arrival, required time, and slack for one clock period."""
+
+    clock_period: float
+    arrival: Mapping[str, float]
+    required: Mapping[str, float]
+    slack: Mapping[str, float]
+
+    @property
+    def worst_slack(self) -> float:
+        return min(self.slack.values())
+
+    def critical_nets(self, margin: float = 0.0) -> List[str]:
+        """Nets whose slack is within ``margin`` of the worst slack."""
+        threshold = self.worst_slack + margin
+        return sorted(net for net, s in self.slack.items()
+                      if s <= threshold + 1e-12)
+
+    def is_critical(self, net: str, margin: float = 0.0) -> bool:
+        return self.slack[net] <= self.worst_slack + margin + 1e-12
+
+
+def compute_slacks(netlist: Netlist, clock_period: float,
+                   delay_model: DelayModel = UnitDelay()) -> SlackResult:
+    """Forward arrivals + backward required times over the whole netlist.
+
+    Endpoints are required at the clock period; nets with no timed fanout
+    and no endpoint role inherit an infinite requirement (they can never be
+    critical).
+    """
+    if clock_period <= 0.0:
+        raise ValueError("clock_period must be > 0")
+    sta = run_sta(netlist, delay_model)
+    arrival: Dict[str, float] = dict(sta.max_arrival)
+    endpoints = set(netlist.endpoints)
+    required: Dict[str, float] = {
+        net: (clock_period if net in endpoints else float("inf"))
+        for net in netlist.nets}
+    for gate in reversed(netlist.combinational_gates):
+        delay = delay_model.delay(gate).mu
+        budget = required[gate.name] - delay
+        for src in gate.inputs:
+            if budget < required[src]:
+                required[src] = budget
+    slack = {net: required[net] - arrival[net] for net in netlist.nets}
+    return SlackResult(clock_period, arrival, required, slack)
+
+
+def slack_histogram(result: SlackResult,
+                    bin_width: float = 1.0) -> List[Tuple[float, int]]:
+    """(bin lower edge, count) pairs over finite slacks — the classic
+    slack-distribution view of timing closure progress."""
+    if bin_width <= 0.0:
+        raise ValueError("bin_width must be > 0")
+    finite = [s for s in result.slack.values() if s != float("inf")]
+    if not finite:
+        return []
+    import math
+    lo = math.floor(min(finite) / bin_width) * bin_width
+    hi = max(finite)
+    bins: Dict[float, int] = {}
+    edge = lo
+    while edge <= hi:
+        bins[round(edge, 9)] = 0
+        edge += bin_width
+    for s in finite:
+        edge = math.floor((s - lo) / bin_width) * bin_width + lo
+        bins[round(edge, 9)] += 1
+    return sorted(bins.items())

@@ -1,0 +1,122 @@
+"""Covariance-tracking SPSTA (the paper's Sec. 3.4 moment *and correlation*
+computation).
+
+The plain :class:`~repro.core.spsta.MomentAlgebra` treats every gate's
+inputs as independent — the configuration the paper evaluated ("we
+implemented SPSTA without consideration of signal correlations", Sec. 4,
+observation 5).  This module supplies the extension the paper describes but
+does not evaluate: conditional arrival distributions carried as *canonical
+first-order forms* over one axis per launch-point transition,
+
+    t = a0 + sum_j a_j xi_j + b eta,    xi_j, eta ~ N(0, 1) independent
+
+so path-sharing correlation survives propagation: two cone-sharing inputs
+of a reconvergent gate have covariance sum_j a_j a'_j, and Clark's MAX uses
+it (Eq. 4 *with* the covariance term).  The WEIGHTED SUM mixes canonical
+forms by mixing their linear parts (exact for the conditional mean) and
+soaking the across-component spread into the local term (moment-matched).
+
+Cost: each conditional distribution is a dense vector over
+2 x #launch-points axes — numpy-cheap for the benchmark sizes here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.spsta import TopAlgebra
+from repro.core.variational import CanonicalForm, ProcessSpace
+from repro.netlist.core import Netlist
+from repro.stats.normal import Normal
+
+
+class CanonicalTopAlgebra(TopAlgebra[CanonicalForm]):
+    """TOP algebra whose conditionals are canonical forms over the launch
+    transitions of one netlist."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        names = tuple(f"{net}:{direction}"
+                      for net in netlist.launch_points
+                      for direction in ("rise", "fall"))
+        self.space = ProcessSpace(names)
+
+    # -- construction ---------------------------------------------------
+
+    def from_launch(self, net: str, direction: str,
+                    normal: Normal) -> CanonicalForm:
+        """A launch transition gets its own axis: fully self-correlated,
+        independent of every other launch point."""
+        coeffs = np.zeros(self.space.dim)
+        coeffs[self.space.index(f"{net}:{direction}")] = normal.sigma
+        return CanonicalForm(self.space, normal.mu, coeffs, 0.0)
+
+    def from_normal(self, normal: Normal) -> CanonicalForm:
+        """Anonymous Gaussians (e.g. random gate delays) are purely local."""
+        return CanonicalForm(self.space, normal.mu, None, normal.var)
+
+    # -- operations -------------------------------------------------------
+
+    def add_delay(self, dist: CanonicalForm, delay: Normal) -> CanonicalForm:
+        return dist + self.from_normal(delay)
+
+    def maximum(self, dists: Sequence[CanonicalForm]) -> CanonicalForm:
+        acc = dists[0]
+        for d in dists[1:]:
+            acc = acc.max_with(d)  # Clark with the shared-axis covariance
+        return acc
+
+    def minimum(self, dists: Sequence[CanonicalForm]) -> CanonicalForm:
+        acc = dists[0]
+        for d in dists[1:]:
+            acc = acc.min_with(d)
+        return acc
+
+    def mix(self, terms: Sequence[Tuple[float, CanonicalForm]]
+            ) -> Tuple[float, Optional[CanonicalForm]]:
+        total = sum(w for w, _ in terms if w > 0.0)
+        if total <= 0.0:
+            return 0.0, None
+        a0 = 0.0
+        coeffs = np.zeros(self.space.dim)
+        raw2 = 0.0
+        for w, form in terms:
+            if w <= 0.0:
+                continue
+            p = w / total
+            a0 += p * form.a0
+            coeffs += p * form.coeffs
+            raw2 += p * (form.a0 * form.a0 + form.var)
+        var_mix = max(raw2 - a0 * a0, 0.0)
+        # The mixed linear part explains part of the variance; the rest —
+        # within-component local noise plus across-component spread — is
+        # moment-matched into the local term.
+        local = max(var_mix - float(coeffs @ coeffs), 0.0)
+        return total, CanonicalForm(self.space, a0, coeffs, local)
+
+    def stats(self, dist: CanonicalForm) -> Tuple[float, float]:
+        return dist.mean, dist.sigma
+
+
+def endpoint_correlation(result, net_a: str, net_b: str,
+                         direction: str = "rise") -> float:
+    """Correlation of two nets' conditional arrival times under the
+    canonical algebra (paper Eq. 13's corr output).
+
+    ``result`` must come from ``run_spsta(..., algebra=CanonicalTopAlgebra)``.
+    Returns 0 if either transition never occurs.
+    """
+    top_a = getattr(result.tops[net_a], direction)
+    top_b = getattr(result.tops[net_b], direction)
+    if not (top_a.occurs and top_b.occurs):
+        return 0.0
+    a, b = top_a.conditional, top_b.conditional
+    if not isinstance(a, CanonicalForm):
+        raise TypeError("endpoint_correlation needs CanonicalTopAlgebra "
+                        "results")
+    denom = a.sigma * b.sigma
+    if denom <= 0.0:
+        return 0.0
+    return float(a.coeffs @ b.coeffs) / denom

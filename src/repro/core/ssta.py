@@ -1,0 +1,100 @@
+"""Min/max-separated block-based SSTA — the paper's comparison baseline.
+
+This is the SSTA variant the paper implements (Sec. 4): rising and falling
+signal arrival times are tracked separately per net, always assumed to
+occur, and combined per gate with either Clark's MIN or MAX depending on the
+gate's logic and the transition direction:
+
+- AND-core gates: output rise = MAX of input rises, output fall = MIN of
+  input falls (a rising AND output waits for its last rising input; a
+  falling one follows its first falling input);
+- OR-core gates: the mirror image (rise = MIN, fall = MAX);
+- inverting gates swap the output directions;
+- parity (XOR) gates have no controlling value: any input transition can
+  move the output either way, so both output directions take the MAX over
+  all input arrivals of both directions (the worst-case reading of
+  "based on the logic of the gate and the input signal transition
+  directions"; STA tools make the same pessimistic choice).
+
+Input statistics are deliberately ignored — that is the point the paper
+criticizes, and the behaviour our experiments must reproduce (SSTA columns
+of Table 2 are identical between configurations I and II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Union
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.logic.gates import GateType, gate_spec
+from repro.netlist.core import Gate, Netlist
+from repro.stats.clark import clark_max_many, clark_min_many
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class ArrivalPair:
+    """Rising and falling arrival-time distributions of one net."""
+
+    rise: Normal
+    fall: Normal
+
+    def swapped(self) -> "ArrivalPair":
+        return ArrivalPair(self.fall, self.rise)
+
+
+@dataclass(frozen=True)
+class SstaResult:
+    """Per-net rise/fall arrival distributions."""
+
+    netlist_name: str
+    arrivals: Mapping[str, ArrivalPair]
+
+    def endpoint(self, net: str) -> ArrivalPair:
+        return self.arrivals[net]
+
+
+def _gate_output(gate: Gate, operands: Sequence[ArrivalPair],
+                 delay: Normal) -> ArrivalPair:
+    spec = gate_spec(gate.gate_type)
+    if gate.gate_type is GateType.BUFF:
+        core = operands[0]
+    elif gate.gate_type is GateType.NOT:
+        core = operands[0].swapped()
+    elif spec.is_parity:
+        worst = clark_max_many(
+            [p.rise for p in operands] + [p.fall for p in operands])
+        core = ArrivalPair(worst, worst)
+    elif spec.controlling_value == 0:  # AND core
+        core = ArrivalPair(clark_max_many(p.rise for p in operands),
+                           clark_min_many(p.fall for p in operands))
+        if spec.inverting:
+            core = core.swapped()
+    else:  # OR core
+        core = ArrivalPair(clark_min_many(p.rise for p in operands),
+                           clark_max_many(p.fall for p in operands))
+        if spec.inverting:
+            core = core.swapped()
+    return ArrivalPair(core.rise + delay, core.fall + delay)
+
+
+def run_ssta(netlist: Netlist, delay_model: DelayModel = UnitDelay(),
+             launch: Union[ArrivalPair, Mapping[str, ArrivalPair], None] = None
+             ) -> SstaResult:
+    """Propagate rise/fall arrival distributions through the netlist.
+
+    ``launch`` defaults to the paper's setup: N(0, 1) for both directions at
+    every launch point.  Pass a single :class:`ArrivalPair` for all launch
+    points or a per-net mapping.
+    """
+    if launch is None:
+        launch = ArrivalPair(Normal(0.0, 1.0), Normal(0.0, 1.0))
+    arrivals: Dict[str, ArrivalPair] = {}
+    for net in netlist.launch_points:
+        arrivals[net] = launch if isinstance(launch, ArrivalPair) else launch[net]
+    for gate in netlist.combinational_gates:
+        operands = [arrivals[src] for src in gate.inputs]
+        delay = delay_model.delay(gate)
+        arrivals[gate.name] = _gate_output(gate, operands, delay)
+    return SstaResult(netlist.name, arrivals)

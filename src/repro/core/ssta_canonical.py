@@ -1,0 +1,113 @@
+"""Correlation-aware SSTA (the canonical first-order baseline, ref [25]).
+
+The plain min/max-separated SSTA (:mod:`repro.core.ssta`) treats every
+gate's inputs as independent, so path-sharing correlation from reconvergent
+fanout is lost and Clark's MAX over-spreads.  This variant carries each
+arrival as a canonical form with one axis per launch-point transition —
+exactly :class:`~repro.core.spsta_canonical.CanonicalTopAlgebra`'s trick
+applied to the SSTA baseline — so MAX/MIN receive the true covariance.
+
+Still input-statistics-oblivious (every net assumed to toggle every cycle):
+this is SSTA made *correlation*-correct, not *input*-aware; the paper's
+criticism of SSTA survives it untouched, which the comparison tests show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.variational import CanonicalForm, ProcessSpace
+from repro.logic.gates import GateType, gate_spec
+from repro.netlist.core import Netlist
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class CanonicalArrivalPair:
+    """Rise/fall canonical arrival forms of one net."""
+
+    rise: CanonicalForm
+    fall: CanonicalForm
+
+    def swapped(self) -> "CanonicalArrivalPair":
+        return CanonicalArrivalPair(self.fall, self.rise)
+
+    def as_normals(self) -> Dict[str, Normal]:
+        return {"rise": Normal(self.rise.mean, self.rise.sigma),
+                "fall": Normal(self.fall.mean, self.fall.sigma)}
+
+
+@dataclass(frozen=True)
+class CorrelatedSstaResult:
+    """Per-net canonical arrival pairs."""
+
+    netlist_name: str
+    space: ProcessSpace
+    arrivals: Mapping[str, CanonicalArrivalPair]
+
+    def correlation(self, net_a: str, net_b: str,
+                    direction: str = "rise") -> float:
+        """Arrival-time correlation of two nets through shared launches."""
+        a = getattr(self.arrivals[net_a], direction)
+        b = getattr(self.arrivals[net_b], direction)
+        return a.corr_with(b)
+
+
+def run_ssta_correlated(netlist: Netlist,
+                        delay_model: DelayModel = UnitDelay(),
+                        launch_sigma: float = 1.0) -> CorrelatedSstaResult:
+    """Min/max-separated SSTA with exact launch-sharing covariance.
+
+    Launch points get unit-coefficient axes of their own (N(0,
+    launch_sigma^2), fully self-correlated, mutually independent); gate
+    delays with sigma contribute independent local variance.
+    """
+    space = ProcessSpace(tuple(
+        f"{net}:{direction}" for net in netlist.launch_points
+        for direction in ("rise", "fall")))
+
+    def launch_form(net: str, direction: str) -> CanonicalForm:
+        coeffs = np.zeros(space.dim)
+        coeffs[space.index(f"{net}:{direction}")] = launch_sigma
+        return CanonicalForm(space, 0.0, coeffs, 0.0)
+
+    arrivals: Dict[str, CanonicalArrivalPair] = {}
+    for net in netlist.launch_points:
+        arrivals[net] = CanonicalArrivalPair(
+            launch_form(net, "rise"), launch_form(net, "fall"))
+
+    for gate in netlist.combinational_gates:
+        spec = gate_spec(gate.gate_type)
+        d = delay_model.delay(gate)
+        delay_form = CanonicalForm(space, d.mu, None, d.var)
+        in_r = [arrivals[src].rise for src in gate.inputs]
+        in_f = [arrivals[src].fall for src in gate.inputs]
+        if gate.gate_type is GateType.BUFF:
+            pair = CanonicalArrivalPair(in_r[0], in_f[0])
+        elif gate.gate_type is GateType.NOT:
+            pair = CanonicalArrivalPair(in_f[0], in_r[0])
+        elif spec.is_parity:
+            worst = _fold(in_r + in_f, maximum=True)
+            pair = CanonicalArrivalPair(worst, worst)
+        elif spec.controlling_value == 0:  # AND core
+            pair = CanonicalArrivalPair(_fold(in_r, True), _fold(in_f, False))
+            if spec.inverting:
+                pair = pair.swapped()
+        else:  # OR core
+            pair = CanonicalArrivalPair(_fold(in_r, False), _fold(in_f, True))
+            if spec.inverting:
+                pair = pair.swapped()
+        arrivals[gate.name] = CanonicalArrivalPair(
+            pair.rise + delay_form, pair.fall + delay_form)
+    return CorrelatedSstaResult(netlist.name, space, arrivals)
+
+
+def _fold(forms, maximum: bool) -> CanonicalForm:
+    acc = forms[0]
+    for form in forms[1:]:
+        acc = acc.max_with(form) if maximum else acc.min_with(form)
+    return acc

@@ -1,0 +1,47 @@
+"""Deterministic static timing analysis — the Fig. 1 "two bounds".
+
+Classic input-oblivious STA: every net is assumed to toggle; the latest
+(earliest) arrival at a gate output is the max (min) over input arrivals
+plus the gate delay.  With the paper's unit delay this reduces to structural
+depth, and the min/max pair brackets every path delay in the circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.netlist.core import Netlist
+
+
+@dataclass(frozen=True)
+class StaResult:
+    """Min/max deterministic arrival time per net, plus endpoint summary."""
+
+    netlist_name: str
+    min_arrival: Mapping[str, float]
+    max_arrival: Mapping[str, float]
+
+    def endpoint_window(self, net: str) -> Tuple[float, float]:
+        """The (earliest, latest) arrival bound at a net."""
+        return self.min_arrival[net], self.max_arrival[net]
+
+
+def run_sta(netlist: Netlist, delay_model: DelayModel = UnitDelay(),
+            launch_arrival: float = 0.0) -> StaResult:
+    """Propagate deterministic min/max arrivals through the netlist.
+
+    Random delay models contribute their mean (STA has no notion of
+    variance; the statistical engines handle sigma).
+    """
+    min_arr: Dict[str, float] = {}
+    max_arr: Dict[str, float] = {}
+    for net in netlist.launch_points:
+        min_arr[net] = launch_arrival
+        max_arr[net] = launch_arrival
+    for gate in netlist.combinational_gates:
+        d = delay_model.delay(gate).mu
+        min_arr[gate.name] = min(min_arr[src] for src in gate.inputs) + d
+        max_arr[gate.name] = max(max_arr[src] for src in gate.inputs) + d
+    return StaResult(netlist.name, min_arr, max_arr)

@@ -1,0 +1,71 @@
+"""Fitting input statistics from activity traces.
+
+The paper's configurations assert four-value probabilities by fiat; in
+practice they come from measured or simulated activity.  Given a per-cycle
+settled-value bit stream (from an RTL simulation trace, a logic analyzer
+capture, or this library's own :func:`repro.core.sequential.
+run_sequential_monte_carlo`), the four-value vector is just the frequency
+of consecutive-value pairs:
+
+    (0,0) -> P0,  (1,1) -> P1,  (0,1) -> Pr,  (1,0) -> Pf
+
+plus optional Laplace smoothing so downstream engines never see hard zeros
+from a short trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.core.inputs import InputStats, Prob4
+from repro.stats.normal import Normal
+
+
+def prob4_from_trace(bits: Sequence[int],
+                     smoothing: float = 0.0) -> Prob4:
+    """Four-value vector from a settled-value bit stream.
+
+    ``smoothing`` adds the given pseudo-count to each of the four cells
+    (Laplace); 0 gives the raw maximum-likelihood estimate.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValueError("trace must be a 1-D sequence of length >= 2")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("trace values must be 0/1")
+    if smoothing < 0.0:
+        raise ValueError("smoothing must be >= 0")
+    prev = arr[:-1].astype(bool)
+    curr = arr[1:].astype(bool)
+    counts = np.array([
+        float((~prev & ~curr).sum()),   # P0
+        float((prev & curr).sum()),     # P1
+        float((~prev & curr).sum()),    # Pr
+        float((prev & ~curr).sum()),    # Pf
+    ]) + smoothing
+    total = counts.sum()
+    p0, p1, pr, pf = (counts / total).tolist()
+    return Prob4(p0, p1, pr, pf)
+
+
+def input_stats_from_trace(bits: Sequence[int],
+                           rise_arrival: Normal = Normal(0.0, 1.0),
+                           fall_arrival: Normal = Normal(0.0, 1.0),
+                           smoothing: float = 0.5) -> InputStats:
+    """An :class:`InputStats` fitted from a trace (smoothed by default so
+    rare transitions never collapse to exactly zero probability)."""
+    return InputStats(prob4_from_trace(bits, smoothing=smoothing),
+                      rise_arrival=rise_arrival,
+                      fall_arrival=fall_arrival)
+
+
+def stats_from_traces(traces: Mapping[str, Sequence[int]],
+                      rise_arrival: Normal = Normal(0.0, 1.0),
+                      fall_arrival: Normal = Normal(0.0, 1.0),
+                      smoothing: float = 0.5) -> Dict[str, InputStats]:
+    """Per-net fitted statistics, ready for ``run_spsta(netlist, stats)``."""
+    return {net: input_stats_from_trace(bits, rise_arrival, fall_arrival,
+                                        smoothing)
+            for net, bits in traces.items()}

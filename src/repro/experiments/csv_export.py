@@ -1,0 +1,116 @@
+"""CSV export of the reproduction artifacts (plot-ready data).
+
+The text tables in ``benchmarks/results/`` are human-oriented; these
+helpers emit the same data as CSV so figures can be regenerated in any
+plotting environment:
+
+- :func:`table2_csv` — one row per (circuit, direction) with all nine
+  columns of the paper's Table 2;
+- :func:`table3_csv` — runtimes per circuit;
+- :func:`figure1_csv` — the Monte Carlo chip-delay histogram plus the
+  STA/SSTA overlay parameters;
+- :func:`figure4_csv` — the MAX and WEIGHTED SUM densities on their grid.
+
+All functions return the CSV text and optionally write it to a path.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.figures import Figure1Series, Figure4Series
+from repro.experiments.table2 import Table2Row
+from repro.experiments.table3 import RuntimeRow
+
+
+def _finish(buffer: io.StringIO,
+            path: Optional[Union[str, Path]]) -> str:
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def table2_csv(rows: Sequence[Table2Row],
+               path: Optional[Union[str, Path]] = None) -> str:
+    """Table 2 rows as CSV (NaN cells rendered empty)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([
+        "circuit", "direction", "endpoint", "depth",
+        "spsta_p", "spsta_mu", "spsta_sigma",
+        "ssta_mu", "ssta_sigma",
+        "mc_p", "mc_mu", "mc_sigma"])
+    for row in rows:
+        writer.writerow([
+            row.circuit, row.direction, row.endpoint, row.depth,
+            _cell(row.spsta_p), _cell(row.spsta_mu), _cell(row.spsta_sigma),
+            _cell(row.ssta_mu), _cell(row.ssta_sigma),
+            _cell(row.mc_p), _cell(row.mc_mu), _cell(row.mc_sigma)])
+    return _finish(buffer, path)
+
+
+def table3_csv(rows: Sequence[RuntimeRow],
+               path: Optional[Union[str, Path]] = None) -> str:
+    """Table 3 runtime rows as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["circuit", "spsta_seconds", "ssta_seconds",
+                     "mc_seconds", "mc_scalar_seconds"])
+    for row in rows:
+        writer.writerow([row.circuit, _cell(row.spsta_seconds),
+                         _cell(row.ssta_seconds), _cell(row.mc_seconds),
+                         _cell(row.mc_scalar_seconds)])
+    return _finish(buffer, path)
+
+
+def figure1_csv(series: Figure1Series, bins: int = 30,
+                path: Optional[Union[str, Path]] = None) -> str:
+    """Figure 1 data: histogram rows plus a trailing parameter block.
+
+    Columns: kind, x (bin left edge or parameter name), value.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["kind", "x", "value"])
+    counts, edges = np.histogram(series.mc_delays, bins=bins)
+    for left, count in zip(edges[:-1], counts):
+        writer.writerow(["mc_histogram", f"{left:.6g}", int(count)])
+    for name, value in (
+            ("sta_min", series.sta_min),
+            ("sta_max", series.sta_max),
+            ("ssta_best_mu", series.ssta_best.mu),
+            ("ssta_best_sigma", series.ssta_best.sigma),
+            ("ssta_worst_mu", series.ssta_worst.mu),
+            ("ssta_worst_sigma", series.ssta_worst.sigma),
+            ("no_transition_fraction", series.mc_no_transition_fraction)):
+        writer.writerow(["parameter", name, f"{value:.6g}"])
+    return _finish(buffer, path)
+
+
+def figure4_csv(series: Figure4Series,
+                path: Optional[Union[str, Path]] = None,
+                stride: int = 8) -> str:
+    """Figure 4 densities: time, max_pdf, weighted_sum_pdf (downsampled by
+    ``stride`` to keep files plot-sized)."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["time", "max_pdf", "weighted_sum_pdf"])
+    for t, m, w in zip(series.times[::stride],
+                       series.max_pdf[::stride],
+                       series.weighted_sum_pdf[::stride]):
+        writer.writerow([f"{t:.6g}", f"{m:.6g}", f"{w:.6g}"])
+    return _finish(buffer, path)
+
+
+def _cell(value: float) -> str:
+    if value != value:  # NaN
+        return ""
+    return f"{value:.6g}"

@@ -1,0 +1,156 @@
+"""Data series for the paper's figures.
+
+Figure 4 — the paper's central illustration: for a two-input AND gate whose
+inputs both have signal probability 0.9 and arrival times with the same mean
+but different deviations, the MAX operation produces a skewed, narrowed
+density while the WEIGHTED SUM keeps a symmetric one.
+
+Figure 1 — a circuit's actual arrival distribution (Monte Carlo histogram)
+against the STA min/max bounds and the SSTA best/worst-case distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.inputs import InputStats
+from repro.core.ssta import run_ssta
+from repro.core.sta import run_sta
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+from repro.stats.clark import clark_max_many, clark_min_many
+from repro.stats.grid import GridDensity, TimeGrid
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class Figure4Series:
+    """Densities over a shared time axis plus their summary moments."""
+
+    times: np.ndarray
+    max_pdf: np.ndarray
+    weighted_sum_pdf: np.ndarray
+    max_mean: float
+    max_std: float
+    weighted_sum_mean: float
+    weighted_sum_std: float
+    weighted_sum_skewness: float
+    max_skewness: float
+
+
+def figure4_series(signal_probability: float = 0.9,
+                   mean: float = 0.0,
+                   sigma1: float = 0.5,
+                   sigma2: float = 1.5,
+                   grid: Optional[TimeGrid] = None) -> Figure4Series:
+    """Figure 4: MAX vs WEIGHTED SUM at a two-input AND gate.
+
+    Inputs have the same arrival mean but different deviations (the figure's
+    setup).  The WEIGHTED SUM follows Eq. 8 with Boolean-difference weights
+    P(dy/dx_i) = P(x_other) = ``signal_probability``; both outputs are
+    normalized for shape comparison.
+    """
+    if grid is None:
+        span = 6.0 * max(sigma1, sigma2)
+        grid = TimeGrid(mean - span, mean + span, 4096)
+    d1 = GridDensity.from_normal(grid, Normal(mean, sigma1))
+    d2 = GridDensity.from_normal(grid, Normal(mean, sigma2))
+    max_pdf = d1.max_with(d2)
+    p = signal_probability
+    wsum = (d1.scaled(p) + d2.scaled(p)).normalized()
+    return Figure4Series(
+        times=grid.points,
+        max_pdf=max_pdf.values,
+        weighted_sum_pdf=wsum.values,
+        max_mean=max_pdf.mean(), max_std=max_pdf.std(),
+        weighted_sum_mean=wsum.mean(), weighted_sum_std=wsum.std(),
+        weighted_sum_skewness=_grid_skewness(wsum),
+        max_skewness=_grid_skewness(max_pdf))
+
+
+def _grid_skewness(density: GridDensity) -> float:
+    mean, var = density.mean(), density.var()
+    if var <= 0.0:
+        return 0.0
+    t = density.grid.points
+    w = density.total_weight
+    third = float(np.trapezoid((t - mean) ** 3 * density.values,
+                           dx=density.grid.dt)) / w
+    return third / var ** 1.5
+
+
+@dataclass(frozen=True)
+class Figure1Series:
+    """Actual chip-delay distribution vs STA bounds vs SSTA distributions."""
+
+    circuit: str
+    mc_delays: np.ndarray            # per-trial chip delay (last transition)
+    mc_no_transition_fraction: float
+    sta_min: float
+    sta_max: float
+    ssta_best: Normal                # MIN over endpoints (best case)
+    ssta_worst: Normal               # MAX over endpoints (worst case)
+
+
+def figure1_series(circuit: str = "s344",
+                   config: Optional[InputStats] = None,
+                   n_trials: int = 10_000,
+                   seed: int = 0,
+                   delay_model: DelayModel = UnitDelay()) -> Figure1Series:
+    """Figure 1 data for one circuit.
+
+    Chip delay per trial is the latest transition over all endpoints; trials
+    where nothing toggles have no delay sample (their fraction is reported —
+    STA/SSTA silently assume it is zero, which is the paper's point).
+    """
+    if config is None:
+        from repro.core.inputs import CONFIG_I
+        config = CONFIG_I
+    netlist = benchmark_circuit(circuit)
+    endpoints = netlist.endpoints
+
+    mc = run_monte_carlo(netlist, config, n_trials, delay_model,
+                         rng=np.random.default_rng(seed))
+    stacked = np.stack([mc.wave(net).time for net in endpoints])
+    # nanmax warns on all-NaN trials (nothing toggled); compute manually.
+    finite = np.where(np.isnan(stacked), -np.inf, stacked)
+    chip_delay = finite.max(axis=0)
+    has_transition = np.isfinite(chip_delay)
+
+    sta = run_sta(netlist, delay_model)
+    sta_min = min(sta.min_arrival[net] for net in endpoints)
+    sta_max = max(sta.max_arrival[net] for net in endpoints)
+
+    ssta = run_ssta(netlist, delay_model)
+    all_arrivals = [getattr(ssta.arrivals[net], d)
+                    for net in endpoints for d in ("rise", "fall")]
+    return Figure1Series(
+        circuit=circuit,
+        mc_delays=chip_delay[has_transition],
+        mc_no_transition_fraction=float(1.0 - has_transition.mean()),
+        sta_min=sta_min,
+        sta_max=sta_max,
+        ssta_best=clark_min_many(all_arrivals),
+        ssta_worst=clark_max_many(all_arrivals))
+
+
+def figure3_example() -> Dict[str, Tuple[float, float]]:
+    """Figure 3: signal probability and toggling rate at a two-input AND
+    gate with P(x1) = P(x2) = 0.5 and unit input densities.
+
+    Returns {'signal_probability': (computed, expected),
+             'toggling_rate': (computed, expected)}.
+    """
+    from repro.core.probability import gate_signal_probability
+    from repro.logic.gates import GateType
+    from repro.power.density import gate_boolean_difference_probs
+
+    p = gate_signal_probability(GateType.AND, [0.5, 0.5])
+    weights = gate_boolean_difference_probs(GateType.AND, [0.5, 0.5])
+    rho = sum(w * 1.0 for w in weights)
+    return {"signal_probability": (p, 0.25),
+            "toggling_rate": (rho, 1.0)}

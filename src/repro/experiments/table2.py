@@ -1,0 +1,103 @@
+"""Table 2 reproduction: arrival statistics on the most critical path.
+
+For every benchmark circuit and both transition directions, report
+
+    SPSTA (mu, sigma, P)  |  SSTA (mu, sigma)  |  Monte Carlo (mu, sigma, P)
+
+at the deepest endpoint, under input configuration (I) or (II).  The SSTA
+columns are independent of the configuration by construction — reproducing
+the paper's observation 1 ("SSTA results are also independent of primary
+inputs and flip-flop outputs statistics").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.inputs import InputStats
+from repro.core.spsta import TopAlgebra, run_spsta
+from repro.core.ssta import run_ssta
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import TABLE_CIRCUITS, benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2 (a circuit + direction under one configuration)."""
+
+    circuit: str
+    direction: str          # 'rise' or 'fall'
+    endpoint: str
+    depth: int
+    spsta_p: float
+    spsta_mu: float
+    spsta_sigma: float
+    ssta_mu: float
+    ssta_sigma: float
+    mc_p: float
+    mc_mu: float
+    mc_sigma: float
+
+
+def run_table2(config: InputStats,
+               circuits: Sequence[str] = TABLE_CIRCUITS,
+               n_trials: int = 10_000,
+               seed: int = 0,
+               delay_model: DelayModel = UnitDelay(),
+               algebra: Optional[TopAlgebra] = None) -> List[Table2Row]:
+    """Run all three analyzers on each circuit; one row per direction."""
+    rows: List[Table2Row] = []
+    for name in circuits:
+        netlist = benchmark_circuit(name)
+        endpoint, depth = critical_endpoint(netlist)
+        spsta = run_spsta(netlist, config, delay_model, algebra)
+        ssta = run_ssta(netlist, delay_model)
+        mc = run_monte_carlo(netlist, config, n_trials, delay_model,
+                             rng=np.random.default_rng(seed))
+        for direction in ("rise", "fall"):
+            p, mu, sigma = spsta.report(endpoint, direction)
+            pair = getattr(ssta.arrivals[endpoint], direction)
+            stats = mc.direction_stats(endpoint, direction)
+            rows.append(Table2Row(
+                circuit=name, direction=direction, endpoint=endpoint,
+                depth=depth,
+                spsta_p=p, spsta_mu=mu, spsta_sigma=sigma,
+                ssta_mu=pair.mu, ssta_sigma=pair.sigma,
+                mc_p=stats.probability, mc_mu=stats.mean,
+                mc_sigma=stats.std))
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row], title: str = "Table 2") -> str:
+    """Render rows in the paper's layout (rise block then fall block)."""
+    lines = [
+        title,
+        f"{'test':>7} {'':>2} | {'SPSTA':^23} | {'SSTA':^13} | "
+        f"{'Monte Carlo':^23}",
+        f"{'case':>7} {'':>2} | {'mu':>7} {'sigma':>7} {'P':>7} | "
+        f"{'mu':>6} {'sigma':>6} | {'mu':>7} {'sigma':>7} {'P':>7}",
+        "-" * 82,
+    ]
+    for direction in ("rise", "fall"):
+        for row in rows:
+            if row.direction != direction:
+                continue
+            lines.append(
+                f"{row.circuit:>7} {direction[0]:>2} | "
+                f"{_fmt(row.spsta_mu)} {_fmt(row.spsta_sigma)} "
+                f"{_fmt(row.spsta_p)} | "
+                f"{row.ssta_mu:>6.2f} {row.ssta_sigma:>6.2f} | "
+                f"{_fmt(row.mc_mu)} {_fmt(row.mc_sigma)} {_fmt(row.mc_p)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return f"{'--':>7}"
+    return f"{value:>7.2f}"

@@ -1,0 +1,120 @@
+"""Table 3 reproduction: analyzer CPU runtimes.
+
+Absolute seconds are hardware-bound (the paper reports a 2008 machine); the
+claims to reproduce are *relative*: SPSTA costs a small multiple of SSTA
+(the 2^k subset enumeration vs plain Clark folds) and both are far cheaper
+than a 10,000-trial Monte Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.inputs import InputStats
+from repro.core.spsta import run_spsta
+from repro.core.ssta import run_ssta
+from repro.netlist.benchmarks import TABLE_CIRCUITS, benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """Wall-clock seconds of each analyzer on one circuit.
+
+    ``mc_scalar_seconds`` estimates a plain (non-vectorized) logic
+    simulator's cost for the same trial count — the engine class the paper
+    actually timed — extrapolated from a short scalar run.
+    """
+
+    circuit: str
+    spsta_seconds: float
+    ssta_seconds: float
+    mc_seconds: float
+    mc_scalar_seconds: float = float("nan")
+
+    @property
+    def mc_over_spsta(self) -> float:
+        return self.mc_seconds / self.spsta_seconds
+
+    @property
+    def scalar_mc_over_spsta(self) -> float:
+        return self.mc_scalar_seconds / self.spsta_seconds
+
+
+def run_table3(config: InputStats,
+               circuits: Sequence[str] = TABLE_CIRCUITS,
+               n_trials: int = 10_000,
+               seed: int = 0,
+               delay_model: DelayModel = UnitDelay(),
+               scalar_probe_trials: int = 200) -> List[RuntimeRow]:
+    """Time each analyzer once per circuit (same workload as Table 2).
+
+    ``scalar_probe_trials`` scalar-reference trials are timed and linearly
+    extrapolated to ``n_trials`` for the ``mc_scalar_seconds`` column
+    (0 disables the probe).
+    """
+    rows: List[RuntimeRow] = []
+    for name in circuits:
+        netlist = benchmark_circuit(name)
+        t0 = time.perf_counter()
+        run_spsta(netlist, config, delay_model)
+        t1 = time.perf_counter()
+        run_ssta(netlist, delay_model)
+        t2 = time.perf_counter()
+        run_monte_carlo(netlist, config, n_trials, delay_model,
+                        rng=np.random.default_rng(seed))
+        t3 = time.perf_counter()
+        scalar_seconds = float("nan")
+        if scalar_probe_trials > 0:
+            scalar_seconds = (_time_scalar_mc(netlist, config,
+                                              scalar_probe_trials, seed,
+                                              delay_model)
+                              * n_trials / scalar_probe_trials)
+        rows.append(RuntimeRow(name, t1 - t0, t2 - t1, t3 - t2,
+                               scalar_seconds))
+    return rows
+
+
+def _time_scalar_mc(netlist, config: InputStats, trials: int, seed: int,
+                    delay_model: DelayModel) -> float:
+    """Wall-clock of ``trials`` scalar event-simulator runs."""
+    from repro.logic.fourvalue import from_bits
+    from repro.sim.reference import simulate_trial
+    from repro.sim.sampler import sample_launch_points
+
+    rng = np.random.default_rng(seed)
+    samples = sample_launch_points(netlist, config, trials, rng)
+    t0 = time.perf_counter()
+    for trial in range(trials):
+        launch = {}
+        for net, wave in samples.items():
+            symbol = from_bits(int(wave.init[trial]), int(wave.final[trial]))
+            t = wave.time[trial]
+            launch[net] = (symbol, None if np.isnan(t) else float(t))
+        simulate_trial(netlist, launch, delay_model)
+    return time.perf_counter() - t0
+
+
+def format_table3(rows: Sequence[RuntimeRow],
+                  title: str = "Table 3 (seconds)") -> str:
+    lines = [
+        title,
+        f"{'test':>7} | {'SPSTA':>9} | {'SSTA':>9} | {'10K MC':>9} | "
+        f"{'scalar MC':>10} | {'MC/SPSTA':>9} | {'scal/SPSTA':>10}",
+        "-" * 84,
+    ]
+    for row in rows:
+        scalar = ("   --     " if row.mc_scalar_seconds != row.mc_scalar_seconds
+                  else f"{row.mc_scalar_seconds:>10.2f}")
+        ratio = ("    --    " if row.mc_scalar_seconds != row.mc_scalar_seconds
+                 else f"{row.scalar_mc_over_spsta:>9.1f}x")
+        lines.append(
+            f"{row.circuit:>7} | {row.spsta_seconds:>9.4f} | "
+            f"{row.ssta_seconds:>9.4f} | {row.mc_seconds:>9.4f} | "
+            f"{scalar} | {row.mc_over_spsta:>8.1f}x | {ratio}")
+    return "\n".join(lines)

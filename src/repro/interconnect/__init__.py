@@ -1,0 +1,33 @@
+"""Interconnect substrate: RC trees and crosstalk aggressor alignment.
+
+The paper's Sec. 1 argues that interconnect delay depends on *when*
+neighboring nets switch (its refs [6, 7]): a coupling capacitance counts
+once when the aggressor is quiet, about twice when it switches the opposite
+way in the victim's transition window (Miller effect), and near zero when
+it switches the same way.  SSTA cannot weigh these cases — it has no
+occurrence probabilities — while SPSTA's TOP functions supply exactly the
+alignment statistics needed.
+
+- :mod:`repro.interconnect.rctree` — RC trees, Elmore delay, moments.
+- :mod:`repro.interconnect.coupling` — the aggressor-alignment delay model
+  and its statistical evaluation from TOP-style inputs.
+"""
+
+from repro.interconnect.coupling import (
+    AlignmentWindow,
+    CoupledStage,
+    crosstalk_delay_distribution,
+    sample_crosstalk_delays,
+    worst_case_crosstalk_delay,
+)
+from repro.interconnect.rctree import RCNode, RCTree
+
+__all__ = [
+    "RCTree",
+    "RCNode",
+    "CoupledStage",
+    "AlignmentWindow",
+    "crosstalk_delay_distribution",
+    "worst_case_crosstalk_delay",
+    "sample_crosstalk_delays",
+]

@@ -1,0 +1,127 @@
+"""RC trees with Elmore delay and higher delay moments.
+
+A classic distributed-RC interconnect model: a tree of nodes, each with a
+grounded capacitance and a resistance to its parent; the root connects to
+the driver.  The Elmore delay to a sink is
+
+    T_D(sink) = sum_over_nodes_k  R(path(root->sink) intersect path(root->k)) * C_k
+
+computed here by the standard downstream-capacitance path traversal.  The
+second moment (m2) supports two-pole style variance estimates; both feed
+the crosstalk model in :mod:`repro.interconnect.coupling`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class RCNode:
+    """One tree node: resistance to parent, grounded capacitance."""
+
+    __slots__ = ("name", "resistance", "capacitance", "parent", "children")
+
+    def __init__(self, name: str, resistance: float, capacitance: float,
+                 parent: Optional["RCNode"]) -> None:
+        if resistance < 0.0:
+            raise ValueError(f"resistance must be >= 0, got {resistance}")
+        if capacitance < 0.0:
+            raise ValueError(f"capacitance must be >= 0, got {capacitance}")
+        self.name = name
+        self.resistance = resistance
+        self.capacitance = capacitance
+        self.parent = parent
+        self.children: List["RCNode"] = []
+
+
+class RCTree:
+    """An RC tree built incrementally from the root (driver) outward."""
+
+    def __init__(self, root_capacitance: float = 0.0,
+                 driver_resistance: float = 0.0) -> None:
+        self._root = RCNode("root", driver_resistance, root_capacitance,
+                            parent=None)
+        self._nodes: Dict[str, RCNode] = {"root": self._root}
+
+    def add_segment(self, name: str, parent: str, resistance: float,
+                    capacitance: float) -> None:
+        """Attach a wire segment/node under ``parent``."""
+        if name in self._nodes:
+            raise ValueError(f"node {name} already exists")
+        parent_node = self._node(parent)
+        node = RCNode(name, resistance, capacitance, parent_node)
+        parent_node.children.append(node)
+        self._nodes[name] = node
+
+    def add_sink(self, name: str, parent: str, resistance: float,
+                 wire_capacitance: float, load_capacitance: float) -> None:
+        """A leaf with an attached receiver load."""
+        self.add_segment(name, parent, resistance,
+                         wire_capacitance + load_capacitance)
+
+    def _node(self, name: str) -> RCNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no RC node named {name!r}") from None
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def total_capacitance(self) -> float:
+        """Sum of all node capacitances (the driver's lumped load)."""
+        return sum(node.capacitance for node in self._nodes.values())
+
+    def downstream_capacitance(self, name: str) -> float:
+        """Capacitance of the subtree rooted at ``name`` (inclusive)."""
+        node = self._node(name)
+        total = 0.0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            total += current.capacitance
+            stack.extend(current.children)
+        return total
+
+    def _path_to_root(self, name: str) -> List[RCNode]:
+        path = []
+        node: Optional[RCNode] = self._node(name)
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return path
+
+    def elmore_delay(self, sink: str) -> float:
+        """First delay moment to ``sink``: sum over the root->sink path of
+        each segment's resistance times its downstream capacitance."""
+        total = 0.0
+        for node in self._path_to_root(sink):
+            total += node.resistance * self.downstream_capacitance(node.name)
+        return total
+
+    def second_moment(self, sink: str) -> float:
+        """Second moment m2 of the impulse response at ``sink``.
+
+        Computed by the standard two-pass recurrence: m2(sink) =
+        sum_k R_common(sink, k) * C_k * T_D(k), with T_D the Elmore delay of
+        node k.  Used for variance-style estimates (sigma^2 ~ 2 m2 - T_D^2).
+        """
+        elmore: Dict[str, float] = {
+            name: self.elmore_delay(name) for name in self._nodes}
+        total = 0.0
+        sink_path = {node.name for node in self._path_to_root(sink)}
+        for name, node in self._nodes.items():
+            # R_common * C_k * T_D(k), accumulated segment by segment.
+            common = 0.0
+            for step in self._path_to_root(name):
+                if step.name in sink_path:
+                    common += step.resistance
+            total += common * node.capacitance * elmore[name]
+        return total
+
+    def delay_spread(self, sink: str) -> float:
+        """A two-moment spread estimate: sqrt(max(2 m2 - T_D^2, 0))."""
+        td = self.elmore_delay(sink)
+        m2 = self.second_moment(sink)
+        return max(2.0 * m2 - td * td, 0.0) ** 0.5

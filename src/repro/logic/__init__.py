@@ -1,0 +1,32 @@
+"""Logic substrate: four-value algebra, gate functions, and a BDD engine.
+
+- :mod:`repro.logic.fourvalue` — the {0, 1, r, f} algebra of paper Table 1,
+  realized through initial/final-value evaluation with glitch filtering.
+- :mod:`repro.logic.gates` — the Boolean gate library shared by the netlist,
+  the analyzers, and the simulators (controlling values, inversion, parity).
+- :mod:`repro.logic.bdd` — reduced ordered binary decision diagrams with
+  signal-probability evaluation (paper Sec. 2.2.1) and Boolean difference
+  (Eq. 7).
+"""
+
+from repro.logic.fourvalue import (
+    Logic4,
+    final_bit,
+    from_bits,
+    gate_output_value,
+    init_bit,
+    is_transition,
+)
+from repro.logic.gates import GateType, GATE_LIBRARY, GateSpec
+
+__all__ = [
+    "Logic4",
+    "init_bit",
+    "final_bit",
+    "from_bits",
+    "is_transition",
+    "gate_output_value",
+    "GateType",
+    "GateSpec",
+    "GATE_LIBRARY",
+]

@@ -1,0 +1,82 @@
+"""The four-value logic {0, 1, r, f} of paper Table 1.
+
+A four-value symbol encodes a net's behaviour over one clock cycle as a pair
+of bits: the value *before* any transition (initial) and the value *after*
+all transitions settle (final).  ``r`` is (0 -> 1), ``f`` is (1 -> 0).
+
+Gate evaluation is *initial/final evaluation*: the output symbol is obtained
+by applying the gate's Boolean function to the initial bits and to the final
+bits separately.  This reproduces Table 1 exactly, including glitch
+filtering — e.g. ``AND(r, f)`` starts at ``0 AND 1 = 0`` and ends at
+``1 AND 0 = 0``, hence output ``0`` ("glitches are not counted", Sec. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.logic.gates import GateSpec
+
+
+class Logic4(enum.IntEnum):
+    """Four-value logic symbol.  Integer codes are chosen so that
+    ``value & 1`` is the final bit and ``value >> 1`` the initial bit."""
+
+    ZERO = 0b00   # stays 0
+    ONE = 0b11    # stays 1
+    RISE = 0b01   # 0 -> 1
+    FALL = 0b10   # 1 -> 0
+
+    def __str__(self) -> str:
+        return {Logic4.ZERO: "0", Logic4.ONE: "1",
+                Logic4.RISE: "r", Logic4.FALL: "f"}[self]
+
+
+def init_bit(value: Logic4) -> int:
+    """The net's value before any transition this cycle."""
+    return (int(value) >> 1) & 1
+
+
+def final_bit(value: Logic4) -> int:
+    """The net's settled value at the end of the cycle."""
+    return int(value) & 1
+
+
+def from_bits(initial: int, final: int) -> Logic4:
+    """Build a symbol from initial/final bits."""
+    if initial not in (0, 1) or final not in (0, 1):
+        raise ValueError(f"bits must be 0/1, got ({initial}, {final})")
+    return Logic4((initial << 1) | final)
+
+
+def is_transition(value: Logic4) -> bool:
+    """True for ``r`` and ``f``."""
+    return value in (Logic4.RISE, Logic4.FALL)
+
+
+def invert(value: Logic4) -> Logic4:
+    """Logical inversion: 0<->1, r<->f."""
+    return from_bits(1 - init_bit(value), 1 - final_bit(value))
+
+
+def gate_output_value(spec: GateSpec, inputs: Sequence[Logic4]) -> Logic4:
+    """Four-value output of a combinational gate (Table 1, any arity).
+
+    Glitches are filtered by construction: only the settled initial and
+    final values matter.
+    """
+    spec.validate_arity(len(inputs))
+    out_init = spec.eval_bits([init_bit(v) for v in inputs])
+    out_final = spec.eval_bits([final_bit(v) for v in inputs])
+    return from_bits(out_init, out_final)
+
+
+def parse_logic4(symbol: str) -> Logic4:
+    """Parse one of '0', '1', 'r', 'f' (case-insensitive)."""
+    table = {"0": Logic4.ZERO, "1": Logic4.ONE,
+             "r": Logic4.RISE, "f": Logic4.FALL}
+    try:
+        return table[symbol.strip().lower()]
+    except KeyError:
+        raise ValueError(f"not a four-value logic symbol: {symbol!r}") from None

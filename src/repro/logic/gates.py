@@ -1,0 +1,138 @@
+"""The Boolean gate library shared by every subsystem.
+
+Each combinational gate type carries:
+
+- its Boolean function over bits (``eval_bits``),
+- its *controlling value* (the input value that forces the output regardless
+  of the other inputs), if any — AND/NAND are controlled by 0, OR/NOR by 1;
+  XOR/XNOR have none (parity gates),
+- whether it is *inverting* (NAND/NOR/NOT/XNOR),
+- the implied four-value timing semantics (paper Table 1): for a
+  controlling-value gate, the output transition toward the *non-controlled*
+  value takes the MAX of the switching-input arrival times and the transition
+  toward the *controlled* value takes the MIN; a parity gate's output always
+  settles at the LAST switching input (MAX).
+
+DFF is sequential and handled structurally by the netlist package (its
+output is a launch point, its data input a capture endpoint).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+class GateType(enum.Enum):
+    """All cell types accepted in ISCAS'89 ``.bench`` netlists."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    NOT = "NOT"
+    BUFF = "BUFF"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    DFF = "DFF"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is GateType.DFF
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static properties of one combinational gate type."""
+
+    gate_type: GateType
+    controlling_value: Optional[int]  # None for parity gates and buffers
+    inverting: bool
+    is_parity: bool
+    min_inputs: int
+    max_inputs: Optional[int]  # None = unbounded
+
+    @property
+    def controlled_value(self) -> Optional[int]:
+        """Output value produced by a controlling input (after inversion)."""
+        if self.controlling_value is None:
+            return None
+        # A controlling input value c yields output c for AND/OR cores (0 for
+        # AND, 1 for OR); inversion (NAND/NOR) flips it.
+        out = self.controlling_value
+        return 1 - out if self.inverting else out
+
+    @property
+    def non_controlling_value(self) -> Optional[int]:
+        if self.controlling_value is None:
+            return None
+        return 1 - self.controlling_value
+
+    @property
+    def non_controlled_value(self) -> Optional[int]:
+        cd = self.controlled_value
+        return None if cd is None else 1 - cd
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        """Evaluate the Boolean function on 0/1 inputs."""
+        gt = self.gate_type
+        if gt is GateType.AND:
+            return int(all(bits))
+        if gt is GateType.NAND:
+            return int(not all(bits))
+        if gt is GateType.OR:
+            return int(any(bits))
+        if gt is GateType.NOR:
+            return int(not any(bits))
+        if gt is GateType.NOT:
+            return 1 - bits[0]
+        if gt is GateType.BUFF:
+            return bits[0]
+        if gt is GateType.XOR:
+            return sum(bits) & 1
+        if gt is GateType.XNOR:
+            return 1 - (sum(bits) & 1)
+        raise ValueError(f"gate type {gt} has no combinational function")
+
+    def validate_arity(self, n_inputs: int) -> None:
+        if n_inputs < self.min_inputs:
+            raise ValueError(
+                f"{self.gate_type.value} needs >= {self.min_inputs} inputs, "
+                f"got {n_inputs}")
+        if self.max_inputs is not None and n_inputs > self.max_inputs:
+            raise ValueError(
+                f"{self.gate_type.value} accepts <= {self.max_inputs} inputs, "
+                f"got {n_inputs}")
+
+
+GATE_LIBRARY = {
+    GateType.AND: GateSpec(GateType.AND, controlling_value=0, inverting=False,
+                           is_parity=False, min_inputs=1, max_inputs=None),
+    GateType.NAND: GateSpec(GateType.NAND, controlling_value=0, inverting=True,
+                            is_parity=False, min_inputs=1, max_inputs=None),
+    GateType.OR: GateSpec(GateType.OR, controlling_value=1, inverting=False,
+                          is_parity=False, min_inputs=1, max_inputs=None),
+    GateType.NOR: GateSpec(GateType.NOR, controlling_value=1, inverting=True,
+                           is_parity=False, min_inputs=1, max_inputs=None),
+    GateType.NOT: GateSpec(GateType.NOT, controlling_value=None, inverting=True,
+                           is_parity=False, min_inputs=1, max_inputs=1),
+    GateType.BUFF: GateSpec(GateType.BUFF, controlling_value=None,
+                            inverting=False, is_parity=False,
+                            min_inputs=1, max_inputs=1),
+    GateType.XOR: GateSpec(GateType.XOR, controlling_value=None,
+                           inverting=False, is_parity=True,
+                           min_inputs=1, max_inputs=None),
+    GateType.XNOR: GateSpec(GateType.XNOR, controlling_value=None,
+                            inverting=True, is_parity=True,
+                            min_inputs=1, max_inputs=None),
+}
+
+
+def gate_spec(gate_type: GateType) -> GateSpec:
+    """Look up the :class:`GateSpec` for a combinational gate type."""
+    try:
+        return GATE_LIBRARY[gate_type]
+    except KeyError:
+        raise ValueError(
+            f"{gate_type.value} is not a combinational gate") from None

@@ -1,0 +1,41 @@
+"""Gate-level netlist substrate.
+
+- :mod:`repro.netlist.core` — the netlist data model (gates, nets, DFF
+  boundaries, topological order, levelization, validation).
+- :mod:`repro.netlist.bench` — ISCAS'89 ``.bench`` format parser and writer.
+- :mod:`repro.netlist.generator` — deterministic synthetic generator for
+  ISCAS'89-profile sequential circuits (see DESIGN.md substitution table).
+- :mod:`repro.netlist.benchmarks` — the benchmark suite used by the paper's
+  evaluation: the bundled genuine ``s27`` plus synthetic s208..s1238.
+- :mod:`repro.netlist.analysis` — structural analyses (depth, critical
+  endpoints, fan-in cones, circuit statistics).
+"""
+
+from repro.netlist.analysis import (
+    CircuitStats,
+    circuit_stats,
+    critical_endpoint,
+    fanin_cone,
+    net_depths,
+)
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
+from repro.netlist.core import Gate, Netlist
+from repro.netlist.generator import GeneratorProfile, generate_circuit
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "GeneratorProfile",
+    "generate_circuit",
+    "benchmark_circuit",
+    "benchmark_names",
+    "net_depths",
+    "critical_endpoint",
+    "fanin_cone",
+    "circuit_stats",
+    "CircuitStats",
+]

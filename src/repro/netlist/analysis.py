@@ -1,0 +1,92 @@
+"""Structural netlist analyses shared by the timing engines.
+
+Unit-delay structural depth doubles as the deterministic STA arrival time in
+the paper's experimental setup (unit gate delay, zero net delay), and picks
+the "most critical path" endpoint all engines report on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Set, Tuple
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Netlist
+
+
+def net_depths(netlist: Netlist) -> Dict[str, int]:
+    """Unit-delay structural depth of every net.
+
+    Launch points have depth 0; every combinational gate adds 1.  With the
+    paper's unit gate delay this is exactly the deterministic arrival time.
+    """
+    depths: Dict[str, int] = {net: 0 for net in netlist.launch_points}
+    for gate in netlist.combinational_gates:
+        depths[gate.name] = 1 + max(depths[src] for src in gate.inputs)
+    return depths
+
+
+def critical_endpoint(netlist: Netlist) -> Tuple[str, int]:
+    """The endpoint of maximum structural depth and that depth.
+
+    Ties break on net name for determinism, so every analyzer reports the
+    same "most critical path" endpoint (paper Table 2 rows).
+    """
+    depths = net_depths(netlist)
+    best = max(netlist.endpoints, key=lambda net: (depths[net], net))
+    return best, depths[best]
+
+
+def fanin_cone(netlist: Netlist, net: str) -> Set[str]:
+    """All nets in the transitive fan-in of ``net`` (inclusive), stopping at
+    launch points — the sub-circuit that determines its arrival time."""
+    cone: Set[str] = set()
+    stack = [net]
+    while stack:
+        current = stack.pop()
+        if current in cone:
+            continue
+        cone.add(current)
+        if netlist.is_launch_point(current):
+            continue
+        gate = netlist.driver(current)
+        stack.extend(gate.inputs)
+    return cone
+
+
+def max_fanin(netlist: Netlist) -> int:
+    """Largest combinational gate fan-in — bounds the 2^k subset enumeration
+    cost of the four-value SPSTA propagation (paper Sec. 3.3)."""
+    fanins = [len(g.inputs) for g in netlist.combinational_gates]
+    return max(fanins) if fanins else 0
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics used in reports and generator self-checks."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_dffs: int
+    n_gates: int
+    depth: int
+    max_fanin: int
+    gate_histogram: Mapping[str, int]
+
+
+def circuit_stats(netlist: Netlist) -> CircuitStats:
+    """Compute a :class:`CircuitStats` summary for a netlist."""
+    _, depth = critical_endpoint(netlist)
+    histogram = dict(netlist.counts())
+    histogram.pop(GateType.DFF.value, None)
+    return CircuitStats(
+        name=netlist.name,
+        n_inputs=len(netlist.inputs),
+        n_outputs=len(netlist.outputs),
+        n_dffs=len(netlist.dffs),
+        n_gates=len(netlist.gates) - len(netlist.dffs),
+        depth=depth,
+        max_fanin=max_fanin(netlist),
+        gate_histogram=histogram,
+    )

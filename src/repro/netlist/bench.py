@@ -1,0 +1,101 @@
+"""ISCAS'89 ``.bench`` format parser and writer.
+
+The format (as distributed with the ISCAS'89 suite) is line-oriented:
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+
+Gate keywords are case-insensitive; ``BUF`` is accepted as an alias for
+``BUFF`` and ``NXOR`` for ``XNOR`` (aliases seen in circulating copies of
+the suite).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+
+_ALIASES = {
+    "BUF": GateType.BUFF,
+    "BUFF": GateType.BUFF,
+    "NXOR": GateType.XNOR,
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^\s=()]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^()]*)\s*\)$")
+
+
+class BenchParseError(ValueError):
+    """Raised with file/line context on malformed ``.bench`` input."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+def _gate_type(keyword: str, line_no: int, line: str) -> GateType:
+    upper = keyword.upper()
+    if upper in _ALIASES:
+        return _ALIASES[upper]
+    try:
+        return GateType(upper)
+    except ValueError:
+        raise BenchParseError(f"unknown gate type {keyword!r}",
+                              line_no, line) from None
+
+
+def parse_bench(text: str, name: str = "circuit") -> Netlist:
+    """Parse ``.bench`` text into a validated :class:`Netlist`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2)
+            (inputs if keyword == "INPUT" else outputs).append(net)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            out_net, keyword, arg_text = gate_match.groups()
+            args = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+            if not args:
+                raise BenchParseError("gate with no inputs", line_no, line)
+            gtype = _gate_type(keyword, line_no, line)
+            try:
+                gates.append(Gate(out_net, gtype, args))
+            except ValueError as exc:
+                raise BenchParseError(str(exc), line_no, line) from exc
+            continue
+        raise BenchParseError("unrecognized statement", line_no, line)
+    return Netlist(name, inputs, outputs, gates)
+
+
+def parse_bench_file(path: Union[str, Path]) -> Netlist:
+    """Parse a ``.bench`` file; the netlist is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text (parse round-trips)."""
+    lines: List[str] = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({pi})" for pi in netlist.inputs)
+    lines.extend(f"OUTPUT({po})" for po in netlist.outputs)
+    lines.append("")
+    for gate in netlist.gates.values():
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.name} = {gate.gate_type.value}({args})")
+    return "\n".join(lines) + "\n"

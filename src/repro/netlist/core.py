@@ -1,0 +1,188 @@
+"""Netlist data model.
+
+A :class:`Netlist` is a named collection of nets and gates in the ISCAS'89
+style: every gate drives exactly one net, named after the gate.  Sequential
+elements (DFF) delimit the combinational timing graph:
+
+- *launch points* — primary inputs and DFF outputs — are where cycle-level
+  statistics (signal probabilities, arrival-time distributions) are asserted;
+- *endpoints* — primary outputs and DFF data inputs — are where arrival-time
+  statistics are observed.
+
+All analyzers and simulators in this repository share this model and the
+topological order it provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.logic.gates import GateType, gate_spec
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance; ``name`` is also the name of the net it drives."""
+
+    name: str
+    gate_type: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gate name must be non-empty")
+        if self.gate_type is GateType.DFF:
+            if len(self.inputs) != 1:
+                raise ValueError(
+                    f"DFF {self.name} must have exactly one input, "
+                    f"got {len(self.inputs)}")
+        else:
+            gate_spec(self.gate_type).validate_arity(len(self.inputs))
+
+
+class Netlist:
+    """An immutable-after-construction gate-level netlist."""
+
+    def __init__(self, name: str, inputs: Sequence[str],
+                 outputs: Sequence[str], gates: Iterable[Gate]) -> None:
+        self.name = name
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.outputs: Tuple[str, ...] = tuple(outputs)
+        self.gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self.gates:
+                raise ValueError(f"net {gate.name} driven twice")
+            self.gates[gate.name] = gate
+        self._validate()
+        self._topo: Tuple[Gate, ...] = self._topological_order()
+        self._fanouts = self._build_fanouts()
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self) -> None:
+        input_set = set(self.inputs)
+        if len(input_set) != len(self.inputs):
+            raise ValueError(f"duplicate primary input in {self.name}")
+        for pi in self.inputs:
+            if pi in self.gates:
+                raise ValueError(f"primary input {pi} is also gate-driven")
+        known = input_set | set(self.gates)
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                if src not in known:
+                    raise ValueError(
+                        f"gate {gate.name} references undriven net {src}")
+        for po in self.outputs:
+            if po not in known:
+                raise ValueError(f"primary output {po} is undriven")
+
+    # -- basic views ----------------------------------------------------------
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        """All nets: primary inputs first, then gate outputs."""
+        return self.inputs + tuple(self.gates)
+
+    @property
+    def dffs(self) -> Tuple[Gate, ...]:
+        return tuple(g for g in self.gates.values()
+                     if g.gate_type is GateType.DFF)
+
+    @property
+    def combinational_gates(self) -> Tuple[Gate, ...]:
+        """Combinational gates in topological order (launch points first)."""
+        return self._topo
+
+    @property
+    def launch_points(self) -> Tuple[str, ...]:
+        """Primary inputs plus DFF output nets — sources of the timing graph."""
+        return self.inputs + tuple(g.name for g in self.dffs)
+
+    @property
+    def endpoints(self) -> Tuple[str, ...]:
+        """Primary outputs plus DFF data-input nets (deduplicated, ordered)."""
+        seen: Set[str] = set()
+        result: List[str] = []
+        for net in tuple(self.outputs) + tuple(g.inputs[0] for g in self.dffs):
+            if net not in seen:
+                seen.add(net)
+                result.append(net)
+        return tuple(result)
+
+    def driver(self, net: str) -> Gate:
+        """The gate driving ``net``; raises KeyError for primary inputs."""
+        return self.gates[net]
+
+    def is_launch_point(self, net: str) -> bool:
+        if net in self.gates:
+            return self.gates[net].gate_type is GateType.DFF
+        return net in set(self.inputs)
+
+    def fanouts(self, net: str) -> Tuple[str, ...]:
+        """Names of gates that read ``net``."""
+        return self._fanouts.get(net, ())
+
+    def _build_fanouts(self) -> Dict[str, Tuple[str, ...]]:
+        acc: Dict[str, List[str]] = {}
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                acc.setdefault(src, []).append(gate.name)
+        return {net: tuple(sinks) for net, sinks in acc.items()}
+
+    # -- topological order ----------------------------------------------------
+
+    def _topological_order(self) -> Tuple[Gate, ...]:
+        """Kahn's algorithm over combinational gates.
+
+        DFFs are cut: their outputs count as sources and their inputs as
+        sinks, so sequential loops (ubiquitous in ISCAS'89) are legal while
+        combinational cycles raise ValueError.
+        """
+        comb = [g for g in self.gates.values()
+                if g.gate_type is not GateType.DFF]
+        sources = set(self.launch_points)
+        pending: Dict[str, int] = {}
+        dependents: Dict[str, List[Gate]] = {}
+        ready: List[Gate] = []
+        for gate in comb:
+            waits = 0
+            for src in gate.inputs:
+                if src in sources:
+                    continue
+                waits += 1
+                dependents.setdefault(src, []).append(gate)
+            if waits == 0:
+                ready.append(gate)
+            else:
+                pending[gate.name] = waits
+        order: List[Gate] = []
+        cursor = 0
+        while cursor < len(ready):
+            gate = ready[cursor]
+            cursor += 1
+            order.append(gate)
+            for dep in dependents.get(gate.name, ()):
+                pending[dep.name] -= 1
+                if pending[dep.name] == 0:
+                    ready.append(dep)
+        if len(order) != len(comb):
+            stuck = sorted(name for name, n in pending.items() if n > 0)
+            raise ValueError(
+                f"combinational cycle in {self.name}; "
+                f"unresolved gates: {stuck[:8]}...")
+        return tuple(order)
+
+    # -- summaries --------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}: {len(self.inputs)} PI, "
+                f"{len(self.outputs)} PO, {len(self.dffs)} DFF, "
+                f"{len(self.gates) - len(self.dffs)} gates)")
+
+    def counts(self) -> Mapping[str, int]:
+        """Gate-type histogram, for reports and the generator's self-check."""
+        acc: Dict[str, int] = {}
+        for gate in self.gates.values():
+            acc[gate.gate_type.value] = acc.get(gate.gate_type.value, 0) + 1
+        return acc

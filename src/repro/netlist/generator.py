@@ -1,0 +1,255 @@
+"""Deterministic generator for ISCAS'89-profile sequential circuits.
+
+The paper evaluates on the ISCAS'89 suite, whose netlists are not bundled
+here; per DESIGN.md we substitute synthetic circuits that match each
+benchmark's published *structural profile* — primary input / output / DFF /
+gate counts, gate-type mix, fan-in distribution — and a logic depth chosen so
+the unit-delay critical path matches what Table 2 implies.  The experiment
+only exercises structure (unit delays, independent random inputs, statistics
+along the deepest path), so a profile-matched circuit drives the identical
+code paths.
+
+The construction is layered:
+
+1. lay down a *spine* — a chain of gates of length ``depth`` so the target
+   depth is achieved exactly;
+2. scatter the remaining gates over levels 1..depth, each drawing at least
+   one fan-in from the previous level (keeping levels meaningful) and the
+   rest from any earlier level;
+3. connect DFF data inputs and primary outputs preferentially to otherwise
+   unused gate outputs, then stitch any remaining dangling outputs into
+   downstream gates, so (almost) every net is observable.
+
+Generation is a pure function of the :class:`GeneratorProfile` (seeded RNG),
+so benchmark circuits are bit-identical across runs and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+
+# Gate-type mix modeled on the ISCAS'89 suite (NAND/NOR heavy, few XORs
+# except in the parity-laden s1196/s1238 family).
+_MULTI_INPUT_TYPES = (GateType.NAND, GateType.NOR, GateType.AND, GateType.OR)
+_MULTI_INPUT_WEIGHTS = (0.35, 0.25, 0.20, 0.20)
+_SINGLE_INPUT_TYPES = (GateType.NOT, GateType.BUFF)
+_SINGLE_INPUT_WEIGHTS = (0.8, 0.2)
+_FANIN_CHOICES = (1, 2, 3, 4)
+_FANIN_WEIGHTS = (0.15, 0.55, 0.20, 0.10)
+_MAX_FANIN = 5
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Structural recipe for one synthetic circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_dffs: int
+    n_gates: int
+    depth: int
+    seed: int
+    xor_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("need at least one primary input")
+        if self.n_outputs < 1:
+            raise ValueError("need at least one primary output")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        if self.n_gates < self.depth:
+            raise ValueError(
+                f"{self.name}: n_gates ({self.n_gates}) must cover the "
+                f"spine depth ({self.depth})")
+        if not 0.0 <= self.xor_fraction <= 1.0:
+            raise ValueError("xor_fraction must be in [0, 1]")
+
+
+def generate_circuit(profile: GeneratorProfile) -> Netlist:
+    """Build the synthetic netlist for ``profile`` (deterministic)."""
+    rng = random.Random(profile.seed)
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    inputs = [fresh("I") for _ in range(profile.n_inputs)]
+    dff_outputs = [fresh("L") for _ in range(profile.n_dffs)]
+
+    # levels[d] = nets whose unit-delay depth is exactly d.
+    levels: Dict[int, List[str]] = {0: list(inputs) + list(dff_outputs)}
+    gates: List[Gate] = []
+    consumed: set = set()  # nets already read by some gate
+
+    def pick_gate_type(fanin: int) -> GateType:
+        if fanin == 1:
+            return rng.choices(_SINGLE_INPUT_TYPES,
+                               _SINGLE_INPUT_WEIGHTS)[0]
+        if profile.xor_fraction > 0.0 and rng.random() < profile.xor_fraction:
+            return rng.choice((GateType.XOR, GateType.XNOR))
+        return rng.choices(_MULTI_INPUT_TYPES, _MULTI_INPUT_WEIGHTS)[0]
+
+    def earlier_net(level: int) -> str:
+        """A random net from any level strictly below ``level``, biased to
+        recent levels (connected cones) and to not-yet-consumed nets (so few
+        gate outputs end up dangling)."""
+        candidate_levels = [d for d in range(level) if levels.get(d)]
+        weights = [1.0 + 3.0 * d / max(level, 1) for d in candidate_levels]
+        chosen = rng.choices(candidate_levels, weights)[0]
+        pool = levels[chosen]
+        unused = [n for n in pool if n not in consumed]
+        if unused and rng.random() < 0.7:
+            return rng.choice(unused)
+        return rng.choice(pool)
+
+    def prev_level_net(level: int) -> str:
+        pool = levels[level - 1]
+        unused = [n for n in pool if n not in consumed]
+        if unused and rng.random() < 0.7:
+            return rng.choice(unused)
+        return rng.choice(pool)
+
+    def add_gate(level: int, force_input: str = "") -> Gate:
+        fanin = rng.choices(_FANIN_CHOICES, _FANIN_WEIGHTS)[0]
+        gate_type = pick_gate_type(fanin)
+        sources = [force_input or prev_level_net(level)]
+        while len(sources) < fanin:
+            net = earlier_net(level)
+            if net not in sources:
+                sources.append(net)
+            elif rng.random() < 0.25:
+                break  # tolerate an occasional smaller fan-in
+        gate = Gate(fresh("G"), gate_type, tuple(sources))
+        gates.append(gate)
+        consumed.update(sources)
+        levels.setdefault(level, []).append(gate.name)
+        return gate
+
+    # 1. the spine guarantees the target depth exactly and mimics how the
+    #    real suite's critical paths behave: transitions actually propagate
+    #    to the deep endpoint, arriving roughly `depth` units late.
+    #
+    #    Spine gates are inverter-rich (transitions pass unconditionally);
+    #    each 2-input spine gate at level k draws its side operand from a
+    #    dedicated independent buffer/inverter chain of length ~ k-1, rooted
+    #    at a fresh source.  This keeps every path to the spine top close to
+    #    full depth (so the conditional arrival mean tracks depth, with a
+    #    small length jitter supplying the arrival-time spread) and keeps
+    #    the spine cone free of reconvergence (reusing a source at two spine
+    #    levels with opposite polarity requirements would structurally block
+    #    the path: a transition ANDed with its own complement never
+    #    propagates).
+    spine_names: set = set()
+    spine_side_used: set = set()
+
+    def fresh_source() -> str:
+        pool = [n for n in levels[0] if n not in spine_side_used]
+        net = rng.choice(pool or levels[0])
+        spine_side_used.add(net)
+        return net
+
+    def side_chain(target_level: int) -> str:
+        """An independent NOT/BUFF chain ending at ~``target_level``."""
+        length = max(target_level - rng.randint(0, 3), 0)
+        net = fresh_source()
+        for step in range(1, length + 1):
+            gate_type = rng.choices(_SINGLE_INPUT_TYPES,
+                                    _SINGLE_INPUT_WEIGHTS)[0]
+            gate = Gate(fresh("G"), gate_type, (net,))
+            gates.append(gate)
+            consumed.add(net)
+            levels.setdefault(step, []).append(gate.name)
+            spine_names.add(gate.name)
+            net = gate.name
+        return net
+
+    spine_prev = fresh_source()
+    for level in range(1, profile.depth + 1):
+        fanin = rng.choices((1, 2), (0.6, 0.4))[0]
+        gate_type = pick_gate_type(fanin)
+        sources = [spine_prev]
+        if fanin == 2:
+            side = side_chain(level - 1)
+            if side != spine_prev:
+                sources.append(side)
+            else:
+                gate_type = pick_gate_type(1)
+        gate = Gate(fresh("G"), gate_type, tuple(sources))
+        gates.append(gate)
+        consumed.update(sources)
+        levels.setdefault(level, []).append(gate.name)
+        spine_prev = gate.name
+        spine_names.add(gate.name)
+
+    # 2. scatter the remaining gates; every level keeps at least the spine
+    #    gate, so `levels[level - 1]` is always non-empty.
+    remaining = max(profile.n_gates - len(gates), 0)
+    # Scatter stays below the spine top so the full-depth endpoint is unique
+    # (every analyzer then reports the same, transition-friendly critical
+    # path).  Bias toward shallow levels: deep gates have no room for
+    # downstream consumers and would otherwise all become dangling outputs.
+    top_scatter = max(profile.depth - 1, 1)
+    level_weights = [float(top_scatter - lvl + 1)
+                     for lvl in range(1, top_scatter + 1)]
+    for _ in range(remaining):
+        level = rng.choices(range(1, top_scatter + 1), level_weights)[0]
+        add_gate(level)
+
+    # 3. sinks: DFF data inputs and primary outputs prefer unused outputs.
+    used: set = set()
+    for gate in gates:
+        used.update(gate.inputs)
+    dangling = [g.name for g in gates if g.name not in used]
+    rng.shuffle(dangling)
+    deepest = max(levels), levels[max(levels)]
+
+    dff_gates: List[Gate] = []
+    for ff_out in dff_outputs:
+        data = dangling.pop() if dangling else rng.choice(gates).name
+        dff_gates.append(Gate(ff_out, GateType.DFF, (data,)))
+
+    outputs: List[str] = []
+    spine_top = spine_prev  # the full-depth net: always observable
+    outputs.append(spine_top)
+    while len(outputs) < profile.n_outputs:
+        if dangling:
+            net = dangling.pop()
+        else:
+            net = rng.choice(deepest[1] + [g.name for g in gates])
+        if net not in outputs:
+            outputs.append(net)
+
+    # 4. stitch leftover dangling outputs into downstream gates (fan-in cap),
+    #    so the circuit has no unobservable logic.
+    if dangling:
+        gate_level = {net: lvl for lvl, nets in levels.items()
+                      for net in nets}
+        by_name = {g.name: g for g in gates}
+        for net in dangling:
+            lvl = gate_level.get(net, 0)
+            # Select hosts from the *current* gate map: a host patched for an
+            # earlier dangling net must keep that net when patched again.
+            hosts = [g for g in by_name.values()
+                     if gate_level.get(g.name, 0) > lvl
+                     and len(g.inputs) < _MAX_FANIN
+                     and g.gate_type not in (GateType.NOT, GateType.BUFF)
+                     and g.name not in spine_names  # keep the spine clean
+                     and net not in g.inputs]
+            if hosts:
+                host = rng.choice(sorted(hosts, key=lambda g: g.name))
+                by_name[host.name] = Gate(host.name, host.gate_type,
+                                          host.inputs + (net,))
+            elif net not in outputs:
+                outputs.append(net)  # last resort: observe it as a PO
+        gates = [by_name[g.name] for g in gates]
+
+    return Netlist(profile.name, inputs, outputs, gates + dff_gates)

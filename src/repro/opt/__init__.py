@@ -1,0 +1,12 @@
+"""Optimization consumers of the statistical timing engines.
+
+- :mod:`repro.opt.sizing` — greedy statistical gate sizing: upsize gates on
+  critical paths until a timing-yield target is met, with the variational
+  engine (correlation-aware yield) in the evaluation loop.  Demonstrates
+  the "suitable for optimization" property the paper credits block-based
+  engines with (Sec. 1).
+"""
+
+from repro.opt.sizing import SizedDelay, SizingResult, optimize_sizing
+
+__all__ = ["SizedDelay", "SizingResult", "optimize_sizing"]

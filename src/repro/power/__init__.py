@@ -1,0 +1,22 @@
+"""Statistical power estimation (paper Sec. 2.2) — the substrate SPSTA
+imports its signal-probability machinery from.
+
+- :mod:`repro.power.density` — transition densities via Boolean-difference
+  propagation (Najm; paper Eq. 6/7) and via the four-value Prob4 view.
+- :mod:`repro.power.power` — switching-power estimates from toggling rates.
+"""
+
+from repro.power.density import (
+    boolean_difference_probability,
+    transition_densities,
+    transition_densities_bdd,
+)
+from repro.power.power import PowerReport, switching_power
+
+__all__ = [
+    "transition_densities",
+    "transition_densities_bdd",
+    "boolean_difference_probability",
+    "switching_power",
+    "PowerReport",
+]

@@ -1,0 +1,162 @@
+"""Human-readable timing reports (PrimeTime-style, miniaturized).
+
+Combines the analyzers into a per-endpoint signoff view for a given clock
+period: deterministic STA slack, SSTA mean/sigma slack, SPSTA occurrence-
+weighted statistics, and the K most critical paths with per-stage detail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.inputs import CONFIG_I, InputStats
+from repro.core.paths import k_longest_paths, path_delay
+from repro.core.spsta import SpstaResult, run_spsta
+from repro.core.ssta import SstaResult, run_ssta
+from repro.core.sta import run_sta
+from repro.netlist.analysis import net_depths
+from repro.netlist.core import Netlist
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True)
+class EndpointReport:
+    """One endpoint's consolidated timing view."""
+
+    endpoint: str
+    depth: int
+    sta_arrival: float
+    sta_slack: float
+    ssta_worst: Normal          # later of rise/fall, Clark-combined
+    ssta_slack_mean: float
+    ssta_miss_probability: float
+    spsta_rise: tuple           # (P, mean, sigma)
+    spsta_fall: tuple
+    spsta_miss_probability: float
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """The full report: endpoints (worst first) plus critical paths."""
+
+    netlist_name: str
+    clock_period: float
+    endpoints: Sequence[EndpointReport]
+    critical_paths: Sequence[str]
+
+    @property
+    def worst(self) -> EndpointReport:
+        return self.endpoints[0]
+
+    @property
+    def chip_yield_spsta(self) -> float:
+        """P(no endpoint misses the clock), SPSTA occurrence-weighted,
+        endpoints treated as independent."""
+        acc = 1.0
+        for ep in self.endpoints:
+            acc *= 1.0 - min(ep.spsta_miss_probability, 1.0)
+        return acc
+
+    @property
+    def chip_yield_ssta(self) -> float:
+        """The SSTA counterpart: always-switching worst arrivals."""
+        acc = 1.0
+        for ep in self.endpoints:
+            acc *= 1.0 - min(ep.ssta_miss_probability, 1.0)
+        return acc
+
+    def render(self, max_endpoints: int = 10) -> str:
+        lines = [
+            f"Timing report for {self.netlist_name} "
+            f"(clock period {self.clock_period:g})",
+            "",
+            f"{'endpoint':>12} {'depth':>5} {'STA slack':>10} "
+            f"{'SSTA slack':>11} {'P(miss|SSTA)':>13} {'P(miss|SPSTA)':>14}",
+            "-" * 70,
+        ]
+        for ep in self.endpoints[:max_endpoints]:
+            lines.append(
+                f"{ep.endpoint:>12} {ep.depth:>5} {ep.sta_slack:>10.3f} "
+                f"{ep.ssta_slack_mean:>11.3f} "
+                f"{ep.ssta_miss_probability:>13.4f} "
+                f"{ep.spsta_miss_probability:>14.4f}")
+        if len(self.endpoints) > max_endpoints:
+            lines.append(f"  ... {len(self.endpoints) - max_endpoints} "
+                         f"more endpoints")
+        lines.append("")
+        lines.append(f"Chip timing yield at this clock: "
+                     f"SPSTA {self.chip_yield_spsta:.4f}   "
+                     f"SSTA {self.chip_yield_ssta:.4f}")
+        lines.append("")
+        lines.append("Most critical paths:")
+        lines.extend(f"  {p}" for p in self.critical_paths)
+        return "\n".join(lines)
+
+
+def generate_report(netlist: Netlist,
+                    clock_period: float,
+                    stats: Optional[InputStats] = None,
+                    delay_model: DelayModel = UnitDelay(),
+                    n_paths: int = 3) -> TimingReport:
+    """Build a :class:`TimingReport` for every endpoint of ``netlist``.
+
+    ``P(miss | SSTA)`` is the probability the (always-assumed) worst
+    arrival exceeds the period; ``P(miss | SPSTA)`` weighs each transition
+    direction by its occurrence probability — quiet cycles cannot miss,
+    which is exactly the pessimism gap the paper describes.
+    """
+    if clock_period <= 0.0:
+        raise ValueError("clock_period must be > 0")
+    if stats is None:
+        stats = CONFIG_I
+    depths = net_depths(netlist)
+    sta = run_sta(netlist, delay_model)
+    ssta = run_ssta(netlist, delay_model)
+    spsta = run_spsta(netlist, stats, delay_model)
+
+    endpoints: List[EndpointReport] = []
+    for net in netlist.endpoints:
+        worst = _later(ssta, net)
+        miss_ssta = 1.0 - worst.cdf(clock_period)
+        rise = spsta.report(net, "rise")
+        fall = spsta.report(net, "fall")
+        miss_spsta = (_miss(rise, clock_period)
+                      + _miss(fall, clock_period))
+        endpoints.append(EndpointReport(
+            endpoint=net,
+            depth=depths[net],
+            sta_arrival=sta.max_arrival[net],
+            sta_slack=clock_period - sta.max_arrival[net],
+            ssta_worst=worst,
+            ssta_slack_mean=clock_period - worst.mu,
+            ssta_miss_probability=miss_ssta,
+            spsta_rise=rise,
+            spsta_fall=fall,
+            spsta_miss_probability=min(miss_spsta, 1.0)))
+    endpoints.sort(key=lambda ep: (ep.sta_slack, ep.endpoint))
+
+    paths = k_longest_paths(netlist, k=n_paths, delay_model=delay_model)
+    rendered = []
+    for path in paths:
+        dist = path_delay(path, netlist, delay_model,
+                          launch_arrival=stats.rise_arrival)
+        route = " -> ".join(path.nets)
+        rendered.append(
+            f"{route}  [delay {dist.mu:.2f} +/- {dist.sigma:.2f}]")
+    return TimingReport(netlist.name, clock_period, endpoints, rendered)
+
+
+def _later(ssta: SstaResult, net: str) -> Normal:
+    from repro.stats.clark import clark_max
+    pair = ssta.arrivals[net]
+    return clark_max(pair.rise, pair.fall)
+
+
+def _miss(report_triple, clock_period: float) -> float:
+    p, mu, sigma = report_triple
+    if p <= 0.0 or math.isnan(mu):
+        return 0.0
+    return p * (1.0 - Normal(mu, sigma).cdf(clock_period))

@@ -1,0 +1,24 @@
+"""Four-value-logic Monte Carlo timing simulation (the paper's ground truth).
+
+- :mod:`repro.sim.sampler` — draws launch-point four-value assignments and
+  transition arrival times from :class:`repro.core.inputs.InputStats`.
+- :mod:`repro.sim.reference` — scalar, event-stepping simulator: per trial,
+  per gate, input transitions are applied in time order and the output
+  arrival is the last output change.  Exact for every gate type; the oracle.
+- :mod:`repro.sim.montecarlo` — numpy-vectorized simulator with closed-form
+  per-gate-family rules, validated trial-for-trial against the reference.
+"""
+
+from repro.sim.montecarlo import DirectionStats, MonteCarloResult, run_monte_carlo
+from repro.sim.reference import event_gate_output, simulate_trial
+from repro.sim.sampler import LaunchSample, sample_launch_points
+
+__all__ = [
+    "run_monte_carlo",
+    "MonteCarloResult",
+    "DirectionStats",
+    "sample_launch_points",
+    "LaunchSample",
+    "simulate_trial",
+    "event_gate_output",
+]

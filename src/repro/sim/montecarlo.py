@@ -1,0 +1,209 @@
+"""Vectorized four-value Monte Carlo timing simulator.
+
+All trials propagate simultaneously as numpy arrays.  Per-gate-family rules
+(derived in DESIGN.md and validated against :mod:`repro.sim.reference`):
+
+- AND core: output rises at the LAST rising input (MAX), falls at the FIRST
+  falling input (MIN); inverting variants relabel the output direction.
+- OR core: the mirror image (rise = MIN over rising, fall = MAX over falling).
+- Parity (XOR core): the output toggles at every switching input; it
+  transitions iff initial and final parity differ, settling at the LAST
+  switching input (MAX over all switching inputs).
+- Glitches are filtered by initial/final evaluation, matching the paper's
+  "we do not count glitch" (Sec. 4).
+
+Gate delays come from the :class:`~repro.core.delay.DelayModel`; a non-zero
+delay sigma draws an independent Gaussian delay per gate per trial.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.delay import DelayModel, UnitDelay
+from repro.core.inputs import InputStats
+from repro.logic.gates import GateType, gate_spec
+from repro.netlist.core import Netlist
+from repro.sim.sampler import LaunchSample, sample_launch_points
+
+
+@dataclass(frozen=True)
+class DirectionStats:
+    """Monte Carlo estimate for one transition direction at one net: the
+    occurrence probability and the conditional arrival moments (NaN when the
+    transition never occurred in any trial) — one Table 2 cell triple."""
+
+    probability: float
+    mean: float
+    std: float
+    n_occurrences: int
+
+
+class MonteCarloResult:
+    """Per-net waveform arrays over all trials, with summary accessors."""
+
+    def __init__(self, netlist_name: str, n_trials: int,
+                 waves: Dict[str, LaunchSample]) -> None:
+        self.netlist_name = netlist_name
+        self.n_trials = n_trials
+        self._waves = waves
+
+    def wave(self, net: str) -> LaunchSample:
+        return self._waves[net]
+
+    @property
+    def nets(self) -> Sequence[str]:
+        return tuple(self._waves)
+
+    def direction_stats(self, net: str, direction: str) -> DirectionStats:
+        """Estimate (P, mean, std) for 'rise' or 'fall' at a net."""
+        wave = self._waves[net]
+        if direction == "rise":
+            mask = ~wave.init & wave.final
+        elif direction == "fall":
+            mask = wave.init & ~wave.final
+        else:
+            raise ValueError(f"direction must be 'rise' or 'fall', "
+                             f"got {direction!r}")
+        count = int(mask.sum())
+        probability = count / self.n_trials
+        if count == 0:
+            return DirectionStats(probability, float("nan"), float("nan"), 0)
+        times = wave.time[mask]
+        return DirectionStats(probability, float(times.mean()),
+                              float(times.std()), count)
+
+    def signal_probability(self, net: str) -> float:
+        """Time-average probability of logic one: trials at constant 1 count
+        fully, transitioning trials count half a cycle (matches
+        :attr:`repro.core.inputs.Prob4.signal_probability`)."""
+        wave = self._waves[net]
+        return float((wave.init.astype(float) + wave.final.astype(float))
+                     .mean() / 2.0)
+
+    def toggling_rate(self, net: str) -> float:
+        """Observed transitions per cycle."""
+        wave = self._waves[net]
+        return float((wave.init != wave.final).mean())
+
+
+def run_monte_carlo(netlist: Netlist,
+                    stats: Union[InputStats, Mapping[str, InputStats]],
+                    n_trials: int = 10_000,
+                    delay_model: DelayModel = UnitDelay(),
+                    rng: Optional[np.random.Generator] = None,
+                    samples: Optional[Dict[str, LaunchSample]] = None
+                    ) -> MonteCarloResult:
+    """Simulate ``n_trials`` independent cycles of the whole netlist.
+
+    Pass ``samples`` (from :func:`repro.sim.sampler.sample_launch_points`)
+    to reuse a fixed set of launch draws — e.g. to compare engines on
+    identical trials.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if samples is None:
+        samples = sample_launch_points(netlist, stats, n_trials, rng)
+    waves: Dict[str, LaunchSample] = dict(samples)
+    mis_aware = hasattr(delay_model, "delay_mis")
+    for gate in netlist.combinational_gates:
+        operands = [waves[src] for src in gate.inputs]
+        if mis_aware:
+            delay_draw = _mis_delay_draw(delay_model, gate, operands,
+                                         n_trials, rng)
+        else:
+            delay = delay_model.delay(gate)
+            if delay.sigma > 0.0:
+                delay_draw = rng.normal(delay.mu, delay.sigma, size=n_trials)
+            else:
+                delay_draw = delay.mu
+        waves[gate.name] = _gate_wave(gate.gate_type, operands, delay_draw)
+    return MonteCarloResult(netlist.name, n_trials, waves)
+
+
+def _mis_delay_draw(delay_model: DelayModel, gate, operands, n_trials: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Per-trial delays for a MIS-aware model: each trial's delay depends
+    on how many of the gate's inputs switch simultaneously in that trial
+    (matching SPSTA's per-subset delays exactly)."""
+    switching = np.zeros(n_trials, dtype=np.int64)
+    for o in operands:
+        switching += o.init != o.final
+    ks = np.clip(switching, 1, None)
+    per_k = {k: delay_model.delay_mis(gate, int(k))
+             for k in np.unique(ks)}
+    mus = np.empty(n_trials)
+    sigmas = np.zeros(n_trials)
+    for k, d in per_k.items():
+        mask = ks == k
+        mus[mask] = d.mu
+        sigmas[mask] = d.sigma
+    if np.any(sigmas > 0.0):
+        return mus + sigmas * rng.standard_normal(n_trials)
+    return mus
+
+
+def _gate_wave(gate_type: GateType, operands: Sequence[LaunchSample],
+               delay: Union[float, np.ndarray]) -> LaunchSample:
+    spec = gate_spec(gate_type)
+    if gate_type is GateType.BUFF:
+        src = operands[0]
+        return _delayed(src.init, src.final, src.time, delay)
+    if gate_type is GateType.NOT:
+        src = operands[0]
+        return _delayed(~src.init, ~src.final, src.time, delay)
+    if spec.is_parity:
+        init, final, time = _parity_wave(operands)
+        if spec.inverting:
+            init, final = ~init, ~final
+        return _delayed(init, final, time, delay)
+    init, final, time = _controlling_wave(operands,
+                                          and_core=spec.controlling_value == 0)
+    if spec.inverting:
+        init, final = ~init, ~final
+    return _delayed(init, final, time, delay)
+
+
+def _delayed(init: np.ndarray, final: np.ndarray, time: np.ndarray,
+             delay: Union[float, np.ndarray]) -> LaunchSample:
+    transition = init != final
+    out_time = np.where(transition, time + delay, np.nan)
+    return LaunchSample(init=init, final=final, time=out_time)
+
+
+def _controlling_wave(operands: Sequence[LaunchSample], and_core: bool):
+    inits = np.stack([o.init for o in operands])
+    finals = np.stack([o.final for o in operands])
+    times = np.stack([o.time for o in operands])
+    rising = ~inits & finals
+    falling = inits & ~finals
+    if and_core:
+        init = inits.all(axis=0)
+        final = finals.all(axis=0)
+        t_rise = np.where(rising, times, -math.inf).max(axis=0)
+        t_fall = np.where(falling, times, math.inf).min(axis=0)
+    else:
+        init = inits.any(axis=0)
+        final = finals.any(axis=0)
+        t_rise = np.where(rising, times, math.inf).min(axis=0)
+        t_fall = np.where(falling, times, -math.inf).max(axis=0)
+    out_rise = ~init & final
+    out_fall = init & ~final
+    time = np.where(out_rise, t_rise, np.where(out_fall, t_fall, np.nan))
+    return init, final, time
+
+
+def _parity_wave(operands: Sequence[LaunchSample]):
+    inits = np.stack([o.init for o in operands])
+    finals = np.stack([o.final for o in operands])
+    times = np.stack([o.time for o in operands])
+    init = np.bitwise_xor.reduce(inits, axis=0)
+    final = np.bitwise_xor.reduce(finals, axis=0)
+    switching = inits != finals
+    t_last = np.where(switching, times, -math.inf).max(axis=0)
+    time = np.where(init != final, t_last, np.nan)
+    return init, final, time

@@ -1,0 +1,43 @@
+"""Statistical toolkit underlying all timing engines.
+
+This package implements, from scratch, the probability machinery the paper's
+equations rely on:
+
+- :mod:`repro.stats.normal` — Gaussian random-variable arithmetic (the SUM
+  operation of Sec. 2.1.1) and density/cdf evaluation.
+- :mod:`repro.stats.clark` — Clark's moment formulas for the MAX/MIN of two
+  (possibly correlated) Gaussians (Eq. 4 of the paper).
+- :mod:`repro.stats.mixture` — weighted Gaussian mixtures: the natural closed
+  form of the WEIGHTED SUM operation (Eq. 8/11), with component merging.
+- :mod:`repro.stats.grid` — densities discretized on a shared time grid, used
+  as a numerically exact cross-check (Figure 4) and a fourth engine.
+- :mod:`repro.stats.moments` — raw/central moment algebra for weighted sums
+  (Eq. 13) and empirical moment helpers used by the Monte Carlo analyses.
+"""
+
+from repro.stats.clark import clark_max, clark_max_many, clark_min, clark_min_many
+from repro.stats.grid import TimeGrid, GridDensity
+from repro.stats.mixture import GaussianMixture, MixtureComponent
+from repro.stats.moments import (
+    WeightedMoments,
+    empirical_moments,
+    skewness_from_moments,
+    weighted_sum_moments,
+)
+from repro.stats.normal import Normal
+
+__all__ = [
+    "Normal",
+    "clark_max",
+    "clark_min",
+    "clark_max_many",
+    "clark_min_many",
+    "GaussianMixture",
+    "MixtureComponent",
+    "TimeGrid",
+    "GridDensity",
+    "WeightedMoments",
+    "weighted_sum_moments",
+    "empirical_moments",
+    "skewness_from_moments",
+]

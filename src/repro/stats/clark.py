@@ -1,0 +1,117 @@
+"""Clark's moment formulas for MAX/MIN of Gaussians (paper Sec. 2.1.2, Eq. 4).
+
+For t0 = MAX(t1, t2) with t1 ~ N(mu1, s1^2), t2 ~ N(mu2, s2^2) and covariance
+cov(t1, t2):
+
+    theta^2 = s1^2 + s2^2 - 2 cov
+    lam     = (mu1 - mu2) / theta
+    P       = phi(lam)          (standard normal pdf)
+    Q       = Phi(lam)          (standard normal cdf)
+
+    E[t0]   = mu1 Q + mu2 (1 - Q) + theta P
+    E[t0^2] = (mu1^2 + s1^2) Q + (mu2^2 + s2^2) (1 - Q) + (mu1 + mu2) theta P
+
+These are exact first and second moments of the (non-Gaussian) max; SSTA's
+moment-matching approximation then treats t0 as N(E[t0], Var[t0]).  The paper
+reproduces exactly these equations; MIN follows from
+MIN(t1, t2) = -MAX(-t1, -t2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+from repro.stats.normal import Normal, norm_cdf, norm_pdf
+
+MomentPair = Tuple[float, float]
+
+
+def clark_max_moments(mu1: float, var1: float, mu2: float, var2: float,
+                      cov: float = 0.0) -> MomentPair:
+    """Return (mean, variance) of MAX of two jointly normal variables.
+
+    Degenerate case: when theta == 0 the two variables are perfectly
+    correlated with equal variance, so the max is simply the larger-mean
+    variable.
+    """
+    theta_sq = var1 + var2 - 2.0 * cov
+    if theta_sq <= 1e-24:
+        if mu1 >= mu2:
+            return mu1, var1
+        return mu2, var2
+    theta = math.sqrt(theta_sq)
+    lam = (mu1 - mu2) / theta
+    p = norm_pdf(lam)
+    q = norm_cdf(lam)
+    mean = mu1 * q + mu2 * (1.0 - q) + theta * p
+    raw2 = ((mu1 * mu1 + var1) * q + (mu2 * mu2 + var2) * (1.0 - q)
+            + (mu1 + mu2) * theta * p)
+    var = max(raw2 - mean * mean, 0.0)
+    return mean, var
+
+
+def clark_min_moments(mu1: float, var1: float, mu2: float, var2: float,
+                      cov: float = 0.0) -> MomentPair:
+    """Return (mean, variance) of MIN via MIN(a, b) = -MAX(-a, -b)."""
+    mean, var = clark_max_moments(-mu1, var1, -mu2, var2, cov)
+    return -mean, var
+
+
+def clark_tightness(mu1: float, var1: float, mu2: float, var2: float,
+                    cov: float = 0.0) -> float:
+    """Tightness probability Q = P(t1 >= t2): the weight of the first input
+    in Clark's linear mixing, used for sensitivity/covariance propagation."""
+    theta_sq = var1 + var2 - 2.0 * cov
+    if theta_sq <= 1e-24:
+        return 1.0 if mu1 >= mu2 else 0.0
+    return norm_cdf((mu1 - mu2) / math.sqrt(theta_sq))
+
+
+def clark_max(a: Normal, b: Normal, cov: float = 0.0) -> Normal:
+    """Moment-matched Gaussian approximation of MAX(a, b)."""
+    mean, var = clark_max_moments(a.mu, a.var, b.mu, b.var, cov)
+    return Normal(mean, math.sqrt(var))
+
+
+def clark_min(a: Normal, b: Normal, cov: float = 0.0) -> Normal:
+    """Moment-matched Gaussian approximation of MIN(a, b)."""
+    mean, var = clark_min_moments(a.mu, a.var, b.mu, b.var, cov)
+    return Normal(mean, math.sqrt(var))
+
+
+def clark_max_many(variables: Iterable[Normal]) -> Normal:
+    """Iterated pairwise Clark MAX of independent normals.
+
+    This is the standard block-based SSTA reduction for k-input gates; each
+    pairwise result is re-approximated as Gaussian before the next fold.
+    Raises ValueError on an empty iterable.
+    """
+    result = None
+    for v in variables:
+        result = v if result is None else clark_max(result, v)
+    if result is None:
+        raise ValueError("clark_max_many requires at least one variable")
+    return result
+
+
+def clark_min_many(variables: Iterable[Normal]) -> Normal:
+    """Iterated pairwise Clark MIN of independent normals."""
+    result = None
+    for v in variables:
+        result = v if result is None else clark_min(result, v)
+    if result is None:
+        raise ValueError("clark_min_many requires at least one variable")
+    return result
+
+
+def clark_cov_with_third(mu1: float, var1: float, mu2: float, var2: float,
+                         cov12: float, cov1k: float, cov2k: float) -> float:
+    """Covariance of MAX(t1, t2) with a third jointly normal variable t_k.
+
+    Clark (1961) gives   cov(max, t_k) = Q cov(t1, t_k) + (1-Q) cov(t2, t_k)
+    where Q is the tightness probability.  Used by the covariance-tracking
+    extension of the SPSTA moment engine (paper Sec. 3.4).
+    """
+    q = clark_tightness(mu1, var1, mu2, var2, cov12)
+    return q * cov1k + (1.0 - q) * cov2k

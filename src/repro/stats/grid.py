@@ -1,0 +1,190 @@
+"""Densities discretized on a shared time grid.
+
+This is the numerically exact (up to discretization) engine used to
+cross-check the closed-form Gaussian machinery and to regenerate Figure 4:
+for independent arrival times the MAX density is
+
+    pdf_max(t) = pdf1(t) cdf2(t) + pdf2(t) cdf1(t)          (paper Eq. 3)
+
+and the WEIGHTED SUM is a plain pointwise linear combination (Eq. 8).  Like
+TOP functions, grid densities are sub-probability densities: the integral is
+the transition occurrence probability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.normal import Normal
+
+
+class TimeGrid:
+    """A uniform time grid shared by all densities in one analysis."""
+
+    __slots__ = ("start", "stop", "n", "points", "dt")
+
+    def __init__(self, start: float, stop: float, n: int = 2048) -> None:
+        if stop <= start:
+            raise ValueError(f"stop ({stop}) must exceed start ({start})")
+        if n < 8:
+            raise ValueError(f"grid must have at least 8 points, got {n}")
+        self.start = float(start)
+        self.stop = float(stop)
+        self.n = int(n)
+        self.points = np.linspace(self.start, self.stop, self.n)
+        self.dt = float(self.points[1] - self.points[0])
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TimeGrid) and self.start == other.start
+                and self.stop == other.stop and self.n == other.n)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.stop, self.n))
+
+    def __repr__(self) -> str:
+        return f"TimeGrid({self.start}, {self.stop}, n={self.n})"
+
+
+class GridDensity:
+    """A (sub-)probability density sampled on a :class:`TimeGrid`."""
+
+    __slots__ = ("grid", "values")
+
+    def __init__(self, grid: TimeGrid, values: Sequence[float]) -> None:
+        self.grid = grid
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != (grid.n,):
+            raise ValueError(
+                f"values shape {arr.shape} does not match grid size {grid.n}")
+        if np.any(arr < -1e-12):
+            raise ValueError("density values must be non-negative")
+        self.values = np.clip(arr, 0.0, None)
+
+    @classmethod
+    def from_normal(cls, grid: TimeGrid, normal: Normal,
+                    weight: float = 1.0) -> "GridDensity":
+        """Sample ``weight * N(mu, sigma^2)``; sigma == 0 becomes a one-bin
+        point mass carrying the full weight."""
+        if normal.sigma <= 0.0:
+            values = np.zeros(grid.n)
+            idx = int(np.clip(round((normal.mu - grid.start) / grid.dt),
+                              0, grid.n - 1))
+            values[idx] = weight / grid.dt
+            return cls(grid, values)
+        z = (grid.points - normal.mu) / normal.sigma
+        values = weight * np.exp(-0.5 * z * z) / (normal.sigma * math.sqrt(2 * math.pi))
+        return cls(grid, values)
+
+    @classmethod
+    def zero(cls, grid: TimeGrid) -> "GridDensity":
+        """The empty density (no transition occurs)."""
+        return cls(grid, np.zeros(grid.n))
+
+    @property
+    def total_weight(self) -> float:
+        """Integral of the density (trapezoid rule)."""
+        return float(np.trapezoid(self.values, dx=self.grid.dt))
+
+    def cdf_values(self) -> np.ndarray:
+        """Cumulative integral on the grid (same shape as ``values``)."""
+        cum = np.concatenate((
+            [0.0],
+            np.cumsum((self.values[1:] + self.values[:-1]) * 0.5 * self.grid.dt)))
+        return cum
+
+    def mean(self) -> float:
+        """Mean of the normalized distribution."""
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("mean of an empty density is undefined")
+        return float(np.trapezoid(self.grid.points * self.values, dx=self.grid.dt)) / w
+
+    def var(self) -> float:
+        """Variance of the normalized distribution."""
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("variance of an empty density is undefined")
+        m = self.mean()
+        raw2 = float(np.trapezoid(self.grid.points ** 2 * self.values,
+                              dx=self.grid.dt)) / w
+        return max(raw2 - m * m, 0.0)
+
+    def std(self) -> float:
+        return math.sqrt(self.var())
+
+    def scaled(self, factor: float) -> "GridDensity":
+        if factor < 0.0:
+            raise ValueError(f"weight factor must be >= 0, got {factor}")
+        return GridDensity(self.grid, self.values * factor)
+
+    def normalized(self) -> "GridDensity":
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("cannot normalize an empty density")
+        return self.scaled(1.0 / w)
+
+    def __add__(self, other: "GridDensity") -> "GridDensity":
+        """Pointwise WEIGHTED SUM accumulation."""
+        self._check_grid(other)
+        return GridDensity(self.grid, self.values + other.values)
+
+    def shifted(self, delay: float) -> "GridDensity":
+        """Deterministic delay: shift by a whole number of bins (the delay is
+        rounded to the grid pitch; unit-delay experiments use an exact pitch
+        divisor so no rounding error accrues)."""
+        bins = int(round(delay / self.grid.dt))
+        values = np.zeros_like(self.values)
+        if bins >= 0:
+            if bins < self.grid.n:
+                values[bins:] = self.values[:self.grid.n - bins]
+        else:
+            values[:bins] = self.values[-bins:]
+        return GridDensity(self.grid, values)
+
+    def convolved(self, delay: Normal) -> "GridDensity":
+        """SUM with an independent Gaussian delay via discrete convolution."""
+        if delay.sigma <= 0.0:
+            return self.shifted(delay.mu)
+        half = int(math.ceil(6.0 * delay.sigma / self.grid.dt))
+        offsets = np.arange(-half, half + 1) * self.grid.dt
+        z = (offsets - delay.mu) / delay.sigma
+        kernel = np.exp(-0.5 * z * z)
+        kernel /= kernel.sum()
+        full = np.convolve(self.values, kernel)
+        values = full[half:half + self.grid.n]
+        return GridDensity(self.grid, values)
+
+    def max_with(self, other: "GridDensity") -> "GridDensity":
+        """MAX of independent conditional distributions (Eq. 3), normalized."""
+        self._check_grid(other)
+        a, b = self.normalized(), other.normalized()
+        values = a.values * b.cdf_values() + b.values * a.cdf_values()
+        return GridDensity(self.grid, values)
+
+    def min_with(self, other: "GridDensity") -> "GridDensity":
+        """MIN analogue: pdf_min = f1 (1 - F2) + f2 (1 - F1), normalized."""
+        self._check_grid(other)
+        a, b = self.normalized(), other.normalized()
+        values = (a.values * (1.0 - b.cdf_values())
+                  + b.values * (1.0 - a.cdf_values()))
+        return GridDensity(self.grid, values)
+
+    def _check_grid(self, other: "GridDensity") -> None:
+        if self.grid != other.grid:
+            raise ValueError("densities live on different time grids")
+
+    def __repr__(self) -> str:
+        return (f"GridDensity(weight={self.total_weight:.4g}, "
+                f"grid={self.grid!r})")
+
+
+def grid_weighted_sum(grid: TimeGrid,
+                      terms: Iterable[Tuple[float, GridDensity]]) -> GridDensity:
+    """WEIGHTED SUM (Eq. 8) of grid densities."""
+    acc = GridDensity.zero(grid)
+    for weight, density in terms:
+        acc = acc + density.scaled(weight)
+    return acc

@@ -1,0 +1,278 @@
+"""Weighted Gaussian mixtures — the closed form of the WEIGHTED SUM operation.
+
+The paper's TOP (transition temporal occurrence probability) functions are
+sub-probability densities: their integral is the transition occurrence
+probability, not 1 (Sec. 3.1).  A weighted Gaussian mixture represents this
+exactly for the WEIGHTED SUM operation (Eq. 8/11): summing densities with
+scalar weights just concatenates scaled components.  The MAX operation is
+approximated component-pairwise with Clark's formulas, and a component-count
+cap keeps propagation linear-time (moment-preserving merge of the closest
+pair, in the style of Gaussian mixture reduction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.stats.clark import clark_max_moments, clark_min_moments
+from repro.stats.normal import Normal, norm_cdf, norm_pdf
+
+
+@dataclass(frozen=True)
+class MixtureComponent:
+    """One Gaussian component with a non-negative weight."""
+
+    weight: float
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0.0:
+            raise ValueError(f"component weight must be >= 0, got {self.weight}")
+        if self.sigma < 0.0:
+            raise ValueError(f"component sigma must be >= 0, got {self.sigma}")
+
+
+class GaussianMixture:
+    """A finite weighted sum of Gaussians, 0 <= total weight (<= 1 for TOPs).
+
+    The mixture is immutable from the caller's perspective: all operations
+    return new mixtures.
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[MixtureComponent] = ()) -> None:
+        self._components: Tuple[MixtureComponent, ...] = tuple(
+            c for c in components if c.weight > 0.0)
+
+    @classmethod
+    def from_normal(cls, normal: Normal, weight: float = 1.0) -> "GaussianMixture":
+        """A single-component mixture from a Gaussian with a given weight."""
+        return cls([MixtureComponent(weight, normal.mu, normal.sigma)])
+
+    @classmethod
+    def empty(cls) -> "GaussianMixture":
+        """The zero density (no transition ever occurs)."""
+        return cls()
+
+    @property
+    def components(self) -> Tuple[MixtureComponent, ...]:
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __bool__(self) -> bool:
+        return bool(self._components)
+
+    @property
+    def total_weight(self) -> float:
+        """Integral of the density = transition occurrence probability."""
+        return sum(c.weight for c in self._components)
+
+    def mean(self) -> float:
+        """Mean of the *normalized* (conditional-on-occurrence) distribution."""
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("mean of an empty mixture is undefined")
+        return sum(c.weight * c.mu for c in self._components) / w
+
+    def var(self) -> float:
+        """Variance of the normalized distribution."""
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("variance of an empty mixture is undefined")
+        raw2 = sum(c.weight * (c.mu * c.mu + c.sigma * c.sigma)
+                   for c in self._components) / w
+        m = self.mean()
+        return max(raw2 - m * m, 0.0)
+
+    def std(self) -> float:
+        """Standard deviation of the normalized distribution."""
+        return math.sqrt(self.var())
+
+    def third_central_moment(self) -> float:
+        """Third central moment of the normalized distribution (for skewness).
+
+        Uses E[(X-m)^3] = sum_i w_i [ (mu_i - m)^3 + 3 (mu_i - m) sigma_i^2 ]
+        since each Gaussian component has zero own third central moment.
+        """
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("moment of an empty mixture is undefined")
+        m = self.mean()
+        acc = 0.0
+        for c in self._components:
+            d = c.mu - m
+            acc += c.weight * (d * d * d + 3.0 * d * c.sigma * c.sigma)
+        return acc / w
+
+    def pdf(self, x: float) -> float:
+        """Density value at ``x`` (NOT normalized: integrates to total weight)."""
+        return sum(c.weight * norm_pdf(x, c.mu, c.sigma) for c in self._components)
+
+    def cdf(self, x: float) -> float:
+        """Sub-probability cdf at ``x`` (tends to total weight as x -> inf)."""
+        return sum(c.weight * norm_cdf(x, c.mu, c.sigma) for c in self._components)
+
+    def scaled(self, factor: float) -> "GaussianMixture":
+        """Scale all weights — the scalar multiply of a WEIGHTED SUM term."""
+        if factor < 0.0:
+            raise ValueError(f"weight factor must be >= 0, got {factor}")
+        return GaussianMixture(
+            MixtureComponent(c.weight * factor, c.mu, c.sigma)
+            for c in self._components)
+
+    def shifted(self, delay: float) -> "GaussianMixture":
+        """Add a deterministic delay to every component (SUM with sigma=0)."""
+        return GaussianMixture(
+            MixtureComponent(c.weight, c.mu + delay, c.sigma)
+            for c in self._components)
+
+    def convolved(self, delay: Normal) -> "GaussianMixture":
+        """SUM with an independent Gaussian delay (exact for mixtures)."""
+        return GaussianMixture(
+            MixtureComponent(c.weight, c.mu + delay.mu,
+                             math.hypot(c.sigma, delay.sigma))
+            for c in self._components)
+
+    def __add__(self, other: "GaussianMixture") -> "GaussianMixture":
+        """WEIGHTED SUM of densities: concatenation of components."""
+        if not isinstance(other, GaussianMixture):
+            return NotImplemented
+        return GaussianMixture(self._components + other._components)
+
+    def normalized(self) -> "GaussianMixture":
+        """Rescale to unit total weight (TOP -> arrival-time pdf, Sec. 3.1)."""
+        w = self.total_weight
+        if w <= 0.0:
+            raise ValueError("cannot normalize an empty mixture")
+        return self.scaled(1.0 / w)
+
+    def as_normal(self) -> Normal:
+        """Moment-matched single Gaussian of the normalized distribution."""
+        return Normal(self.mean(), self.std())
+
+    def max_with(self, other: "GaussianMixture") -> "GaussianMixture":
+        """MAX of two independent mixture-distributed arrival times.
+
+        Both operands are treated as conditional (normalized) distributions;
+        the result is normalized too.  Each component pair is combined with
+        Clark's max and re-weighted by the product of component weights.
+        """
+        return self._extreme_with(other, clark_max_moments)
+
+    def min_with(self, other: "GaussianMixture") -> "GaussianMixture":
+        """MIN analogue of :meth:`max_with`."""
+        return self._extreme_with(other, clark_min_moments)
+
+    def _extreme_with(self, other: "GaussianMixture", op) -> "GaussianMixture":
+        if not self or not other:
+            raise ValueError("MAX/MIN of an empty mixture is undefined")
+        a, b = self.normalized(), other.normalized()
+        out: List[MixtureComponent] = []
+        for ca in a.components:
+            for cb in b.components:
+                mean, var = op(ca.mu, ca.sigma * ca.sigma,
+                               cb.mu, cb.sigma * cb.sigma)
+                out.append(MixtureComponent(ca.weight * cb.weight,
+                                            mean, math.sqrt(var)))
+        return GaussianMixture(out)
+
+    def reduced(self, max_components: int) -> "GaussianMixture":
+        """Merge closest component pairs until at most ``max_components`` remain.
+
+        Each merge is moment-preserving for the pair (weight, mean, and
+        variance of the two-component sub-mixture are kept exactly), the
+        standard Gaussian-mixture-reduction step.  Distance is the weighted
+        squared-mean gap of West's reduction heuristic, restricted to
+        mean-adjacent pairs (after sorting by mean) so reduction stays
+        O(n^2) even for the large cross products the MAX operation creates.
+        """
+        if max_components < 1:
+            raise ValueError("max_components must be >= 1")
+        comps = sorted(self._components, key=lambda c: c.mu)
+        while len(comps) > max_components:
+            best_i = 0
+            best_cost = math.inf
+            for i in range(len(comps) - 1):
+                ci, cj = comps[i], comps[i + 1]
+                wsum = ci.weight + cj.weight
+                if wsum <= 0.0:
+                    cost = 0.0
+                else:
+                    d = ci.mu - cj.mu
+                    cost = ci.weight * cj.weight / wsum * d * d
+                if cost < best_cost:
+                    best_cost = cost
+                    best_i = i
+            merged = _merge_pair(comps[best_i], comps[best_i + 1])
+            comps[best_i:best_i + 2] = [merged]
+        return GaussianMixture(comps)
+
+    def quantile(self, p: float, tol: float = 1e-9) -> float:
+        """Inverse cdf of the normalized mixture by bisection.
+
+        Used for percentile-style reporting (e.g. a 99.9% arrival time
+        from an SPSTA mixture result).
+        """
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        if not self._components:
+            raise ValueError("quantile of an empty mixture is undefined")
+        total = self.total_weight
+        lo = min(c.mu - 10.0 * max(c.sigma, 1e-12) for c in self._components)
+        hi = max(c.mu + 10.0 * max(c.sigma, 1e-12) for c in self._components)
+        target = p * total
+        while hi - lo > tol * max(1.0, abs(hi), abs(lo)):
+            mid = 0.5 * (lo + hi)
+            if self.cdf(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def sample(self, n: int, rng) -> "list":
+        """Draw ``n`` samples from the normalized mixture (``rng`` is a
+        numpy Generator).  Used for validation (e.g. KS tests against
+        Monte Carlo) and for driving downstream samplers from SPSTA
+        results."""
+        import numpy as np
+        if not self._components:
+            raise ValueError("cannot sample an empty mixture")
+        weights = np.array([c.weight for c in self._components])
+        weights = weights / weights.sum()
+        choices = rng.choice(len(self._components), size=n, p=weights)
+        mus = np.array([c.mu for c in self._components])
+        sigmas = np.array([c.sigma for c in self._components])
+        return mus[choices] + sigmas[choices] * rng.standard_normal(n)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"({c.weight:.4g}, N({c.mu:.4g}, {c.sigma:.4g}))"
+            for c in self._components)
+        return f"GaussianMixture[{body}]"
+
+
+def _merge_pair(a: MixtureComponent, b: MixtureComponent) -> MixtureComponent:
+    """Moment-preserving merge of two weighted Gaussians into one."""
+    w = a.weight + b.weight
+    if w <= 0.0:
+        return MixtureComponent(0.0, 0.0, 0.0)
+    mu = (a.weight * a.mu + b.weight * b.mu) / w
+    raw2 = (a.weight * (a.mu * a.mu + a.sigma * a.sigma)
+            + b.weight * (b.mu * b.mu + b.sigma * b.sigma)) / w
+    var = max(raw2 - mu * mu, 0.0)
+    return MixtureComponent(w, mu, math.sqrt(var))
+
+
+def mixture_weighted_sum(
+        terms: Sequence[Tuple[float, GaussianMixture]]) -> GaussianMixture:
+    """WEIGHTED SUM (Eq. 8): sum_i  w_i * phi(x_i), as one mixture."""
+    result = GaussianMixture.empty()
+    for weight, mixture in terms:
+        result = result + mixture.scaled(weight)
+    return result

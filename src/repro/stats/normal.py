@@ -1,0 +1,123 @@
+"""Gaussian random variables and the SSTA SUM operation (paper Sec. 2.1.1).
+
+A :class:`Normal` models a signal arrival time (or a gate delay) as a normal
+random variable.  Addition of independent normals implements Eq. 1/2 of the
+paper:
+
+    mu(t0) = mu(t1) + mu(d)
+    var(t0) = var(t1) + var(d) + 2 cov(t1, d)
+
+Covariances are handled explicitly by the callers that track them (see
+:mod:`repro.core.spsta`); the operators here assume independence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def norm_pdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Density of N(mu, sigma^2) at ``x``.  A point mass is approximated by
+    an indicator-style density (inf at the mean, 0 elsewhere is not useful
+    numerically, so sigma == 0 returns 0 except exactly at the mean)."""
+    if sigma <= 0.0:
+        return math.inf if x == mu else 0.0
+    z = (x - mu) / sigma
+    return _INV_SQRT_2PI * math.exp(-0.5 * z * z) / sigma
+
+
+def norm_cdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Cumulative distribution of N(mu, sigma^2) at ``x``."""
+    if sigma <= 0.0:
+        return 1.0 if x >= mu else 0.0
+    return 0.5 * (1.0 + math.erf((x - mu) / (sigma * _SQRT2)))
+
+
+@dataclass(frozen=True)
+class Normal:
+    """A normal random variable with mean ``mu`` and standard deviation
+    ``sigma`` (``sigma == 0`` denotes a deterministic value).
+
+    Instances are immutable; arithmetic returns new instances.
+    """
+
+    mu: float
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    @property
+    def var(self) -> float:
+        """Variance sigma^2."""
+        return self.sigma * self.sigma
+
+    def pdf(self, x: float) -> float:
+        """Probability density at ``x``."""
+        return norm_pdf(x, self.mu, self.sigma)
+
+    def cdf(self, x: float) -> float:
+        """Cumulative probability P(X <= x)."""
+        return norm_cdf(x, self.mu, self.sigma)
+
+    def quantile(self, p: float) -> float:
+        """Inverse cdf via scipy-free bisection-quality rational approximation.
+
+        Uses the Acklam rational approximation (max abs error ~1.15e-9),
+        adequate for reporting 3-sigma style corner points.
+        """
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        return self.mu + self.sigma * _standard_normal_quantile(p)
+
+    def shift(self, offset: float) -> "Normal":
+        """Add a deterministic delay: the SUM operation with sigma(d)=0."""
+        return Normal(self.mu + offset, self.sigma)
+
+    def __add__(self, other: "Normal") -> "Normal":
+        """SUM of independent normals (paper Eq. 2 with cov = 0)."""
+        if not isinstance(other, Normal):
+            return NotImplemented
+        return Normal(self.mu + other.mu, math.hypot(self.sigma, other.sigma))
+
+    def __neg__(self) -> "Normal":
+        return Normal(-self.mu, self.sigma)
+
+    def __sub__(self, other: "Normal") -> "Normal":
+        if not isinstance(other, Normal):
+            return NotImplemented
+        return Normal(self.mu - other.mu, math.hypot(self.sigma, other.sigma))
+
+    def scaled(self, k: float) -> "Normal":
+        """Return k * X (sigma scales by |k|)."""
+        return Normal(k * self.mu, abs(k) * self.sigma)
+
+
+def _standard_normal_quantile(p: float) -> float:
+    """Acklam's rational approximation to the standard normal inverse cdf."""
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)

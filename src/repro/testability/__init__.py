@@ -1,0 +1,26 @@
+"""Testability analysis on top of the signal-probability substrate.
+
+- :mod:`repro.testability.cop` — COP-style controllability / observability
+  / random-pattern detectability, plus a reference fault simulator used as
+  the oracle.  Full-scan is assumed: DFF outputs are controllable launch
+  points and DFF data inputs are observable endpoints, exactly the timing
+  graph's boundary convention.
+"""
+
+from repro.testability.cop import (
+    CopResult,
+    Fault,
+    compute_cop,
+    patterns_for_confidence,
+    random_pattern_coverage,
+    simulate_fault_detection,
+)
+
+__all__ = [
+    "compute_cop",
+    "CopResult",
+    "Fault",
+    "patterns_for_confidence",
+    "random_pattern_coverage",
+    "simulate_fault_detection",
+]

@@ -1,0 +1,182 @@
+"""COP-style testability measures from signal probabilities.
+
+COP (Controllability/Observability Program, Brglez) computes, per net:
+
+- 1-controllability CC1 = P(net = 1) — exactly the Eq. 5 signal
+  probability this library already propagates;
+- observability O = probability a value change on the net propagates to an
+  observable point: O(output) = 1, and through a gate input,
+  O(x_i) = O(y) * P(dy/dx_i) — the Boolean-difference probability of
+  Eq. 7.  Fanout stems take the maximum over branches (a change is
+  observable if its most observable branch is);
+- stuck-at-v detectability D = P(net = !v) * O(net): a random pattern
+  detects the fault iff it drives the opposite value AND the site is
+  observed.
+
+From detectabilities follow random-pattern test lengths and expected fault
+coverage.  Full scan is assumed (DFF outputs controllable, DFF data inputs
+observable).  All quantities inherit the independence approximation of the
+underlying probabilities; :func:`simulate_fault_detection` is the exact
+Monte Carlo oracle the tests compare against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.probability import signal_probabilities
+from repro.logic.gates import GateType, gate_spec
+from repro.netlist.core import Netlist
+from repro.power.density import gate_boolean_difference_probs
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault site."""
+
+    net: str
+    stuck_at: int
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise ValueError("stuck_at must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"{self.net}/sa{self.stuck_at}"
+
+
+@dataclass(frozen=True)
+class CopResult:
+    """Per-net testability measures."""
+
+    controllability: Mapping[str, float]   # CC1 = P(net = 1)
+    observability: Mapping[str, float]
+    detectability: Mapping[Fault, float]
+
+    def hardest_faults(self, n: int = 10) -> List[Tuple[Fault, float]]:
+        """The ``n`` least detectable faults (ties by site name)."""
+        ranked = sorted(self.detectability.items(),
+                        key=lambda kv: (kv[1], kv[0].net, kv[0].stuck_at))
+        return ranked[:n]
+
+
+def compute_cop(netlist: Netlist,
+                launch_probs: Union[float, Mapping[str, float]] = 0.5
+                ) -> CopResult:
+    """COP controllability/observability/detectability for every net."""
+    cc1 = signal_probabilities(netlist, launch_probs)
+
+    observability: Dict[str, float] = {net: 0.0 for net in netlist.nets}
+    for net in netlist.endpoints:
+        observability[net] = 1.0
+    for gate in reversed(netlist.combinational_gates):
+        if observability[gate.name] <= 0.0:
+            continue
+        in_probs = [cc1[src] for src in gate.inputs]
+        weights = gate_boolean_difference_probs(gate.gate_type, in_probs)
+        for src, w in zip(gate.inputs, weights):
+            through_here = observability[gate.name] * w
+            if through_here > observability[src]:
+                observability[src] = through_here
+
+    detectability: Dict[Fault, float] = {}
+    for net in netlist.nets:
+        for stuck in (0, 1):
+            opposite = cc1[net] if stuck == 0 else 1.0 - cc1[net]
+            detectability[Fault(net, stuck)] = opposite * observability[net]
+    return CopResult(cc1, observability, detectability)
+
+
+def patterns_for_confidence(detectability: float,
+                            confidence: float = 0.95) -> float:
+    """Random patterns needed to detect a fault with given confidence.
+
+    N such that 1 - (1 - D)^N >= confidence; infinity for undetectable
+    faults (D = 0).
+    """
+    if not 0.0 <= detectability <= 1.0:
+        raise ValueError("detectability must be in [0, 1]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if detectability <= 0.0:
+        return math.inf
+    if detectability >= 1.0:
+        return 1.0
+    return math.log(1.0 - confidence) / math.log(1.0 - detectability)
+
+
+def random_pattern_coverage(result: CopResult, n_patterns: int) -> float:
+    """Expected stuck-at coverage after ``n_patterns`` random patterns."""
+    if n_patterns < 0:
+        raise ValueError("n_patterns must be >= 0")
+    detected = [1.0 - (1.0 - d) ** n_patterns
+                for d in result.detectability.values()]
+    return sum(detected) / len(detected)
+
+
+def simulate_fault_detection(
+        netlist: Netlist, fault: Fault, n_patterns: int,
+        launch_probs: Union[float, Mapping[str, float]] = 0.5,
+        rng: Optional[np.random.Generator] = None) -> float:
+    """Monte Carlo oracle: the fraction of random patterns detecting
+    ``fault`` (good vs faulty settled values differing at any endpoint)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    launch_points = netlist.launch_points
+
+    def prob(net: str) -> float:
+        return (launch_probs if isinstance(launch_probs, (int, float))
+                else launch_probs[net])
+
+    draws = {net: rng.random(n_patterns) < prob(net)
+             for net in launch_points}
+
+    def evaluate(faulty: bool) -> Dict[str, np.ndarray]:
+        values: Dict[str, np.ndarray] = {}
+        for net in launch_points:
+            v = draws[net]
+            if faulty and net == fault.net:
+                v = np.full(n_patterns, bool(fault.stuck_at))
+            values[net] = v
+        for gate in netlist.combinational_gates:
+            ins = [values[src] for src in gate.inputs]
+            out = _eval_gate(gate.gate_type, ins)
+            if faulty and gate.name == fault.net:
+                out = np.full(n_patterns, bool(fault.stuck_at))
+            values[gate.name] = out
+        return values
+
+    good = evaluate(faulty=False)
+    bad = evaluate(faulty=True)
+    detected = np.zeros(n_patterns, dtype=bool)
+    for net in netlist.endpoints:
+        detected |= good[net] != bad[net]
+    return float(detected.mean())
+
+
+def _eval_gate(gate_type: GateType,
+               inputs: Sequence[np.ndarray]) -> np.ndarray:
+    spec = gate_spec(gate_type)
+    if gate_type is GateType.BUFF:
+        return inputs[0].copy()
+    if gate_type is GateType.NOT:
+        return ~inputs[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        acc = inputs[0].copy()
+        for x in inputs[1:]:
+            acc &= x
+    elif gate_type in (GateType.OR, GateType.NOR):
+        acc = inputs[0].copy()
+        for x in inputs[1:]:
+            acc |= x
+    else:  # parity
+        acc = inputs[0].copy()
+        for x in inputs[1:]:
+            acc ^= x
+    if spec.inverting:
+        acc = ~acc
+    return acc

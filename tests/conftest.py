@@ -1,0 +1,67 @@
+"""Shared fixtures: small hand-checkable circuits and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def and2_circuit() -> Netlist:
+    """y = AND(a, b) — the paper's running example."""
+    return Netlist("and2", ["a", "b"], ["y"],
+                   [Gate("y", GateType.AND, ("a", "b"))])
+
+
+@pytest.fixture
+def chain_circuit() -> Netlist:
+    """A 3-deep inverter/buffer chain: transitions always propagate."""
+    return Netlist("chain", ["a"], ["n3"], [
+        Gate("n1", GateType.NOT, ("a",)),
+        Gate("n2", GateType.BUFF, ("n1",)),
+        Gate("n3", GateType.NOT, ("n2",)),
+    ])
+
+
+@pytest.fixture
+def reconvergent_circuit() -> Netlist:
+    """y = AND(a, NOT(a)) == 0: per-gate independent propagation gets its
+    signal probability wrong; BDD-exact analysis gets 0."""
+    return Netlist("reconv", ["a"], ["y"], [
+        Gate("na", GateType.NOT, ("a",)),
+        Gate("y", GateType.AND, ("a", "na")),
+    ])
+
+
+@pytest.fixture
+def mixed_circuit() -> Netlist:
+    """A small circuit touching every combinational gate type."""
+    return Netlist("mixed", ["a", "b", "c", "d"], ["out", "p"], [
+        Gate("n1", GateType.NAND, ("a", "b")),
+        Gate("n2", GateType.NOR, ("c", "d")),
+        Gate("n3", GateType.OR, ("n1", "n2")),
+        Gate("n4", GateType.XOR, ("n1", "c")),
+        Gate("n5", GateType.XNOR, ("n4", "n2")),
+        Gate("n6", GateType.BUFF, ("n3",)),
+        Gate("out", GateType.AND, ("n5", "n6", "a")),
+        Gate("p", GateType.NOT, ("n4",)),
+    ])
+
+
+@pytest.fixture
+def sequential_circuit() -> Netlist:
+    """Two DFFs in a loop — legal sequentially, cut combinationally."""
+    return Netlist("seq", ["x"], ["q2"], [
+        Gate("q1", GateType.DFF, ("d1",)),
+        Gate("q2", GateType.DFF, ("d2",)),
+        Gate("d1", GateType.AND, ("x", "q2")),
+        Gate("d2", GateType.NOT, ("q1",)),
+    ])

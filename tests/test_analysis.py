@@ -1,0 +1,92 @@
+"""Tests for repro.netlist.analysis — structural analyses."""
+
+import pytest
+
+from repro.netlist.analysis import (
+    circuit_stats,
+    critical_endpoint,
+    fanin_cone,
+    max_fanin,
+    net_depths,
+)
+from repro.netlist.core import Gate, Netlist
+from repro.logic.gates import GateType
+
+
+class TestDepths:
+    def test_chain_depths(self, chain_circuit):
+        depths = net_depths(chain_circuit)
+        assert depths == {"a": 0, "n1": 1, "n2": 2, "n3": 3}
+
+    def test_diamond_depth_takes_longest(self):
+        net = Netlist("diamond", ["a"], ["y"], [
+            Gate("l1", GateType.NOT, ("a",)),
+            Gate("l2", GateType.NOT, ("l1",)),
+            Gate("y", GateType.AND, ("a", "l2")),
+        ])
+        assert net_depths(net)["y"] == 3
+
+    def test_dff_output_is_depth_zero(self, sequential_circuit):
+        depths = net_depths(sequential_circuit)
+        assert depths["q1"] == 0
+        assert depths["d1"] == 1
+
+
+class TestCriticalEndpoint:
+    def test_chain(self, chain_circuit):
+        endpoint, depth = critical_endpoint(chain_circuit)
+        assert (endpoint, depth) == ("n3", 3)
+
+    def test_ties_break_deterministically(self):
+        net = Netlist("tie", ["a"], ["y1", "y2"], [
+            Gate("y1", GateType.NOT, ("a",)),
+            Gate("y2", GateType.BUFF, ("a",)),
+        ])
+        endpoint, depth = critical_endpoint(net)
+        assert depth == 1
+        assert endpoint == "y2"  # lexicographically largest name
+
+    def test_ff_input_can_be_critical(self):
+        net = Netlist("ffcrit", ["a"], ["y"], [
+            Gate("y", GateType.BUFF, ("a",)),
+            Gate("deep1", GateType.NOT, ("a",)),
+            Gate("deep2", GateType.NOT, ("deep1",)),
+            Gate("q", GateType.DFF, ("deep2",)),
+        ])
+        endpoint, depth = critical_endpoint(net)
+        assert (endpoint, depth) == ("deep2", 2)
+
+
+class TestFaninCone:
+    def test_cone_of_chain_top(self, chain_circuit):
+        assert fanin_cone(chain_circuit, "n3") == {"a", "n1", "n2", "n3"}
+
+    def test_cone_stops_at_launch_points(self, sequential_circuit):
+        cone = fanin_cone(sequential_circuit, "d1")
+        assert cone == {"d1", "x", "q2"}
+
+    def test_cone_of_launch_point_is_itself(self, chain_circuit):
+        assert fanin_cone(chain_circuit, "a") == {"a"}
+
+
+class TestStats:
+    def test_max_fanin(self, mixed_circuit):
+        assert max_fanin(mixed_circuit) == 3
+
+    def test_max_fanin_empty(self):
+        net = Netlist("wires", ["a"], ["a"], [])
+        assert max_fanin(net) == 0
+
+    def test_circuit_stats_fields(self, mixed_circuit):
+        stats = circuit_stats(mixed_circuit)
+        assert stats.name == "mixed"
+        assert stats.n_inputs == 4
+        assert stats.n_outputs == 2
+        assert stats.n_dffs == 0
+        assert stats.n_gates == 8
+        assert "DFF" not in stats.gate_histogram
+
+    def test_circuit_stats_excludes_dffs_from_gates(self, sequential_circuit):
+        stats = circuit_stats(sequential_circuit)
+        assert stats.n_dffs == 2
+        assert stats.n_gates == 2

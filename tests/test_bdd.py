@@ -1,0 +1,235 @@
+"""Tests for repro.logic.bdd — ROBDD engine and signal probability."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.bdd import FALSE, TRUE, BDDManager
+from repro.logic.gates import GateType
+
+
+@pytest.fixture
+def mgr() -> BDDManager:
+    return BDDManager()
+
+
+def _truth_table(mgr, f, names):
+    """Evaluate a BDD over all assignments of ``names``."""
+    table = {}
+    for values in product((0, 1), repeat=len(names)):
+        assignment = dict(zip(names, values))
+        table[values] = mgr.evaluate(f, assignment)
+    return table
+
+
+class TestStructure:
+    def test_terminals(self, mgr):
+        assert mgr.apply_and(TRUE, TRUE) == TRUE
+        assert mgr.apply_and(TRUE, FALSE) == FALSE
+        assert mgr.apply_or(FALSE, FALSE) == FALSE
+
+    def test_var_is_canonical(self, mgr):
+        assert mgr.var("a") == mgr.var("a")
+
+    def test_reduction_collapses_redundant_nodes(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        # a AND (b OR NOT b) == a, so no b-node should survive.
+        f = mgr.apply_and(a, mgr.apply_or(b, mgr.apply_not(b)))
+        assert f == a
+
+    def test_unique_table_shares_nodes(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f1 = mgr.apply_and(a, b)
+        f2 = mgr.apply_and(a, b)
+        assert f1 == f2
+
+    def test_double_negation(self, mgr):
+        a = mgr.var("a")
+        assert mgr.apply_not(mgr.apply_not(a)) == a
+
+    def test_size_of_conjunction(self, mgr):
+        names = [f"x{i}" for i in range(6)]
+        f = TRUE
+        for n in names:
+            f = mgr.apply_and(f, mgr.var(n))
+        assert mgr.size(f) == 6  # a chain, one node per variable
+
+    def test_node_limit_enforced(self):
+        small = BDDManager(max_nodes=10)
+        with pytest.raises(MemoryError):
+            # XOR chains blow up quadratically in node count.
+            f = FALSE
+            for i in range(16):
+                f = small.apply_xor(f, small.var(f"x{i}"))
+
+
+class TestSemantics:
+    def test_xor_truth_table(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_xor(a, b)
+        assert _truth_table(mgr, f, ["a", "b"]) == {
+            (0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+
+    def test_ite_majority(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        maj = mgr.apply_or(mgr.apply_or(mgr.apply_and(a, b),
+                                        mgr.apply_and(a, c)),
+                           mgr.apply_and(b, c))
+        table = _truth_table(mgr, maj, ["a", "b", "c"])
+        for values, out in table.items():
+            assert out == int(sum(values) >= 2)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.sampled_from(["and", "or", "xor", "not"]),
+                    min_size=1, max_size=12),
+           st.integers(0, 2 ** 10))
+    def test_random_formula_matches_direct_eval(self, ops, seed):
+        import random
+        rnd = random.Random(seed)
+        mgr = BDDManager()
+        names = ["a", "b", "c", "d"]
+        stack = [mgr.var(rnd.choice(names)) for _ in range(2)]
+        exprs = [lambda env, n=n: env[n] for n in names[:0]]  # unused
+        # Build a random formula and an equivalent Python evaluator.
+        formula = [("var", rnd.choice(names))]
+        f = mgr.var(formula[0][1])
+        for op in ops:
+            if op == "not":
+                f = mgr.apply_not(f)
+                formula.append(("not",))
+            else:
+                v = rnd.choice(names)
+                formula.append((op, v))
+                g = mgr.var(v)
+                f = {"and": mgr.apply_and, "or": mgr.apply_or,
+                     "xor": mgr.apply_xor}[op](f, g)
+
+        def direct(env):
+            acc = env[formula[0][1]]
+            for item in formula[1:]:
+                if item[0] == "not":
+                    acc = 1 - acc
+                elif item[0] == "and":
+                    acc = acc & env[item[1]]
+                elif item[0] == "or":
+                    acc = acc | env[item[1]]
+                else:
+                    acc = acc ^ env[item[1]]
+            return acc
+
+        for values in product((0, 1), repeat=len(names)):
+            env = dict(zip(names, values))
+            assert mgr.evaluate(f, env) == direct(env)
+
+    def test_apply_gate_all_types(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        cases = {
+            GateType.AND: lambda x, y: x & y,
+            GateType.NAND: lambda x, y: 1 - (x & y),
+            GateType.OR: lambda x, y: x | y,
+            GateType.NOR: lambda x, y: 1 - (x | y),
+            GateType.XOR: lambda x, y: x ^ y,
+            GateType.XNOR: lambda x, y: 1 - (x ^ y),
+        }
+        for gate_type, fn in cases.items():
+            f = mgr.apply_gate(gate_type, [a, b])
+            table = _truth_table(mgr, f, ["a", "b"])
+            for (x, y), out in table.items():
+                assert out == fn(x, y), gate_type
+
+    def test_apply_gate_not_buff(self, mgr):
+        a = mgr.var("a")
+        assert mgr.apply_gate(GateType.NOT, [a]) == mgr.apply_not(a)
+        assert mgr.apply_gate(GateType.BUFF, [a]) == a
+
+    def test_evaluate_missing_variable(self, mgr):
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        with pytest.raises(ValueError):
+            mgr.evaluate(f, {"a": 1})
+
+
+class TestCofactorsAndDifference:
+    def test_restrict(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, b)
+        assert mgr.restrict(f, "a", 1) == b
+        assert mgr.restrict(f, "a", 0) == FALSE
+
+    def test_boolean_difference_and(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, b)
+        # d(ab)/da = b.
+        assert mgr.boolean_difference(f, "a") == b
+
+    def test_boolean_difference_xor_is_one(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_xor(a, b)
+        assert mgr.boolean_difference(f, "a") == TRUE
+
+    def test_boolean_difference_of_independent_var(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_and(a, b)
+        assert mgr.boolean_difference(f, "c") == FALSE
+
+
+class TestSupportAndCounting:
+    def test_support(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_or(mgr.apply_and(a, b), c)
+        assert mgr.support(f) == {"a", "b", "c"}
+
+    def test_support_excludes_cancelled(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_xor(b, b)  # == FALSE
+        assert mgr.support(f) == frozenset()
+
+    def test_sat_count(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_or(a, mgr.apply_and(b, c))
+        # a OR (b AND c): 4 + 2 - 1 = 5 of 8 assignments.
+        assert mgr.sat_count(f) == 5
+
+
+class TestSignalProbability:
+    def test_and_gate(self, mgr):
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        p = mgr.signal_probability(f, {"a": 0.5, "b": 0.5})
+        assert p == pytest.approx(0.25)
+
+    def test_or_gate_nonuniform(self, mgr):
+        f = mgr.apply_or(mgr.var("a"), mgr.var("b"))
+        p = mgr.signal_probability(f, {"a": 0.2, "b": 0.4})
+        assert p == pytest.approx(0.2 + 0.4 - 0.08)
+
+    def test_reconvergence_exact(self, mgr):
+        # y = a AND NOT a == 0: the whole point of BDD-based probability.
+        a = mgr.var("a")
+        f = mgr.apply_and(a, mgr.apply_not(a))
+        assert mgr.signal_probability(f, {"a": 0.5}) == 0.0
+
+    def test_default_half_for_missing(self, mgr):
+        f = mgr.var("a")
+        assert mgr.signal_probability(f, {}) == pytest.approx(0.5)
+
+    def test_rejects_bad_probability(self, mgr):
+        f = mgr.var("a")
+        with pytest.raises(ValueError):
+            mgr.signal_probability(f, {"a": 1.5})
+
+    @settings(max_examples=20)
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_matches_enumeration(self, pa, pb, pc):
+        mgr = BDDManager()
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_xor(mgr.apply_and(a, b), mgr.apply_or(b, c))
+        probs = {"a": pa, "b": pb, "c": pc}
+        expected = 0.0
+        for values in product((0, 1), repeat=3):
+            env = dict(zip(["a", "b", "c"], values))
+            if mgr.evaluate(f, env):
+                w = 1.0
+                for name, v in env.items():
+                    w *= probs[name] if v else (1.0 - probs[name])
+                expected += w
+        assert mgr.signal_probability(f, probs) == pytest.approx(expected)

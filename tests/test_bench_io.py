@@ -1,0 +1,110 @@
+"""Tests for repro.netlist.bench — ISCAS'89 .bench parsing and writing."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.netlist.bench import (
+    BenchParseError,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+
+SAMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+
+OUTPUT(y)
+q = DFF(y)
+n1 = NAND(a, b)   # trailing comment
+y = not(n1)
+"""
+
+
+class TestParsing:
+    def test_basic(self):
+        net = parse_bench(SAMPLE, name="sample")
+        assert net.inputs == ("a", "b")
+        assert net.outputs == ("y",)
+        assert net.gates["n1"].gate_type is GateType.NAND
+        assert net.gates["y"].gate_type is GateType.NOT  # case-insensitive
+        assert net.gates["q"].gate_type is GateType.DFF
+
+    def test_aliases(self):
+        net = parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\n"
+                          "y = BUF(a)\nz = NXOR(a, y)")
+        assert net.gates["y"].gate_type is GateType.BUFF
+        assert net.gates["z"].gate_type is GateType.XNOR
+
+    def test_whitespace_tolerance(self):
+        net = parse_bench("INPUT( a )\nOUTPUT( y )\ny  =  AND( a , a )")
+        assert net.gates["y"].inputs == ("a", "a")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError, match="unrecognized"):
+            parse_bench("INPUT(a)\nOUTPUT(a)\nwhat is this")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_bench("INPUT(a)\nOUTPUT(a)\nbad line here")
+        except BenchParseError as exc:
+            assert exc.line_no == 3
+        else:
+            pytest.fail("expected BenchParseError")
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND()")
+
+    def test_dff_arity_error_contextualized(self):
+        with pytest.raises(BenchParseError, match="exactly one input"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)")
+
+    def test_semantic_validation_applies(self):
+        with pytest.raises(ValueError, match="undriven"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, mixed_circuit):
+        text = write_bench(mixed_circuit)
+        back = parse_bench(text, name=mixed_circuit.name)
+        assert back.inputs == mixed_circuit.inputs
+        assert back.outputs == mixed_circuit.outputs
+        assert set(back.gates) == set(mixed_circuit.gates)
+        for name, gate in mixed_circuit.gates.items():
+            assert back.gates[name].gate_type is gate.gate_type
+            assert back.gates[name].inputs == gate.inputs
+
+    def test_round_trip_sequential(self, sequential_circuit):
+        back = parse_bench(write_bench(sequential_circuit))
+        assert {g.name for g in back.dffs} == {"q1", "q2"}
+
+
+class TestBundledS27:
+    def test_s27_loads(self):
+        from repro.netlist.benchmarks import benchmark_circuit
+        s27 = benchmark_circuit("s27")
+        assert len(s27.inputs) == 4
+        assert len(s27.outputs) == 1
+        assert len(s27.dffs) == 3
+        assert len(s27.gates) - len(s27.dffs) == 10
+
+    def test_s27_gate_mix(self):
+        from repro.netlist.benchmarks import benchmark_circuit
+        counts = benchmark_circuit("s27").counts()
+        assert counts["NOR"] == 4
+        assert counts["NOT"] == 2
+        assert counts["AND"] == 1
+        assert counts["OR"] == 2
+        assert counts["NAND"] == 1
+
+    def test_parse_bench_file_names_after_stem(self, tmp_path):
+        path = tmp_path / "tiny.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert parse_bench_file(path).name == "tiny"

@@ -1,0 +1,124 @@
+"""Tests for repro.cli — the ``spsta`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "s27"])
+        assert args.circuit == "s27"
+        assert args.config == "I"
+        assert args.trials == 10_000
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "4 PI" in out
+
+    def test_analyze_benchmark(self, capsys):
+        assert main(["analyze", "s27", "--trials", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "SPSTA" in out and "SSTA" in out and "MC(500)" in out
+
+    def test_analyze_without_mc(self, capsys):
+        assert main(["analyze", "s27", "--trials", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "MC(" not in out
+
+    def test_analyze_config_ii(self, capsys):
+        assert main(["analyze", "s27", "--config", "II",
+                     "--trials", "0"]) == 0
+
+    def test_analyze_bench_file(self, capsys, tmp_path):
+        path = tmp_path / "tiny.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert main(["analyze", str(path), "--trials", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out
+
+    def test_unknown_circuit_exits(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            main(["analyze", "nonexistent"])
+
+    def test_bad_config_exits(self):
+        with pytest.raises(SystemExit, match="config must be"):
+            main(["analyze", "s27", "--config", "III"])
+
+    def test_table2_small(self, capsys):
+        # Full benchmark list but few trials; keep runtime modest.
+        assert main(["table2", "--trials", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Error vs Monte Carlo" in out
+
+
+class TestConvertGenerateSlack:
+    def test_convert_bench_to_verilog_and_back(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.netlist.bench import write_bench
+        from repro.netlist.benchmarks import benchmark_circuit
+
+        bench_path = tmp_path / "s27.bench"
+        bench_path.write_text(write_bench(benchmark_circuit("s27")))
+        v_path = tmp_path / "s27.v"
+        assert main(["convert", str(bench_path), str(v_path)]) == 0
+        back_path = tmp_path / "back.bench"
+        assert main(["convert", str(v_path), str(back_path)]) == 0
+        from repro.netlist.bench import parse_bench_file
+        back = parse_bench_file(back_path)
+        assert set(back.gates) == set(benchmark_circuit("s27").gates)
+
+    def test_convert_rejects_unknown_suffix(self, tmp_path):
+        from repro.cli import main
+        src = tmp_path / "x.bench"
+        src.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        import pytest as _pytest
+        with _pytest.raises(SystemExit, match="unknown output format"):
+            main(["convert", str(src), str(tmp_path / "x.xyz")])
+
+    def test_generate_to_stdout(self, capsys):
+        from repro.cli import main
+        assert main(["generate", "--inputs", "4", "--outputs", "2",
+                     "--dffs", "2", "--gates", "20", "--depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "INPUT(" in out and "DFF(" in out
+
+    def test_generate_to_file_parses(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.netlist.bench import parse_bench_file
+        path = tmp_path / "gen.bench"
+        assert main(["generate", "--gates", "30", "--depth", "5",
+                     "--output", str(path)]) == 0
+        netlist = parse_bench_file(path)
+        assert len(netlist.gates) >= 30
+
+    def test_slack_command(self, capsys):
+        from repro.cli import main
+        assert main(["slack", "s27", "--clock", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "worst slack" in out
+        assert "histogram" in out
+
+
+class TestTestabilityCommand:
+    def test_testability(self, capsys):
+        from repro.cli import main
+        assert main(["testability", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "hardest faults" in out
+        assert "expected coverage" in out
+
+    def test_testability_with_atpg(self, capsys):
+        from repro.cli import main
+        assert main(["testability", "s27", "--atpg", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic test set" in out

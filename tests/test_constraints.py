@@ -1,0 +1,168 @@
+"""Tests for repro.core.constraints — SDC subset and setup/hold slacks."""
+
+import pytest
+
+from repro.core.constraints import (
+    ConstrainedSlack,
+    SdcParseError,
+    TimingConstraints,
+    constrained_slacks,
+    parse_sdc,
+)
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import benchmark_circuit
+
+
+class TestBuilderApi:
+    def test_create_clock(self):
+        c = TimingConstraints()
+        c.create_clock(8.0, "core_clk")
+        assert c.clock_period == 8.0
+        assert c.clock_name == "core_clk"
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            TimingConstraints().create_clock(0.0)
+
+    def test_input_delay_wildcard_and_override(self):
+        c = TimingConstraints()
+        c.set_input_delay(1.0)
+        c.set_input_delay(2.5, port="a")
+        assert c.input_delay("a") == 2.5
+        assert c.input_delay("b") == 1.0
+
+    def test_min_delays_separate(self):
+        c = TimingConstraints()
+        c.set_output_delay(2.0, minimum=False)
+        c.set_output_delay(0.5, minimum=True)
+        assert c.output_delay("y") == 2.0
+        assert c.output_delay("y", minimum=True) == 0.5
+
+    def test_uncertainty_validated(self):
+        with pytest.raises(ValueError):
+            TimingConstraints().set_clock_uncertainty(-1.0)
+
+
+class TestSdcParser:
+    SDC = """
+    # demo constraints
+    create_clock -period 8.0 -name clk
+    set_clock_uncertainty 0.25
+    set_input_delay 1.0
+    set_input_delay 2.0 -port I1
+    set_output_delay 1.5 -port G40
+    set_output_delay 0.2 -min
+    set_false_path -to G160
+    """
+
+    def test_full_parse(self):
+        c = parse_sdc(self.SDC)
+        assert c.clock_period == 8.0
+        assert c.clock_uncertainty == 0.25
+        assert c.input_delay("I1") == 2.0
+        assert c.input_delay("other") == 1.0
+        assert c.output_delay("G40") == 1.5
+        assert c.output_delay("G40", minimum=True) == 0.2
+        assert "G160" in c.false_path_endpoints
+
+    def test_unsupported_command_rejected(self):
+        with pytest.raises(SdcParseError, match="unsupported SDC"):
+            parse_sdc("set_max_fanout 10")
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(SdcParseError, match="-period"):
+            parse_sdc("create_clock -name clk")
+
+    def test_missing_delay_value_rejected(self):
+        with pytest.raises(SdcParseError, match="missing delay"):
+            parse_sdc("set_input_delay -port a")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SdcParseError, match="line 2"):
+            parse_sdc("create_clock -period 5\nbogus_command 1")
+
+
+class TestConstrainedSlacks:
+    def _constraints(self, period=10.0) -> TimingConstraints:
+        c = TimingConstraints()
+        c.create_clock(period)
+        return c
+
+    def test_setup_matches_plain_slack_when_unconstrained(self):
+        netlist = benchmark_circuit("s344")
+        endpoint, depth = critical_endpoint(netlist)
+        result = constrained_slacks(netlist, self._constraints(10.0))
+        assert result.setup_slack[endpoint] == pytest.approx(10.0 - depth)
+        assert result.worst_setup == pytest.approx(10.0 - depth)
+
+    def test_output_delay_eats_setup_slack(self):
+        netlist = benchmark_circuit("s344")
+        endpoint, depth = critical_endpoint(netlist)
+        c = self._constraints(10.0)
+        c.set_output_delay(1.5, port=endpoint)
+        result = constrained_slacks(netlist, c)
+        assert result.setup_slack[endpoint] == pytest.approx(
+            10.0 - depth - 1.5)
+
+    def test_uncertainty_eats_setup_slack_everywhere(self):
+        netlist = benchmark_circuit("s298")
+        c = self._constraints(10.0)
+        base = constrained_slacks(netlist, c)
+        c.set_clock_uncertainty(0.5)
+        derated = constrained_slacks(netlist, c)
+        for net in base.setup_slack:
+            assert derated.setup_slack[net] == pytest.approx(
+                base.setup_slack[net] - 0.5)
+
+    def test_input_delay_shifts_arrivals(self):
+        netlist = benchmark_circuit("s344")
+        endpoint, depth = critical_endpoint(netlist)
+        c = self._constraints(10.0)
+        c.set_input_delay(2.0)  # every PI late by 2
+        result = constrained_slacks(netlist, c)
+        # The critical cone may launch from a DFF (offset 0) or a PI
+        # (offset 2): slack shrinks by at most 2 and never grows.
+        base = 10.0 - depth
+        assert base - 2.0 - 1e-9 <= result.setup_slack[endpoint] <= base
+
+    def test_false_path_excluded(self):
+        netlist = benchmark_circuit("s344")
+        endpoint, _ = critical_endpoint(netlist)
+        c = self._constraints(6.0)
+        c.set_false_path(endpoint)
+        result = constrained_slacks(netlist, c)
+        assert endpoint not in result.setup_slack
+        assert endpoint in result.excluded
+        # Excluding the critical endpoint improves the worst slack.
+        full = constrained_slacks(netlist, self._constraints(6.0))
+        assert result.worst_setup >= full.worst_setup
+
+    def test_hold_slack_arithmetic(self):
+        netlist = benchmark_circuit("s298")
+        c = self._constraints(10.0)
+        c.hold_margin = 0.5
+        result = constrained_slacks(netlist, c)
+        from repro.core.sta import run_sta
+        sta = run_sta(netlist)
+        for net, slack in result.hold_slack.items():
+            assert slack == pytest.approx(sta.min_arrival[net] - 0.5)
+
+    def test_met_flag(self):
+        netlist = benchmark_circuit("s298")
+        generous = constrained_slacks(netlist, self._constraints(50.0))
+        assert generous.met
+        tight = constrained_slacks(netlist, self._constraints(2.0))
+        assert not tight.met
+
+    def test_requires_clock(self):
+        netlist = benchmark_circuit("s27")
+        with pytest.raises(ValueError, match="create_clock"):
+            constrained_slacks(netlist, TimingConstraints())
+
+    def test_all_false_paths_rejected(self):
+        netlist = benchmark_circuit("s27")
+        c = self._constraints()
+        for net in netlist.endpoints:
+            c.set_false_path(net)
+        with pytest.raises(ValueError, match="false path"):
+            constrained_slacks(netlist, c)

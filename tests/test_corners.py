@@ -1,0 +1,113 @@
+"""Tests for repro.core.corners — corner and OCV analysis."""
+
+import pytest
+
+from repro.core.corners import (
+    Corner,
+    STANDARD_CORNERS,
+    ScaledDelay,
+    corner_vs_statistical,
+    ocv_slacks,
+    run_corners,
+)
+from repro.core.delay import NormalDelay, UnitDelay
+from repro.logic.gates import GateType
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate
+
+
+class TestScaledDelay:
+    GATE = Gate("g", GateType.AND, ("a", "b"))
+
+    def test_scales_mean(self):
+        model = ScaledDelay(UnitDelay(2.0), Corner("slow", 1.25))
+        assert model.delay(self.GATE).mu == pytest.approx(2.5)
+
+    def test_scales_sigma_with_both_factors(self):
+        model = ScaledDelay(NormalDelay(1.0, 0.2),
+                            Corner("hot", 1.5, sigma_scale=2.0))
+        d = model.delay(self.GATE)
+        assert d.mu == pytest.approx(1.5)
+        assert d.sigma == pytest.approx(0.2 * 1.5 * 2.0)
+
+    def test_corner_validation(self):
+        with pytest.raises(ValueError):
+            Corner("bad", 0.0)
+        with pytest.raises(ValueError):
+            Corner("bad", 1.0, sigma_scale=-1.0)
+
+
+class TestRunCorners:
+    def test_three_corners_ordered(self):
+        netlist = benchmark_circuit("s298")
+        results = run_corners(netlist)
+        assert set(results) == {"fast", "typical", "slow"}
+        assert results["fast"].worst_arrival < \
+            results["typical"].worst_arrival < \
+            results["slow"].worst_arrival
+
+    def test_typical_matches_unit_sta(self):
+        netlist = benchmark_circuit("s298")
+        _, depth = critical_endpoint(netlist)
+        results = run_corners(netlist)
+        assert results["typical"].worst_arrival == pytest.approx(
+            float(depth))
+
+    def test_same_endpoint_across_corners(self):
+        # Uniform scaling cannot change which endpoint is worst.
+        netlist = benchmark_circuit("s344")
+        results = run_corners(netlist)
+        endpoints = {r.worst_endpoint for r in results.values()}
+        assert len(endpoints) == 1
+
+    def test_ssta_scales_with_corner(self):
+        netlist = benchmark_circuit("s298")
+        results = run_corners(netlist)
+        assert results["slow"].ssta_worst.mu > \
+            results["fast"].ssta_worst.mu
+
+
+class TestOcvSlacks:
+    def test_derates_bracket_undereted(self):
+        netlist = benchmark_circuit("s298")
+        _, depth = critical_endpoint(netlist)
+        plain = ocv_slacks(netlist, clock_period=10.0,
+                           late_derate=1.0, early_derate=1.0)
+        derated = ocv_slacks(netlist, clock_period=10.0,
+                             late_derate=1.2, early_derate=0.8)
+        assert derated.worst_setup < plain.worst_setup
+        assert derated.worst_hold < plain.worst_hold
+
+    def test_setup_arithmetic(self):
+        netlist = benchmark_circuit("s298")
+        endpoint, depth = critical_endpoint(netlist)
+        result = ocv_slacks(netlist, clock_period=10.0, late_derate=1.1)
+        assert result.setup_slack[endpoint] == pytest.approx(
+            10.0 - 1.1 * depth)
+
+    def test_invalid_derates_rejected(self):
+        netlist = benchmark_circuit("s27")
+        with pytest.raises(ValueError, match="derates"):
+            ocv_slacks(netlist, 10.0, late_derate=0.9)
+        with pytest.raises(ValueError, match="derates"):
+            ocv_slacks(netlist, 10.0, early_derate=1.1)
+        with pytest.raises(ValueError):
+            ocv_slacks(netlist, 0.0)
+
+
+class TestCornerVsStatistical:
+    def test_comparison_fields(self):
+        netlist = benchmark_circuit("s344")
+        comparison = corner_vs_statistical(netlist)
+        assert comparison["slow_corner"] > 0
+        assert comparison["typical_3sigma"] > 0
+        assert comparison["pessimism"] == pytest.approx(
+            comparison["slow_corner"] - comparison["typical_3sigma"])
+
+    def test_custom_corners_without_typical_name(self):
+        netlist = benchmark_circuit("s27")
+        corners = (Corner("c1", 0.9), Corner("c2", 1.02), Corner("c3", 1.3))
+        comparison = corner_vs_statistical(netlist, corners)
+        # c2 (closest to 1.0) plays the typical role.
+        assert comparison["slow_corner"] >= comparison["typical_3sigma"] - 10

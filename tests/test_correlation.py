@@ -1,0 +1,150 @@
+"""Tests for repro.core.correlation — Sec. 3.5 machinery."""
+
+import pytest
+
+from repro.core.correlation import (
+    correlated_signal_probabilities,
+    exact_signal_probabilities,
+    higher_order_covariance,
+    pairwise_covariance_bdd,
+)
+from repro.core.probability import signal_probabilities
+from repro.logic.bdd import BDDManager
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+
+
+class TestExactProbabilities:
+    def test_reconvergence_fixed(self, reconvergent_circuit):
+        exact = exact_signal_probabilities(reconvergent_circuit, 0.5)
+        assert exact["y"] == 0.0  # a AND NOT a
+
+    def test_matches_independent_on_tree(self, chain_circuit):
+        exact = exact_signal_probabilities(chain_circuit, 0.3)
+        indep = signal_probabilities(chain_circuit, 0.3)
+        for net in chain_circuit.nets:
+            assert exact[net] == pytest.approx(indep[net])
+
+    def test_launch_points_pass_through(self, mixed_circuit):
+        exact = exact_signal_probabilities(mixed_circuit, {"a": 0.1,
+                                                           "b": 0.9,
+                                                           "c": 0.5,
+                                                           "d": 0.3})
+        assert exact["a"] == pytest.approx(0.1)
+
+    def test_s27_probabilities_in_range(self):
+        from repro.netlist.benchmarks import benchmark_circuit
+        exact = exact_signal_probabilities(benchmark_circuit("s27"), 0.5)
+        assert all(0.0 <= p <= 1.0 for p in exact.values())
+
+
+class TestBddCovariances:
+    def test_pairwise_covariance_identity(self):
+        mgr = BDDManager()
+        a = mgr.var("a")
+        # cov(a, a) = p (1 - p).
+        assert pairwise_covariance_bdd(mgr, a, a, {"a": 0.3}) == \
+            pytest.approx(0.3 * 0.7)
+
+    def test_pairwise_covariance_independent(self):
+        mgr = BDDManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        assert pairwise_covariance_bdd(mgr, a, b, {"a": 0.3, "b": 0.6}) == \
+            pytest.approx(0.0)
+
+    def test_pairwise_covariance_complement(self):
+        mgr = BDDManager()
+        a = mgr.var("a")
+        na = mgr.apply_not(a)
+        assert pairwise_covariance_bdd(mgr, a, na, {"a": 0.5}) == \
+            pytest.approx(-0.25)
+
+    def test_eq15_product_probability(self):
+        # P(x1 x2) = P(x1) P(x2) + cov(x1, x2): verify on shared-support
+        # functions f = a AND b, g = a OR b.
+        mgr = BDDManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        f, g = mgr.apply_and(a, b), mgr.apply_or(a, b)
+        probs = {"a": 0.4, "b": 0.7}
+        p_f = mgr.signal_probability(f, probs)
+        p_g = mgr.signal_probability(g, probs)
+        cov = pairwise_covariance_bdd(mgr, f, g, probs)
+        p_fg = mgr.signal_probability(mgr.apply_and(f, g), probs)
+        assert p_fg == pytest.approx(p_f * p_g + cov)
+
+    def test_second_order_covariance_matches_pairwise(self):
+        mgr = BDDManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        f, g = mgr.apply_and(a, b), mgr.apply_or(a, b)
+        probs = {"a": 0.4, "b": 0.7}
+        assert higher_order_covariance(mgr, [f, g], probs) == \
+            pytest.approx(pairwise_covariance_bdd(mgr, f, g, probs))
+
+    def test_third_order_covariance_enumeration(self):
+        # cov(a, b, ab) for independent a, b: E[(a-pa)(b-pb)(ab-papb)].
+        mgr = BDDManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        ab = mgr.apply_and(a, b)
+        pa, pb = 0.5, 0.5
+        expected = 0.0
+        for va in (0, 1):
+            for vb in (0, 1):
+                w = (pa if va else 1 - pa) * (pb if vb else 1 - pb)
+                expected += (w * (va - pa) * (vb - pb)
+                             * (va * vb - pa * pb))
+        got = higher_order_covariance(mgr, [a, b, ab],
+                                      {"a": pa, "b": pb})
+        assert got == pytest.approx(expected)
+
+
+class TestTruncatedPropagation:
+    def test_reconvergence_improved(self, reconvergent_circuit):
+        truncated = correlated_signal_probabilities(reconvergent_circuit, 0.5)
+        # Exact is 0; independence says 0.25; first-order tracking is exact
+        # here because cov(a, ~a) is first order.
+        assert truncated["y"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_independent_on_tree(self, chain_circuit):
+        truncated = correlated_signal_probabilities(chain_circuit, 0.3)
+        indep = signal_probabilities(chain_circuit, 0.3)
+        for net in chain_circuit.nets:
+            assert truncated[net] == pytest.approx(indep[net], abs=1e-9)
+
+    def test_diamond_against_bdd(self):
+        # y = AND(NOT a, NOT a via two paths) style diamond with XOR.
+        net = Netlist("diamond", ["a", "b"], ["y"], [
+            Gate("p", GateType.AND, ("a", "b")),
+            Gate("q", GateType.OR, ("a", "b")),
+            Gate("y", GateType.XOR, ("p", "q")),
+        ])
+        probs = {"a": 0.5, "b": 0.5}
+        exact = exact_signal_probabilities(net, probs)
+        truncated = correlated_signal_probabilities(net, probs)
+        indep = signal_probabilities(net, probs)
+        err_truncated = abs(truncated["y"] - exact["y"])
+        err_indep = abs(indep["y"] - exact["y"])
+        assert err_truncated <= err_indep + 1e-12
+        assert err_truncated < 0.15
+
+    def test_closer_to_exact_on_s27(self):
+        from repro.netlist.benchmarks import benchmark_circuit
+        s27 = benchmark_circuit("s27")
+        exact = exact_signal_probabilities(s27, 0.5)
+        truncated = correlated_signal_probabilities(s27, 0.5)
+        indep = signal_probabilities(s27, 0.5)
+        nets = [n for n in s27.gates if n not in {g.name for g in s27.dffs}]
+        err_truncated = sum(abs(truncated[n] - exact[n]) for n in nets)
+        err_indep = sum(abs(indep[n] - exact[n]) for n in nets)
+        assert err_truncated < err_indep
+
+    def test_probabilities_stay_in_unit_interval(self, mixed_circuit):
+        truncated = correlated_signal_probabilities(mixed_circuit, 0.5)
+        assert all(0.0 <= p <= 1.0 for p in truncated.values())
+
+    def test_threshold_prunes(self, mixed_circuit):
+        # A huge threshold reduces to the independence result.
+        pruned = correlated_signal_probabilities(mixed_circuit, 0.5,
+                                                 threshold=1e9)
+        indep = signal_probabilities(mixed_circuit, 0.5)
+        for net in mixed_circuit.nets:
+            assert pruned[net] == pytest.approx(indep[net], abs=1e-9)

@@ -1,0 +1,54 @@
+"""Tests for repro.core.delay — gate delay models."""
+
+import pytest
+
+from repro.core.delay import NormalDelay, PerGateDelay, UnitDelay
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate
+
+
+GATE = Gate("g1", GateType.AND, ("a", "b"))
+OTHER = Gate("g2", GateType.OR, ("a", "b"))
+
+
+class TestUnitDelay:
+    def test_default_is_one(self):
+        d = UnitDelay().delay(GATE)
+        assert (d.mu, d.sigma) == (1.0, 0.0)
+
+    def test_custom_value(self):
+        assert UnitDelay(2.5).delay(GATE).mu == 2.5
+
+    def test_same_for_all_gates(self):
+        model = UnitDelay(3.0)
+        assert model.delay(GATE) == model.delay(OTHER)
+
+
+class TestNormalDelay:
+    def test_distribution(self):
+        d = NormalDelay(1.0, 0.2).delay(GATE)
+        assert (d.mu, d.sigma) == (1.0, 0.2)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NormalDelay(1.0, -0.1)
+
+
+class TestPerGateDelay:
+    def test_deterministic_per_name(self):
+        model = PerGateDelay(1.0, 0.2)
+        assert model.delay(GATE) == model.delay(GATE)
+
+    def test_different_gates_differ(self):
+        model = PerGateDelay(1.0, 0.2)
+        assert model.delay(GATE).mu != model.delay(OTHER).mu
+
+    def test_spread_bounds(self):
+        model = PerGateDelay(1.0, 0.2)
+        for name in ("a", "b", "c", "xyz", "G123"):
+            mu = model.delay(Gate(name, GateType.NOT, ("x",))).mu
+            assert 0.8 <= mu <= 1.2
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ValueError):
+            PerGateDelay(1.0, 1.5)

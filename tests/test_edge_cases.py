@@ -1,0 +1,151 @@
+"""Edge-case batch: numerical tails, degenerate inputs, API misuse."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.mixture import GaussianMixture, MixtureComponent
+from repro.stats.normal import Normal
+
+
+class TestNormalQuantileTails:
+    def test_deep_lower_tail(self):
+        n = Normal(0.0, 1.0)
+        # Acklam's approximation regions: below 0.02425 and above 0.97575.
+        assert n.quantile(1e-6) == pytest.approx(-4.7534, abs=1e-3)
+        assert n.quantile(1.0 - 1e-6) == pytest.approx(4.7534, abs=1e-3)
+
+    def test_tail_symmetry(self):
+        n = Normal(0.0, 1.0)
+        for p in (1e-5, 1e-3, 0.01, 0.3):
+            assert n.quantile(p) == pytest.approx(-n.quantile(1.0 - p),
+                                                  abs=1e-8)
+
+    def test_three_sigma_points(self):
+        n = Normal(10.0, 2.0)
+        p3 = n.cdf(16.0)
+        assert n.quantile(p3) == pytest.approx(16.0, abs=1e-6)
+
+
+class TestMixtureQuantile:
+    def test_single_gaussian_matches_normal(self):
+        m = GaussianMixture([MixtureComponent(1.0, 3.0, 2.0)])
+        n = Normal(3.0, 2.0)
+        for p in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert m.quantile(p) == pytest.approx(n.quantile(p), abs=1e-6)
+
+    def test_bimodal_median_between_modes(self):
+        m = GaussianMixture([MixtureComponent(0.5, -5.0, 0.5),
+                             MixtureComponent(0.5, 5.0, 0.5)])
+        # The cdf is flat at 0.5 between the modes: any point there is a
+        # valid median; check membership and the sharp quartiles.
+        median = m.quantile(0.5)
+        assert -5.0 < median < 5.0
+        assert m.cdf(median) == pytest.approx(0.5, abs=1e-6)
+        assert m.quantile(0.25) == pytest.approx(-5.0, abs=0.5)
+        assert m.quantile(0.75) == pytest.approx(5.0, abs=0.5)
+
+    def test_quantile_inverts_cdf(self):
+        m = GaussianMixture([MixtureComponent(0.3, 0.0, 1.0),
+                             MixtureComponent(0.7, 4.0, 2.0)])
+        for p in (0.05, 0.5, 0.95):
+            x = m.quantile(p)
+            assert m.cdf(x) / m.total_weight == pytest.approx(p, abs=1e-6)
+
+    def test_weights_do_not_change_quantile(self):
+        # Quantiles are of the NORMALIZED distribution.
+        a = GaussianMixture([MixtureComponent(0.2, 1.0, 1.0)])
+        b = GaussianMixture([MixtureComponent(0.9, 1.0, 1.0)])
+        assert a.quantile(0.9) == pytest.approx(b.quantile(0.9), abs=1e-6)
+
+    def test_rejects_bad_p_and_empty(self):
+        m = GaussianMixture([MixtureComponent(1.0, 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            m.quantile(0.0)
+        with pytest.raises(ValueError):
+            GaussianMixture.empty().quantile(0.5)
+
+    def test_point_mass_component(self):
+        m = GaussianMixture([MixtureComponent(0.5, 2.0, 0.0),
+                             MixtureComponent(0.5, 8.0, 1.0)])
+        # The 25th percentile sits at the point mass.
+        assert m.quantile(0.25) == pytest.approx(2.0, abs=1e-3)
+
+
+class TestDegenerateCircuits:
+    def test_wire_only_netlist(self):
+        from repro.core.inputs import CONFIG_I
+        from repro.core.spsta import run_spsta
+        from repro.core.ssta import run_ssta
+        from repro.core.sta import run_sta
+        from repro.netlist.core import Netlist
+
+        wires = Netlist("wires", ["a"], ["a"], [])
+        assert run_sta(wires).max_arrival["a"] == 0.0
+        assert run_ssta(wires).arrivals["a"].rise.mu == 0.0
+        result = run_spsta(wires, CONFIG_I)
+        assert result.report("a", "rise")[0] == pytest.approx(0.25)
+
+    def test_single_gate_fanin_one_and(self):
+        """AND with a single input behaves as a buffer in every engine."""
+        from repro.core.inputs import CONFIG_I
+        from repro.core.spsta import run_spsta
+        from repro.logic.gates import GateType
+        from repro.netlist.core import Gate, Netlist
+
+        netlist = Netlist("one", ["a"], ["y"],
+                          [Gate("y", GateType.AND, ("a",))])
+        result = run_spsta(netlist, CONFIG_I)
+        p, mu, sd = result.report("y", "rise")
+        assert p == pytest.approx(0.25)
+        assert mu == pytest.approx(1.0)
+        assert sd == pytest.approx(1.0)
+
+    def test_mc_single_trial(self):
+        from repro.core.inputs import CONFIG_I
+        from repro.netlist.benchmarks import benchmark_circuit
+        from repro.sim.montecarlo import run_monte_carlo
+
+        mc = run_monte_carlo(benchmark_circuit("s27"), CONFIG_I, 1,
+                             rng=np.random.default_rng(0))
+        assert mc.n_trials == 1
+
+    def test_spsta_with_zero_sigma_arrivals(self):
+        """Deterministic launch times (sigma 0) must not break Clark."""
+        from repro.core.inputs import InputStats, Prob4
+        from repro.core.spsta import run_spsta
+        from repro.logic.gates import GateType
+        from repro.netlist.core import Gate, Netlist
+
+        netlist = Netlist("g", ["a", "b"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "b"))])
+        stats = {"a": InputStats(Prob4.uniform(), Normal(1.0, 0.0),
+                                 Normal(1.0, 0.0)),
+                 "b": InputStats(Prob4.uniform(), Normal(2.0, 0.0),
+                                 Normal(2.0, 0.0))}
+        result = run_spsta(netlist, stats)
+        p, mu, sd = result.report("y", "rise")
+        # Terms: a-only at t=1, b-only at t=2, both -> max = 2; + delay 1.
+        assert p == pytest.approx(3 / 16)
+        assert mu == pytest.approx((1.0 + 2.0 + 2.0) / 3.0 + 1.0)
+
+    def test_grid_density_entirely_off_grid(self):
+        from repro.stats.grid import GridDensity, TimeGrid
+
+        grid = TimeGrid(0.0, 1.0, 64)
+        d = GridDensity.from_normal(grid, Normal(100.0, 0.5))
+        assert d.total_weight == pytest.approx(0.0, abs=1e-9)
+
+    def test_parity_fanin_guard(self):
+        from repro.core.inputs import CONFIG_I
+        from repro.core.spsta import MAX_PARITY_FANIN, run_spsta
+        from repro.logic.gates import GateType
+        from repro.netlist.core import Gate, Netlist
+
+        k = MAX_PARITY_FANIN + 1
+        inputs = [f"i{j}" for j in range(k)]
+        netlist = Netlist("wide", inputs, ["y"],
+                          [Gate("y", GateType.XOR, tuple(inputs))])
+        with pytest.raises(ValueError, match="enumeration limit"):
+            run_spsta(netlist, CONFIG_I)

@@ -1,0 +1,251 @@
+"""Tests for repro.experiments — the table/figure reproduction harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.experiments.errors import (
+    ErrorSummary,
+    error_summary,
+    format_error_summary,
+)
+from repro.experiments.figures import (
+    figure1_series,
+    figure3_example,
+    figure4_series,
+)
+from repro.experiments.table2 import Table2Row, format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+
+# Small circuits / trial counts keep these integration tests quick.
+SMALL = ("s27", "s298")
+
+
+@pytest.fixture(scope="module")
+def rows_i():
+    return run_table2(CONFIG_I, circuits=SMALL, n_trials=4000)
+
+
+class TestTable2:
+    def test_row_structure(self, rows_i):
+        assert len(rows_i) == len(SMALL) * 2
+        directions = [r.direction for r in rows_i]
+        assert directions.count("rise") == len(SMALL)
+
+    def test_same_endpoint_across_engines(self, rows_i):
+        for row in rows_i:
+            assert row.endpoint
+            assert row.depth >= 1
+
+    def test_ssta_columns_config_independent(self):
+        rows1 = run_table2(CONFIG_I, circuits=("s27",), n_trials=500)
+        rows2 = run_table2(CONFIG_II, circuits=("s27",), n_trials=500)
+        for r1, r2 in zip(rows1, rows2):
+            assert r1.ssta_mu == r2.ssta_mu
+            assert r1.ssta_sigma == r2.ssta_sigma
+
+    def test_spsta_columns_config_dependent(self):
+        rows1 = run_table2(CONFIG_I, circuits=("s27",), n_trials=500)
+        rows2 = run_table2(CONFIG_II, circuits=("s27",), n_trials=500)
+        assert any(r1.spsta_p != r2.spsta_p for r1, r2 in zip(rows1, rows2))
+
+    def test_probabilities_in_range(self, rows_i):
+        for row in rows_i:
+            assert 0.0 <= row.spsta_p <= 1.0
+            assert 0.0 <= row.mc_p <= 1.0
+
+    def test_formatting(self, rows_i):
+        text = format_table2(rows_i, title="T")
+        assert text.startswith("T")
+        assert "s27" in text
+        # every data row rendered
+        assert len(text.splitlines()) == 4 + len(rows_i)
+
+    def test_formatting_handles_nan(self):
+        row = Table2Row("x", "rise", "y", 3, 0.0, float("nan"), float("nan"),
+                        1.0, 0.5, 0.0, float("nan"), float("nan"))
+        text = format_table2([row])
+        assert "--" in text
+
+    def test_reproducible_with_seed(self):
+        a = run_table2(CONFIG_I, circuits=("s27",), n_trials=500, seed=3)
+        b = run_table2(CONFIG_I, circuits=("s27",), n_trials=500, seed=3)
+        assert a == b
+
+
+class TestErrorSummary:
+    def test_paper_shape_on_small_suite(self, rows_i):
+        summary = error_summary(rows_i)
+        assert summary.spsta_beats_ssta()
+        assert summary.spsta_mean_error < 15.0
+        assert summary.ssta_sigma_error > summary.spsta_sigma_error
+
+    def test_skips_undefined_mc_rows(self):
+        rows = [Table2Row("x", "rise", "y", 1, 0.1, 5.0, 1.0, 6.0, 0.5,
+                          0.0, float("nan"), float("nan"))]
+        summary = error_summary(rows)
+        assert math.isnan(summary.spsta_mean_error)
+        assert math.isnan(summary.spsta_probability_error)
+
+    def test_error_arithmetic(self):
+        rows = [Table2Row("x", "rise", "y", 1,
+                          spsta_p=0.2, spsta_mu=11.0, spsta_sigma=2.2,
+                          ssta_mu=8.0, ssta_sigma=1.0,
+                          mc_p=0.25, mc_mu=10.0, mc_sigma=2.0)]
+        summary = error_summary(rows)
+        assert summary.spsta_mean_error == pytest.approx(10.0)
+        assert summary.spsta_sigma_error == pytest.approx(10.0)
+        assert summary.ssta_mean_error == pytest.approx(20.0)
+        assert summary.ssta_sigma_error == pytest.approx(50.0)
+        assert summary.spsta_probability_error == pytest.approx(20.0)
+
+    def test_format(self):
+        summary = ErrorSummary(1.0, 2.0, 3.0, 4.0, 5.0, 18)
+        text = format_error_summary(summary)
+        assert "SPSTA" in text and "SSTA" in text and "18 rows" in text
+
+
+class TestTable3:
+    def test_runtime_rows(self):
+        rows = run_table3(CONFIG_I, circuits=("s27",), n_trials=300,
+                          scalar_probe_trials=20)
+        row = rows[0]
+        assert row.spsta_seconds > 0
+        assert row.ssta_seconds > 0
+        assert row.mc_seconds > 0
+        assert row.mc_scalar_seconds > row.ssta_seconds
+
+    def test_scalar_probe_disabled(self):
+        rows = run_table3(CONFIG_I, circuits=("s27",), n_trials=300,
+                          scalar_probe_trials=0)
+        assert math.isnan(rows[0].mc_scalar_seconds)
+
+    def test_format(self):
+        rows = run_table3(CONFIG_I, circuits=("s27",), n_trials=200,
+                          scalar_probe_trials=10)
+        text = format_table3(rows)
+        assert "s27" in text
+        assert "SPSTA" in text
+
+
+class TestFigures:
+    def test_figure4_shape_claims(self):
+        """The paper's Fig. 4 message: MAX skews and narrows; WEIGHTED SUM
+        stays symmetric with the mixture's full spread."""
+        series = figure4_series(signal_probability=0.9,
+                                sigma1=0.5, sigma2=1.5)
+        assert abs(series.weighted_sum_skewness) < 0.01   # symmetric
+        assert series.max_skewness > 0.1                  # right-skewed
+        assert series.max_mean > series.weighted_sum_mean  # MAX shifts right
+        assert series.weighted_sum_mean == pytest.approx(0.0, abs=1e-3)
+
+    def test_figure4_weighted_sum_variance(self):
+        series = figure4_series(sigma1=0.5, sigma2=1.5)
+        # Equal-weight mixture of N(0, .25) and N(0, 2.25): var = 1.25.
+        assert series.weighted_sum_std == pytest.approx(np.sqrt(1.25),
+                                                        abs=1e-3)
+
+    def test_figure4_densities_normalized(self):
+        series = figure4_series()
+        dt = series.times[1] - series.times[0]
+        assert np.trapezoid(series.max_pdf, dx=dt) == pytest.approx(1.0,
+                                                                    abs=1e-5)
+        assert np.trapezoid(series.weighted_sum_pdf, dx=dt) == \
+            pytest.approx(1.0, abs=1e-5)
+
+    def test_figure1_bounds_and_distributions(self):
+        series = figure1_series("s27", CONFIG_I, n_trials=4000)
+        assert series.sta_min <= series.sta_max
+        assert series.mc_delays.size > 0
+        assert 0.0 <= series.mc_no_transition_fraction < 1.0
+        # STA max bounds every observed unit-delay arrival.
+        assert series.mc_delays.max() <= series.sta_max + 6.0  # + input tail
+        assert series.ssta_worst.mu >= series.ssta_best.mu
+
+    def test_figure1_no_transition_fraction_counts(self):
+        series = figure1_series("s27", CONFIG_II, n_trials=4000)
+        # Rare-transition config: many quiet cycles (SSTA pretends none).
+        assert series.mc_no_transition_fraction > 0.2
+
+    def test_figure3_example(self):
+        result = figure3_example()
+        computed, expected = result["signal_probability"]
+        assert computed == pytest.approx(expected)
+        computed, expected = result["toggling_rate"]
+        assert computed == pytest.approx(expected)
+
+
+class TestTable3Formatting:
+    def test_format_handles_nan_scalar_column(self):
+        from repro.experiments.table3 import RuntimeRow, format_table3
+        row = RuntimeRow("x", 0.01, 0.002, 0.05)  # scalar column defaults NaN
+        text = format_table3([row])
+        assert "--" in text
+
+    def test_ratio_properties(self):
+        from repro.experiments.table3 import RuntimeRow
+        row = RuntimeRow("x", 0.01, 0.002, 0.05, 2.0)
+        assert row.mc_over_spsta == pytest.approx(5.0)
+        assert row.scalar_mc_over_spsta == pytest.approx(200.0)
+
+
+class TestCsvExport:
+    def test_table2_csv_round_trips(self, rows_i, tmp_path):
+        import csv as csv_mod
+
+        from repro.experiments.csv_export import table2_csv
+
+        path = tmp_path / "t2.csv"
+        text = table2_csv(rows_i, path)
+        assert path.read_text() == text
+        parsed = list(csv_mod.reader(text.splitlines()))
+        assert parsed[0][0] == "circuit"
+        assert len(parsed) == len(rows_i) + 1
+        assert parsed[1][0] == rows_i[0].circuit
+
+    def test_table2_csv_nan_cells_empty(self):
+        from repro.experiments.csv_export import table2_csv
+
+        row = Table2Row("x", "rise", "y", 3, 0.0, float("nan"), float("nan"),
+                        1.0, 0.5, 0.0, float("nan"), float("nan"))
+        text = table2_csv([row])
+        data_line = text.splitlines()[1]
+        assert ",,," in data_line or data_line.endswith(",")
+
+    def test_table3_csv(self):
+        from repro.experiments.csv_export import table3_csv
+        from repro.experiments.table3 import RuntimeRow
+
+        text = table3_csv([RuntimeRow("s27", 0.01, 0.002, 0.05, 2.0)])
+        assert "s27,0.01,0.002,0.05,2" in text
+
+    def test_figure1_csv(self):
+        from repro.experiments.csv_export import figure1_csv
+
+        series = figure1_series("s27", CONFIG_I, n_trials=2000)
+        text = figure1_csv(series, bins=10)
+        lines = text.splitlines()
+        assert lines[0] == "kind,x,value"
+        histogram = [l for l in lines if l.startswith("mc_histogram")]
+        assert len(histogram) == 10
+        assert any(l.startswith("parameter,sta_max") for l in lines)
+        counts = sum(int(l.split(",")[2]) for l in histogram)
+        assert counts == series.mc_delays.size
+
+    def test_figure4_csv(self):
+        from repro.experiments.csv_export import figure4_csv
+
+        series = figure4_series()
+        text = figure4_csv(series, stride=16)
+        lines = text.splitlines()
+        assert lines[0] == "time,max_pdf,weighted_sum_pdf"
+        assert len(lines) == 1 + (series.times.size + 15) // 16
+
+    def test_figure4_csv_stride_validated(self):
+        from repro.experiments.csv_export import figure4_csv
+
+        with pytest.raises(ValueError):
+            figure4_csv(figure4_series(), stride=0)

@@ -1,0 +1,156 @@
+"""Tests for repro.logic.fourvalue — the {0,1,r,f} algebra of Table 1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.fourvalue import (
+    Logic4,
+    final_bit,
+    from_bits,
+    gate_output_value,
+    init_bit,
+    invert,
+    is_transition,
+    parse_logic4,
+)
+from repro.logic.gates import GATE_LIBRARY, GateType
+
+L = Logic4
+values = st.sampled_from(list(Logic4))
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("value,initial,final", [
+        (L.ZERO, 0, 0), (L.ONE, 1, 1), (L.RISE, 0, 1), (L.FALL, 1, 0)])
+    def test_bit_extraction(self, value, initial, final):
+        assert init_bit(value) == initial
+        assert final_bit(value) == final
+
+    @given(values)
+    def test_round_trip(self, value):
+        assert from_bits(init_bit(value), final_bit(value)) is value
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            from_bits(2, 0)
+
+    def test_is_transition(self):
+        assert is_transition(L.RISE) and is_transition(L.FALL)
+        assert not is_transition(L.ZERO) and not is_transition(L.ONE)
+
+    @given(values)
+    def test_invert_is_involution(self, value):
+        assert invert(invert(value)) is value
+
+    def test_invert_mapping(self):
+        assert invert(L.ZERO) is L.ONE
+        assert invert(L.RISE) is L.FALL
+
+    def test_str(self):
+        assert [str(v) for v in (L.ZERO, L.ONE, L.RISE, L.FALL)] == \
+            ["0", "1", "r", "f"]
+
+    def test_parse(self):
+        assert parse_logic4("r") is L.RISE
+        assert parse_logic4(" F ") is L.FALL
+        with pytest.raises(ValueError):
+            parse_logic4("x")
+
+
+# Paper Table 1, verbatim (rows = first input, columns = second input).
+TABLE1_AND = {
+    (L.ZERO, L.ZERO): L.ZERO, (L.ZERO, L.ONE): L.ZERO,
+    (L.ZERO, L.RISE): L.ZERO, (L.ZERO, L.FALL): L.ZERO,
+    (L.ONE, L.ZERO): L.ZERO, (L.ONE, L.ONE): L.ONE,
+    (L.ONE, L.RISE): L.RISE, (L.ONE, L.FALL): L.FALL,
+    (L.RISE, L.ZERO): L.ZERO, (L.RISE, L.ONE): L.RISE,
+    (L.RISE, L.RISE): L.RISE, (L.RISE, L.FALL): L.ZERO,
+    (L.FALL, L.ZERO): L.ZERO, (L.FALL, L.ONE): L.FALL,
+    (L.FALL, L.RISE): L.ZERO, (L.FALL, L.FALL): L.FALL,
+}
+
+TABLE1_OR = {
+    (L.ZERO, L.ZERO): L.ZERO, (L.ZERO, L.ONE): L.ONE,
+    (L.ZERO, L.RISE): L.RISE, (L.ZERO, L.FALL): L.FALL,
+    (L.ONE, L.ZERO): L.ONE, (L.ONE, L.ONE): L.ONE,
+    (L.ONE, L.RISE): L.ONE, (L.ONE, L.FALL): L.ONE,
+    (L.RISE, L.ZERO): L.RISE, (L.RISE, L.ONE): L.ONE,
+    (L.RISE, L.RISE): L.RISE, (L.RISE, L.FALL): L.ONE,
+    (L.FALL, L.ZERO): L.FALL, (L.FALL, L.ONE): L.ONE,
+    (L.FALL, L.RISE): L.ONE, (L.FALL, L.FALL): L.FALL,
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("pair,expected", list(TABLE1_AND.items()))
+    def test_and_matches_paper_table1(self, pair, expected):
+        spec = GATE_LIBRARY[GateType.AND]
+        assert gate_output_value(spec, pair) is expected
+
+    @pytest.mark.parametrize("pair,expected", list(TABLE1_OR.items()))
+    def test_or_matches_paper_table1(self, pair, expected):
+        spec = GATE_LIBRARY[GateType.OR]
+        assert gate_output_value(spec, pair) is expected
+
+    @given(values, values)
+    def test_nand_is_inverted_and(self, a, b):
+        and_out = gate_output_value(GATE_LIBRARY[GateType.AND], (a, b))
+        nand_out = gate_output_value(GATE_LIBRARY[GateType.NAND], (a, b))
+        assert nand_out is invert(and_out)
+
+    @given(values, values)
+    def test_nor_is_inverted_or(self, a, b):
+        or_out = gate_output_value(GATE_LIBRARY[GateType.OR], (a, b))
+        nor_out = gate_output_value(GATE_LIBRARY[GateType.NOR], (a, b))
+        assert nor_out is invert(or_out)
+
+    @given(values, values)
+    def test_and_commutative(self, a, b):
+        spec = GATE_LIBRARY[GateType.AND]
+        assert gate_output_value(spec, (a, b)) is \
+            gate_output_value(spec, (b, a))
+
+    @given(values, values, values)
+    def test_and_associative(self, a, b, c):
+        spec = GATE_LIBRARY[GateType.AND]
+        left = gate_output_value(spec, (gate_output_value(spec, (a, b)), c))
+        flat = gate_output_value(spec, (a, b, c))
+        assert left is flat
+
+    def test_glitch_filtering_and_rf(self):
+        """The paper's explicit example: r AND f gives logic zero."""
+        spec = GATE_LIBRARY[GateType.AND]
+        assert gate_output_value(spec, (L.RISE, L.FALL)) is L.ZERO
+
+    def test_glitch_filtering_xor_rr(self):
+        """XOR(r, r): 0^0=0 -> 1^1=0, the pulse in between is filtered."""
+        spec = GATE_LIBRARY[GateType.XOR]
+        assert gate_output_value(spec, (L.RISE, L.RISE)) is L.ZERO
+
+    def test_xor_single_switch_passes(self):
+        spec = GATE_LIBRARY[GateType.XOR]
+        assert gate_output_value(spec, (L.RISE, L.ZERO)) is L.RISE
+        assert gate_output_value(spec, (L.RISE, L.ONE)) is L.FALL
+
+    def test_xor_mixed_transitions_cancel(self):
+        spec = GATE_LIBRARY[GateType.XOR]
+        assert gate_output_value(spec, (L.RISE, L.FALL)) is L.ONE
+
+    def test_three_input_xor_odd_switches(self):
+        spec = GATE_LIBRARY[GateType.XOR]
+        assert gate_output_value(spec, (L.RISE, L.RISE, L.FALL)) is L.FALL
+
+    @given(values)
+    def test_not_gate(self, a):
+        spec = GATE_LIBRARY[GateType.NOT]
+        assert gate_output_value(spec, (a,)) is invert(a)
+
+    @given(values)
+    def test_buff_gate(self, a):
+        spec = GATE_LIBRARY[GateType.BUFF]
+        assert gate_output_value(spec, (a,)) is a
+
+    def test_arity_validation(self):
+        spec = GATE_LIBRARY[GateType.NOT]
+        with pytest.raises(ValueError):
+            gate_output_value(spec, (L.ZERO, L.ONE))

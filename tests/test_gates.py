@@ -1,0 +1,95 @@
+"""Tests for repro.logic.gates — the gate library."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.gates import GATE_LIBRARY, GateType, gate_spec
+
+bits = st.lists(st.integers(0, 1), min_size=1, max_size=6)
+
+
+class TestSpecs:
+    def test_controlling_values(self):
+        assert gate_spec(GateType.AND).controlling_value == 0
+        assert gate_spec(GateType.NAND).controlling_value == 0
+        assert gate_spec(GateType.OR).controlling_value == 1
+        assert gate_spec(GateType.NOR).controlling_value == 1
+        assert gate_spec(GateType.XOR).controlling_value is None
+
+    def test_controlled_values(self):
+        assert gate_spec(GateType.AND).controlled_value == 0
+        assert gate_spec(GateType.NAND).controlled_value == 1
+        assert gate_spec(GateType.OR).controlled_value == 1
+        assert gate_spec(GateType.NOR).controlled_value == 0
+
+    def test_non_controlling(self):
+        assert gate_spec(GateType.AND).non_controlling_value == 1
+        assert gate_spec(GateType.OR).non_controlling_value == 0
+        assert gate_spec(GateType.XOR).non_controlling_value is None
+
+    def test_inverting_flags(self):
+        inverting = {gt for gt in GATE_LIBRARY
+                     if GATE_LIBRARY[gt].inverting}
+        assert inverting == {GateType.NAND, GateType.NOR, GateType.NOT,
+                             GateType.XNOR}
+
+    def test_parity_flags(self):
+        parity = {gt for gt in GATE_LIBRARY if GATE_LIBRARY[gt].is_parity}
+        assert parity == {GateType.XOR, GateType.XNOR}
+
+    def test_dff_not_in_library(self):
+        with pytest.raises(ValueError):
+            gate_spec(GateType.DFF)
+
+    def test_dff_is_sequential(self):
+        assert GateType.DFF.is_sequential
+        assert not GateType.AND.is_sequential
+
+
+class TestEvalBits:
+    @given(bits)
+    def test_and(self, xs):
+        assert gate_spec(GateType.AND).eval_bits(xs) == int(all(xs))
+
+    @given(bits)
+    def test_nand_complements_and(self, xs):
+        assert gate_spec(GateType.NAND).eval_bits(xs) == \
+            1 - gate_spec(GateType.AND).eval_bits(xs)
+
+    @given(bits)
+    def test_or(self, xs):
+        assert gate_spec(GateType.OR).eval_bits(xs) == int(any(xs))
+
+    @given(bits)
+    def test_nor_complements_or(self, xs):
+        assert gate_spec(GateType.NOR).eval_bits(xs) == \
+            1 - gate_spec(GateType.OR).eval_bits(xs)
+
+    @given(bits)
+    def test_xor_is_parity(self, xs):
+        assert gate_spec(GateType.XOR).eval_bits(xs) == sum(xs) % 2
+
+    @given(bits)
+    def test_xnor_complements_xor(self, xs):
+        assert gate_spec(GateType.XNOR).eval_bits(xs) == \
+            1 - gate_spec(GateType.XOR).eval_bits(xs)
+
+    @given(st.integers(0, 1))
+    def test_not_and_buff(self, x):
+        assert gate_spec(GateType.NOT).eval_bits([x]) == 1 - x
+        assert gate_spec(GateType.BUFF).eval_bits([x]) == x
+
+    def test_arity_limits(self):
+        with pytest.raises(ValueError):
+            gate_spec(GateType.NOT).validate_arity(2)
+        with pytest.raises(ValueError):
+            gate_spec(GateType.AND).validate_arity(0)
+        gate_spec(GateType.AND).validate_arity(9)  # unbounded
+
+    @given(bits.filter(lambda xs: len(xs) >= 2))
+    def test_controlling_value_forces_output(self, xs):
+        for gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            spec = gate_spec(gt)
+            forced = list(xs)
+            forced[0] = spec.controlling_value
+            assert spec.eval_bits(forced) == spec.controlled_value

@@ -1,0 +1,137 @@
+"""Tests for repro.netlist.generator and repro.netlist.benchmarks."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.netlist.analysis import circuit_stats, critical_endpoint, net_depths
+from repro.netlist.benchmarks import (
+    TABLE_CIRCUITS,
+    benchmark_circuit,
+    benchmark_names,
+)
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.generator import GeneratorProfile, generate_circuit
+
+
+def _profile(**overrides):
+    base = dict(name="t", n_inputs=4, n_outputs=3, n_dffs=2, n_gates=40,
+                depth=6, seed=99)
+    base.update(overrides)
+    return GeneratorProfile(**base)
+
+
+class TestProfileValidation:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            _profile(n_inputs=0)
+
+    def test_rejects_gates_below_depth(self):
+        with pytest.raises(ValueError):
+            _profile(n_gates=3, depth=6)
+
+    def test_rejects_bad_xor_fraction(self):
+        with pytest.raises(ValueError):
+            _profile(xor_fraction=1.5)
+
+
+class TestGeneratedStructure:
+    def test_deterministic(self):
+        a = generate_circuit(_profile())
+        b = generate_circuit(_profile())
+        assert write_bench(a) == write_bench(b)
+
+    def test_seed_changes_circuit(self):
+        a = generate_circuit(_profile(seed=1))
+        b = generate_circuit(_profile(seed=2))
+        assert write_bench(a) != write_bench(b)
+
+    def test_depth_is_exact(self):
+        for depth in (1, 3, 8, 12):
+            netlist = generate_circuit(_profile(depth=depth,
+                                                n_gates=max(depth, 30)))
+            _, found = critical_endpoint(netlist)
+            assert found == depth
+
+    def test_counts_match_profile(self):
+        profile = _profile()
+        netlist = generate_circuit(profile)
+        assert len(netlist.inputs) == profile.n_inputs
+        assert len(netlist.dffs) == profile.n_dffs
+        comb = len(netlist.gates) - len(netlist.dffs)
+        assert comb >= profile.n_gates  # side chains may add a few
+        assert comb <= profile.n_gates + 4 * profile.depth
+
+    def test_output_count_near_profile(self):
+        profile = _profile(n_outputs=5)
+        netlist = generate_circuit(profile)
+        assert len(netlist.outputs) >= 5
+
+    def test_no_dangling_logic(self):
+        netlist = generate_circuit(_profile())
+        observable = set(netlist.outputs) | {
+            g.inputs[0] for g in netlist.dffs}
+        for gate in netlist.combinational_gates:
+            has_fanout = bool(netlist.fanouts(gate.name))
+            assert has_fanout or gate.name in observable, \
+                f"{gate.name} is unobservable"
+
+    def test_parses_back(self):
+        netlist = generate_circuit(_profile())
+        again = parse_bench(write_bench(netlist), netlist.name)
+        assert set(again.gates) == set(netlist.gates)
+
+    def test_xor_fraction_produces_parity_gates(self):
+        netlist = generate_circuit(_profile(n_gates=200, xor_fraction=0.3))
+        counts = netlist.counts()
+        assert counts.get("XOR", 0) + counts.get("XNOR", 0) > 0
+
+    def test_zero_xor_fraction_has_no_parity_gates(self):
+        netlist = generate_circuit(_profile(n_gates=200, xor_fraction=0.0))
+        counts = netlist.counts()
+        assert counts.get("XOR", 0) + counts.get("XNOR", 0) == 0
+
+    def test_fanin_capped(self):
+        netlist = generate_circuit(_profile(n_gates=300))
+        assert max(len(g.inputs)
+                   for g in netlist.combinational_gates) <= 5
+
+
+class TestBenchmarkSuite:
+    def test_names(self):
+        assert benchmark_names()[0] == "s27"
+        assert set(TABLE_CIRCUITS) <= set(benchmark_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark_circuit("s9999")
+
+    def test_circuits_cached(self):
+        assert benchmark_circuit("s208") is benchmark_circuit("s208")
+
+    @pytest.mark.parametrize("name", TABLE_CIRCUITS)
+    def test_profiles_applied(self, name):
+        stats = circuit_stats(benchmark_circuit(name))
+        assert stats.n_dffs > 0
+        assert stats.depth >= 5
+        assert stats.max_fanin <= 5
+
+    def test_relative_sizes(self):
+        small = circuit_stats(benchmark_circuit("s208"))
+        large = circuit_stats(benchmark_circuit("s1196"))
+        assert large.n_gates > 4 * small.n_gates
+        assert large.depth > small.depth
+
+    def test_depths_track_table2(self):
+        # Depths chosen so unit-delay SSTA means land near the paper's.
+        expected = {"s208": 7, "s298": 5, "s344": 8, "s349": 8,
+                    "s382": 6, "s386": 8, "s526": 5, "s1196": 13,
+                    "s1238": 12}
+        for name, depth in expected.items():
+            _, found = critical_endpoint(benchmark_circuit(name))
+            assert found == depth, name
+
+    def test_launch_depths_zero(self):
+        netlist = benchmark_circuit("s298")
+        depths = net_depths(netlist)
+        for net in netlist.launch_points:
+            assert depths[net] == 0

@@ -1,0 +1,112 @@
+"""Tests for repro.power.glitch — glitch-rate estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, InputStats, Prob4
+from repro.logic.fourvalue import Logic4
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.power.glitch import (
+    count_output_changes,
+    glitch_power,
+    glitch_rates,
+    simulate_glitch_counts,
+)
+
+L = Logic4
+
+
+class TestCountOutputChanges:
+    def test_single_transition_counts_one(self):
+        assert count_output_changes(
+            GateType.AND, [(L.RISE, 1.0), (L.ONE, None)]) == 1
+
+    def test_glitch_pulse_counts_two(self):
+        # AND(r@1, f@2): output pulses 0 -> 1 -> 0.
+        assert count_output_changes(
+            GateType.AND, [(L.RISE, 1.0), (L.FALL, 2.0)]) == 2
+
+    def test_masked_order_no_glitch(self):
+        # AND(f@1, r@2): falls before the rise arrives -> output stays 0.
+        assert count_output_changes(
+            GateType.AND, [(L.FALL, 1.0), (L.RISE, 2.0)]) == 0
+
+    def test_xor_counts_every_switch(self):
+        assert count_output_changes(
+            GateType.XOR, [(L.RISE, 1.0), (L.RISE, 2.0)]) == 2
+
+    def test_static_inputs_no_changes(self):
+        assert count_output_changes(
+            GateType.OR, [(L.ZERO, None), (L.ONE, None)]) == 0
+
+
+class TestGlitchRates:
+    def test_non_negative_everywhere(self):
+        rates = glitch_rates(benchmark_circuit("s27"), CONFIG_I)
+        assert all(rate >= 0.0 for rate in rates.values())
+
+    def test_inverter_chain_no_glitches(self, chain_circuit):
+        rates = glitch_rates(chain_circuit, CONFIG_I)
+        # Single-input gates cannot glitch: density equals toggle rate.
+        for net in ("n1", "n2", "n3"):
+            assert rates[net] == pytest.approx(0.0, abs=1e-9)
+
+    def test_xor_tree_glitch_estimate_positive(self):
+        netlist = Netlist("x", ["a", "b"], ["y"],
+                          [Gate("y", GateType.XOR, ("a", "b"))])
+        rates = glitch_rates(netlist, CONFIG_I)
+        # XOR(r, r)/(f, f) cancel in four-value logic but Eq. 6 counts both.
+        assert rates["y"] > 0.1
+
+    def test_static_inputs_no_glitches(self):
+        netlist = Netlist("x", ["a", "b"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "b"))])
+        rates = glitch_rates(netlist, InputStats(Prob4.static(0.5)))
+        assert rates["y"] == 0.0
+
+    def test_estimate_correlates_with_simulated_counts(self):
+        """The Eq.6-minus-four-value estimate should track (not exactly
+        match) the simulated glitch counts in aggregate."""
+        netlist = benchmark_circuit("s27")
+        estimate = glitch_rates(netlist, CONFIG_I)
+        observed = simulate_glitch_counts(netlist, CONFIG_I, n_trials=4000,
+                                          rng=np.random.default_rng(0))
+        est_total = sum(estimate[n] for n in observed)
+        obs_total = sum(observed.values())
+        assert obs_total > 0.0
+        # Same order of magnitude: within a factor of three in total.
+        assert est_total == pytest.approx(obs_total, rel=2.0)
+
+    def test_xor_gate_estimate_matches_simulation_closely(self):
+        netlist = Netlist("x", ["a", "b"], ["y"],
+                          [Gate("y", GateType.XOR, ("a", "b"))])
+        estimate = glitch_rates(netlist, CONFIG_I)
+        observed = simulate_glitch_counts(netlist, CONFIG_I, n_trials=20_000,
+                                          rng=np.random.default_rng(1))
+        # Glitching assignments (both inputs switching): probability
+        # 4 * (1/4)^2 = 0.25, each contributing a 2-edge pulse -> 0.5
+        # glitch edges per cycle; Eq. 6 minus the four-value rate gives
+        # exactly 1.0 - 0.5 = 0.5.
+        assert observed["y"] == pytest.approx(0.5, abs=0.02)
+        assert estimate["y"] == pytest.approx(observed["y"], abs=0.03)
+
+
+class TestGlitchPower:
+    def test_power_positive_when_glitchy(self):
+        netlist = Netlist("x", ["a", "b"], ["y"],
+                          [Gate("y", GateType.XOR, ("a", "b"))])
+        report = glitch_power(netlist, CONFIG_I)
+        assert report.total_watts > 0.0
+
+    def test_glitch_power_below_total_switching_power(self):
+        from repro.power.density import transition_densities
+        from repro.power.power import switching_power
+
+        netlist = benchmark_circuit("s27")
+        glitch = glitch_power(netlist, CONFIG_I)
+        total = switching_power(
+            netlist,
+            transition_densities(netlist, 0.5, CONFIG_I.toggling_rate))
+        assert glitch.total_watts < total.total_watts

@@ -1,0 +1,91 @@
+"""Tests for repro.core.inputs — Prob4 and the paper's configurations."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats, Prob4
+from repro.logic.fourvalue import Logic4
+from repro.stats.normal import Normal
+
+
+def prob4s():
+    return st.tuples(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)) \
+        .filter(lambda t: sum(t) <= 1.0) \
+        .map(lambda t: Prob4(1.0 - sum(t), *t))
+
+
+class TestProb4:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            Prob4(0.5, 0.5, 0.5, 0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Prob4(1.2, -0.2, 0.0, 0.0)
+
+    def test_indexing_by_logic4(self):
+        p = Prob4(0.1, 0.2, 0.3, 0.4)
+        assert p[Logic4.ZERO] == 0.1
+        assert p[Logic4.ONE] == 0.2
+        assert p[Logic4.RISE] == 0.3
+        assert p[Logic4.FALL] == 0.4
+
+    def test_signal_probability_definition(self):
+        p = Prob4(0.1, 0.2, 0.3, 0.4)
+        assert p.signal_probability == pytest.approx(0.2 + 0.35)
+
+    def test_initial_final_one(self):
+        p = Prob4(0.1, 0.2, 0.3, 0.4)
+        assert p.initial_one_probability == pytest.approx(0.6)  # P1 + Pf
+        assert p.final_one_probability == pytest.approx(0.5)    # P1 + Pr
+
+    def test_toggling_rate_and_variance(self):
+        p = Prob4(0.25, 0.25, 0.25, 0.25)
+        assert p.toggling_rate == 0.5
+        assert p.toggling_variance == 0.25
+
+    @given(prob4s())
+    def test_inverted_swaps(self, p):
+        q = p.inverted()
+        assert q.p_zero == p.p_one
+        assert q.p_rise == p.p_fall
+
+    @given(prob4s())
+    def test_inverted_involution(self, p):
+        assert p.inverted().inverted() == p
+
+    def test_static_factory(self):
+        p = Prob4.static(0.7)
+        assert p.toggling_rate == 0.0
+        assert p.signal_probability == pytest.approx(0.7)
+
+    def test_uniform_factory(self):
+        assert Prob4.uniform() == Prob4(0.25, 0.25, 0.25, 0.25)
+
+
+class TestPaperConfigs:
+    def test_config_i_headline_stats(self):
+        assert CONFIG_I.signal_probability == pytest.approx(0.5)
+        assert CONFIG_I.toggling_rate == pytest.approx(0.5)
+        assert CONFIG_I.prob4.toggling_variance == pytest.approx(0.25)
+
+    def test_config_ii_headline_stats(self):
+        assert CONFIG_II.signal_probability == pytest.approx(0.2)
+        assert CONFIG_II.toggling_rate == pytest.approx(0.1)
+        assert CONFIG_II.prob4.toggling_variance == pytest.approx(0.09)
+
+    def test_config_ii_vector(self):
+        p = CONFIG_II.prob4
+        assert (p.p_zero, p.p_one, p.p_rise, p.p_fall) == \
+            (0.75, 0.15, 0.02, 0.08)
+
+    def test_default_arrivals_standard_normal(self):
+        assert CONFIG_I.rise_arrival == Normal(0.0, 1.0)
+        assert CONFIG_I.fall_arrival == Normal(0.0, 1.0)
+
+    def test_custom_arrivals(self):
+        s = InputStats(Prob4.uniform(), rise_arrival=Normal(2.0, 0.5))
+        assert s.rise_arrival.mu == 2.0
+        assert s.fall_arrival == Normal(0.0, 1.0)

@@ -1,0 +1,218 @@
+"""Tests for repro.interconnect — RC trees and crosstalk alignment."""
+
+import numpy as np
+import pytest
+
+from repro.interconnect.coupling import (
+    AlignmentWindow,
+    CoupledStage,
+    crosstalk_delay_distribution,
+    sample_crosstalk_delays,
+    worst_case_crosstalk_delay,
+)
+from repro.interconnect.rctree import RCTree
+from repro.stats.normal import Normal
+
+
+def _two_sink_tree() -> RCTree:
+    """Driver -> trunk -> two branches (classic example)."""
+    tree = RCTree(root_capacitance=1.0, driver_resistance=10.0)
+    tree.add_segment("mid", "root", resistance=5.0, capacitance=2.0)
+    tree.add_sink("a", "mid", resistance=3.0, wire_capacitance=1.0,
+                  load_capacitance=2.0)
+    tree.add_sink("b", "mid", resistance=4.0, wire_capacitance=1.0,
+                  load_capacitance=1.0)
+    return tree
+
+
+class TestRCTree:
+    def test_total_capacitance(self):
+        assert _two_sink_tree().total_capacitance() == pytest.approx(8.0)
+
+    def test_downstream_capacitance(self):
+        tree = _two_sink_tree()
+        assert tree.downstream_capacitance("mid") == pytest.approx(7.0)
+        assert tree.downstream_capacitance("a") == pytest.approx(3.0)
+
+    def test_elmore_delay_by_hand(self):
+        tree = _two_sink_tree()
+        # Path root(R=10, downstream 8) -> mid(R=5, downstream 7)
+        #   -> a(R=3, downstream 3).
+        assert tree.elmore_delay("a") == pytest.approx(10 * 8 + 5 * 7 + 3 * 3)
+
+    def test_elmore_monotone_along_path(self):
+        tree = _two_sink_tree()
+        assert tree.elmore_delay("a") > tree.elmore_delay("mid")
+        assert tree.elmore_delay("mid") > tree.elmore_delay("root")
+
+    def test_single_rc_lump(self):
+        tree = RCTree(root_capacitance=0.0, driver_resistance=2.0)
+        tree.add_segment("out", "root", resistance=0.0, capacitance=3.0)
+        assert tree.elmore_delay("out") == pytest.approx(6.0)
+
+    def test_second_moment_single_pole(self):
+        # One-pole RC: m2 = (RC)^2, so the spread estimate equals RC.
+        tree = RCTree(driver_resistance=2.0)
+        tree.add_segment("out", "root", resistance=0.0, capacitance=3.0)
+        assert tree.second_moment("out") == pytest.approx(36.0)
+        assert tree.delay_spread("out") == pytest.approx(6.0)
+
+    def test_duplicate_node_rejected(self):
+        tree = _two_sink_tree()
+        with pytest.raises(ValueError, match="already exists"):
+            tree.add_segment("mid", "root", 1.0, 1.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = _two_sink_tree()
+        with pytest.raises(KeyError):
+            tree.add_segment("x", "ghost", 1.0, 1.0)
+
+    def test_negative_values_rejected(self):
+        tree = RCTree()
+        with pytest.raises(ValueError):
+            tree.add_segment("x", "root", -1.0, 1.0)
+
+
+class TestCoupledStage:
+    def test_delay_linear_in_kappa(self):
+        stage = CoupledStage(base_delay=10.0, coupling_delta=2.0)
+        assert stage.delay(1.0) == 10.0
+        assert stage.delay(2.0) == 12.0
+        assert stage.delay(0.0) == 8.0
+
+    def test_from_rc_matches_elmore_perturbation(self):
+        tree = _two_sink_tree()
+        stage = CoupledStage.from_rc(tree, sink="a", coupling_node="a",
+                                     coupling_cap=0.5)
+        # delta = R_common(a, a) * Cc = (10 + 5 + 3) * 0.5.
+        assert stage.coupling_delta == pytest.approx(18 * 0.5)
+        # base includes Cc once.
+        assert stage.base_delay == pytest.approx(
+            tree.elmore_delay("a") + 18 * 0.5)
+
+    def test_from_rc_restores_tree(self):
+        tree = _two_sink_tree()
+        before = tree.elmore_delay("a")
+        CoupledStage.from_rc(tree, "a", "mid", 1.0)
+        assert tree.elmore_delay("a") == pytest.approx(before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoupledStage(0.0, 1.0)
+        with pytest.raises(ValueError):
+            CoupledStage(1.0, -0.1)
+
+
+class TestAlignmentWindow:
+    def test_certain_overlap(self):
+        window = AlignmentWindow(width=100.0)
+        p = window.overlap_probability(Normal(0, 1), Normal(0, 1))
+        assert p == pytest.approx(1.0, abs=1e-9)
+
+    def test_far_apart_no_overlap(self):
+        window = AlignmentWindow(width=1.0)
+        p = window.overlap_probability(Normal(0, 0.1), Normal(50, 0.1))
+        assert p == pytest.approx(0.0, abs=1e-12)
+
+    def test_half_overlap_at_edge(self):
+        window = AlignmentWindow(width=2.0)
+        # Deterministic arrivals exactly one half-width apart.
+        p = window.overlap_probability(Normal(0, 1e-9), Normal(1.0, 1e-9))
+        assert p == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            AlignmentWindow(0.0)
+
+
+class TestStatisticalCrosstalk:
+    STAGE = CoupledStage(base_delay=5.0, coupling_delta=1.0)
+    WINDOW = AlignmentWindow(width=2.0)
+
+    def test_quiet_aggressor_is_nominal(self):
+        mixture, kappas = crosstalk_delay_distribution(
+            self.STAGE, Normal(0, 1), "rise",
+            aggressor_rise=(0.0, None), aggressor_fall=(0.0, None),
+            window=self.WINDOW)
+        assert kappas[1.0] == pytest.approx(1.0)
+        assert mixture.mean() == pytest.approx(5.0)
+
+    def test_opposite_alignment_slows(self):
+        mixture, kappas = crosstalk_delay_distribution(
+            self.STAGE, Normal(0, 0.3), "rise",
+            aggressor_rise=(0.0, None),
+            aggressor_fall=(1.0, Normal(0, 0.3)),
+            window=self.WINDOW)
+        assert kappas[2.0] > 0.9
+        assert mixture.mean() > 5.5
+
+    def test_same_direction_speeds(self):
+        mixture, kappas = crosstalk_delay_distribution(
+            self.STAGE, Normal(0, 0.3), "rise",
+            aggressor_rise=(1.0, Normal(0, 0.3)),
+            aggressor_fall=(0.0, None),
+            window=self.WINDOW)
+        assert kappas[0.0] > 0.9
+        assert mixture.mean() < 4.5
+
+    def test_kappa_probabilities_sum_to_one(self):
+        _, kappas = crosstalk_delay_distribution(
+            self.STAGE, Normal(0, 1), "fall",
+            aggressor_rise=(0.3, Normal(2, 1)),
+            aggressor_fall=(0.2, Normal(-1, 1)),
+            window=self.WINDOW)
+        assert sum(kappas.values()) == pytest.approx(1.0)
+
+    def test_worst_case_bounds_statistical_mean(self):
+        mixture, _ = crosstalk_delay_distribution(
+            self.STAGE, Normal(0, 1), "rise",
+            aggressor_rise=(0.25, Normal(0, 1)),
+            aggressor_fall=(0.25, Normal(0, 1)),
+            window=self.WINDOW)
+        worst = worst_case_crosstalk_delay(self.STAGE, Normal(0, 1))
+        assert worst.mu > mixture.mean()
+
+    def test_against_monte_carlo(self):
+        args = (self.STAGE, Normal(0, 1), "rise",
+                (0.25, Normal(0.5, 1.0)), (0.25, Normal(-0.5, 1.0)),
+                self.WINDOW)
+        mixture, _ = crosstalk_delay_distribution(*args)
+        samples = sample_crosstalk_delays(
+            *args, n_samples=300_000, rng=np.random.default_rng(0))
+        # The closed form ignores victim-arrival/alignment conditioning;
+        # it is a small effect at these parameters.
+        assert mixture.mean() == pytest.approx(samples.mean(), abs=0.03)
+        assert mixture.std() == pytest.approx(samples.std(), abs=0.05)
+
+    def test_far_aggressor_never_aligns(self):
+        _, kappas = crosstalk_delay_distribution(
+            self.STAGE, Normal(0, 0.1), "rise",
+            aggressor_rise=(0.5, Normal(40, 0.1)),
+            aggressor_fall=(0.5, Normal(40, 0.1)),
+            window=self.WINDOW)
+        assert kappas[1.0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            crosstalk_delay_distribution(
+                self.STAGE, Normal(0, 1), "up",
+                (0.0, None), (0.0, None), self.WINDOW)
+
+    def test_spsta_tops_plug_in(self):
+        """End-to-end: SPSTA TOP outputs feed the crosstalk model."""
+        from repro.core.inputs import CONFIG_I
+        from repro.core.spsta import run_spsta
+        from repro.netlist.benchmarks import benchmark_circuit
+
+        netlist = benchmark_circuit("s27")
+        spsta = run_spsta(netlist, CONFIG_I)
+        aggressor = netlist.endpoints[0]
+        rise = spsta.tops[aggressor].rise
+        fall = spsta.tops[aggressor].fall
+        mixture, kappas = crosstalk_delay_distribution(
+            self.STAGE, Normal(3.0, 1.0), "rise",
+            aggressor_rise=(rise.weight, rise.conditional),
+            aggressor_fall=(fall.weight, fall.conditional),
+            window=self.WINDOW)
+        assert sum(kappas.values()) == pytest.approx(1.0)
+        assert mixture.total_weight == pytest.approx(1.0)

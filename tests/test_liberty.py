@@ -1,0 +1,204 @@
+"""Tests for repro.core.liberty — .lib subset parsing."""
+
+import pytest
+
+from repro.core.liberty import (
+    LibertyParseError,
+    gate_type_for_cell,
+    parse_liberty,
+    parse_liberty_file,
+)
+from repro.core.nldm import run_nldm_sta
+from repro.logic.gates import GateType
+
+DEMO_LIB = """
+/* demo library */
+library (demo) {
+  time_unit : "1ns";
+  cell (NAND2_X1) {
+    area : 1.0;
+    pin (A) { direction : input; capacitance : 1.1; }
+    pin (B) { direction : input; capacitance : 0.9; }
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : "A B";
+        cell_rise (tbl) {
+          index_1 ("0.1, 0.5, 1.0");
+          index_2 ("0.5, 1.0, 2.0");
+          values ("0.40, 0.60, 0.90", \\
+                  "0.50, 0.70, 1.00", \\
+                  "0.70, 0.90, 1.20");
+        }
+        cell_fall (tbl) {
+          index_1 ("0.1, 0.5, 1.0");
+          index_2 ("0.5, 1.0, 2.0");
+          values ("0.60, 0.80, 1.10", \\
+                  "0.70, 0.90, 1.20", \\
+                  "0.90, 1.10, 1.40");
+        }
+        rise_transition (tbl) {
+          index_1 ("0.1, 0.5, 1.0");
+          index_2 ("0.5, 1.0, 2.0");
+          values ("0.2, 0.3, 0.5", "0.3, 0.4, 0.6", "0.4, 0.5, 0.8");
+        }
+        fall_transition (tbl) {
+          index_1 ("0.1, 0.5, 1.0");
+          index_2 ("0.5, 1.0, 2.0");
+          values ("0.2, 0.3, 0.5", "0.3, 0.4, 0.6", "0.4, 0.5, 0.8");
+        }
+      }
+    }
+  }
+  cell (INV_X1) {
+    pin (A) { direction : input; capacitance : 0.8; }
+    pin (Y) {
+      direction : output;
+      timing () {
+        cell_rise (tbl) {
+          index_1 ("0.1, 1.0");
+          index_2 ("0.5, 2.0");
+          values ("0.2, 0.5", "0.4, 0.8");
+        }
+        rise_transition (tbl) {
+          index_1 ("0.1, 1.0");
+          index_2 ("0.5, 2.0");
+          values ("0.1, 0.3", "0.2, 0.5");
+        }
+      }
+    }
+  }
+  cell (WEIRD_MACRO) {
+    pin (Z) { direction : output; }
+  }
+}
+"""
+
+
+class TestCellNameMapping:
+    @pytest.mark.parametrize("name,expected", [
+        ("NAND2_X1", GateType.NAND),
+        ("nor3", GateType.NOR),
+        ("XNOR2", GateType.XNOR),
+        ("XOR2", GateType.XOR),
+        ("AND2", GateType.AND),
+        ("OR4_X2", GateType.OR),
+        ("INV_X1", GateType.NOT),
+        ("BUF_X8", GateType.BUFF),
+        ("DLATCH", None),
+    ])
+    def test_prefix_mapping(self, name, expected):
+        assert gate_type_for_cell(name) is expected
+
+
+class TestParsing:
+    def test_cells_recognized(self):
+        lib = parse_liberty(DEMO_LIB)
+        assert lib.arc(GateType.NAND) is not None
+        assert lib.arc(GateType.NOT) is not None
+
+    def test_unmapped_cells_skipped(self):
+        lib = parse_liberty(DEMO_LIB)
+        with pytest.raises(KeyError):
+            lib.arc(GateType.XOR)
+
+    def test_input_capacitance_averaged(self):
+        arc = parse_liberty(DEMO_LIB).arc(GateType.NAND)
+        assert arc.input_capacitance == pytest.approx(1.0)
+
+    def test_rise_fall_delays_averaged(self):
+        arc = parse_liberty(DEMO_LIB).arc(GateType.NAND)
+        # corner (slew 0.1, load 0.5): (0.40 + 0.60) / 2.
+        assert arc.delay.interpolate(0.1, 0.5) == pytest.approx(0.5)
+
+    def test_table_interpolation_from_lib_values(self):
+        arc = parse_liberty(DEMO_LIB).arc(GateType.NOT)
+        assert arc.delay.interpolate(0.1, 0.5) == pytest.approx(0.2)
+        assert arc.delay.interpolate(1.0, 2.0) == pytest.approx(0.8)
+
+    def test_unknown_attributes_ignored(self):
+        # area, time_unit, related_pin must not trip the parser.
+        parse_liberty(DEMO_LIB)
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(LibertyParseError, match="unbalanced"):
+            parse_liberty("library (x) { cell (NAND2) {")
+
+    def test_no_library_rejected(self):
+        with pytest.raises(LibertyParseError, match="no library"):
+            parse_liberty("cell (NAND2) { }")
+
+    def test_no_usable_cells_rejected(self):
+        with pytest.raises(LibertyParseError, match="no usable cells"):
+            parse_liberty("library (x) { cell (MACRO1) { } }")
+
+    def test_bad_table_shape_rejected(self):
+        bad = """
+        library (x) { cell (NAND2) {
+          pin (A) { direction : input; capacitance : 1; }
+          pin (Y) { direction : output;
+            timing () {
+              cell_rise (t) {
+                index_1 ("0.1, 1.0");
+                index_2 ("0.5, 2.0");
+                values ("1, 2, 3");
+              }
+              rise_transition (t) {
+                index_1 ("0.1, 1.0");
+                index_2 ("0.5, 2.0");
+                values ("1, 2", "3, 4");
+              }
+            } } } }"""
+        with pytest.raises(LibertyParseError, match="values"):
+            parse_liberty(bad)
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "demo.lib"
+        path.write_text(DEMO_LIB)
+        lib = parse_liberty_file(path)
+        assert lib.arc(GateType.NAND) is not None
+
+
+class TestEndToEnd:
+    def test_liberty_drives_nldm_sta(self):
+        """A netlist restricted to the parsed cells runs NLDM STA."""
+        from repro.netlist.core import Gate, Netlist
+
+        lib = parse_liberty(DEMO_LIB)
+        netlist = Netlist("demo", ["a", "b"], ["y"], [
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("y", GateType.NOT, ("n1",)),
+        ])
+        result = run_nldm_sta(netlist, lib, input_slew=0.2)
+        assert result.arrival["y"] > result.arrival["n1"] > 0.0
+        assert result.slew["y"] > 0.0
+
+
+class TestDemoLibrary:
+    def test_loads_every_gate_type(self):
+        from repro.core.liberty import demo_library
+        from repro.core.nldm import run_nldm_sta
+        from repro.netlist.benchmarks import benchmark_circuit
+
+        lib = demo_library()
+        for gt in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                   GateType.NOT, GateType.BUFF, GateType.XOR, GateType.XNOR):
+            assert lib.arc(gt) is not None
+
+    def test_speed_ordering(self):
+        from repro.core.liberty import demo_library
+        lib = demo_library()
+        inv = lib.arc(GateType.NOT).delay.interpolate(0.5, 1.0)
+        xor = lib.arc(GateType.XOR).delay.interpolate(0.5, 1.0)
+        assert inv < xor
+
+    def test_drives_full_benchmark(self):
+        from repro.core.liberty import demo_library
+        from repro.core.nldm import run_nldm_sta
+        from repro.netlist.benchmarks import benchmark_circuit
+
+        netlist = benchmark_circuit("s1196")  # includes XOR/XNOR cells
+        result = run_nldm_sta(netlist, demo_library(), input_slew=0.3)
+        launch = set(netlist.launch_points)
+        assert all(v > 0 for net, v in result.arrival.items()
+                   if net not in launch)

@@ -1,0 +1,131 @@
+"""Tests for multiple-input-switching (MIS) aware delay (paper Sec. 1).
+
+SPSTA's subset enumeration knows exactly how many inputs switch together,
+so per-subset MIS delays integrate naturally; the Monte Carlo engines count
+switching inputs per trial with the same semantics.  SSTA is input-oblivious
+and can only use the k=1 nominal — the blind spot the paper describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delay import MisDelay, UnitDelay
+from repro.core.inputs import CONFIG_I, InputStats, Prob4
+from repro.core.spsta import run_spsta
+from repro.core.ssta import run_ssta
+from repro.logic.fourvalue import Logic4, from_bits
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+from repro.sim.montecarlo import run_monte_carlo
+from repro.sim.reference import simulate_trial
+from repro.sim.sampler import sample_launch_points
+
+GATE = Gate("y", GateType.AND, ("a", "b"))
+
+
+def _and2():
+    return Netlist("g", ["a", "b"], ["y"], [GATE])
+
+
+class TestMisDelayModel:
+    def test_nominal_is_k1(self):
+        model = MisDelay(base=1.0, speedup=0.2)
+        assert model.delay(GATE).mu == 1.0
+        assert model.delay_mis(GATE, 1).mu == 1.0
+
+    def test_speedup_scaling(self):
+        model = MisDelay(base=1.0, speedup=0.2)
+        assert model.delay_mis(GATE, 2).mu == pytest.approx(0.8)
+        assert model.delay_mis(GATE, 3).mu == pytest.approx(0.6)
+
+    def test_floor(self):
+        model = MisDelay(base=1.0, speedup=0.3, floor=0.5)
+        assert model.delay_mis(GATE, 10).mu == pytest.approx(0.5)
+
+    def test_sigma_scales_with_factor(self):
+        model = MisDelay(base=1.0, speedup=0.2, sigma=0.1)
+        assert model.delay_mis(GATE, 2).sigma == pytest.approx(0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MisDelay(speedup=1.5)
+        with pytest.raises(ValueError):
+            MisDelay(floor=0.0)
+        with pytest.raises(ValueError):
+            MisDelay(sigma=-1.0)
+        with pytest.raises(ValueError):
+            MisDelay().delay_mis(GATE, 0)
+
+
+class TestEngineIntegration:
+    def test_spsta_mis_lowers_simultaneous_switch_delay(self):
+        """Force both inputs to always rise: the single subset has k=2 and
+        the output arrival must use the sped-up delay."""
+        both_rise = InputStats(Prob4(0.0, 0.0, 1.0, 0.0))
+        fast = run_spsta(_and2(), both_rise, MisDelay(1.0, 0.2))
+        slow = run_spsta(_and2(), both_rise, UnitDelay(1.0))
+        _, mu_fast, _ = fast.report("y", "rise")
+        _, mu_slow, _ = slow.report("y", "rise")
+        assert mu_fast == pytest.approx(mu_slow - 0.2)
+
+    def test_spsta_with_zero_speedup_matches_unit(self):
+        result_mis = run_spsta(_and2(), CONFIG_I, MisDelay(1.0, 0.0))
+        result_unit = run_spsta(_and2(), CONFIG_I, UnitDelay(1.0))
+        assert result_mis.report("y", "rise") == \
+            pytest.approx(result_unit.report("y", "rise"))
+
+    def test_spsta_matches_mc_with_mis(self):
+        model = MisDelay(1.0, 0.25)
+        spsta = run_spsta(_and2(), CONFIG_I, model)
+        mc = run_monte_carlo(_and2(), CONFIG_I, 60_000, model,
+                             rng=np.random.default_rng(0))
+        for direction in ("rise", "fall"):
+            p, mu, sd = spsta.report("y", direction)
+            stats = mc.direction_stats("y", direction)
+            assert p == pytest.approx(stats.probability, abs=0.01)
+            assert mu == pytest.approx(stats.mean, abs=0.05)
+            assert sd == pytest.approx(stats.std, abs=0.05)
+
+    def test_ssta_blind_to_mis(self):
+        """SSTA sees only the nominal — identical results either way."""
+        a = run_ssta(_and2(), MisDelay(1.0, 0.3))
+        b = run_ssta(_and2(), UnitDelay(1.0))
+        assert a.arrivals["y"].rise == b.arrivals["y"].rise
+
+    def test_neglecting_mis_biases_the_mean(self):
+        """The paper's Sec. 1 claim in miniature: when simultaneous
+        switching is common, an engine using the nominal delay everywhere
+        mis-estimates the mean arrival versus MIS-aware ground truth."""
+        both_rise = InputStats(Prob4(0.0, 0.0, 1.0, 0.0))
+        truth = run_monte_carlo(_and2(), both_rise, 40_000,
+                                MisDelay(1.0, 0.25),
+                                rng=np.random.default_rng(1))
+        blind = run_spsta(_and2(), both_rise, UnitDelay(1.0))
+        aware = run_spsta(_and2(), both_rise, MisDelay(1.0, 0.25))
+        observed = truth.direction_stats("y", "rise").mean
+        assert abs(aware.report("y", "rise")[1] - observed) < 0.02
+        assert abs(blind.report("y", "rise")[1] - observed) > 0.2
+
+    def test_vectorized_matches_scalar_with_mis(self, mixed_circuit):
+        model = MisDelay(1.0, 0.2)
+        rng = np.random.default_rng(5)
+        samples = sample_launch_points(mixed_circuit, CONFIG_I, 200, rng)
+        mc = run_monte_carlo(mixed_circuit, CONFIG_I, 200, model,
+                             samples=samples)
+        for trial in range(200):
+            launch = {}
+            for net, wave in samples.items():
+                symbol = from_bits(int(wave.init[trial]),
+                                   int(wave.final[trial]))
+                t = wave.time[trial]
+                launch[net] = (symbol, None if np.isnan(t) else float(t))
+            scalar = simulate_trial(mixed_circuit, launch, model)
+            for net, (symbol, t) in scalar.items():
+                wave = mc.wave(net)
+                got = from_bits(int(wave.init[trial]),
+                                int(wave.final[trial]))
+                assert got is symbol
+                if t is None:
+                    assert np.isnan(wave.time[trial])
+                else:
+                    assert wave.time[trial] == pytest.approx(t)

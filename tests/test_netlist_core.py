@@ -1,0 +1,117 @@
+"""Tests for repro.netlist.core — the netlist data model."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+
+
+class TestValidation:
+    def test_duplicate_driver_rejected(self):
+        with pytest.raises(ValueError, match="driven twice"):
+            Netlist("bad", ["a"], ["y"], [
+                Gate("y", GateType.BUFF, ("a",)),
+                Gate("y", GateType.NOT, ("a",)),
+            ])
+
+    def test_undriven_reference_rejected(self):
+        with pytest.raises(ValueError, match="undriven"):
+            Netlist("bad", ["a"], ["y"],
+                    [Gate("y", GateType.AND, ("a", "ghost"))])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(ValueError, match="undriven"):
+            Netlist("bad", ["a"], ["ghost"],
+                    [Gate("y", GateType.BUFF, ("a",))])
+
+    def test_duplicate_primary_input_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Netlist("bad", ["a", "a"], ["a"], [])
+
+    def test_input_also_driven_rejected(self):
+        with pytest.raises(ValueError, match="gate-driven"):
+            Netlist("bad", ["a"], ["a"], [Gate("a", GateType.BUFF, ("a",))])
+
+    def test_dff_arity(self):
+        with pytest.raises(ValueError, match="exactly one input"):
+            Gate("q", GateType.DFF, ("a", "b"))
+
+    def test_empty_gate_name_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("", GateType.BUFF, ("a",))
+
+    def test_combinational_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Netlist("loop", ["a"], ["x"], [
+                Gate("x", GateType.AND, ("a", "y")),
+                Gate("y", GateType.BUFF, ("x",)),
+            ])
+
+    def test_sequential_loop_allowed(self, sequential_circuit):
+        # DFFs cut the loop; construction must succeed.
+        assert sequential_circuit.name == "seq"
+
+
+class TestViews:
+    def test_launch_points(self, sequential_circuit):
+        assert set(sequential_circuit.launch_points) == {"x", "q1", "q2"}
+
+    def test_endpoints_include_ff_inputs(self, sequential_circuit):
+        assert set(sequential_circuit.endpoints) == {"q2", "d1", "d2"}
+
+    def test_endpoints_deduplicated(self):
+        net = Netlist("dup", ["a"], ["y"], [
+            Gate("y", GateType.BUFF, ("a",)),
+            Gate("q", GateType.DFF, ("y",)),
+        ])
+        assert net.endpoints == ("y",)
+
+    def test_nets_enumeration(self, and2_circuit):
+        assert set(and2_circuit.nets) == {"a", "b", "y"}
+
+    def test_fanouts(self, mixed_circuit):
+        assert "n4" in mixed_circuit.fanouts("n1")
+        assert "n3" in mixed_circuit.fanouts("n1")
+        assert mixed_circuit.fanouts("p") == ()
+
+    def test_driver(self, and2_circuit):
+        assert and2_circuit.driver("y").gate_type is GateType.AND
+        with pytest.raises(KeyError):
+            and2_circuit.driver("a")
+
+    def test_is_launch_point(self, sequential_circuit):
+        assert sequential_circuit.is_launch_point("x")
+        assert sequential_circuit.is_launch_point("q1")
+        assert not sequential_circuit.is_launch_point("d1")
+
+    def test_counts(self, mixed_circuit):
+        counts = mixed_circuit.counts()
+        assert counts["NAND"] == 1
+        assert counts["AND"] == 1
+
+    def test_repr(self, mixed_circuit):
+        assert "mixed" in repr(mixed_circuit)
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self, mixed_circuit):
+        position = {g.name: i
+                    for i, g in enumerate(mixed_circuit.combinational_gates)}
+        for gate in mixed_circuit.combinational_gates:
+            for src in gate.inputs:
+                if src in position:
+                    assert position[src] < position[gate.name], \
+                        f"{src} must precede {gate.name}"
+
+    def test_all_combinational_gates_present(self, mixed_circuit):
+        names = {g.name for g in mixed_circuit.combinational_gates}
+        expected = {g.name for g in mixed_circuit.gates.values()
+                    if g.gate_type is not GateType.DFF}
+        assert names == expected
+
+    def test_dffs_excluded_from_topo(self, sequential_circuit):
+        types = {g.gate_type for g in sequential_circuit.combinational_gates}
+        assert GateType.DFF not in types
+
+    def test_dffs_property(self, sequential_circuit):
+        assert {g.name for g in sequential_circuit.dffs} == {"q1", "q2"}

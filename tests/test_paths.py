@@ -1,0 +1,161 @@
+"""Tests for repro.core.paths — path enumeration and criticality."""
+
+import numpy as np
+import pytest
+
+from repro.core.delay import NormalDelay, PerGateDelay, UnitDelay
+from repro.core.paths import (
+    TimingPath,
+    criticality_probabilities,
+    k_longest_paths,
+    path_delay,
+)
+from repro.logic.gates import GateType
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.stats.normal import Normal
+
+
+@pytest.fixture
+def diamond() -> Netlist:
+    """Two paths a->y: direct (1 gate) and via l1, l2 (3 gates)."""
+    return Netlist("diamond", ["a"], ["y"], [
+        Gate("l1", GateType.NOT, ("a",)),
+        Gate("l2", GateType.NOT, ("l1",)),
+        Gate("y", GateType.AND, ("a", "l2")),
+    ])
+
+
+class TestEnumeration:
+    def test_chain_single_path(self, chain_circuit):
+        paths = k_longest_paths(chain_circuit, k=5)
+        assert len(paths) == 1
+        assert paths[0].nets == ("a", "n1", "n2", "n3")
+        assert paths[0].nominal_delay == pytest.approx(3.0)
+
+    def test_diamond_two_paths_ordered(self, diamond):
+        paths = k_longest_paths(diamond, k=5, endpoint="y")
+        assert len(paths) == 2
+        assert paths[0].nets == ("a", "l1", "l2", "y")
+        assert paths[0].nominal_delay == pytest.approx(3.0)
+        assert paths[1].nets == ("a", "y")
+        assert paths[1].nominal_delay == pytest.approx(1.0)
+
+    def test_k_truncates(self, diamond):
+        assert len(k_longest_paths(diamond, k=1)) == 1
+
+    def test_longest_matches_critical_depth(self):
+        netlist = benchmark_circuit("s298")
+        endpoint, depth = critical_endpoint(netlist)
+        paths = k_longest_paths(netlist, k=1, endpoint=endpoint)
+        assert paths[0].nominal_delay == pytest.approx(float(depth))
+
+    def test_all_endpoints_by_default(self, diamond):
+        # y is the only PO; DFE-free circuit: both paths end at y.
+        paths = k_longest_paths(diamond, k=10)
+        assert {p.endpoint for p in paths} == {"y"}
+
+    def test_rejects_non_endpoint(self, diamond):
+        with pytest.raises(ValueError, match="not an endpoint"):
+            k_longest_paths(diamond, endpoint="l1")
+
+    def test_rejects_bad_k(self, diamond):
+        with pytest.raises(ValueError):
+            k_longest_paths(diamond, k=0)
+
+    def test_respects_delay_model(self, diamond):
+        paths = k_longest_paths(diamond, k=2, delay_model=UnitDelay(2.0))
+        assert paths[0].nominal_delay == pytest.approx(6.0)
+
+    def test_k_longest_on_benchmark(self):
+        netlist = benchmark_circuit("s344")
+        paths = k_longest_paths(netlist, k=20)
+        delays = [p.nominal_delay for p in paths]
+        assert delays == sorted(delays, reverse=True)
+        assert len(paths) == 20
+        for p in paths:
+            assert netlist.is_launch_point(p.launch)
+
+    def test_path_repr(self, chain_circuit):
+        path = k_longest_paths(chain_circuit, k=1)[0]
+        assert "a -> n1" in repr(path)
+        assert path.length == 3
+
+
+class TestPathDelay:
+    def test_unit_delay_chain(self, chain_circuit):
+        path = k_longest_paths(chain_circuit, k=1)[0]
+        dist = path_delay(path, chain_circuit)
+        assert dist.mu == pytest.approx(3.0)
+        assert dist.sigma == pytest.approx(1.0)  # launch only
+
+    def test_gaussian_delays_accumulate(self, chain_circuit):
+        path = k_longest_paths(chain_circuit, k=1)[0]
+        dist = path_delay(path, chain_circuit, NormalDelay(1.0, 0.2))
+        assert dist.mu == pytest.approx(3.0)
+        assert dist.sigma == pytest.approx(np.sqrt(1.0 + 3 * 0.04))
+
+    def test_custom_launch(self, chain_circuit):
+        path = k_longest_paths(chain_circuit, k=1)[0]
+        dist = path_delay(path, chain_circuit,
+                          launch_arrival=Normal(2.0, 0.0))
+        assert dist.mu == pytest.approx(5.0)
+        assert dist.sigma == pytest.approx(0.0)
+
+
+class TestCriticality:
+    def test_probabilities_sum_to_one(self, diamond):
+        paths = k_longest_paths(diamond, k=2)
+        probs = criticality_probabilities(diamond, paths, n_samples=5000)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_dominant_path_wins(self, diamond):
+        paths = k_longest_paths(diamond, k=2)
+        # Deterministic launch: the 3-gate path always wins.
+        probs = criticality_probabilities(
+            diamond, paths, launch_arrival=Normal(0.0, 0.0),
+            n_samples=2000)
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.0)
+
+    def test_shared_launch_randomness(self, diamond):
+        """Both diamond paths share the SAME launch arrival, so launch
+        variation alone can never flip the winner — with zero gate-delay
+        variance the longer path is critical with probability one even
+        though the launch sigma is large."""
+        paths = k_longest_paths(diamond, k=2)
+        probs = criticality_probabilities(
+            diamond, paths, launch_arrival=Normal(0.0, 5.0),
+            n_samples=4000)
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_gate_variation_creates_contention(self):
+        # Two disjoint 2-gate paths with equal nominal delay: each should
+        # win about half the time under per-gate random delays.
+        netlist = Netlist("race", ["a", "b"], ["y1", "y2"], [
+            Gate("m1", GateType.BUFF, ("a",)),
+            Gate("y1", GateType.BUFF, ("m1",)),
+            Gate("m2", GateType.BUFF, ("b",)),
+            Gate("y2", GateType.BUFF, ("m2",)),
+        ])
+        paths = [TimingPath(("a", "m1", "y1"), 2.0),
+                 TimingPath(("b", "m2", "y2"), 2.0)]
+        probs = criticality_probabilities(
+            netlist, paths, delay_model=NormalDelay(1.0, 0.1),
+            n_samples=30_000, rng=np.random.default_rng(3))
+        assert probs[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_deterministic_spread_model(self):
+        netlist = benchmark_circuit("s27")
+        paths = k_longest_paths(netlist, k=5,
+                                delay_model=PerGateDelay(1.0, 0.2))
+        probs = criticality_probabilities(
+            netlist, paths, delay_model=PerGateDelay(1.0, 0.2),
+            n_samples=4000)
+        assert len(probs) == len(paths)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_requires_paths(self, diamond):
+        with pytest.raises(ValueError):
+            criticality_probabilities(diamond, [])

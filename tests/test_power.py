@@ -1,0 +1,151 @@
+"""Tests for repro.power — transition density and switching power."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, InputStats, Prob4
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.power.density import (
+    gate_boolean_difference_probs,
+    transition_densities,
+    transition_densities_bdd,
+)
+from repro.power.power import switching_power
+from repro.sim.montecarlo import run_monte_carlo
+
+
+class TestBooleanDifferenceProbs:
+    def test_and_gate_figure3(self):
+        # P(dy/dx_i) = P(other) = 0.5; rho_y = 0.5 + 0.5 = 1 (Fig. 3).
+        weights = gate_boolean_difference_probs(GateType.AND, [0.5, 0.5])
+        assert weights == [0.5, 0.5]
+
+    def test_or_gate(self):
+        weights = gate_boolean_difference_probs(GateType.OR, [0.2, 0.4])
+        assert weights[0] == pytest.approx(0.6)  # prod of (1 - P(other))
+        assert weights[1] == pytest.approx(0.8)
+
+    def test_inversion_does_not_matter(self):
+        a = gate_boolean_difference_probs(GateType.AND, [0.3, 0.7])
+        b = gate_boolean_difference_probs(GateType.NAND, [0.3, 0.7])
+        assert a == b
+
+    def test_xor_always_propagates(self):
+        assert gate_boolean_difference_probs(
+            GateType.XOR, [0.1, 0.9, 0.5]) == [1.0, 1.0, 1.0]
+
+    def test_inverter(self):
+        assert gate_boolean_difference_probs(GateType.NOT, [0.3]) == [1.0]
+
+    def test_three_input_and(self):
+        weights = gate_boolean_difference_probs(GateType.AND,
+                                                [0.5, 0.5, 0.5])
+        assert weights == [0.25, 0.25, 0.25]
+
+
+class TestTransitionDensities:
+    def test_inverter_chain_preserves_density(self, chain_circuit):
+        rho = transition_densities(chain_circuit, 0.5, 2.0)
+        assert rho["n3"] == pytest.approx(2.0)
+
+    def test_and_gate_example(self, and2_circuit):
+        rho = transition_densities(and2_circuit, 0.5, 1.0)
+        assert rho["y"] == pytest.approx(1.0)
+
+    def test_rejects_negative_density(self, and2_circuit):
+        with pytest.raises(ValueError):
+            transition_densities(and2_circuit, 0.5, -1.0)
+
+    def test_per_net_launch_values(self, and2_circuit):
+        rho = transition_densities(and2_circuit, {"a": 0.9, "b": 0.5},
+                                   {"a": 0.0, "b": 1.0})
+        # Only b toggles; propagation weight is P(a) = 0.9.
+        assert rho["y"] == pytest.approx(0.9)
+
+    def test_bdd_variant_matches_independent_on_tree(self, chain_circuit):
+        a = transition_densities(chain_circuit, 0.5, 1.0)
+        b = transition_densities_bdd(chain_circuit, 0.5, 1.0)
+        for net in chain_circuit.nets:
+            assert a[net] == pytest.approx(b[net])
+
+    def test_bdd_variant_fixes_reconvergence(self, reconvergent_circuit):
+        # y = a AND NOT a never toggles; the independent estimate is wrong.
+        indep = transition_densities(reconvergent_circuit, 0.5, 1.0)
+        exact = transition_densities_bdd(reconvergent_circuit, 0.5, 1.0)
+        assert exact["y"] == pytest.approx(0.0, abs=1e-12)
+        assert indep["y"] > 0.0
+
+    def test_density_against_monte_carlo(self):
+        # Transition-density propagation assumes at most the launch rates;
+        # compare against the simulator's observed toggling on a tree.
+        netlist = Netlist("tree", ["a", "b", "c"], ["y"], [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("y", GateType.OR, ("n1", "c")),
+        ])
+        # CONFIG_I: P = 0.5, density = 0.5 toggles/cycle at launch points.
+        rho = transition_densities(netlist, 0.5, 0.5)
+        mc = run_monte_carlo(netlist, CONFIG_I, 60_000,
+                             rng=np.random.default_rng(8))
+        # The Boolean-difference formula counts each input's transitions
+        # independently, ignoring simultaneous switching and glitch
+        # filtering, so it systematically overestimates — but it must stay
+        # a same-order upper estimate.
+        observed = mc.toggling_rate("y")
+        assert rho["y"] >= observed - 0.01
+        assert rho["y"] <= 2.0 * observed
+
+    def test_spsta_toggling_rate_better_than_density(self):
+        """SPSTA's four-value TOP weights handle simultaneous switching
+        (glitch filtering) that Eq. 6 ignores — Sec. 3.1's claim."""
+        from repro.core.spsta import run_spsta
+        netlist = Netlist("tree", ["a", "b", "c"], ["y"], [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("y", GateType.OR, ("n1", "c")),
+        ])
+        rho = transition_densities(netlist, 0.5, 0.5)
+        spsta = run_spsta(netlist, CONFIG_I)
+        mc = run_monte_carlo(netlist, CONFIG_I, 60_000,
+                             rng=np.random.default_rng(8))
+        observed = mc.toggling_rate("y")
+        err_spsta = abs(spsta.toggling_rate("y") - observed)
+        err_density = abs(rho["y"] - observed)
+        assert err_spsta <= err_density + 1e-9
+
+
+class TestSwitchingPower:
+    def test_power_scales_with_rate(self, chain_circuit):
+        low = switching_power(chain_circuit, {"n1": 0.1})
+        high = switching_power(chain_circuit, {"n1": 0.2})
+        assert high.total_watts == pytest.approx(2 * low.total_watts)
+
+    def test_power_counts_fanout_load(self, mixed_circuit):
+        rates = {net: 1.0 for net in mixed_circuit.nets}
+        report = switching_power(mixed_circuit, rates)
+        # n1 fans out to two gates; p fans out to none.
+        assert report.per_net_watts["n1"] > report.per_net_watts["p"]
+
+    def test_missing_nets_skipped(self, chain_circuit):
+        report = switching_power(chain_circuit, {"n1": 1.0})
+        assert set(report.per_net_watts) == {"n1"}
+
+    def test_top_consumers_sorted(self, mixed_circuit):
+        rates = {net: 1.0 for net in mixed_circuit.nets}
+        top = switching_power(mixed_circuit, rates).top_consumers(3)
+        values = [w for _, w in top]
+        assert values == sorted(values, reverse=True)
+        assert len(top) == 3
+
+    def test_rejects_bad_vdd(self, chain_circuit):
+        with pytest.raises(ValueError):
+            switching_power(chain_circuit, {}, vdd=0.0)
+
+    def test_end_to_end_with_spsta_rates(self):
+        from repro.core.spsta import run_spsta
+        netlist = benchmark_circuit("s27")
+        spsta = run_spsta(netlist, CONFIG_I)
+        rates = {net: spsta.toggling_rate(net) for net in netlist.nets
+                 if net in spsta.tops}
+        report = switching_power(netlist, rates)
+        assert report.total_watts > 0.0

@@ -1,0 +1,152 @@
+"""Tests for repro.core.probability — four-value and two-value propagation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inputs import Prob4
+from repro.core.probability import (
+    gate_prob4,
+    gate_prob4_enumerated,
+    gate_signal_probability,
+    propagate_prob4,
+    signal_probabilities,
+)
+from repro.logic.gates import GateType
+
+
+def prob4s():
+    return st.tuples(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)) \
+        .filter(lambda t: sum(t) <= 1.0) \
+        .map(lambda t: Prob4(1.0 - sum(t), *t))
+
+
+UNIFORM = Prob4.uniform()
+
+
+class TestPaperEquation10:
+    """Closed forms against the paper's AND-gate equations (Eq. 10)."""
+
+    def test_and_uniform_inputs(self):
+        out = gate_prob4(GateType.AND, [UNIFORM, UNIFORM])
+        # P1 = 1/16; Pr = (1/2)^2 - 1/16 = 3/16; Pf likewise.
+        assert out.p_one == pytest.approx(1 / 16)
+        assert out.p_rise == pytest.approx(3 / 16)
+        assert out.p_fall == pytest.approx(3 / 16)
+        assert out.p_zero == pytest.approx(9 / 16)
+
+    def test_or_uniform_inputs_mirror(self):
+        out = gate_prob4(GateType.OR, [UNIFORM, UNIFORM])
+        assert out.p_zero == pytest.approx(1 / 16)
+        assert out.p_one == pytest.approx(9 / 16)
+        assert out.p_rise == pytest.approx(3 / 16)
+
+    @given(prob4s(), prob4s())
+    def test_nand_is_inverted_and(self, a, b):
+        and_out = gate_prob4(GateType.AND, [a, b])
+        nand_out = gate_prob4(GateType.NAND, [a, b])
+        assert nand_out.p_zero == pytest.approx(and_out.p_one)
+        assert nand_out.p_rise == pytest.approx(and_out.p_fall)
+
+    @given(prob4s())
+    def test_not_inverts(self, p):
+        out = gate_prob4(GateType.NOT, [p])
+        assert out == p.inverted()
+
+    @given(prob4s())
+    def test_buff_passes_through(self, p):
+        assert gate_prob4(GateType.BUFF, [p]) == p
+
+    @settings(max_examples=50)
+    @given(st.lists(prob4s(), min_size=1, max_size=4),
+           st.sampled_from([GateType.AND, GateType.OR, GateType.NAND,
+                            GateType.NOR, GateType.XOR, GateType.XNOR]))
+    def test_closed_forms_match_enumeration(self, inputs, gate_type):
+        closed = gate_prob4(gate_type, inputs)
+        enum = gate_prob4_enumerated(gate_type, inputs)
+        assert closed.p_zero == pytest.approx(enum.p_zero, abs=1e-9)
+        assert closed.p_one == pytest.approx(enum.p_one, abs=1e-9)
+        assert closed.p_rise == pytest.approx(enum.p_rise, abs=1e-9)
+        assert closed.p_fall == pytest.approx(enum.p_fall, abs=1e-9)
+
+    def test_static_inputs_stay_static(self):
+        a, b = Prob4.static(0.5), Prob4.static(0.5)
+        out = gate_prob4(GateType.AND, [a, b])
+        assert out.toggling_rate == 0.0
+        assert out.p_one == pytest.approx(0.25)
+
+    def test_enumeration_fanin_guard(self):
+        with pytest.raises(ValueError, match="enumeration limit"):
+            gate_prob4_enumerated(GateType.XOR, [UNIFORM] * 13)
+
+
+class TestXorProb4:
+    def test_xor_uniform(self):
+        out = gate_prob4(GateType.XOR, [UNIFORM, UNIFORM])
+        # By symmetry of the 16 equally likely cells: count outcomes.
+        # out r: (0,r),(r,0),(1,f),(f,1) -> 4/16.
+        assert out.p_rise == pytest.approx(4 / 16)
+        assert out.p_fall == pytest.approx(4 / 16)
+        assert out.p_zero == pytest.approx(4 / 16)
+        assert out.p_one == pytest.approx(4 / 16)
+
+    def test_xnor_mirrors_xor(self):
+        xor_out = gate_prob4(GateType.XOR, [UNIFORM, UNIFORM])
+        xnor_out = gate_prob4(GateType.XNOR, [UNIFORM, UNIFORM])
+        assert xnor_out.p_zero == pytest.approx(xor_out.p_one)
+        assert xnor_out.p_rise == pytest.approx(xor_out.p_fall)
+
+
+class TestNetlistPropagation:
+    def test_propagate_chain(self, chain_circuit):
+        values = propagate_prob4(chain_circuit, UNIFORM)
+        # Inverters/buffers preserve toggling.
+        assert values["n3"].toggling_rate == pytest.approx(0.5)
+
+    def test_propagate_per_net_launch(self, and2_circuit):
+        launch = {"a": Prob4.static(1.0), "b": UNIFORM}
+        values = propagate_prob4(and2_circuit, launch)
+        # AND with constant 1 passes b through.
+        assert values["y"].p_rise == pytest.approx(UNIFORM.p_rise)
+
+    def test_all_nets_covered(self, mixed_circuit):
+        values = propagate_prob4(mixed_circuit, UNIFORM)
+        assert set(values) == set(mixed_circuit.nets)
+
+
+class TestTwoValueSignalProbability:
+    def test_and_example_from_figure3(self):
+        assert gate_signal_probability(
+            GateType.AND, [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_or(self):
+        assert gate_signal_probability(
+            GateType.OR, [0.2, 0.4]) == pytest.approx(0.52)
+
+    def test_xor_three_inputs(self):
+        # P(odd ones) for p = 0.5 each is 0.5.
+        assert gate_signal_probability(
+            GateType.XOR, [0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_xnor_complements_xor(self, p1, p2):
+        x = gate_signal_probability(GateType.XOR, [p1, p2])
+        nx = gate_signal_probability(GateType.XNOR, [p1, p2])
+        assert x + nx == pytest.approx(1.0)
+
+    def test_netlist_propagation(self, chain_circuit):
+        probs = signal_probabilities(chain_circuit, 0.5)
+        assert probs["n1"] == pytest.approx(0.5)
+        assert probs["n3"] == pytest.approx(0.5)
+
+    def test_netlist_propagation_biased(self, and2_circuit):
+        probs = signal_probabilities(and2_circuit, {"a": 0.9, "b": 0.8})
+        assert probs["y"] == pytest.approx(0.72)
+
+    def test_rejects_invalid_probability(self, and2_circuit):
+        with pytest.raises(ValueError):
+            signal_probabilities(and2_circuit, 1.5)
+
+    def test_reconvergence_is_wrong_by_design(self, reconvergent_circuit):
+        # Per-gate independence gives 0.25 for AND(a, ~a); truth is 0.
+        probs = signal_probabilities(reconvergent_circuit, 0.5)
+        assert probs["y"] == pytest.approx(0.25)

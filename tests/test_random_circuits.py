@@ -1,0 +1,239 @@
+"""Property-based differential tests on randomly generated circuits.
+
+Hypothesis builds small random netlists (DAGs and trees); the engines are
+then cross-checked against each other and against exact enumeration:
+
+- the vectorized Monte Carlo engine must match the scalar event-stepping
+  oracle trial-for-trial on ANY circuit;
+- on TREE circuits (every net read at most once) the independence
+  assumption is exact, so SPSTA's four-value probabilities must equal
+  brute-force enumeration over all launch assignments;
+- SPSTA's TOP weights must equal the propagated Prob4 on any circuit;
+- the probability-waveform endpoints must equal Prob4 on any circuit;
+- both netlist serializations must round-trip.
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inputs import CONFIG_I, CONFIG_II, Prob4
+from repro.core.probability import propagate_prob4
+from repro.core.spsta import run_spsta
+from repro.logic.fourvalue import Logic4, from_bits, gate_output_value
+from repro.logic.gates import GateType, gate_spec
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.core import Gate, Netlist
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.sim.montecarlo import run_monte_carlo
+from repro.sim.reference import simulate_trial
+from repro.sim.sampler import sample_launch_points
+
+GATE_TYPES = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+              GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUFF]
+
+
+@st.composite
+def random_dag(draw, max_inputs=4, max_gates=10):
+    """A random combinational DAG netlist."""
+    n_inputs = draw(st.integers(2, max_inputs))
+    n_gates = draw(st.integers(1, max_gates))
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    nets = list(inputs)
+    gates = []
+    for g in range(n_gates):
+        gate_type = draw(st.sampled_from(GATE_TYPES))
+        spec = gate_spec(gate_type)
+        fanin = 1 if spec.max_inputs == 1 else draw(st.integers(2, 3))
+        srcs = tuple(draw(st.sampled_from(nets)) for _ in range(fanin))
+        name = f"g{g}"
+        gates.append(Gate(name, gate_type, srcs))
+        nets.append(name)
+    outputs = [gates[-1].name]
+    return Netlist("rand", inputs, outputs, gates)
+
+
+@st.composite
+def random_tree(draw, max_depth=3):
+    """A random tree netlist: every net drives at most one gate input."""
+    n_inputs = [0]
+    n_gates = [0]
+    inputs = []
+    gates = []
+
+    def build(depth) -> str:
+        is_leaf = depth == 0 or (depth < max_depth and draw(st.booleans()))
+        if is_leaf:
+            n_inputs[0] += 1
+            name = f"i{n_inputs[0]}"
+            inputs.append(name)
+            return name
+        gate_type = draw(st.sampled_from(GATE_TYPES))
+        spec = gate_spec(gate_type)
+        fanin = 1 if spec.max_inputs == 1 else draw(st.integers(2, 3))
+        srcs = tuple(build(depth - 1) for _ in range(fanin))
+        n_gates[0] += 1
+        name = f"g{n_gates[0]}"
+        gates.append(Gate(name, gate_type, srcs))
+        return name
+
+    root = build(max_depth)
+    if root in inputs:  # degenerate: wrap in a buffer so a gate exists
+        gates.append(Gate("gbuf", GateType.BUFF, (root,)))
+        root = "gbuf"
+    return Netlist("tree", inputs, [root], gates)
+
+
+def _enumerate_prob4(netlist: Netlist, launch: Prob4):
+    """Brute-force exact four-value probabilities over all launch
+    assignments (exponential; fine for the tiny circuits here)."""
+    launch_points = netlist.launch_points
+    acc = {net: {v: 0.0 for v in Logic4} for net in netlist.nets}
+    for assignment in product(tuple(Logic4), repeat=len(launch_points)):
+        weight = 1.0
+        for v in assignment:
+            weight *= launch[v]
+        if weight <= 0.0:
+            continue
+        values = dict(zip(launch_points, assignment))
+        for gate in netlist.combinational_gates:
+            spec = gate_spec(gate.gate_type)
+            values[gate.name] = gate_output_value(
+                spec, [values[s] for s in gate.inputs])
+        for net, v in values.items():
+            acc[net][v] += weight
+    return {net: Prob4(d[Logic4.ZERO], d[Logic4.ONE],
+                       d[Logic4.RISE], d[Logic4.FALL])
+            for net, d in acc.items()}
+
+
+class TestVectorizedVsScalar:
+    @settings(max_examples=25, deadline=None)
+    @given(random_dag(), st.integers(0, 10_000))
+    def test_engines_agree_trial_for_trial(self, netlist, seed):
+        rng = np.random.default_rng(seed)
+        samples = sample_launch_points(netlist, CONFIG_I, 25, rng)
+        mc = run_monte_carlo(netlist, CONFIG_I, 25, samples=samples)
+        for trial in range(25):
+            launch = {}
+            for net, wave in samples.items():
+                symbol = from_bits(int(wave.init[trial]),
+                                   int(wave.final[trial]))
+                t = wave.time[trial]
+                launch[net] = (symbol, None if np.isnan(t) else float(t))
+            scalar = simulate_trial(netlist, launch)
+            for net, (symbol, t) in scalar.items():
+                wave = mc.wave(net)
+                got = from_bits(int(wave.init[trial]),
+                                int(wave.final[trial]))
+                assert got is symbol, (net, trial)
+                if t is None:
+                    assert np.isnan(wave.time[trial])
+                else:
+                    assert wave.time[trial] == pytest.approx(t)
+
+
+class TestExactProbabilitiesOnTrees:
+    @settings(max_examples=25, deadline=None)
+    @given(random_tree())
+    def test_prob4_matches_enumeration(self, netlist):
+        if len(netlist.launch_points) > 5:
+            return  # keep 4^n enumeration small
+        exact = _enumerate_prob4(netlist, CONFIG_I.prob4)
+        propagated = propagate_prob4(netlist, CONFIG_I.prob4)
+        for net in netlist.nets:
+            for attr in ("p_zero", "p_one", "p_rise", "p_fall"):
+                assert getattr(propagated[net], attr) == pytest.approx(
+                    getattr(exact[net], attr), abs=1e-9), (net, attr)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_tree())
+    def test_prob4_matches_enumeration_config_ii(self, netlist):
+        if len(netlist.launch_points) > 5:
+            return
+        exact = _enumerate_prob4(netlist, CONFIG_II.prob4)
+        propagated = propagate_prob4(netlist, CONFIG_II.prob4)
+        for net in netlist.nets:
+            assert propagated[net].p_rise == pytest.approx(
+                exact[net].p_rise, abs=1e-9), net
+
+
+class TestCrossEngineInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(random_dag())
+    def test_spsta_weights_equal_prob4(self, netlist):
+        result = run_spsta(netlist, CONFIG_I)
+        for net in netlist.nets:
+            assert result.tops[net].rise.weight == pytest.approx(
+                result.prob4[net].p_rise, abs=1e-9), net
+            assert result.tops[net].fall.weight == pytest.approx(
+                result.prob4[net].p_fall, abs=1e-9), net
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_dag())
+    def test_waveform_endpoints_equal_prob4(self, netlist):
+        from repro.core.waveform import propagate_waveforms
+        from repro.stats.grid import TimeGrid
+
+        grid = TimeGrid(-8.0, 20.0, 512)
+        waves = propagate_waveforms(netlist, CONFIG_II, grid)
+        prob4 = propagate_prob4(netlist, CONFIG_II.prob4)
+        for net in netlist.nets:
+            assert waves[net].initial_probability == pytest.approx(
+                prob4[net].initial_one_probability, abs=1e-6), net
+            assert waves[net].settled_probability == pytest.approx(
+                prob4[net].final_one_probability, abs=1e-6), net
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_dag())
+    def test_serialization_round_trips(self, netlist):
+        bench_back = parse_bench(write_bench(netlist), netlist.name)
+        verilog_back = parse_verilog(write_verilog(netlist))
+        for back in (bench_back, verilog_back):
+            assert set(back.gates) == set(netlist.gates)
+            for name, gate in netlist.gates.items():
+                assert back.gates[name].gate_type is gate.gate_type
+                assert back.gates[name].inputs == gate.inputs
+
+
+class TestTransformEquivalenceOnRandomCircuits:
+    @settings(max_examples=15, deadline=None)
+    @given(random_dag(max_gates=8))
+    def test_decomposition_preserves_function(self, netlist):
+        from repro.netlist.transform import decompose_fanin, equivalent
+
+        decomposed = decompose_fanin(netlist, max_fanin=2)
+        assert equivalent(netlist, decomposed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_dag(max_gates=8), st.integers(0, 1))
+    def test_constant_sweep_preserves_function(self, netlist, tie_value):
+        from itertools import product as iproduct
+
+        from repro.logic.bdd import BDDManager
+        from repro.netlist.transform import sweep_constants
+        from repro.power.density import build_net_bdds
+
+        pi = netlist.inputs[0]
+        swept = sweep_constants(netlist, {pi: tie_value})
+        mgr_a, mgr_b = BDDManager(), BDDManager()
+        funcs_a = build_net_bdds(netlist, mgr_a)
+        funcs_b = build_net_bdds(swept, mgr_b)
+        remaining = [n for n in netlist.launch_points if n != pi]
+        if len(remaining) > 6:
+            return
+        for values in iproduct((0, 1), repeat=len(remaining)):
+            env_a = dict(zip(remaining, values))
+            env_a[pi] = tie_value
+            env_b = dict(zip(remaining, values))
+            for tie in ("__tie0", "__tie1"):
+                if tie in set(swept.launch_points):
+                    env_b[tie] = int(tie == "__tie1")
+            for net, swept_net in zip(netlist.outputs, swept.outputs):
+                expected = mgr_a.evaluate(funcs_a[net], env_a)
+                got = (mgr_b.evaluate(funcs_b[swept_net], env_b)
+                       if swept_net in funcs_b else
+                       int(swept_net == "__tie1"))
+                assert got == expected, (net, values)

@@ -1,0 +1,108 @@
+"""Tests for repro.report — the consolidated timing report."""
+
+import pytest
+
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.report import generate_report
+
+
+class TestGenerateReport:
+    def test_worst_endpoint_first(self):
+        report = generate_report(benchmark_circuit("s27"), clock_period=8.0)
+        slacks = [ep.sta_slack for ep in report.endpoints]
+        assert slacks == sorted(slacks)
+        assert report.worst is report.endpoints[0]
+
+    def test_sta_slack_arithmetic(self):
+        report = generate_report(benchmark_circuit("s27"), clock_period=8.0)
+        for ep in report.endpoints:
+            assert ep.sta_slack == pytest.approx(8.0 - ep.sta_arrival)
+
+    def test_generous_clock_no_misses(self):
+        report = generate_report(benchmark_circuit("s27"),
+                                 clock_period=100.0)
+        for ep in report.endpoints:
+            assert ep.ssta_miss_probability == pytest.approx(0.0, abs=1e-9)
+            assert ep.spsta_miss_probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_tight_clock_ssta_more_pessimistic(self):
+        """SSTA assumes every endpoint toggles every cycle; SPSTA weighs by
+        occurrence probability, so its miss probability is at most SSTA's
+        (up to distribution-shape differences at the critical endpoint)."""
+        report = generate_report(benchmark_circuit("s27"), clock_period=6.0)
+        worst = report.worst
+        assert worst.spsta_miss_probability <= \
+            worst.ssta_miss_probability + 0.02
+
+    def test_spsta_config_changes_miss_probability(self):
+        a = generate_report(benchmark_circuit("s27"), 6.0, stats=CONFIG_I)
+        b = generate_report(benchmark_circuit("s27"), 6.0, stats=CONFIG_II)
+        assert a.worst.spsta_miss_probability != \
+            b.worst.spsta_miss_probability
+        # SSTA columns cannot change.
+        assert a.worst.ssta_miss_probability == \
+            b.worst.ssta_miss_probability
+
+    def test_critical_paths_listed(self):
+        report = generate_report(benchmark_circuit("s27"), 8.0, n_paths=2)
+        assert len(report.critical_paths) == 2
+        assert "->" in report.critical_paths[0]
+
+    def test_render_contains_rows(self):
+        report = generate_report(benchmark_circuit("s27"), 8.0)
+        text = report.render()
+        assert "Timing report for s27" in text
+        assert "Most critical paths" in text
+        assert report.worst.endpoint in text
+
+    def test_render_truncates(self):
+        report = generate_report(benchmark_circuit("s298"), 8.0)
+        text = report.render(max_endpoints=2)
+        assert "more endpoints" in text
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            generate_report(benchmark_circuit("s27"), 0.0)
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+        assert main(["report", "s27", "--clock", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Timing report" in out
+
+
+class TestChipYield:
+    def test_yield_bounds_and_ordering(self):
+        report = generate_report(benchmark_circuit("s344"), clock_period=9.0)
+        assert 0.0 <= report.chip_yield_ssta <= report.chip_yield_spsta <= 1.0
+
+    def test_spsta_yield_tracks_mc_chip_delay(self):
+        """SPSTA chip yield (independence product over endpoints) must
+        track the Monte Carlo fraction of cycles whose latest transition
+        beats the clock."""
+        import numpy as np
+        from repro.core.inputs import CONFIG_I
+        from repro.sim.montecarlo import run_monte_carlo
+
+        netlist = benchmark_circuit("s344")
+        clock = 8.5
+        report = generate_report(netlist, clock_period=clock)
+        mc = run_monte_carlo(netlist, CONFIG_I, 20_000,
+                             rng=np.random.default_rng(0))
+        stacked = np.stack([mc.wave(net).time for net in netlist.endpoints])
+        finite = np.where(np.isnan(stacked), -np.inf, stacked)
+        chip_delay = finite.max(axis=0)
+        observed = float((chip_delay <= clock).mean())  # quiet cycles pass
+        assert report.chip_yield_spsta == pytest.approx(observed, abs=0.03)
+
+    def test_generous_clock_full_yield(self):
+        report = generate_report(benchmark_circuit("s27"), clock_period=50.0)
+        assert report.chip_yield_spsta == pytest.approx(1.0)
+        assert report.chip_yield_ssta == pytest.approx(1.0)
+
+    def test_render_includes_yield(self):
+        report = generate_report(benchmark_circuit("s27"), clock_period=7.0)
+        assert "Chip timing yield" in report.render()

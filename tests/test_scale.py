@@ -1,0 +1,35 @@
+"""Scale tests on the large (beyond-paper) benchmark circuits."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I
+from repro.core.spsta import run_spsta
+from repro.core.ssta import run_ssta
+from repro.netlist.analysis import circuit_stats, critical_endpoint
+from repro.netlist.benchmarks import SCALE_CIRCUITS, benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+
+
+@pytest.mark.parametrize("name", SCALE_CIRCUITS)
+class TestScaleCircuits:
+    def test_structure(self, name):
+        stats = circuit_stats(benchmark_circuit(name))
+        assert stats.n_gates > 2000
+        assert stats.depth >= 17
+        assert stats.max_fanin <= 5
+
+    def test_engines_run_and_agree(self, name):
+        netlist = benchmark_circuit(name)
+        endpoint, _ = critical_endpoint(netlist)
+        spsta = run_spsta(netlist, CONFIG_I)
+        run_ssta(netlist)
+        mc = run_monte_carlo(netlist, CONFIG_I, 4_000,
+                             rng=np.random.default_rng(0))
+        for direction in ("rise", "fall"):
+            p, mu, sigma = spsta.report(endpoint, direction)
+            stats = mc.direction_stats(endpoint, direction)
+            assert p == pytest.approx(stats.probability, abs=0.02)
+            if stats.n_occurrences > 100:
+                assert mu == pytest.approx(stats.mean, abs=0.3)
+                assert sigma == pytest.approx(stats.std, abs=0.4)

@@ -1,0 +1,167 @@
+"""Tests for repro.core.sequential — steady-state FF statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats, Prob4
+from repro.core.sequential import (
+    prob4_from_settled_one,
+    run_sequential_monte_carlo,
+    steady_state_launch_stats,
+)
+from repro.core.spsta import run_spsta
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.stats.normal import Normal
+
+
+def _shift_register() -> Netlist:
+    """PI -> DFF -> DFF: the steady state mirrors the input exactly."""
+    return Netlist("shift", ["x"], ["q2"], [
+        Gate("q1", GateType.DFF, ("x",)),
+        Gate("q2", GateType.DFF, ("q1",)),
+    ])
+
+
+def _toggle_ff() -> Netlist:
+    """DFF fed by its own inversion: a divide-by-two toggle."""
+    return Netlist("toggle", ["en"], ["q"], [
+        Gate("q", GateType.DFF, ("nq",)),
+        Gate("nq", GateType.NOT, ("q",)),
+    ])
+
+
+class TestProb4FromSettled:
+    def test_half(self):
+        p = prob4_from_settled_one(0.5)
+        assert p == Prob4(0.25, 0.25, 0.25, 0.25)
+
+    def test_extremes(self):
+        assert prob4_from_settled_one(1.0).p_one == 1.0
+        assert prob4_from_settled_one(0.0).p_zero == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            prob4_from_settled_one(1.2)
+
+
+class TestFixpoint:
+    def test_shift_register_mirrors_input(self):
+        result = steady_state_launch_stats(_shift_register(), CONFIG_I)
+        assert result.converged
+        # CONFIG_I settled-one probability is 0.5; FF outputs inherit it.
+        q1 = result.launch_stats["q1"].prob4
+        assert q1.final_one_probability == pytest.approx(0.5)
+        assert q1 == Prob4(0.25, 0.25, 0.25, 0.25)
+
+    def test_biased_input_propagates(self):
+        biased = InputStats(Prob4.static(0.9))
+        result = steady_state_launch_stats(_shift_register(), biased)
+        q = result.launch_stats["q1"].prob4
+        assert q.final_one_probability == pytest.approx(0.9)
+        assert q.p_one == pytest.approx(0.81)
+        assert q.toggling_rate == pytest.approx(2 * 0.9 * 0.1)
+
+    def test_toggle_ff_half(self):
+        result = steady_state_launch_stats(_toggle_ff(), CONFIG_I)
+        assert result.converged
+        assert result.launch_stats["q"].prob4.final_one_probability == \
+            pytest.approx(0.5)
+
+    def test_converges_on_benchmarks(self):
+        for name in ("s27", "s298", "s382"):
+            result = steady_state_launch_stats(
+                benchmark_circuit(name), CONFIG_I)
+            assert result.converged, name
+            assert result.iterations < 200
+
+    def test_ff_arrival_defaults_to_pi_arrival(self):
+        custom = InputStats(Prob4.uniform(), rise_arrival=Normal(2.0, 0.5),
+                            fall_arrival=Normal(2.0, 0.5))
+        result = steady_state_launch_stats(_shift_register(), custom)
+        assert result.launch_stats["q1"].rise_arrival == Normal(2.0, 0.5)
+
+    def test_custom_ff_arrival(self):
+        result = steady_state_launch_stats(
+            _shift_register(), CONFIG_I, ff_arrival=Normal(0.0, 0.1))
+        assert result.launch_stats["q1"].rise_arrival.sigma == 0.1
+
+    def test_feeds_spsta(self):
+        netlist = benchmark_circuit("s27")
+        result = steady_state_launch_stats(netlist, CONFIG_I)
+        spsta = run_spsta(netlist, dict(result.launch_stats))
+        endpoint = netlist.endpoints[0]
+        p, _, _ = spsta.report(endpoint, "rise")
+        assert 0.0 <= p <= 1.0
+
+    def test_rejects_bad_iters(self):
+        with pytest.raises(ValueError):
+            steady_state_launch_stats(_shift_register(), CONFIG_I,
+                                      max_iters=0)
+
+
+class TestSequentialMonteCarlo:
+    def test_pi_markov_matches_config_i(self):
+        result = run_sequential_monte_carlo(_shift_register(), CONFIG_I,
+                                            n_cycles=40_000,
+                                            rng=np.random.default_rng(0))
+        p = result.prob4["x"]
+        assert p.p_one == pytest.approx(0.25, abs=0.01)
+        assert p.p_rise == pytest.approx(0.25, abs=0.01)
+
+    def test_shift_register_ff_frequencies(self):
+        result = run_sequential_monte_carlo(_shift_register(), CONFIG_I,
+                                            n_cycles=40_000,
+                                            rng=np.random.default_rng(1))
+        fixpoint = steady_state_launch_stats(_shift_register(), CONFIG_I)
+        q_pred = fixpoint.launch_stats["q1"].prob4
+        q_obs = result.prob4["q1"]
+        assert q_obs.p_one == pytest.approx(q_pred.p_one, abs=0.01)
+        assert q_obs.p_rise == pytest.approx(q_pred.p_rise, abs=0.01)
+
+    def test_toggle_ff_always_toggles(self):
+        result = run_sequential_monte_carlo(_toggle_ff(), CONFIG_I,
+                                            n_cycles=2_000,
+                                            rng=np.random.default_rng(2))
+        p = result.prob4["q"]
+        # q alternates every cycle: only r and f, each half the time.
+        assert p.p_rise == pytest.approx(0.5, abs=0.01)
+        assert p.p_fall == pytest.approx(0.5, abs=0.01)
+        assert p.p_one == pytest.approx(0.0, abs=0.01)
+
+    def test_fixpoint_tracks_sequential_mc_on_s27(self):
+        netlist = benchmark_circuit("s27")
+        fixpoint = steady_state_launch_stats(netlist, CONFIG_I)
+        mc = run_sequential_monte_carlo(netlist, CONFIG_I, n_cycles=30_000,
+                                        rng=np.random.default_rng(3))
+        for g in netlist.dffs:
+            predicted = fixpoint.launch_stats[g.name].prob4
+            observed = mc.prob4[g.name]
+            # Independence-across-cycles is an approximation; temporal and
+            # spatial correlation in the real recurrence shifts things.
+            assert predicted.final_one_probability == pytest.approx(
+                observed.final_one_probability, abs=0.12), g.name
+
+    def test_config_ii_drifts_to_chain_stationary_point(self):
+        """CONFIG_II is not a stationary process (Pf > Pr: more falls than
+        rises per cycle), so a long run relaxes to the stationary point of
+        the Markov chain built from its conditionals:
+
+            a = P(1->1) = P1/(P1+Pf),  b = P(0->1) = Pr/(P0+Pr)
+            pi_1 = b / (1 - a + b) ~ 0.0695
+        """
+        result = run_sequential_monte_carlo(_shift_register(), CONFIG_II,
+                                            n_cycles=40_000,
+                                            rng=np.random.default_rng(4))
+        a = 0.15 / 0.23
+        b = 0.02 / 0.77
+        stationary = b / (1.0 - a + b)
+        p = result.prob4["x"]
+        assert p.final_one_probability == pytest.approx(stationary,
+                                                        abs=0.01)
+
+    def test_rejects_short_run(self):
+        with pytest.raises(ValueError):
+            run_sequential_monte_carlo(_shift_register(), CONFIG_I,
+                                       n_cycles=50, warmup=100)

@@ -1,0 +1,122 @@
+"""Tests for repro.sim.reference — the scalar event-stepping oracle."""
+
+import pytest
+
+from repro.logic.fourvalue import Logic4
+from repro.logic.gates import GateType
+from repro.sim.reference import event_gate_output, simulate_trial
+
+L = Logic4
+
+
+class TestEventGateOutput:
+    def test_and_rising_takes_last(self):
+        symbol, t = event_gate_output(
+            GateType.AND, [(L.RISE, 2.0), (L.RISE, 5.0)], delay=1.0)
+        assert symbol is L.RISE
+        assert t == pytest.approx(6.0)
+
+    def test_and_falling_takes_first(self):
+        symbol, t = event_gate_output(
+            GateType.AND, [(L.FALL, 2.0), (L.FALL, 5.0)], delay=1.0)
+        assert symbol is L.FALL
+        assert t == pytest.approx(3.0)
+
+    def test_or_rising_takes_first(self):
+        symbol, t = event_gate_output(
+            GateType.OR, [(L.RISE, 2.0), (L.RISE, 5.0)], delay=1.0)
+        assert symbol is L.RISE
+        assert t == pytest.approx(3.0)
+
+    def test_or_falling_takes_last(self):
+        symbol, t = event_gate_output(
+            GateType.OR, [(L.FALL, 2.0), (L.FALL, 5.0)], delay=1.0)
+        assert symbol is L.FALL
+        assert t == pytest.approx(6.0)
+
+    def test_controlled_side_input_blocks(self):
+        symbol, t = event_gate_output(
+            GateType.AND, [(L.RISE, 2.0), (L.ZERO, None)], delay=1.0)
+        assert symbol is L.ZERO
+        assert t is None
+
+    def test_nc_side_input_passes(self):
+        symbol, t = event_gate_output(
+            GateType.AND, [(L.RISE, 2.0), (L.ONE, None)], delay=1.0)
+        assert symbol is L.RISE
+        assert t == pytest.approx(3.0)
+
+    def test_glitch_filtered_and_rf(self):
+        symbol, t = event_gate_output(
+            GateType.AND, [(L.RISE, 2.0), (L.FALL, 5.0)], delay=1.0)
+        assert symbol is L.ZERO
+        assert t is None
+
+    def test_nand_inverts_direction_keeps_time(self):
+        and_symbol, and_t = event_gate_output(
+            GateType.AND, [(L.RISE, 2.0), (L.RISE, 5.0)], delay=1.0)
+        nand_symbol, nand_t = event_gate_output(
+            GateType.NAND, [(L.RISE, 2.0), (L.RISE, 5.0)], delay=1.0)
+        assert nand_symbol is L.FALL
+        assert nand_t == and_t
+
+    def test_xor_mixed_switches_settles_last(self):
+        # XOR(r@1, r@4, f@2): odd switches; init 0^0^1=1, final 1^1^0=0.
+        symbol, t = event_gate_output(
+            GateType.XOR, [(L.RISE, 1.0), (L.RISE, 4.0), (L.FALL, 2.0)],
+            delay=0.5)
+        assert symbol is L.FALL
+        assert t == pytest.approx(4.5)
+
+    def test_xor_two_switches_filtered(self):
+        symbol, t = event_gate_output(
+            GateType.XOR, [(L.RISE, 1.0), (L.RISE, 4.0)], delay=0.5)
+        assert symbol is L.ZERO
+        assert t is None
+
+    def test_not_gate(self):
+        symbol, t = event_gate_output(GateType.NOT, [(L.RISE, 3.0)], 1.0)
+        assert symbol is L.FALL
+        assert t == pytest.approx(4.0)
+
+    def test_static_output_no_time(self):
+        symbol, t = event_gate_output(
+            GateType.OR, [(L.ONE, None), (L.RISE, 1.0)], 1.0)
+        assert symbol is L.ONE
+        assert t is None
+
+    def test_or_rise_with_masked_riser(self):
+        # OR(r@5, r@1): output rises at the FIRST riser even though the
+        # second keeps switching afterwards (absorbed by the 1).
+        symbol, t = event_gate_output(
+            GateType.OR, [(L.RISE, 5.0), (L.RISE, 1.0)], 0.0)
+        assert symbol is L.RISE
+        assert t == pytest.approx(1.0)
+
+
+class TestSimulateTrial:
+    def test_chain_propagation(self, chain_circuit):
+        states = simulate_trial(chain_circuit, {"a": (L.RISE, 0.5)})
+        # NOT -> BUFF -> NOT: direction flips twice, 3 unit delays.
+        symbol, t = states["n3"]
+        assert symbol is L.RISE
+        assert t == pytest.approx(3.5)
+
+    def test_static_inputs_static_everywhere(self, mixed_circuit):
+        launch = {net: (L.ONE, None) for net in mixed_circuit.launch_points}
+        states = simulate_trial(mixed_circuit, launch)
+        for net, (symbol, t) in states.items():
+            assert symbol in (L.ZERO, L.ONE)
+            assert t is None
+
+    def test_missing_launch_point_rejected(self, and2_circuit):
+        with pytest.raises(ValueError, match="missing"):
+            simulate_trial(and2_circuit, {"a": (L.ONE, None)})
+
+    def test_sequential_endpoints_reached(self, sequential_circuit):
+        launch = {"x": (L.RISE, 0.0), "q1": (L.ONE, None),
+                  "q2": (L.ONE, None)}
+        states = simulate_trial(sequential_circuit, launch)
+        symbol, t = states["d1"]
+        assert symbol is L.RISE
+        assert t == pytest.approx(1.0)

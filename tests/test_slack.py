@@ -1,0 +1,93 @@
+"""Tests for repro.core.slack — required times and slack."""
+
+import pytest
+
+from repro.core.delay import UnitDelay
+from repro.core.slack import compute_slacks, slack_histogram
+from repro.logic.gates import GateType
+from repro.netlist.analysis import critical_endpoint
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+
+
+class TestComputeSlacks:
+    def test_chain_slack_uniform(self, chain_circuit):
+        result = compute_slacks(chain_circuit, clock_period=5.0)
+        # Single path: every net on it has the same slack, 5 - 3 = 2.
+        for net in ("a", "n1", "n2", "n3"):
+            assert result.slack[net] == pytest.approx(2.0)
+        assert result.worst_slack == pytest.approx(2.0)
+
+    def test_diamond_side_branch_has_more_slack(self):
+        net = Netlist("diamond", ["a"], ["y"], [
+            Gate("l1", GateType.NOT, ("a",)),
+            Gate("l2", GateType.NOT, ("l1",)),
+            Gate("y", GateType.AND, ("a", "l2")),
+        ])
+        result = compute_slacks(net, clock_period=4.0)
+        # Long branch a->l1->l2->y: slack 1; 'a' also bounds via that path.
+        assert result.slack["y"] == pytest.approx(1.0)
+        assert result.slack["l1"] == pytest.approx(1.0)
+        assert result.slack["a"] == pytest.approx(1.0)
+
+    def test_required_minus_arrival(self):
+        netlist = benchmark_circuit("s298")
+        result = compute_slacks(netlist, clock_period=7.0)
+        for net in netlist.nets:
+            if result.required[net] != float("inf"):
+                assert result.slack[net] == pytest.approx(
+                    result.required[net] - result.arrival[net])
+
+    def test_worst_slack_matches_critical_depth(self):
+        netlist = benchmark_circuit("s344")
+        _, depth = critical_endpoint(netlist)
+        result = compute_slacks(netlist, clock_period=10.0)
+        assert result.worst_slack == pytest.approx(10.0 - depth)
+
+    def test_negative_slack_on_tight_clock(self):
+        netlist = benchmark_circuit("s344")
+        _, depth = critical_endpoint(netlist)
+        result = compute_slacks(netlist, clock_period=depth - 1.0)
+        assert result.worst_slack == pytest.approx(-1.0)
+        assert result.critical_nets()
+
+    def test_critical_nets_form_a_path(self):
+        netlist = benchmark_circuit("s298")
+        _, depth = critical_endpoint(netlist)
+        result = compute_slacks(netlist, clock_period=float(depth))
+        critical = result.critical_nets()
+        # At least one full launch-to-endpoint path must be zero-slack.
+        assert len(critical) >= depth + 1
+        assert any(netlist.is_launch_point(n) for n in critical)
+
+    def test_delay_model_respected(self, chain_circuit):
+        result = compute_slacks(chain_circuit, clock_period=10.0,
+                                delay_model=UnitDelay(2.0))
+        assert result.slack["n3"] == pytest.approx(4.0)
+
+    def test_rejects_bad_clock(self, chain_circuit):
+        with pytest.raises(ValueError):
+            compute_slacks(chain_circuit, clock_period=0.0)
+
+    def test_is_critical(self, chain_circuit):
+        result = compute_slacks(chain_circuit, clock_period=5.0)
+        assert result.is_critical("n3")
+
+
+class TestSlackHistogram:
+    def test_counts_all_finite_nets(self):
+        netlist = benchmark_circuit("s298")
+        result = compute_slacks(netlist, clock_period=7.0)
+        hist = slack_histogram(result)
+        finite = sum(1 for s in result.slack.values() if s != float("inf"))
+        assert sum(count for _, count in hist) == finite
+
+    def test_bins_ascend(self):
+        netlist = benchmark_circuit("s298")
+        hist = slack_histogram(compute_slacks(netlist, 7.0), bin_width=0.5)
+        edges = [edge for edge, _ in hist]
+        assert edges == sorted(edges)
+
+    def test_rejects_bad_width(self, chain_circuit):
+        with pytest.raises(ValueError):
+            slack_histogram(compute_slacks(chain_circuit, 5.0), 0.0)

@@ -1,0 +1,92 @@
+"""Cross-algebra agreement: moments vs mixtures vs numeric grid.
+
+The three TOP abstractions approximate differently (single Gaussian,
+capped mixture, discretized density) but must agree on weights exactly and
+on conditional moments to within their respective approximation error.
+"""
+
+import pytest
+
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.core.spsta import (
+    GridAlgebra,
+    MixtureAlgebra,
+    MomentAlgebra,
+    run_spsta,
+)
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.stats.grid import TimeGrid
+
+
+GRID = TimeGrid(-12.0, 25.0, 4096)
+
+
+def _three_way(netlist, config):
+    return (run_spsta(netlist, config, algebra=MomentAlgebra()),
+            run_spsta(netlist, config, algebra=MixtureAlgebra(8)),
+            run_spsta(netlist, config, algebra=GridAlgebra(GRID)))
+
+
+class TestAlgebraAgreement:
+    @pytest.mark.parametrize("config", [CONFIG_I, CONFIG_II],
+                             ids=["I", "II"])
+    def test_weights_identical_on_s27(self, config):
+        netlist = benchmark_circuit("s27")
+        results = _three_way(netlist, config)
+        for net in netlist.nets:
+            for direction in ("rise", "fall"):
+                weights = [getattr(r.tops[net], direction).weight
+                           for r in results]
+                assert weights[0] == pytest.approx(weights[1], abs=1e-9)
+                assert weights[0] == pytest.approx(weights[2], abs=1e-9)
+
+    def test_moments_close_on_s27(self):
+        netlist = benchmark_circuit("s27")
+        moments, mixture, grid = _three_way(netlist, CONFIG_I)
+        for net in netlist.endpoints:
+            for direction in ("rise", "fall"):
+                p0, mu0, sd0 = moments.report(net, direction)
+                p1, mu1, sd1 = mixture.report(net, direction)
+                p2, mu2, sd2 = grid.report(net, direction)
+                if p0 == 0.0:
+                    continue
+                # Mixture keeps more shape than single-Gaussian moments;
+                # grid is the numeric reference.  All should be close here.
+                assert mu0 == pytest.approx(mu2, abs=0.15)
+                assert mu1 == pytest.approx(mu2, abs=0.1)
+                assert sd0 == pytest.approx(sd2, abs=0.2)
+                assert sd1 == pytest.approx(sd2, abs=0.15)
+
+    def test_mixture_cap_one_equals_moment_algebra(self, mixed_circuit):
+        """A 1-component mixture IS moment matching: results must coincide."""
+        moments = run_spsta(mixed_circuit, CONFIG_I,
+                            algebra=MomentAlgebra())
+        mixture1 = run_spsta(mixed_circuit, CONFIG_I,
+                             algebra=MixtureAlgebra(max_components=1))
+        for net in mixed_circuit.endpoints:
+            for direction in ("rise", "fall"):
+                a = moments.report(net, direction)
+                b = mixture1.report(net, direction)
+                assert a[0] == pytest.approx(b[0], abs=1e-9)
+                if a[0] > 0:
+                    assert a[1] == pytest.approx(b[1], abs=1e-6)
+                    assert a[2] == pytest.approx(b[2], abs=1e-6)
+
+    def test_mixture_algebra_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            MixtureAlgebra(0)
+
+    def test_default_algebra_is_moments(self, and2_circuit):
+        default = run_spsta(and2_circuit, CONFIG_I)
+        explicit = run_spsta(and2_circuit, CONFIG_I, algebra=MomentAlgebra())
+        assert default.report("y", "rise") == \
+            pytest.approx(explicit.report("y", "rise"))
+
+    def test_grid_weight_preserved_deep(self):
+        netlist = benchmark_circuit("s298")
+        moments = run_spsta(netlist, CONFIG_I, algebra=MomentAlgebra())
+        grid = run_spsta(netlist, CONFIG_I, algebra=GridAlgebra(GRID))
+        for net in netlist.endpoints:
+            w_m = moments.tops[net].rise.weight
+            w_g = grid.tops[net].rise.weight
+            assert w_m == pytest.approx(w_g, abs=1e-6)

@@ -1,0 +1,155 @@
+"""Tests for repro.core.spsta_canonical — covariance-tracking SPSTA.
+
+The canonical algebra must (a) coincide with the independent moment algebra
+on tree circuits (no shared support, covariances all zero) and (b) beat it
+on reconvergent circuits, where Clark's MAX with the true covariance term
+is exact for perfectly correlated operands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, InputStats, Prob4
+from repro.core.spsta import MomentAlgebra, run_spsta
+from repro.core.spsta_canonical import CanonicalTopAlgebra, endpoint_correlation
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.sim.montecarlo import run_monte_carlo
+
+
+def _reconvergent_buffer_pair() -> Netlist:
+    """y = AND(BUFF(a), BUFF(a)): both inputs carry the SAME transition."""
+    return Netlist("shared", ["a"], ["y"], [
+        Gate("b1", GateType.BUFF, ("a",)),
+        Gate("b2", GateType.BUFF, ("a",)),
+        Gate("y", GateType.AND, ("b1", "b2")),
+    ])
+
+
+class TestAgainstIndependentAlgebra:
+    def test_matches_moments_on_tree(self, mixed_circuit):
+        """mixed_circuit reconverges, but compare on a genuine tree."""
+        tree = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("n2", GateType.NOR, ("c", "d")),
+            Gate("y", GateType.OR, ("n1", "n2")),
+        ])
+        ind = run_spsta(tree, CONFIG_I, algebra=MomentAlgebra())
+        can = run_spsta(tree, CONFIG_I, algebra=CanonicalTopAlgebra(tree))
+        for direction in ("rise", "fall"):
+            a = ind.report("y", direction)
+            b = can.report("y", direction)
+            assert a[0] == pytest.approx(b[0], abs=1e-9)
+            assert a[1] == pytest.approx(b[1], abs=1e-6)
+            assert a[2] == pytest.approx(b[2], abs=1e-6)
+
+    def test_weights_unaffected_by_algebra(self):
+        netlist = benchmark_circuit("s27")
+        ind = run_spsta(netlist, CONFIG_I, algebra=MomentAlgebra())
+        can = run_spsta(netlist, CONFIG_I,
+                        algebra=CanonicalTopAlgebra(netlist))
+        for net in netlist.nets:
+            assert ind.tops[net].rise.weight == \
+                pytest.approx(can.tops[net].rise.weight, abs=1e-9)
+
+
+class TestReconvergence:
+    def test_perfectly_correlated_max_is_exact(self):
+        netlist = _reconvergent_buffer_pair()
+        can = run_spsta(netlist, CONFIG_I,
+                        algebra=CanonicalTopAlgebra(netlist))
+        ind = run_spsta(netlist, CONFIG_I, algebra=MomentAlgebra())
+        # Truth: y rises exactly when a rises, at t(a) + 2 (BUFF + AND).
+        _, mu_can, sd_can = can.report("y", "rise")
+        _, mu_ind, sd_ind = ind.report("y", "rise")
+        assert mu_can == pytest.approx(2.0, abs=1e-9)
+        assert sd_can == pytest.approx(1.0, abs=1e-9)
+        # The independent algebra wrongly applies MAX of two iid normals in
+        # the both-switching subset (1/3 of the mixture weight), pushing the
+        # mean right of the true 2.0.
+        assert mu_ind > 2.15
+        assert sd_ind < 1.0
+
+    def test_against_monte_carlo_on_reconvergent_cone(self):
+        netlist = Netlist("recon2", ["a", "b"], ["y"], [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("n2", GateType.BUFF, ("a",)),
+            Gate("y", GateType.AND, ("n1", "n2")),
+        ])
+        can = run_spsta(netlist, CONFIG_I,
+                        algebra=CanonicalTopAlgebra(netlist))
+        ind = run_spsta(netlist, CONFIG_I, algebra=MomentAlgebra())
+        mc = run_monte_carlo(netlist, CONFIG_I, 60_000,
+                             rng=np.random.default_rng(1))
+        stats = mc.direction_stats("y", "rise")
+        _, mu_can, sd_can = can.report("y", "rise")
+        _, mu_ind, sd_ind = ind.report("y", "rise")
+        err_can = abs(mu_can - stats.mean) + abs(sd_can - stats.std)
+        err_ind = abs(mu_ind - stats.mean) + abs(sd_ind - stats.std)
+        assert err_can <= err_ind + 1e-9
+
+    def test_endpoint_correlation_shared_cone(self):
+        netlist = Netlist("fan", ["a"], ["y1", "y2"], [
+            Gate("y1", GateType.BUFF, ("a",)),
+            Gate("y2", GateType.NOT, ("a",)),
+        ])
+        result = run_spsta(netlist, CONFIG_I,
+                           algebra=CanonicalTopAlgebra(netlist))
+        # y1 rise and y2 fall both come from a's rise: fully correlated.
+        top1 = result.tops["y1"].rise.conditional
+        top2 = result.tops["y2"].fall.conditional
+        denom = top1.sigma * top2.sigma
+        assert float(top1.coeffs @ top2.coeffs) / denom == pytest.approx(1.0)
+
+    def test_endpoint_correlation_helper(self):
+        netlist = Netlist("fan2", ["a"], ["y1", "y2"], [
+            Gate("y1", GateType.BUFF, ("a",)),
+            Gate("y2", GateType.BUFF, ("a",)),
+        ])
+        result = run_spsta(netlist, CONFIG_I,
+                           algebra=CanonicalTopAlgebra(netlist))
+        assert endpoint_correlation(result, "y1", "y2", "rise") == \
+            pytest.approx(1.0)
+
+    def test_independent_endpoints_uncorrelated(self):
+        netlist = Netlist("sep", ["a", "b"], ["y1", "y2"], [
+            Gate("y1", GateType.BUFF, ("a",)),
+            Gate("y2", GateType.BUFF, ("b",)),
+        ])
+        result = run_spsta(netlist, CONFIG_I,
+                           algebra=CanonicalTopAlgebra(netlist))
+        assert endpoint_correlation(result, "y1", "y2", "rise") == \
+            pytest.approx(0.0)
+
+    def test_correlation_zero_when_absent(self):
+        netlist = _reconvergent_buffer_pair()
+        result = run_spsta(
+            netlist, InputStats(Prob4.static(0.5)),
+            algebra=CanonicalTopAlgebra(netlist))
+        assert endpoint_correlation(result, "b1", "b2") == 0.0
+
+    def test_helper_rejects_wrong_algebra(self):
+        netlist = _reconvergent_buffer_pair()
+        result = run_spsta(netlist, CONFIG_I, algebra=MomentAlgebra())
+        with pytest.raises(TypeError):
+            endpoint_correlation(result, "b1", "b2")
+
+
+class TestBenchmarksRun:
+    def test_s27_improves_or_matches_sigma_error(self):
+        netlist = benchmark_circuit("s27")
+        from repro.netlist.analysis import critical_endpoint
+        endpoint, _ = critical_endpoint(netlist)
+        can = run_spsta(netlist, CONFIG_I,
+                        algebra=CanonicalTopAlgebra(netlist))
+        ind = run_spsta(netlist, CONFIG_I, algebra=MomentAlgebra())
+        mc = run_monte_carlo(netlist, CONFIG_I, 60_000,
+                             rng=np.random.default_rng(5))
+        stats = mc.direction_stats(endpoint, "rise")
+        _, mu_c, sd_c = can.report(endpoint, "rise")
+        _, mu_i, sd_i = ind.report(endpoint, "rise")
+        err_c = abs(mu_c - stats.mean) + abs(sd_c - stats.std)
+        err_i = abs(mu_i - stats.mean) + abs(sd_i - stats.std)
+        # s27 has reconvergent fanout; correlation tracking must not hurt.
+        assert err_c <= err_i + 0.15

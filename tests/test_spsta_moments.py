@@ -1,0 +1,179 @@
+"""Tests for repro.core.spsta with the moment algebra (Sec. 3.3/3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.delay import UnitDelay
+from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats, Prob4
+from repro.core.probability import propagate_prob4
+from repro.core.spsta import MomentAlgebra, run_spsta
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.stats.clark import clark_max_moments, clark_min_moments
+from repro.stats.normal import Normal
+
+
+def _single(gate_type, n_inputs=2):
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    return Netlist("g", inputs, ["y"],
+                   [Gate("y", gate_type, tuple(inputs))])
+
+
+UNIFORM = CONFIG_I
+
+
+class TestEquation12:
+    """The paper's worked example: two-input AND, Eq. 12."""
+
+    def test_and_rise_weight(self):
+        result = run_spsta(_single(GateType.AND), UNIFORM)
+        p, mu, sigma = result.report("y", "rise")
+        # Pr(y) = (P1+Pr)^2 - P1^2 = 0.25 - 0.0625 = 3/16.
+        assert p == pytest.approx(3 / 16)
+
+    def test_and_rise_moments_match_eq12_by_hand(self):
+        result = run_spsta(_single(GateType.AND), UNIFORM)
+        p, mu, sigma = result.report("y", "rise")
+        # Terms (before unit delay): w=1/16 t1; w=1/16 t2; w=1/16 max(t1,t2).
+        m_max, v_max = clark_max_moments(0.0, 1.0, 0.0, 1.0)
+        w = 1 / 16
+        total = 3 * w
+        mean = (w * 0.0 + w * 0.0 + w * m_max) / total
+        raw2 = (w * 1.0 + w * 1.0 + w * (v_max + m_max ** 2)) / total
+        assert mu == pytest.approx(mean + 1.0)
+        assert sigma == pytest.approx(math.sqrt(raw2 - mean ** 2))
+
+    def test_and_fall_uses_min(self):
+        result = run_spsta(_single(GateType.AND), UNIFORM)
+        p, mu, sigma = result.report("y", "fall")
+        m_min, v_min = clark_min_moments(0.0, 1.0, 0.0, 1.0)
+        w = 1 / 16
+        total = 3 * w
+        mean = (0.0 + 0.0 + w * m_min) / total
+        assert p == pytest.approx(3 / 16)
+        assert mu == pytest.approx(mean + 1.0)
+
+    def test_or_mirrors_and(self):
+        and_result = run_spsta(_single(GateType.AND), UNIFORM)
+        or_result = run_spsta(_single(GateType.OR), UNIFORM)
+        p_and, mu_and, sd_and = and_result.report("y", "rise")
+        p_or, mu_or, sd_or = or_result.report("y", "fall")
+        assert p_or == pytest.approx(p_and)
+        assert mu_or == pytest.approx(mu_and)
+        assert sd_or == pytest.approx(sd_and)
+
+    def test_nand_swaps_directions(self):
+        and_result = run_spsta(_single(GateType.AND), UNIFORM)
+        nand_result = run_spsta(_single(GateType.NAND), UNIFORM)
+        assert nand_result.report("y", "rise") == \
+            pytest.approx(and_result.report("y", "fall"))
+
+    def test_weights_match_prob4(self):
+        """Subset-sum weights must equal the closed-form Eq. 10 Prob4."""
+        for gate_type in (GateType.AND, GateType.OR, GateType.NAND,
+                          GateType.NOR, GateType.XOR, GateType.XNOR):
+            for n in (1, 2, 3):
+                netlist = _single(gate_type, n)
+                result = run_spsta(netlist, UNIFORM)
+                for direction, attr in (("rise", "p_rise"), ("fall", "p_fall")):
+                    p, _, _ = result.report("y", direction)
+                    expected = getattr(result.prob4["y"], attr)
+                    assert p == pytest.approx(expected, abs=1e-9), \
+                        (gate_type, n, direction)
+
+
+class TestStructuralCases:
+    def test_chain_shifts_mean(self, chain_circuit):
+        result = run_spsta(chain_circuit, UNIFORM)
+        p, mu, sigma = result.report("n3", "rise")
+        # NOT/BUFF propagate transitions with probability 1, delay 3.
+        assert p == pytest.approx(0.25)
+        assert mu == pytest.approx(3.0)
+        assert sigma == pytest.approx(1.0)
+
+    def test_chain_direction_flip(self, chain_circuit):
+        stats = InputStats(Prob4(0.25, 0.25, 0.5, 0.0))  # rises only
+        result = run_spsta(chain_circuit, stats)
+        # Two inverters + buffer = even inversions: rises stay rises at n3,
+        # but n1 (one inverter) sees them as falls.
+        assert result.tops["n1"].fall.weight == pytest.approx(0.5)
+        assert result.tops["n1"].rise.weight == pytest.approx(0.0)
+        assert result.tops["n3"].rise.weight == pytest.approx(0.5)
+
+    def test_never_transitioning_endpoint(self, and2_circuit):
+        result = run_spsta(and2_circuit, InputStats(Prob4.static(0.5)))
+        p, mu, sigma = result.report("y", "rise")
+        assert p == 0.0
+        assert math.isnan(mu) and math.isnan(sigma)
+
+    def test_controlled_static_blocks(self):
+        # AND(a, 0): output stuck at 0 regardless of a.
+        netlist = _single(GateType.AND)
+        stats = {"i0": UNIFORM, "i1": InputStats(Prob4.static(0.0))}
+        result = run_spsta(netlist, stats)
+        assert result.report("y", "rise")[0] == 0.0
+        assert result.prob4["y"].p_zero == pytest.approx(1.0)
+
+    def test_nc_static_passes(self):
+        netlist = _single(GateType.AND)
+        stats = {"i0": UNIFORM, "i1": InputStats(Prob4.static(1.0))}
+        result = run_spsta(netlist, stats)
+        p, mu, sigma = result.report("y", "rise")
+        assert p == pytest.approx(0.25)
+        assert mu == pytest.approx(1.0)
+        assert sigma == pytest.approx(1.0)
+
+    def test_per_launch_point_stats(self):
+        netlist = _single(GateType.AND)
+        fast = InputStats(Prob4.uniform(), rise_arrival=Normal(-3.0, 0.1))
+        slow = InputStats(Prob4.uniform(), rise_arrival=Normal(3.0, 0.1))
+        result = run_spsta(netlist, {"i0": fast, "i1": slow})
+        _, mu, _ = result.report("y", "rise")
+        # Dominated by the slow input (when both switch, MAX ~ 3).
+        assert mu > 1.0
+
+    def test_delay_model_applied(self, chain_circuit):
+        result = run_spsta(chain_circuit, UNIFORM, UnitDelay(2.0))
+        _, mu, _ = result.report("n3", "rise")
+        assert mu == pytest.approx(6.0)
+
+    def test_prob4_matches_standalone_propagation(self, mixed_circuit):
+        result = run_spsta(mixed_circuit, UNIFORM)
+        standalone = propagate_prob4(mixed_circuit, UNIFORM.prob4)
+        for net in mixed_circuit.nets:
+            assert result.prob4[net] == standalone[net]
+
+    def test_toggling_rate_accessor(self, chain_circuit):
+        result = run_spsta(chain_circuit, UNIFORM)
+        assert result.toggling_rate("n3") == pytest.approx(0.5)
+
+    def test_report_rejects_unknown_direction(self, chain_circuit):
+        result = run_spsta(chain_circuit, UNIFORM)
+        with pytest.raises(AttributeError):
+            result.report("n3", "diagonal")
+
+
+class TestInputSensitivity:
+    """What distinguishes SPSTA from SSTA: it responds to input statistics."""
+
+    def test_results_differ_between_configs(self):
+        netlist = benchmark_circuit("s298")
+        r1 = run_spsta(netlist, CONFIG_I)
+        r2 = run_spsta(netlist, CONFIG_II)
+        endpoint = netlist.endpoints[0]
+        assert r1.report(endpoint, "rise") != r2.report(endpoint, "rise")
+
+    def test_rare_transitions_lower_weights(self):
+        netlist = _single(GateType.AND)
+        r1 = run_spsta(netlist, CONFIG_I)
+        r2 = run_spsta(netlist, CONFIG_II)
+        assert r2.report("y", "rise")[0] < r1.report("y", "rise")[0]
+
+    def test_all_benchmarks_run(self):
+        for name in ("s27", "s208", "s382"):
+            result = run_spsta(benchmark_circuit(name), CONFIG_I)
+            for net in benchmark_circuit(name).endpoints:
+                p, _, _ = result.report(net, "rise")
+                assert 0.0 <= p <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for skewness reporting across the TOP abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, InputStats, Prob4
+from repro.core.spsta import (
+    GridAlgebra,
+    MixtureAlgebra,
+    MomentAlgebra,
+    run_spsta,
+)
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+from repro.sim.montecarlo import run_monte_carlo
+from repro.stats.grid import TimeGrid
+
+
+def _and2():
+    return Netlist("g", ["a", "b"], ["y"],
+                   [Gate("y", GateType.AND, ("a", "b"))])
+
+
+class TestSkewness:
+    def test_moment_algebra_reports_zero(self):
+        result = run_spsta(_and2(), CONFIG_I, algebra=MomentAlgebra())
+        assert result.skewness("y", "rise") == 0.0
+
+    def test_grid_detects_max_skew(self):
+        """Force the always-both-switching case: the output rise TOP is a
+        pure MAX of two iid normals, which is right-skewed."""
+        always_switch = InputStats(Prob4(0.0, 0.0, 0.5, 0.5))
+        grid = GridAlgebra(TimeGrid(-8, 10, 4096))
+        result = run_spsta(_and2(), always_switch, algebra=grid)
+        assert result.skewness("y", "rise") > 0.1
+        assert result.skewness("y", "fall") < -0.1  # MIN skews left
+
+    def test_mixture_detects_max_skew(self):
+        always_switch = InputStats(Prob4(0.0, 0.0, 0.5, 0.5))
+        # With a component cap of 1 the mixture is a single Gaussian, so
+        # allow shape only with enough components... a single Clark MAX is
+        # matched to one Gaussian regardless; skew appears when mixing
+        # subsets of different means.  Use CONFIG_I where the rise TOP is a
+        # 3-term mixture.
+        result = run_spsta(_and2(), CONFIG_I, algebra=MixtureAlgebra(8))
+        grid = run_spsta(_and2(), CONFIG_I,
+                         algebra=GridAlgebra(TimeGrid(-8, 10, 4096)))
+        assert result.skewness("y", "rise") == pytest.approx(
+            grid.skewness("y", "rise"), abs=0.25)
+
+    def test_grid_skew_matches_monte_carlo(self):
+        result = run_spsta(_and2(), CONFIG_I,
+                           algebra=GridAlgebra(TimeGrid(-8, 10, 4096)))
+        mc = run_monte_carlo(_and2(), CONFIG_I, 200_000,
+                             rng=np.random.default_rng(0))
+        wave = mc.wave("y")
+        mask = ~wave.init & wave.final
+        times = wave.time[mask]
+        observed = float(((times - times.mean()) ** 3).mean()
+                         / times.std() ** 3)
+        assert result.skewness("y", "rise") == pytest.approx(observed,
+                                                             abs=0.05)
+
+    def test_absent_transition_zero_skew(self):
+        result = run_spsta(_and2(), InputStats(Prob4.static(0.5)),
+                           algebra=MixtureAlgebra(4))
+        assert result.skewness("y", "rise") == 0.0

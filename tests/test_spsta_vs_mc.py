@@ -1,0 +1,180 @@
+"""Statistical integration tests: SPSTA against Monte Carlo ground truth.
+
+These reproduce the paper's core experimental claim at test scale: on
+circuits whose critical cones are reconvergence-light, SPSTA's occurrence
+probabilities and conditional arrival moments track the simulator, while
+SSTA's do not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.core.spsta import run_spsta
+from repro.core.ssta import run_ssta
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.sim.montecarlo import run_monte_carlo
+
+TRIALS = 40_000
+
+
+def _mc(netlist, config, seed=0):
+    return run_monte_carlo(netlist, config, TRIALS,
+                           rng=np.random.default_rng(seed))
+
+
+class TestSingleGatesAgainstMc:
+    @pytest.mark.parametrize("gate_type", [
+        GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+        GateType.XOR, GateType.XNOR])
+    @pytest.mark.parametrize("config", [CONFIG_I, CONFIG_II],
+                             ids=["I", "II"])
+    def test_two_input_gate(self, gate_type, config):
+        netlist = Netlist("g", ["a", "b"], ["y"],
+                          [Gate("y", gate_type, ("a", "b"))])
+        spsta = run_spsta(netlist, config)
+        mc = _mc(netlist, config)
+        for direction in ("rise", "fall"):
+            p, mu, sigma = spsta.report("y", direction)
+            stats = mc.direction_stats("y", direction)
+            assert p == pytest.approx(stats.probability, abs=0.01), direction
+            if stats.n_occurrences > 300:
+                assert mu == pytest.approx(stats.mean, abs=0.05), direction
+                assert sigma == pytest.approx(stats.std, abs=0.05), direction
+
+    def test_three_input_and(self):
+        netlist = Netlist("g", ["a", "b", "c"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "b", "c"))])
+        spsta = run_spsta(netlist, CONFIG_I)
+        mc = _mc(netlist, CONFIG_I)
+        p, mu, sigma = spsta.report("y", "rise")
+        stats = mc.direction_stats("y", "rise")
+        assert p == pytest.approx(stats.probability, abs=0.01)
+        assert mu == pytest.approx(stats.mean, abs=0.05)
+        assert sigma == pytest.approx(stats.std, abs=0.08)
+
+    def test_three_input_xor_mixed_directions(self):
+        netlist = Netlist("g", ["a", "b", "c"], ["y"],
+                          [Gate("y", GateType.XOR, ("a", "b", "c"))])
+        spsta = run_spsta(netlist, CONFIG_I)
+        mc = _mc(netlist, CONFIG_I)
+        for direction in ("rise", "fall"):
+            p, mu, sigma = spsta.report("y", direction)
+            stats = mc.direction_stats("y", direction)
+            assert p == pytest.approx(stats.probability, abs=0.01)
+            assert mu == pytest.approx(stats.mean, abs=0.06)
+            assert sigma == pytest.approx(stats.std, abs=0.06)
+
+
+class TestTreeCircuitsAgainstMc:
+    def test_two_level_tree_exact_probabilities(self):
+        # Tree (no reconvergence): independence holds, SPSTA P is exact.
+        netlist = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("n2", GateType.NOR, ("c", "d")),
+            Gate("y", GateType.OR, ("n1", "n2")),
+        ])
+        spsta = run_spsta(netlist, CONFIG_I)
+        mc = _mc(netlist, CONFIG_I)
+        for direction in ("rise", "fall"):
+            p, mu, sigma = spsta.report("y", direction)
+            stats = mc.direction_stats("y", direction)
+            assert p == pytest.approx(stats.probability, abs=0.01)
+            assert mu == pytest.approx(stats.mean, abs=0.06)
+            assert sigma == pytest.approx(stats.std, abs=0.08)
+
+    def test_deep_tree_config_ii(self):
+        netlist = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("n2", GateType.OR, ("c", "d")),
+            Gate("n3", GateType.NAND, ("n1", "n2")),
+            Gate("y", GateType.NOT, ("n3",)),
+        ])
+        spsta = run_spsta(netlist, CONFIG_II)
+        mc = _mc(netlist, CONFIG_II)
+        for direction in ("rise", "fall"):
+            p, _, _ = spsta.report("y", direction)
+            stats = mc.direction_stats("y", direction)
+            assert p == pytest.approx(stats.probability, abs=0.008)
+
+
+class TestPaperClaimsAtTestScale:
+    """The qualitative Table 2 shape on two benchmark circuits."""
+
+    @pytest.mark.parametrize("name", ["s27", "s298"])
+    def test_spsta_closer_than_ssta(self, name):
+        netlist = benchmark_circuit(name)
+        endpoint = max(netlist.endpoints)
+        from repro.netlist.analysis import critical_endpoint
+        endpoint, _ = critical_endpoint(netlist)
+        spsta = run_spsta(netlist, CONFIG_I)
+        ssta = run_ssta(netlist)
+        mc = _mc(netlist, CONFIG_I)
+        spsta_err = 0.0
+        ssta_err = 0.0
+        rows = 0
+        for direction in ("rise", "fall"):
+            stats = mc.direction_stats(endpoint, direction)
+            if stats.n_occurrences < 200:
+                continue
+            rows += 1
+            _, mu, sigma = spsta.report(endpoint, direction)
+            pair = getattr(ssta.arrivals[endpoint], direction)
+            spsta_err += abs(mu - stats.mean) + abs(sigma - stats.std)
+            ssta_err += abs(pair.mu - stats.mean) + abs(pair.sigma - stats.std)
+        assert rows > 0
+        assert spsta_err < ssta_err
+
+    def test_ssta_sigma_collapses_spsta_does_not(self):
+        """Paper observation 3: SSTA sigma << MC sigma; SPSTA sigma ~ MC."""
+        netlist = benchmark_circuit("s344")
+        from repro.netlist.analysis import critical_endpoint
+        endpoint, _ = critical_endpoint(netlist)
+        spsta = run_spsta(netlist, CONFIG_I)
+        ssta = run_ssta(netlist)
+        mc = _mc(netlist, CONFIG_I)
+        stats = mc.direction_stats(endpoint, "rise")
+        _, _, spsta_sigma = spsta.report(endpoint, "rise")
+        ssta_sigma = ssta.arrivals[endpoint].rise.sigma
+        assert ssta_sigma < stats.std
+        assert abs(spsta_sigma - stats.std) < abs(ssta_sigma - stats.std)
+
+    def test_signal_probability_tracks_mc(self):
+        netlist = benchmark_circuit("s382")
+        spsta = run_spsta(netlist, CONFIG_I)
+        mc = _mc(netlist, CONFIG_I)
+        errors = [abs(spsta.prob4[n].signal_probability
+                      - mc.signal_probability(n))
+                  for n in netlist.endpoints]
+        assert np.mean(errors) < 0.08
+
+
+class TestDistributionShape:
+    def test_mixture_engine_ks_against_mc(self):
+        """Beyond moments: the mixture engine's conditional arrival
+        DISTRIBUTION must match Monte Carlo in Kolmogorov-Smirnov distance
+        on a tree circuit (independence exact, mixture rich enough)."""
+        from scipy import stats as scipy_stats
+
+        from repro.core.spsta import MixtureAlgebra
+
+        netlist = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("n2", GateType.NOR, ("c", "d")),
+            Gate("y", GateType.OR, ("n1", "n2")),
+        ])
+        spsta = run_spsta(netlist, CONFIG_I, algebra=MixtureAlgebra(16))
+        mc = _mc(netlist, CONFIG_I, seed=3)
+        wave = mc.wave("y")
+        mask = ~np.isnan(wave.time) & ~wave.init & wave.final
+        observed = wave.time[mask]
+        assert observed.size > 2000
+        top = spsta.tops["y"].rise
+        model_draws = top.conditional.sample(
+            50_000, np.random.default_rng(4))
+        stat, _p = scipy_stats.ks_2samp(observed, model_draws)
+        # Clark-approximated MAX components limit exactness; the KS
+        # distance must still be small (a few percent).
+        assert stat < 0.05

@@ -1,0 +1,125 @@
+"""Tests for repro.core.ssta — the min/max-separated SSTA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.delay import UnitDelay
+from repro.core.ssta import ArrivalPair, run_ssta
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.stats.clark import clark_max, clark_min
+from repro.stats.normal import Normal
+
+
+LAUNCH = ArrivalPair(Normal(0.0, 1.0), Normal(0.0, 1.0))
+
+
+def _single(gate_type, n_inputs=2):
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    return Netlist("g", inputs, ["y"],
+                   [Gate("y", gate_type, tuple(inputs))])
+
+
+class TestGateDirectionMapping:
+    def test_and_rise_is_max_fall_is_min(self):
+        result = run_ssta(_single(GateType.AND))
+        pair = result.arrivals["y"]
+        expected_rise = clark_max(Normal(0, 1), Normal(0, 1)).shift(1.0)
+        expected_fall = clark_min(Normal(0, 1), Normal(0, 1)).shift(1.0)
+        assert pair.rise.mu == pytest.approx(expected_rise.mu)
+        assert pair.fall.mu == pytest.approx(expected_fall.mu)
+
+    def test_or_mirrors_and(self):
+        and_pair = run_ssta(_single(GateType.AND)).arrivals["y"]
+        or_pair = run_ssta(_single(GateType.OR)).arrivals["y"]
+        assert or_pair.rise.mu == pytest.approx(and_pair.fall.mu)
+        assert or_pair.fall.mu == pytest.approx(and_pair.rise.mu)
+
+    def test_nand_swaps_and(self):
+        and_pair = run_ssta(_single(GateType.AND)).arrivals["y"]
+        nand_pair = run_ssta(_single(GateType.NAND)).arrivals["y"]
+        assert nand_pair.rise.mu == pytest.approx(and_pair.fall.mu)
+        assert nand_pair.fall.mu == pytest.approx(and_pair.rise.mu)
+
+    def test_nor_swaps_or(self):
+        or_pair = run_ssta(_single(GateType.OR)).arrivals["y"]
+        nor_pair = run_ssta(_single(GateType.NOR)).arrivals["y"]
+        assert nor_pair.rise.mu == pytest.approx(or_pair.fall.mu)
+
+    def test_not_swaps_directions(self):
+        launch = {"i0": ArrivalPair(Normal(1.0, 0.5), Normal(4.0, 2.0))}
+        result = run_ssta(_single(GateType.NOT, 1), launch=launch)
+        pair = result.arrivals["y"]
+        assert pair.rise.mu == pytest.approx(5.0)  # from input fall
+        assert pair.fall.mu == pytest.approx(2.0)  # from input rise
+
+    def test_buff_passes_through(self):
+        launch = {"i0": ArrivalPair(Normal(1.0, 0.5), Normal(4.0, 2.0))}
+        result = run_ssta(_single(GateType.BUFF, 1), launch=launch)
+        pair = result.arrivals["y"]
+        assert pair.rise.mu == pytest.approx(2.0)
+        assert pair.fall.mu == pytest.approx(5.0)
+
+    def test_xor_takes_worst_of_all(self):
+        launch = {"i0": ArrivalPair(Normal(1.0, 0.0), Normal(2.0, 0.0)),
+                  "i1": ArrivalPair(Normal(3.0, 0.0), Normal(0.0, 0.0))}
+        result = run_ssta(_single(GateType.XOR), launch=launch)
+        pair = result.arrivals["y"]
+        assert pair.rise.mu == pytest.approx(4.0)  # max(1,2,3,0) + 1
+        assert pair.fall.mu == pytest.approx(4.0)
+
+
+class TestSstaBehaviour:
+    def test_input_oblivious(self):
+        """SSTA ignores input statistics entirely (paper observation 1)."""
+        netlist = benchmark_circuit("s298")
+        a = run_ssta(netlist)
+        b = run_ssta(netlist)  # no stats parameter exists to vary
+        for net in netlist.nets:
+            assert a.arrivals[net].rise == b.arrivals[net].rise
+
+    def test_sigma_shrinks_through_min_max(self):
+        """Clark MIN/MAX of iid inputs has smaller sigma than the inputs —
+        the paper's observation 3 about SSTA underestimating variation."""
+        result = run_ssta(_single(GateType.AND))
+        pair = result.arrivals["y"]
+        assert pair.rise.sigma < 1.0
+        assert pair.fall.sigma < 1.0
+
+    def test_deep_chain_mean_tracks_depth(self, chain_circuit):
+        result = run_ssta(chain_circuit)
+        pair = result.arrivals["n3"]
+        # Inverter chain: no MIN/MAX, mean = depth exactly.
+        assert pair.rise.mu == pytest.approx(3.0)
+        assert pair.rise.sigma == pytest.approx(1.0)
+
+    def test_default_launch_is_standard_normal(self, chain_circuit):
+        explicit = run_ssta(chain_circuit,
+                            launch=ArrivalPair(Normal(0, 1), Normal(0, 1)))
+        default = run_ssta(chain_circuit)
+        assert default.arrivals["n3"] == explicit.arrivals["n3"]
+
+    def test_delay_model_applied(self, chain_circuit):
+        result = run_ssta(chain_circuit, UnitDelay(2.0))
+        assert result.arrivals["n3"].rise.mu == pytest.approx(6.0)
+
+    def test_endpoint_accessor(self, chain_circuit):
+        result = run_ssta(chain_circuit)
+        assert result.endpoint("n3") is result.arrivals["n3"]
+
+    def test_against_monte_carlo_on_always_switching_inputs(self):
+        """With every input toggling every cycle (the SSTA assumption made
+        true), SSTA MUST match Monte Carlo — validates the Clark plumbing."""
+        netlist = _single(GateType.AND)
+        result = run_ssta(netlist).arrivals["y"]
+        rng = np.random.default_rng(2)
+        n = 200_000
+        t0 = rng.normal(0, 1, n)
+        t1 = rng.normal(0, 1, n)
+        rise = np.maximum(t0, t1) + 1.0
+        fall = np.minimum(t0, t1) + 1.0
+        assert result.rise.mu == pytest.approx(rise.mean(), abs=0.02)
+        assert result.rise.sigma == pytest.approx(rise.std(), abs=0.02)
+        assert result.fall.mu == pytest.approx(fall.mean(), abs=0.02)
+        assert result.fall.sigma == pytest.approx(fall.std(), abs=0.02)

@@ -1,0 +1,112 @@
+"""Tests for repro.core.ssta_canonical — correlation-aware SSTA."""
+
+import numpy as np
+import pytest
+
+from repro.core.ssta import run_ssta
+from repro.core.ssta_canonical import run_ssta_correlated
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+
+
+def _reconvergent() -> Netlist:
+    """y = AND(BUFF(a), BUFF(a)): both inputs carry the same arrival."""
+    return Netlist("shared", ["a"], ["y"], [
+        Gate("b1", GateType.BUFF, ("a",)),
+        Gate("b2", GateType.BUFF, ("a",)),
+        Gate("y", GateType.AND, ("b1", "b2")),
+    ])
+
+
+class TestAgainstPlainSsta:
+    def test_matches_plain_on_trees(self):
+        tree = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("n2", GateType.NOR, ("c", "d")),
+            Gate("y", GateType.OR, ("n1", "n2")),
+        ])
+        plain = run_ssta(tree)
+        correlated = run_ssta_correlated(tree)
+        for net in tree.nets:
+            pair = correlated.arrivals[net].as_normals()
+            assert pair["rise"].mu == pytest.approx(
+                plain.arrivals[net].rise.mu, abs=1e-9), net
+            assert pair["rise"].sigma == pytest.approx(
+                plain.arrivals[net].rise.sigma, abs=1e-9), net
+
+    def test_reconvergent_max_exact(self):
+        """MAX of two fully correlated arrivals is the arrival itself: the
+        correlated engine gets mu exactly; the plain engine drifts right."""
+        netlist = _reconvergent()
+        correlated = run_ssta_correlated(netlist)
+        plain = run_ssta(netlist)
+        form = correlated.arrivals["y"].rise
+        assert form.mean == pytest.approx(2.0, abs=1e-9)
+        assert form.sigma == pytest.approx(1.0, abs=1e-9)
+        assert plain.arrivals["y"].rise.mu > 2.2  # iid-max drift
+
+    def test_against_monte_carlo_always_switching(self):
+        """With everything toggling, MC of the actual reconvergent max is
+        matched by the correlated engine only."""
+        rng = np.random.default_rng(0)
+        t = rng.normal(0, 1, 300_000)
+        observed = (np.maximum(t + 1.0, t + 1.0) + 1.0)  # = t + 2
+        correlated = run_ssta_correlated(_reconvergent())
+        form = correlated.arrivals["y"].rise
+        assert form.mean == pytest.approx(observed.mean(), abs=0.01)
+        assert form.sigma == pytest.approx(observed.std(), abs=0.01)
+
+
+class TestCorrelationQueries:
+    def test_shared_cone_correlation_one(self):
+        netlist = Netlist("fan", ["a"], ["y1", "y2"], [
+            Gate("y1", GateType.BUFF, ("a",)),
+            Gate("y2", GateType.BUFF, ("a",)),
+        ])
+        result = run_ssta_correlated(netlist)
+        assert result.correlation("y1", "y2", "rise") == pytest.approx(1.0)
+
+    def test_disjoint_cones_correlation_zero(self):
+        netlist = Netlist("sep", ["a", "b"], ["y1", "y2"], [
+            Gate("y1", GateType.NOT, ("a",)),
+            Gate("y2", GateType.NOT, ("b",)),
+        ])
+        result = run_ssta_correlated(netlist)
+        assert result.correlation("y1", "y2", "rise") == pytest.approx(0.0)
+
+    def test_partial_overlap_in_between(self):
+        netlist = Netlist("mix", ["a", "b", "c"], ["y1", "y2"], [
+            Gate("y1", GateType.AND, ("a", "b")),
+            Gate("y2", GateType.AND, ("a", "c")),
+        ])
+        result = run_ssta_correlated(netlist)
+        corr = result.correlation("y1", "y2", "rise")
+        assert 0.05 < corr < 0.95
+
+
+class TestOnBenchmarks:
+    def test_runs_on_suite_and_stays_input_oblivious(self):
+        netlist = benchmark_circuit("s298")
+        result = run_ssta_correlated(netlist)
+        # Still SSTA: no input statistics anywhere in the API.
+        for net in netlist.endpoints:
+            pair = result.arrivals[net]
+            assert pair.rise.sigma >= 0.0
+            assert np.isfinite(pair.rise.mean)
+
+    def test_sigma_still_collapses_vs_mc(self):
+        """Correlation handling does NOT fix SSTA's core problem: it still
+        assumes every net toggles, so its sigma still undershoots the
+        simulator's conditional arrival spread — the paper's point."""
+        from repro.core.inputs import CONFIG_I
+        from repro.netlist.analysis import critical_endpoint
+        from repro.sim.montecarlo import run_monte_carlo
+
+        netlist = benchmark_circuit("s344")
+        endpoint, _ = critical_endpoint(netlist)
+        result = run_ssta_correlated(netlist)
+        mc = run_monte_carlo(netlist, CONFIG_I, 20_000,
+                             rng=np.random.default_rng(1))
+        stats = mc.direction_stats(endpoint, "rise")
+        assert result.arrivals[endpoint].rise.sigma < stats.std

@@ -1,0 +1,56 @@
+"""Tests for repro.core.sta — deterministic min/max timing."""
+
+import pytest
+
+from repro.core.delay import PerGateDelay, UnitDelay
+from repro.core.sta import run_sta
+from repro.logic.gates import GateType
+from repro.netlist.analysis import net_depths
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+
+
+class TestRunSta:
+    def test_chain_equals_depth(self, chain_circuit):
+        result = run_sta(chain_circuit)
+        assert result.max_arrival["n3"] == 3.0
+        assert result.min_arrival["n3"] == 3.0
+
+    def test_unit_delay_max_equals_structural_depth(self):
+        netlist = benchmark_circuit("s344")
+        result = run_sta(netlist)
+        depths = net_depths(netlist)
+        for net in netlist.nets:
+            assert result.max_arrival[net] == pytest.approx(float(depths[net]))
+
+    def test_min_below_max(self, mixed_circuit):
+        result = run_sta(mixed_circuit)
+        for net in mixed_circuit.nets:
+            assert result.min_arrival[net] <= result.max_arrival[net]
+
+    def test_diamond_window(self):
+        net = Netlist("diamond", ["a"], ["y"], [
+            Gate("l1", GateType.NOT, ("a",)),
+            Gate("l2", GateType.NOT, ("l1",)),
+            Gate("y", GateType.AND, ("a", "l2")),
+        ])
+        result = run_sta(net)
+        # Shortest path is a -> y directly (1 gate); longest via l1, l2.
+        assert result.endpoint_window("y") == (1.0, 3.0)
+
+    def test_launch_arrival_offset(self, chain_circuit):
+        result = run_sta(chain_circuit, launch_arrival=5.0)
+        assert result.max_arrival["n3"] == 8.0
+
+    def test_scaled_delay(self, chain_circuit):
+        result = run_sta(chain_circuit, UnitDelay(2.0))
+        assert result.max_arrival["n3"] == 6.0
+
+    def test_per_gate_delay_model(self, chain_circuit):
+        result = run_sta(chain_circuit, PerGateDelay(1.0, 0.2))
+        assert 2.4 <= result.max_arrival["n3"] <= 3.6
+
+    def test_launch_points_at_zero(self, sequential_circuit):
+        result = run_sta(sequential_circuit)
+        for net in sequential_circuit.launch_points:
+            assert result.max_arrival[net] == 0.0

@@ -1,0 +1,159 @@
+"""Tests for repro.stats.clark — Clark MAX/MIN moment formulas (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.clark import (
+    clark_cov_with_third,
+    clark_max,
+    clark_max_many,
+    clark_max_moments,
+    clark_min,
+    clark_min_many,
+    clark_min_moments,
+    clark_tightness,
+)
+from repro.stats.normal import Normal
+
+mu_st = st.floats(-10, 10)
+var_st = st.floats(0.01, 25)
+
+
+def _mc_max(mu1, var1, mu2, var2, cov, n=400_000, seed=7):
+    rng = np.random.default_rng(seed)
+    cov_matrix = [[var1, cov], [cov, var2]]
+    draws = rng.multivariate_normal([mu1, mu2], cov_matrix, size=n)
+    m = draws.max(axis=1)
+    return m.mean(), m.var()
+
+
+class TestClarkAgainstSampling:
+    @pytest.mark.parametrize("mu1,var1,mu2,var2,cov", [
+        (0.0, 1.0, 0.0, 1.0, 0.0),
+        (0.0, 1.0, 1.0, 4.0, 0.0),
+        (-2.0, 0.25, 2.0, 0.25, 0.0),
+        (0.0, 1.0, 0.0, 1.0, 0.5),
+        (1.0, 2.0, 0.5, 3.0, -0.8),
+    ])
+    def test_max_moments_match_sampling(self, mu1, var1, mu2, var2, cov):
+        mean, var = clark_max_moments(mu1, var1, mu2, var2, cov)
+        mc_mean, mc_var = _mc_max(mu1, var1, mu2, var2, cov)
+        assert mean == pytest.approx(mc_mean, abs=0.02)
+        assert var == pytest.approx(mc_var, abs=0.05)
+
+    def test_iid_standard_normal_max_closed_form(self):
+        # E[max(X, Y)] = 1/sqrt(pi) for iid N(0,1).
+        mean, _ = clark_max_moments(0.0, 1.0, 0.0, 1.0)
+        assert mean == pytest.approx(1.0 / np.sqrt(np.pi), rel=1e-12)
+
+    def test_min_is_negated_max(self):
+        mean_min, var_min = clark_min_moments(1.0, 2.0, 3.0, 4.0)
+        mean_max, var_max = clark_max_moments(-1.0, 2.0, -3.0, 4.0)
+        assert mean_min == pytest.approx(-mean_max)
+        assert var_min == pytest.approx(var_max)
+
+
+class TestClarkProperties:
+    @given(mu_st, var_st, mu_st, var_st)
+    def test_max_mean_at_least_each_mean(self, mu1, var1, mu2, var2):
+        mean, _ = clark_max_moments(mu1, var1, mu2, var2)
+        assert mean >= max(mu1, mu2) - 1e-9
+
+    @given(mu_st, var_st, mu_st, var_st)
+    def test_max_symmetry(self, mu1, var1, mu2, var2):
+        a = clark_max_moments(mu1, var1, mu2, var2)
+        b = clark_max_moments(mu2, var2, mu1, var1)
+        assert a[0] == pytest.approx(b[0], rel=1e-9, abs=1e-9)
+        assert a[1] == pytest.approx(b[1], rel=1e-9, abs=1e-9)
+
+    @given(mu_st, var_st, mu_st, var_st)
+    def test_variance_non_negative(self, mu1, var1, mu2, var2):
+        _, var = clark_max_moments(mu1, var1, mu2, var2)
+        assert var >= 0.0
+
+    @given(mu_st, var_st)
+    def test_max_with_self_fully_correlated_is_identity(self, mu, var):
+        mean, v = clark_max_moments(mu, var, mu, var, cov=var)
+        assert mean == pytest.approx(mu)
+        assert v == pytest.approx(var)
+
+    @given(mu_st, mu_st, var_st)
+    def test_dominant_operand_wins(self, mu_small, offset, var):
+        mu_big = mu_small + 40.0 + abs(offset)
+        mean, v = clark_max_moments(mu_big, var, mu_small, var)
+        assert mean == pytest.approx(mu_big, rel=1e-6, abs=1e-6)
+        assert v == pytest.approx(var, rel=1e-4)
+
+    @given(mu_st, var_st, mu_st, var_st)
+    def test_tightness_in_unit_interval(self, mu1, var1, mu2, var2):
+        q = clark_tightness(mu1, var1, mu2, var2)
+        assert 0.0 <= q <= 1.0
+
+    def test_tightness_half_for_identical(self):
+        assert clark_tightness(0.0, 1.0, 0.0, 1.0) == pytest.approx(0.5)
+
+
+class TestWrappersAndFolds:
+    def test_clark_max_wrapper_matches_moments(self):
+        result = clark_max(Normal(0.0, 1.0), Normal(1.0, 2.0))
+        mean, var = clark_max_moments(0.0, 1.0, 1.0, 4.0)
+        assert result.mu == pytest.approx(mean)
+        assert result.var == pytest.approx(var)
+
+    def test_clark_min_wrapper(self):
+        result = clark_min(Normal(0.0, 1.0), Normal(1.0, 2.0))
+        mean, var = clark_min_moments(0.0, 1.0, 1.0, 4.0)
+        assert result.mu == pytest.approx(mean)
+        assert result.var == pytest.approx(var)
+
+    def test_fold_single_element_is_identity(self):
+        n = Normal(3.0, 1.5)
+        assert clark_max_many([n]) == n
+        assert clark_min_many([n]) == n
+
+    def test_fold_empty_raises(self):
+        with pytest.raises(ValueError):
+            clark_max_many([])
+        with pytest.raises(ValueError):
+            clark_min_many([])
+
+    def test_fold_three_against_sampling(self):
+        # The iterated fold re-Gaussianizes intermediates, so it is only
+        # approximate for 3+ operands — allow the known small bias.
+        inputs = [Normal(0.0, 1.0), Normal(0.5, 2.0), Normal(-1.0, 0.5)]
+        folded = clark_max_many(inputs)
+        rng = np.random.default_rng(3)
+        draws = np.stack([rng.normal(n.mu, n.sigma, 300_000) for n in inputs])
+        sample_max = draws.max(axis=0)
+        assert folded.mu == pytest.approx(sample_max.mean(), abs=0.06)
+        assert folded.sigma == pytest.approx(sample_max.std(), abs=0.12)
+
+    def test_min_fold_three_against_sampling(self):
+        inputs = [Normal(0.0, 1.0), Normal(0.5, 2.0), Normal(-1.0, 0.5)]
+        folded = clark_min_many(inputs)
+        rng = np.random.default_rng(4)
+        draws = np.stack([rng.normal(n.mu, n.sigma, 300_000) for n in inputs])
+        sample_min = draws.min(axis=0)
+        assert folded.mu == pytest.approx(sample_min.mean(), abs=0.06)
+        assert folded.sigma == pytest.approx(sample_min.std(), abs=0.12)
+
+
+class TestCovWithThird:
+    @settings(max_examples=25)
+    @given(mu_st, mu_st)
+    def test_cov_with_third_bounded_by_inputs(self, mu1, mu2):
+        cov = clark_cov_with_third(mu1, 1.0, mu2, 1.0,
+                                   cov12=0.0, cov1k=0.6, cov2k=0.2)
+        assert min(0.2, 0.6) - 1e-12 <= cov <= max(0.2, 0.6) + 1e-12
+
+    def test_cov_with_third_sampling(self):
+        rng = np.random.default_rng(11)
+        # t1, t2, tk jointly normal; cov(t1,tk)=0.5, cov(t2,tk)=0.
+        n = 500_000
+        tk = rng.normal(0, 1, n)
+        t1 = 0.5 * tk + rng.normal(0, np.sqrt(0.75), n)
+        t2 = rng.normal(1.0, 1.0, n)
+        approx = clark_cov_with_third(0.0, 1.0, 1.0, 1.0, 0.0, 0.5, 0.0)
+        empirical = np.cov(np.maximum(t1, t2), tk)[0, 1]
+        assert approx == pytest.approx(empirical, abs=0.02)

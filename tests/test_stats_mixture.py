@@ -1,0 +1,233 @@
+"""Tests for repro.stats.mixture — Gaussian mixtures (WEIGHTED SUM form)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.mixture import (
+    GaussianMixture,
+    MixtureComponent,
+    mixture_weighted_sum,
+)
+from repro.stats.normal import Normal
+
+weights = st.floats(0.01, 1.0)
+mus = st.floats(-10, 10)
+sigmas = st.floats(0.05, 5.0)
+
+
+def _mix(*triples) -> GaussianMixture:
+    return GaussianMixture([MixtureComponent(w, m, s) for w, m, s in triples])
+
+
+class TestBasics:
+    def test_total_weight(self):
+        m = _mix((0.3, 0.0, 1.0), (0.2, 5.0, 2.0))
+        assert m.total_weight == pytest.approx(0.5)
+
+    def test_zero_weight_components_dropped(self):
+        m = _mix((0.0, 0.0, 1.0), (0.4, 1.0, 1.0))
+        assert len(m) == 1
+
+    def test_empty_mixture_falsy(self):
+        assert not GaussianMixture.empty()
+        assert _mix((0.1, 0, 1))
+
+    def test_mean_of_mixture(self):
+        m = _mix((0.25, 0.0, 1.0), (0.75, 4.0, 1.0))
+        assert m.mean() == pytest.approx(3.0)
+
+    def test_var_of_mixture(self):
+        # Equal-weight at -1/+1 with sigma 0: pure between-component variance.
+        m = _mix((0.5, -1.0, 0.0), (0.5, 1.0, 0.0))
+        assert m.mean() == pytest.approx(0.0)
+        assert m.var() == pytest.approx(1.0)
+
+    def test_var_combines_within_and_between(self):
+        m = _mix((0.5, -1.0, 2.0), (0.5, 1.0, 2.0))
+        assert m.var() == pytest.approx(4.0 + 1.0)
+
+    def test_empty_moments_raise(self):
+        with pytest.raises(ValueError):
+            GaussianMixture.empty().mean()
+        with pytest.raises(ValueError):
+            GaussianMixture.empty().var()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureComponent(-0.1, 0.0, 1.0)
+
+    def test_pdf_integrates_to_weight(self):
+        m = _mix((0.3, 0.0, 1.0), (0.4, 3.0, 0.5))
+        xs = np.linspace(-10, 10, 4001)
+        integral = np.trapezoid([m.pdf(x) for x in xs], xs)
+        assert integral == pytest.approx(0.7, abs=1e-6)
+
+    def test_cdf_limit_is_total_weight(self):
+        m = _mix((0.3, 0.0, 1.0), (0.4, 3.0, 0.5))
+        assert m.cdf(1e9) == pytest.approx(0.7)
+        assert m.cdf(-1e9) == pytest.approx(0.0)
+
+
+class TestOperations:
+    def test_shifted_moves_mean_only(self):
+        m = _mix((0.5, 1.0, 2.0)).shifted(3.0)
+        assert m.mean() == pytest.approx(4.0)
+        assert m.std() == pytest.approx(2.0)
+
+    def test_convolved_adds_variance(self):
+        m = _mix((0.5, 1.0, 3.0)).convolved(Normal(2.0, 4.0))
+        assert m.mean() == pytest.approx(3.0)
+        assert m.std() == pytest.approx(5.0)
+
+    def test_weighted_sum_concatenates(self):
+        total = mixture_weighted_sum([
+            (0.5, _mix((1.0, 0.0, 1.0))),
+            (0.25, _mix((1.0, 2.0, 1.0))),
+        ])
+        assert total.total_weight == pytest.approx(0.75)
+        assert len(total) == 2
+
+    def test_normalize(self):
+        m = _mix((0.2, 1.0, 1.0), (0.2, 3.0, 1.0)).normalized()
+        assert m.total_weight == pytest.approx(1.0)
+        assert m.mean() == pytest.approx(2.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _mix((0.5, 0, 1)).scaled(-1.0)
+
+    def test_as_normal_moment_matches(self):
+        m = _mix((0.5, -1.0, 1.0), (0.5, 1.0, 1.0))
+        n = m.as_normal()
+        assert n.mu == pytest.approx(m.mean())
+        assert n.sigma == pytest.approx(m.std())
+
+
+class TestMaxMin:
+    def test_max_of_singletons_matches_clark(self):
+        from repro.stats.clark import clark_max_moments
+        a = GaussianMixture.from_normal(Normal(0.0, 1.0))
+        b = GaussianMixture.from_normal(Normal(1.0, 2.0))
+        result = a.max_with(b)
+        mean, var = clark_max_moments(0.0, 1.0, 1.0, 4.0)
+        assert result.mean() == pytest.approx(mean)
+        assert result.var() == pytest.approx(var)
+
+    def test_max_against_sampling(self):
+        a = _mix((0.5, 0.0, 1.0), (0.5, 4.0, 0.5))
+        b = _mix((1.0, 2.0, 1.0))
+        result = a.max_with(b)
+        rng = np.random.default_rng(9)
+        n = 400_000
+        pick = rng.random(n) < 0.5
+        xa = np.where(pick, rng.normal(0, 1, n), rng.normal(4, 0.5, n))
+        xb = rng.normal(2, 1, n)
+        sample = np.maximum(xa, xb)
+        assert result.mean() == pytest.approx(sample.mean(), abs=0.02)
+        assert result.std() == pytest.approx(sample.std(), abs=0.03)
+
+    def test_min_against_sampling(self):
+        a = _mix((0.5, 0.0, 1.0), (0.5, 4.0, 0.5))
+        b = _mix((1.0, 2.0, 1.0))
+        result = a.min_with(b)
+        rng = np.random.default_rng(10)
+        n = 400_000
+        pick = rng.random(n) < 0.5
+        xa = np.where(pick, rng.normal(0, 1, n), rng.normal(4, 0.5, n))
+        xb = rng.normal(2, 1, n)
+        sample = np.minimum(xa, xb)
+        assert result.mean() == pytest.approx(sample.mean(), abs=0.02)
+        assert result.std() == pytest.approx(sample.std(), abs=0.03)
+
+    def test_max_component_count_is_product(self):
+        a = _mix((0.5, 0.0, 1.0), (0.5, 4.0, 0.5))
+        b = _mix((0.3, 2.0, 1.0), (0.7, -2.0, 1.0))
+        assert len(a.max_with(b)) == 4
+
+    def test_max_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            GaussianMixture.empty().max_with(_mix((1.0, 0, 1)))
+
+
+class TestReduction:
+    def test_reduced_preserves_total_moments(self):
+        m = _mix((0.2, 0.0, 1.0), (0.3, 1.0, 2.0), (0.1, 5.0, 0.5),
+                 (0.4, -3.0, 1.5))
+        r = m.reduced(2)
+        assert len(r) == 2
+        assert r.total_weight == pytest.approx(m.total_weight)
+        assert r.mean() == pytest.approx(m.mean())
+        # Pairwise merges preserve the merged pair's variance exactly, and
+        # the overall variance as a consequence.
+        assert r.var() == pytest.approx(m.var())
+
+    def test_reduced_noop_when_under_cap(self):
+        m = _mix((0.5, 0.0, 1.0), (0.5, 2.0, 1.0))
+        assert m.reduced(8).components == m.components
+
+    def test_reduced_to_one_is_moment_match(self):
+        m = _mix((0.5, -1.0, 1.0), (0.5, 1.0, 1.0))
+        r = m.reduced(1)
+        assert len(r) == 1
+        c = r.components[0]
+        assert c.mu == pytest.approx(m.mean())
+        assert c.sigma == pytest.approx(m.std())
+
+    def test_reduced_rejects_zero_cap(self):
+        with pytest.raises(ValueError):
+            _mix((1.0, 0, 1)).reduced(0)
+
+    @given(st.lists(st.tuples(weights, mus, sigmas), min_size=2, max_size=6))
+    def test_reduction_invariants_hold(self, triples):
+        m = _mix(*triples)
+        r = m.reduced(2)
+        assert r.total_weight == pytest.approx(m.total_weight, rel=1e-9)
+        assert r.mean() == pytest.approx(m.mean(), rel=1e-6, abs=1e-6)
+        assert r.var() == pytest.approx(m.var(), rel=1e-6, abs=1e-6)
+
+
+class TestThirdMoment:
+    def test_symmetric_mixture_zero_skew(self):
+        m = _mix((0.5, -2.0, 1.0), (0.5, 2.0, 1.0))
+        assert m.third_central_moment() == pytest.approx(0.0, abs=1e-12)
+
+    def test_right_heavy_mixture_positive_skew(self):
+        m = _mix((0.9, 0.0, 1.0), (0.1, 6.0, 1.0))
+        assert m.third_central_moment() > 0.0
+
+    def test_single_gaussian_zero_third_moment(self):
+        m = _mix((1.0, 3.0, 2.0))
+        assert m.third_central_moment() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSampling:
+    def test_sample_moments_match(self):
+        import numpy as np
+        m = _mix((0.3, 0.0, 1.0), (0.7, 5.0, 2.0))
+        draws = m.sample(300_000, np.random.default_rng(0))
+        assert draws.mean() == pytest.approx(m.mean(), abs=0.02)
+        assert draws.std() == pytest.approx(m.std(), abs=0.02)
+
+    def test_sample_respects_weights(self):
+        import numpy as np
+        m = _mix((0.9, 0.0, 0.1), (0.1, 10.0, 0.1))
+        draws = m.sample(100_000, np.random.default_rng(1))
+        assert (draws > 5).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_sample_empty_raises(self):
+        import numpy as np
+        with pytest.raises(ValueError):
+            GaussianMixture.empty().sample(10, np.random.default_rng(0))
+
+    def test_ks_against_analytic_cdf(self):
+        import numpy as np
+        from scipy import stats as scipy_stats
+        m = _mix((0.5, -1.0, 0.7), (0.5, 2.0, 1.3))
+        draws = m.sample(50_000, np.random.default_rng(2))
+        cdf = lambda x: np.array(
+            [m.cdf(v) / m.total_weight for v in np.atleast_1d(x)])
+        stat, _p = scipy_stats.kstest(draws, cdf)
+        assert stat < 0.01

@@ -1,0 +1,119 @@
+"""Tests for repro.stats.moments — weighted-sum moment algebra (Eq. 13)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.moments import (
+    WeightedMoments,
+    empirical_moments,
+    skewness_from_moments,
+    weighted_sum_moments,
+)
+
+probs = st.floats(0.0, 1.0)
+means = st.floats(-20, 20)
+variances = st.floats(0.0, 25.0)
+
+
+class TestWeightedMoments:
+    def test_std(self):
+        assert WeightedMoments(0.5, 1.0, 4.0).std == 2.0
+
+    def test_raw2(self):
+        assert WeightedMoments(1.0, 3.0, 4.0).raw2 == 13.0
+
+    def test_shift(self):
+        shifted = WeightedMoments(0.5, 1.0, 2.0).shifted(3.0, 1.0)
+        assert shifted.weight == 0.5
+        assert shifted.mean == 4.0
+        assert shifted.var == 3.0
+
+    def test_absent(self):
+        absent = WeightedMoments.absent()
+        assert not absent.occurs
+        assert absent.weight == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedMoments(-0.1, 0.0, 0.0)
+
+
+class TestWeightedSum:
+    def test_two_point_mixture_exact(self):
+        result = weighted_sum_moments([
+            (0.5, WeightedMoments(1.0, 0.0, 0.0)),
+            (0.5, WeightedMoments(1.0, 2.0, 0.0)),
+        ])
+        assert result.weight == pytest.approx(1.0)
+        assert result.mean == pytest.approx(1.0)
+        assert result.var == pytest.approx(1.0)
+
+    def test_weights_multiply(self):
+        result = weighted_sum_moments([
+            (0.3, WeightedMoments(0.5, 1.0, 0.0)),
+        ])
+        assert result.weight == pytest.approx(0.15)
+        assert result.mean == pytest.approx(1.0)
+
+    def test_zero_terms_give_absent(self):
+        assert not weighted_sum_moments([]).occurs
+        assert not weighted_sum_moments(
+            [(0.0, WeightedMoments(1.0, 5.0, 1.0))]).occurs
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_sum_moments([(-0.1, WeightedMoments(1.0, 0.0, 0.0))])
+
+    def test_against_sampling(self):
+        rng = np.random.default_rng(5)
+        n = 600_000
+        # Mixture: with prob .3 draw N(0,1), with prob .2 draw N(4,2),
+        # with prob .5 no transition.
+        u = rng.random(n)
+        values = np.where(u < 0.3, rng.normal(0, 1, n),
+                          rng.normal(4, 2, n))
+        occurred = u < 0.5
+        sample = values[occurred]
+        result = weighted_sum_moments([
+            (0.3, WeightedMoments(1.0, 0.0, 1.0)),
+            (0.2, WeightedMoments(1.0, 4.0, 4.0)),
+        ])
+        assert result.weight == pytest.approx(0.5)
+        assert result.mean == pytest.approx(sample.mean(), abs=0.02)
+        assert result.std == pytest.approx(sample.std(), abs=0.02)
+
+    @given(st.lists(st.tuples(probs, probs, means, variances),
+                    min_size=1, max_size=6))
+    def test_result_weight_bounded_and_var_non_negative(self, quads):
+        terms = [(p, WeightedMoments(w, m, v)) for p, w, m, v in quads]
+        result = weighted_sum_moments(terms)
+        assert result.weight <= sum(p for p, _ in terms) + 1e-9
+        assert result.var >= 0.0
+
+    @given(probs.filter(lambda p: p > 0.01), means, variances)
+    def test_single_term_passthrough(self, p, m, v):
+        result = weighted_sum_moments([(p, WeightedMoments(1.0, m, v))])
+        assert result.weight == pytest.approx(p)
+        assert result.mean == pytest.approx(m)
+        assert result.var == pytest.approx(v, abs=1e-9)
+
+
+class TestEmpiricalAndSkew:
+    def test_empirical_moments(self):
+        mean, std = empirical_moments([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert std == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_empirical_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_moments([])
+
+    def test_skewness_zero_var(self):
+        assert skewness_from_moments(0.0, 0.0, 5.0) == 0.0
+
+    def test_skewness_sign(self):
+        assert skewness_from_moments(0.0, 1.0, 0.5) > 0
+        assert skewness_from_moments(0.0, 1.0, -0.5) < 0

@@ -1,0 +1,99 @@
+"""Tests for repro.stats.normal — Gaussian arithmetic and evaluation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.normal import Normal, norm_cdf, norm_pdf
+
+finite_mu = st.floats(-50, 50)
+pos_sigma = st.floats(0.01, 20)
+
+
+class TestDensityAndCdf:
+    def test_pdf_matches_scipy(self):
+        for x in (-3.0, -0.5, 0.0, 1.7, 4.2):
+            assert norm_pdf(x, 1.0, 2.0) == pytest.approx(
+                scipy_stats.norm.pdf(x, 1.0, 2.0), rel=1e-12)
+
+    def test_cdf_matches_scipy(self):
+        for x in (-3.0, -0.5, 0.0, 1.7, 4.2):
+            assert norm_cdf(x, 1.0, 2.0) == pytest.approx(
+                scipy_stats.norm.cdf(x, 1.0, 2.0), rel=1e-12)
+
+    def test_degenerate_sigma_cdf_is_step(self):
+        assert norm_cdf(0.999, 1.0, 0.0) == 0.0
+        assert norm_cdf(1.0, 1.0, 0.0) == 1.0
+        assert norm_cdf(1.001, 1.0, 0.0) == 1.0
+
+    def test_degenerate_sigma_pdf(self):
+        assert norm_pdf(0.5, 1.0, 0.0) == 0.0
+        assert math.isinf(norm_pdf(1.0, 1.0, 0.0))
+
+    @given(finite_mu, pos_sigma, st.floats(-100, 100))
+    def test_cdf_in_unit_interval(self, mu, sigma, x):
+        assert 0.0 <= norm_cdf(x, mu, sigma) <= 1.0
+
+    @given(finite_mu, pos_sigma)
+    def test_cdf_at_mean_is_half(self, mu, sigma):
+        assert norm_cdf(mu, mu, sigma) == pytest.approx(0.5)
+
+
+class TestNormalArithmetic:
+    def test_sum_adds_means_and_variances(self):
+        total = Normal(1.0, 3.0) + Normal(2.0, 4.0)
+        assert total.mu == pytest.approx(3.0)
+        assert total.sigma == pytest.approx(5.0)  # sqrt(9 + 16)
+
+    def test_shift_only_moves_mean(self):
+        shifted = Normal(1.0, 2.0).shift(5.0)
+        assert shifted.mu == 6.0
+        assert shifted.sigma == 2.0
+
+    def test_negation_flips_mean_keeps_sigma(self):
+        n = -Normal(3.0, 2.0)
+        assert (n.mu, n.sigma) == (-3.0, 2.0)
+
+    def test_subtraction_variance_adds(self):
+        d = Normal(5.0, 3.0) - Normal(2.0, 4.0)
+        assert d.mu == 3.0
+        assert d.sigma == pytest.approx(5.0)
+
+    def test_scaled(self):
+        s = Normal(2.0, 3.0).scaled(-2.0)
+        assert (s.mu, s.sigma) == (-4.0, 6.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            Normal(0.0, -1.0)
+
+    def test_var_property(self):
+        assert Normal(0.0, 3.0).var == 9.0
+
+    @given(finite_mu, pos_sigma, finite_mu, pos_sigma)
+    def test_sum_commutes(self, m1, s1, m2, s2):
+        a, b = Normal(m1, s1), Normal(m2, s2)
+        left, right = a + b, b + a
+        assert left.mu == pytest.approx(right.mu)
+        assert left.sigma == pytest.approx(right.sigma)
+
+
+class TestQuantile:
+    def test_quantile_matches_scipy(self):
+        n = Normal(2.0, 3.0)
+        for p in (0.001, 0.1, 0.5, 0.9, 0.999):
+            assert n.quantile(p) == pytest.approx(
+                scipy_stats.norm.ppf(p, 2.0, 3.0), abs=1e-6)
+
+    def test_quantile_inverts_cdf(self):
+        n = Normal(-1.0, 0.7)
+        for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert n.cdf(n.quantile(p)) == pytest.approx(p, abs=1e-8)
+
+    def test_quantile_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Normal(0, 1).quantile(0.0)
+        with pytest.raises(ValueError):
+            Normal(0, 1).quantile(1.0)

@@ -1,0 +1,149 @@
+"""Tests for repro.testability.cop — COP measures and the fault oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.testability.cop import (
+    Fault,
+    compute_cop,
+    patterns_for_confidence,
+    random_pattern_coverage,
+    simulate_fault_detection,
+)
+
+
+def _and2():
+    return Netlist("g", ["a", "b"], ["y"],
+                   [Gate("y", GateType.AND, ("a", "b"))])
+
+
+class TestFault:
+    def test_str(self):
+        assert str(Fault("n1", 0)) == "n1/sa0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fault("n1", 2)
+
+
+class TestCopMeasures:
+    def test_and_gate_by_hand(self):
+        result = compute_cop(_and2(), 0.5)
+        assert result.controllability["y"] == pytest.approx(0.25)
+        # O(a) = O(y) * P(b = 1) = 1 * 0.5.
+        assert result.observability["a"] == pytest.approx(0.5)
+        assert result.observability["y"] == 1.0
+        # D(a stuck-at-0) = P(a = 1) * O(a) = 0.25.
+        assert result.detectability[Fault("a", 0)] == pytest.approx(0.25)
+        # D(y stuck-at-1) = P(y = 0) * O(y) = 0.75.
+        assert result.detectability[Fault("y", 1)] == pytest.approx(0.75)
+
+    def test_inverter_chain_fully_observable(self, chain_circuit):
+        result = compute_cop(chain_circuit, 0.5)
+        for net in chain_circuit.nets:
+            assert result.observability[net] == pytest.approx(1.0)
+
+    def test_fanout_takes_most_observable_branch(self):
+        netlist = Netlist("f", ["a", "b"], ["y1", "y2"], [
+            Gate("y1", GateType.BUFF, ("a",)),          # O = 1 branch
+            Gate("y2", GateType.AND, ("a", "b")),       # O = 0.5 branch
+        ])
+        result = compute_cop(netlist, 0.5)
+        assert result.observability["a"] == pytest.approx(1.0)
+
+    def test_unobservable_net(self):
+        # n1 drives nothing and is not an output: observability 0.
+        netlist = Netlist("u", ["a"], ["y"], [
+            Gate("n1", GateType.NOT, ("a",)),
+            Gate("y", GateType.BUFF, ("a",)),
+        ])
+        result = compute_cop(netlist, 0.5)
+        assert result.observability["n1"] == 0.0
+        assert result.detectability[Fault("n1", 0)] == 0.0
+
+    def test_hardest_faults_sorted(self):
+        result = compute_cop(benchmark_circuit("s27"), 0.5)
+        hardest = result.hardest_faults(5)
+        values = [d for _, d in hardest]
+        assert values == sorted(values)
+
+    def test_full_scan_boundary(self):
+        result = compute_cop(benchmark_circuit("s27"), 0.5)
+        s27 = benchmark_circuit("s27")
+        for net in s27.endpoints:
+            assert result.observability[net] == 1.0
+
+
+class TestPatternsAndCoverage:
+    def test_patterns_for_confidence(self):
+        # D = 0.5: one pattern gives 50%; ~4.3 patterns give 95%.
+        assert patterns_for_confidence(0.5, 0.95) == pytest.approx(
+            math.log(0.05) / math.log(0.5))
+
+    def test_undetectable_is_infinite(self):
+        assert patterns_for_confidence(0.0) == math.inf
+
+    def test_certain_detection_single_pattern(self):
+        assert patterns_for_confidence(1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patterns_for_confidence(1.5)
+        with pytest.raises(ValueError):
+            patterns_for_confidence(0.5, confidence=1.0)
+
+    def test_coverage_monotone_in_patterns(self):
+        result = compute_cop(benchmark_circuit("s27"), 0.5)
+        c10 = random_pattern_coverage(result, 10)
+        c100 = random_pattern_coverage(result, 100)
+        assert 0.0 <= c10 <= c100 <= 1.0
+
+    def test_zero_patterns_zero_coverage(self):
+        result = compute_cop(_and2(), 0.5)
+        assert random_pattern_coverage(result, 0) == 0.0
+
+
+class TestAgainstFaultSimulation:
+    def test_and_gate_detectabilities_exact(self):
+        """On a single gate the COP formulas are exact — the simulator
+        must agree tightly."""
+        netlist = _and2()
+        result = compute_cop(netlist, 0.5)
+        for fault in (Fault("a", 0), Fault("a", 1),
+                      Fault("y", 0), Fault("y", 1)):
+            observed = simulate_fault_detection(
+                netlist, fault, 40_000, rng=np.random.default_rng(1))
+            assert result.detectability[fault] == pytest.approx(
+                observed, abs=0.01), fault
+
+    def test_tree_circuit_exact(self):
+        netlist = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("n2", GateType.NOR, ("c", "d")),
+            Gate("y", GateType.OR, ("n1", "n2")),
+        ])
+        result = compute_cop(netlist, 0.5)
+        for fault in (Fault("a", 0), Fault("n1", 1), Fault("c", 1)):
+            observed = simulate_fault_detection(
+                netlist, fault, 40_000, rng=np.random.default_rng(2))
+            assert result.detectability[fault] == pytest.approx(
+                observed, abs=0.01), fault
+
+    def test_s27_correlation_bounded(self):
+        """With reconvergence COP is approximate; require rank agreement
+        in aggregate: mean |COP - simulated| below a loose bound."""
+        netlist = benchmark_circuit("s27")
+        result = compute_cop(netlist, 0.5)
+        errors = []
+        rng = np.random.default_rng(3)
+        for net in list(netlist.gates)[:6]:
+            fault = Fault(net, 0)
+            observed = simulate_fault_detection(netlist, fault, 8_000,
+                                                rng=rng)
+            errors.append(abs(result.detectability[fault] - observed))
+        assert float(np.mean(errors)) < 0.15

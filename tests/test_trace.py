@@ -1,0 +1,101 @@
+"""Tests for repro.core.trace — fitting statistics from activity traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, Prob4
+from repro.core.trace import (
+    input_stats_from_trace,
+    prob4_from_trace,
+    stats_from_traces,
+)
+from repro.stats.normal import Normal
+
+
+class TestProb4FromTrace:
+    def test_alternating_trace_all_transitions(self):
+        p = prob4_from_trace([0, 1, 0, 1, 0, 1, 0, 1, 0])
+        assert p.p_rise == pytest.approx(0.5)
+        assert p.p_fall == pytest.approx(0.5)
+        assert p.p_one == 0.0
+
+    def test_constant_trace(self):
+        p = prob4_from_trace([1] * 10)
+        assert p.p_one == 1.0
+        assert p.toggling_rate == 0.0
+
+    def test_known_mixture(self):
+        # pairs: (0,0) (0,1) (1,1) (1,0): one of each.
+        p = prob4_from_trace([0, 0, 1, 1, 0])
+        assert p.p_zero == pytest.approx(0.25)
+        assert p.p_one == pytest.approx(0.25)
+        assert p.p_rise == pytest.approx(0.25)
+        assert p.p_fall == pytest.approx(0.25)
+
+    def test_smoothing_removes_zeros(self):
+        p = prob4_from_trace([1] * 10, smoothing=1.0)
+        assert 0.0 < p.p_rise < 0.2
+        assert p.p_one > 0.5
+
+    def test_round_trip_with_markov_sampling(self):
+        """Sample a long trace from CONFIG_I's conditionals and fit: the
+        estimate must recover the vector."""
+        rng = np.random.default_rng(0)
+        n = 100_000
+        bits = np.empty(n, dtype=int)
+        bits[0] = 1
+        u = rng.random(n - 1)
+        # CONFIG_I conditionals: P(1|1) = P1/(P1+Pf) = 0.5; P(1|0) = 0.5.
+        for t in range(1, n):
+            bits[t] = int(u[t - 1] < 0.5)
+        p = prob4_from_trace(bits)
+        for attr in ("p_zero", "p_one", "p_rise", "p_fall"):
+            assert getattr(p, attr) == pytest.approx(0.25, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length >= 2"):
+            prob4_from_trace([1])
+        with pytest.raises(ValueError, match="0/1"):
+            prob4_from_trace([0, 2, 1])
+        with pytest.raises(ValueError, match="smoothing"):
+            prob4_from_trace([0, 1], smoothing=-1.0)
+
+
+class TestInputStatsFromTrace:
+    def test_arrivals_attached(self):
+        stats = input_stats_from_trace([0, 1, 0, 1],
+                                       rise_arrival=Normal(2.0, 0.3))
+        assert stats.rise_arrival == Normal(2.0, 0.3)
+
+    def test_default_smoothing_applied(self):
+        stats = input_stats_from_trace([1] * 20)
+        assert stats.prob4.p_rise > 0.0
+
+
+class TestEndToEnd:
+    def test_sequential_mc_traces_feed_spsta(self):
+        """Full loop: simulate a sequential run, fit launch stats from the
+        observed FF traces, and run SPSTA with them."""
+        from repro.core.sequential import run_sequential_monte_carlo
+        from repro.core.spsta import run_spsta
+        from repro.netlist.benchmarks import benchmark_circuit
+
+        from repro.core.inputs import InputStats
+
+        netlist = benchmark_circuit("s27")
+        mc = run_sequential_monte_carlo(netlist, CONFIG_I, n_cycles=5_000,
+                                        rng=np.random.default_rng(1))
+        # The sequential result already aggregates each net's trace into a
+        # Prob4 (exactly what prob4_from_trace computes per stream).
+        stats = {net: InputStats(mc.prob4[net])
+                 for net in netlist.launch_points}
+        result = run_spsta(netlist, stats)
+        endpoint = netlist.endpoints[0]
+        p, _, _ = result.report(endpoint, "rise")
+        assert 0.0 <= p <= 1.0
+
+    def test_stats_from_traces_mapping(self):
+        traces = {"a": [0, 1, 1, 0], "b": [1, 1, 1, 1]}
+        stats = stats_from_traces(traces)
+        assert set(stats) == {"a", "b"}
+        assert stats["b"].prob4.p_one > stats["a"].prob4.p_one

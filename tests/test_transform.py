@@ -1,0 +1,180 @@
+"""Tests for repro.netlist.transform — decomposition, sweeping, equivalence."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.gates import GateType
+from repro.netlist.analysis import max_fanin
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
+from repro.netlist.transform import decompose_fanin, equivalent, sweep_constants
+
+
+def _wide_gate(gate_type, n=5):
+    inputs = [f"i{k}" for k in range(n)]
+    return Netlist("wide", inputs, ["y"],
+                   [Gate("y", gate_type, tuple(inputs))])
+
+
+class TestEquivalence:
+    def test_identical_netlists_equivalent(self):
+        s27 = benchmark_circuit("s27")
+        assert equivalent(s27, s27)
+
+    def test_demorgan_equivalent(self):
+        a = Netlist("a", ["x", "y"], ["out"],
+                    [Gate("out", GateType.NAND, ("x", "y"))])
+        b = Netlist("b", ["x", "y"], ["out"], [
+            Gate("nx", GateType.NOT, ("x",)),
+            Gate("ny", GateType.NOT, ("y",)),
+            Gate("out", GateType.OR, ("nx", "ny")),
+        ])
+        assert equivalent(a, b)
+
+    def test_inequivalent_detected(self):
+        a = Netlist("a", ["x", "y"], ["out"],
+                    [Gate("out", GateType.AND, ("x", "y"))])
+        b = Netlist("b", ["x", "y"], ["out"],
+                    [Gate("out", GateType.OR, ("x", "y"))])
+        assert not equivalent(a, b)
+
+    def test_different_launch_points_rejected(self):
+        a = Netlist("a", ["x"], ["out"], [Gate("out", GateType.NOT, ("x",))])
+        b = Netlist("b", ["z"], ["out"], [Gate("out", GateType.NOT, ("z",))])
+        with pytest.raises(ValueError, match="launch points"):
+            equivalent(a, b)
+
+
+class TestDecomposeFanin:
+    @pytest.mark.parametrize("gate_type", [
+        GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+        GateType.XOR, GateType.XNOR])
+    def test_wide_gate_equivalent_after_decomposition(self, gate_type):
+        netlist = _wide_gate(gate_type, n=5)
+        decomposed = decompose_fanin(netlist, max_fanin=2)
+        assert max_fanin(decomposed) <= 2
+        assert equivalent(netlist, decomposed)
+
+    def test_keeps_output_name(self):
+        decomposed = decompose_fanin(_wide_gate(GateType.AND), 2)
+        assert "y" in decomposed.gates
+
+    def test_small_gates_untouched(self, mixed_circuit):
+        decomposed = decompose_fanin(mixed_circuit, max_fanin=3)
+        assert set(decomposed.gates) == set(mixed_circuit.gates)
+
+    def test_benchmark_equivalent_after_decomposition(self):
+        netlist = benchmark_circuit("s298")
+        decomposed = decompose_fanin(netlist, max_fanin=2)
+        assert max_fanin(decomposed) <= 2
+        assert equivalent(netlist, decomposed)
+
+    def test_inversion_kept_at_root(self):
+        decomposed = decompose_fanin(_wide_gate(GateType.NOR, 5), 2)
+        internals = [g for g in decomposed.gates.values()
+                     if g.name.startswith("y__d")]
+        assert all(g.gate_type is GateType.OR for g in internals)
+        assert decomposed.gates["y"].gate_type is GateType.NOR
+
+    def test_rejects_bad_fanin(self, mixed_circuit):
+        with pytest.raises(ValueError):
+            decompose_fanin(mixed_circuit, max_fanin=1)
+
+    def test_spsta_close_after_decomposition(self):
+        """Decomposition changes depth (arrival shifts by the extra tree
+        levels) but occurrence probabilities are function-determined on
+        tree inputs."""
+        from repro.core.inputs import CONFIG_I
+        from repro.core.spsta import run_spsta
+
+        netlist = _wide_gate(GateType.AND, 5)
+        decomposed = decompose_fanin(netlist, 2)
+        original = run_spsta(netlist, CONFIG_I)
+        after = run_spsta(decomposed, CONFIG_I)
+        assert after.report("y", "rise")[0] == pytest.approx(
+            original.report("y", "rise")[0], abs=1e-9)
+
+
+class TestSweepConstants:
+    def test_controlling_constant_kills_gate(self):
+        netlist = Netlist("t", ["a", "b"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "b"))])
+        swept = sweep_constants(netlist, {"b": 0})
+        # y is constant 0: it becomes a tied output.
+        assert swept.outputs == ("__tie0",)
+        assert "__tie0" in swept.inputs
+
+    def test_non_controlling_constant_drops_out(self):
+        netlist = Netlist("t", ["a", "b"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "b"))])
+        swept = sweep_constants(netlist, {"b": 1})
+        assert swept.gates["y"].gate_type is GateType.BUFF
+        assert swept.gates["y"].inputs == ("a",)
+
+    def test_nand_reduces_to_inverter(self):
+        netlist = Netlist("t", ["a", "b"], ["y"],
+                          [Gate("y", GateType.NAND, ("a", "b"))])
+        swept = sweep_constants(netlist, {"b": 1})
+        assert swept.gates["y"].gate_type is GateType.NOT
+
+    def test_xor_parity_folds_constants(self):
+        netlist = Netlist("t", ["a", "b", "c"], ["y"],
+                          [Gate("y", GateType.XOR, ("a", "b", "c"))])
+        swept = sweep_constants(netlist, {"c": 1})
+        assert swept.gates["y"].gate_type is GateType.XNOR
+        assert set(swept.gates["y"].inputs) == {"a", "b"}
+
+    def test_constants_propagate_transitively(self):
+        netlist = Netlist("t", ["a", "b"], ["y"], [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("n2", GateType.NOT, ("n1",)),
+            Gate("y", GateType.OR, ("n2", "a")),
+        ])
+        swept = sweep_constants(netlist, {"a": 0})
+        # a=0: n1=0, n2=1, y=1.
+        assert swept.outputs == ("__tie1",)
+
+    def test_equivalence_on_remaining_function(self):
+        netlist = benchmark_circuit("s27")
+        pi = netlist.inputs[0]
+        swept = sweep_constants(netlist, {pi: 1})
+        # Check by simulation: for trials with pi=1, endpoint settled
+        # values agree.
+        from itertools import product
+        from repro.logic.bdd import BDDManager
+        from repro.power.density import build_net_bdds
+
+        mgr = BDDManager()
+        funcs = build_net_bdds(netlist, mgr)
+        mgr2 = BDDManager()
+        funcs2 = build_net_bdds(swept, mgr2)
+        remaining = [n for n in netlist.launch_points if n != pi]
+        for values in product((0, 1), repeat=len(remaining)):
+            env = dict(zip(remaining, values))
+            env_full = dict(env)
+            env_full[pi] = 1
+            env_swept = dict(env)
+            for tie in ("__tie0", "__tie1"):
+                if tie in set(swept.launch_points):
+                    env_swept[tie] = int(tie == "__tie1")
+            for net in netlist.endpoints:
+                expected = mgr.evaluate(funcs[net], env_full)
+                got_net = net if net in funcs2 else f"__tie{expected}"
+                got = (mgr2.evaluate(funcs2[got_net], env_swept)
+                       if got_net in funcs2 else expected)
+                assert got == expected, net
+
+    def test_dff_with_constant_data_kept(self):
+        netlist = Netlist("t", ["a"], ["q"], [
+            Gate("q", GateType.DFF, ("a",)),
+        ])
+        swept = sweep_constants(netlist, {"a": 1})
+        assert swept.gates["q"].inputs == ("__tie1",)
+
+    def test_rejects_non_launch_tie(self, mixed_circuit):
+        with pytest.raises(ValueError, match="launch point"):
+            sweep_constants(mixed_circuit, {"n1": 0})
+
+    def test_rejects_bad_value(self, mixed_circuit):
+        with pytest.raises(ValueError, match="0/1"):
+            sweep_constants(mixed_circuit, {"a": 2})

@@ -1,0 +1,178 @@
+"""Tests for repro.core.waveform — probabilistic waveform simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats, Prob4
+from repro.core.probability import propagate_prob4
+from repro.core.waveform import (
+    ProbabilityWaveform,
+    gate_waveform,
+    propagate_waveforms,
+)
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.sim.montecarlo import run_monte_carlo
+from repro.stats.grid import TimeGrid
+from repro.stats.normal import Normal
+
+GRID = TimeGrid(-8.0, 16.0, 2048)
+
+
+class TestLaunchWaveform:
+    def test_boundaries_match_prob4(self):
+        w = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        p = CONFIG_I.prob4
+        assert w.initial_probability == pytest.approx(
+            p.initial_one_probability, abs=1e-6)
+        assert w.settled_probability == pytest.approx(
+            p.final_one_probability, abs=1e-6)
+
+    def test_config_ii_boundaries(self):
+        w = ProbabilityWaveform.from_input_stats(GRID, CONFIG_II)
+        assert w.initial_probability == pytest.approx(0.23, abs=1e-6)
+        assert w.settled_probability == pytest.approx(0.17, abs=1e-6)
+
+    def test_midpoint_value(self):
+        # At the arrival mean, half of each transition has landed.
+        w = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        expected = 0.25 + 0.25 * 0.5 + 0.25 * 0.5
+        assert w.at(0.0) == pytest.approx(expected, abs=1e-3)
+
+    def test_static_input_flat(self):
+        w = ProbabilityWaveform.from_input_stats(
+            GRID, InputStats(Prob4.static(0.7)))
+        assert np.allclose(w.values, 0.7)
+
+    def test_values_validated(self):
+        with pytest.raises(ValueError):
+            ProbabilityWaveform(GRID, np.full(GRID.n, 1.5))
+        with pytest.raises(ValueError):
+            ProbabilityWaveform(GRID, np.zeros(GRID.n - 1))
+
+
+class TestWaveformOps:
+    def test_shift_moves_ramp(self):
+        w = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        shifted = w.shifted(3.0)
+        assert shifted.at(3.0) == pytest.approx(w.at(0.0), abs=1e-3)
+        assert shifted.initial_probability == pytest.approx(
+            w.initial_probability, abs=1e-6)
+
+    def test_inversion(self):
+        w = ProbabilityWaveform.from_input_stats(GRID, CONFIG_II)
+        inv = w.inverted()
+        assert inv.at(0.0) == pytest.approx(1.0 - w.at(0.0))
+
+    def test_uncertainty_zero_for_static(self):
+        w = ProbabilityWaveform.from_input_stats(
+            GRID, InputStats(Prob4.static(1.0)))
+        assert w.uncertainty() == pytest.approx(0.0, abs=1e-12)
+
+    def test_uncertainty_positive_for_toggling(self):
+        w = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        assert w.uncertainty() > 0.0
+
+
+class TestGateWaveform:
+    def test_and_is_pointwise_product(self):
+        a = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        b = ProbabilityWaveform.from_input_stats(GRID, CONFIG_II)
+        y = gate_waveform(GateType.AND, [a, b], delay=0.0)
+        assert np.allclose(y.values, a.values * b.values, atol=1e-9)
+
+    def test_nand_complements(self):
+        a = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        y_and = gate_waveform(GateType.AND, [a, a], 0.0)
+        y_nand = gate_waveform(GateType.NAND, [a, a], 0.0)
+        assert np.allclose(y_and.values + y_nand.values, 1.0, atol=1e-9)
+
+    def test_xor_parity_fold(self):
+        a = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        y = gate_waveform(GateType.XOR, [a, a], 0.0)
+        expected = 2 * a.values * (1 - a.values)
+        assert np.allclose(y.values, expected, atol=1e-9)
+
+    def test_delay_applied_after_combination(self):
+        a = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        y0 = gate_waveform(GateType.BUFF, [a], 0.0)
+        y2 = gate_waveform(GateType.BUFF, [a], 2.0)
+        assert y2.at(2.0) == pytest.approx(y0.at(0.0), abs=1e-3)
+
+    def test_grid_mismatch_rejected(self):
+        a = ProbabilityWaveform.from_input_stats(GRID, CONFIG_I)
+        other = ProbabilityWaveform.from_input_stats(
+            TimeGrid(-8, 16, 1024), CONFIG_I)
+        with pytest.raises(ValueError):
+            gate_waveform(GateType.AND, [a, other], 0.0)
+
+
+class TestNetlistPropagation:
+    def test_settled_matches_prob4_propagation(self):
+        """The waveform's settled value must equal the four-value
+        propagation's final-one probability on every net."""
+        netlist = benchmark_circuit("s27")
+        waves = propagate_waveforms(netlist, CONFIG_I, GRID)
+        prob4 = propagate_prob4(netlist, CONFIG_I.prob4)
+        for net in netlist.nets:
+            assert waves[net].settled_probability == pytest.approx(
+                prob4[net].final_one_probability, abs=1e-6), net
+
+    def test_initial_matches_prob4_propagation(self):
+        netlist = benchmark_circuit("s27")
+        waves = propagate_waveforms(netlist, CONFIG_II, GRID)
+        prob4 = propagate_prob4(netlist, CONFIG_II.prob4)
+        for net in netlist.nets:
+            assert waves[net].initial_probability == pytest.approx(
+                prob4[net].initial_one_probability, abs=1e-6), net
+
+    def test_midcycle_against_instantaneous_sampling(self):
+        """The waveform's semantics are instantaneous functional evaluation
+        with delay shifts; on a TREE (independence exact) it must match a
+        per-trial instantaneous oracle built from the same launch samples."""
+        from repro.logic.gates import gate_spec
+        from repro.netlist.core import Gate, Netlist
+        from repro.sim.sampler import sample_launch_points
+
+        tree = Netlist("tree", ["a", "b", "c", "d"], ["y"], [
+            Gate("n1", GateType.NAND, ("a", "b")),
+            Gate("n2", GateType.NOR, ("c", "d")),
+            Gate("y", GateType.OR, ("n1", "n2")),
+        ])
+        waves = propagate_waveforms(tree, CONFIG_II, GRID)
+        rng = np.random.default_rng(0)
+        samples = sample_launch_points(tree, CONFIG_II, 80_000, rng)
+
+        def instantaneous(net: str, t: float) -> np.ndarray:
+            if net in samples:
+                wave = samples[net]
+                switched = ~np.isnan(wave.time) & (wave.time <= t)
+                return np.where(switched, wave.final, wave.init)
+            gate = tree.driver(net)
+            spec = gate_spec(gate.gate_type)
+            bits = [instantaneous(src, t - 1.0) for src in gate.inputs]
+            if gate.gate_type is GateType.NAND:
+                return ~(bits[0] & bits[1])
+            if gate.gate_type is GateType.NOR:
+                return ~(bits[0] | bits[1])
+            if gate.gate_type is GateType.OR:
+                return bits[0] | bits[1]
+            raise AssertionError(spec)
+
+        for net in ("n1", "n2", "y"):
+            for probe in (-1.0, 0.5, 1.5, 3.0, 6.0):
+                observed = float(instantaneous(net, probe).mean())
+                assert waves[net].at(probe) == pytest.approx(
+                    observed, abs=0.01), (net, probe)
+
+    def test_chain_ramp_delays(self, chain_circuit):
+        # CONFIG_II is asymmetric (0.23 -> 0.17), so the ramp is visible;
+        # n3 is 3 gates deep with even inversion parity, so its midpoint
+        # crossing sits near t = 3.
+        waves = propagate_waveforms(chain_circuit, CONFIG_II, GRID)
+        w = waves["n3"]
+        mid = 0.5 * (w.initial_probability + w.settled_probability)
+        crossings = np.where(np.diff(np.sign(w.values - mid)))[0]
+        assert crossings.size > 0
+        t_mid = GRID.points[crossings[0]]
+        assert t_mid == pytest.approx(3.0, abs=0.2)
