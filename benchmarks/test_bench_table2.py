@@ -41,6 +41,41 @@ def test_table2_config(benchmark, results_dir, label, config):
     assert summary.ssta_sigma_error > 2 * summary.spsta_sigma_error
 
 
+def test_table2_stream_engine_statistical_regression(results_dir):
+    """The sharded streaming engine reproduces Table 2's configuration (I)
+    within the tolerances asserted for the seed engine.
+
+    The shards draw different (independently seeded) trials than the
+    single-stream seed run, so cells agree statistically rather than
+    bit-for-bit: the same qualitative claims must hold, and every
+    most-critical-path mean/std/probability cell must sit within a few
+    Monte-Carlo standard errors of the seed engine's value.
+    """
+    rows_stream = run_table2(CONFIG_I, n_trials=N_TRIALS,
+                             mc_mode="stream", shards=4, workers=4)
+    summary = error_summary(rows_stream)
+    save_artifact(results_dir, "table2_config_i_stream.txt",
+                  format_table2(rows_stream,
+                                title="Table 2, configuration (I), "
+                                      "streaming MC")
+                  + "\n\n" + format_error_summary(summary))
+
+    assert len(rows_stream) == 18
+    assert summary.spsta_beats_ssta()
+    assert summary.ssta_sigma_error > 2 * summary.spsta_sigma_error
+
+    rows_seed = run_table2(CONFIG_I, n_trials=N_TRIALS)
+    for seed_row, stream_row in zip(rows_seed, rows_stream):
+        assert seed_row.circuit == stream_row.circuit
+        assert seed_row.endpoint == stream_row.endpoint
+        # ~4 standard errors of the difference between two independent
+        # 10k-trial estimates (conditional cells see ~1k occurrences).
+        assert stream_row.mc_p == pytest.approx(seed_row.mc_p, abs=0.025)
+        assert stream_row.mc_mu == pytest.approx(seed_row.mc_mu, abs=0.27)
+        assert stream_row.mc_sigma == pytest.approx(seed_row.mc_sigma,
+                                                    abs=0.27)
+
+
 def test_table2_ssta_is_input_oblivious(benchmark, results_dir):
     rows_i = benchmark.pedantic(
         run_table2, args=(CONFIG_I,),

@@ -71,7 +71,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     mc = None
     if args.trials > 0:
         mc = run_monte_carlo(netlist, config, args.trials,
-                             rng=np.random.default_rng(args.seed))
+                             rng=np.random.default_rng(args.seed),
+                             mode=args.mc_mode, shards=args.shards,
+                             workers=args.workers)
     for direction in ("rise", "fall"):
         p, mu, sigma = spsta.report(endpoint, direction)
         pair = getattr(ssta.arrivals[endpoint], direction)
@@ -84,12 +86,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(line)
     print(f"  SPSTA signal probability at endpoint: "
           f"{spsta.prob4[endpoint].signal_probability:.3f}")
+    if mc is not None and hasattr(mc, "summary"):
+        print(mc.summary())
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     config = _config(args.config)
-    rows = run_table2(config, n_trials=args.trials, seed=args.seed)
+    rows = run_table2(config, n_trials=args.trials, seed=args.seed,
+                      mc_mode=args.mc_mode, shards=args.shards,
+                      workers=args.workers)
     print(format_table2(rows, title=f"Table 2, configuration ({args.config})"))
     print()
     print(format_error_summary(error_summary(rows)))
@@ -98,7 +104,9 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     config = _config(args.config)
-    rows = run_table3(config, n_trials=args.trials, seed=args.seed)
+    rows = run_table3(config, n_trials=args.trials, seed=args.seed,
+                      mc_mode=args.mc_mode, shards=args.shards,
+                      workers=args.workers)
     print(format_table3(rows))
     return 0
 
@@ -229,24 +237,37 @@ def build_parser() -> argparse.ArgumentParser:
         description="Signal Probability Based Statistical Timing Analysis")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_mc_engine_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--mc-mode", choices=("waves", "stream"),
+                         default="waves",
+                         help="Monte Carlo engine: retain waves, or stream "
+                              "per-net statistics (memory-bounded)")
+        cmd.add_argument("--shards", type=int, default=1,
+                         help="trial shards for --mc-mode stream")
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="processes for --mc-mode stream")
+
     analyze = sub.add_parser("analyze", help="run all analyzers on a circuit")
     analyze.add_argument("circuit", help="benchmark name or .bench path")
     analyze.add_argument("--config", default="I", help="input stats: I or II")
     analyze.add_argument("--trials", type=int, default=10_000,
                          help="Monte Carlo trials (0 disables MC)")
     analyze.add_argument("--seed", type=int, default=0)
+    add_mc_engine_args(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     table2 = sub.add_parser("table2", help="regenerate paper Table 2")
     table2.add_argument("--config", default="I")
     table2.add_argument("--trials", type=int, default=10_000)
     table2.add_argument("--seed", type=int, default=0)
+    add_mc_engine_args(table2)
     table2.set_defaults(func=_cmd_table2)
 
     table3 = sub.add_parser("table3", help="regenerate paper Table 3")
     table3.add_argument("--config", default="I")
     table3.add_argument("--trials", type=int, default=10_000)
     table3.add_argument("--seed", type=int, default=0)
+    add_mc_engine_args(table3)
     table3.set_defaults(func=_cmd_table3)
 
     errors = sub.add_parser("errors", help="abstract error summary, both configs")

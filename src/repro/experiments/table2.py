@@ -50,8 +50,16 @@ def run_table2(config: InputStats,
                n_trials: int = 10_000,
                seed: int = 0,
                delay_model: DelayModel = UnitDelay(),
-               algebra: Optional[TopAlgebra] = None) -> List[Table2Row]:
-    """Run all three analyzers on each circuit; one row per direction."""
+               algebra: Optional[TopAlgebra] = None,
+               mc_mode: str = "waves",
+               shards: int = 1,
+               workers: int = 1) -> List[Table2Row]:
+    """Run all three analyzers on each circuit; one row per direction.
+
+    ``mc_mode``/``shards``/``workers`` select the Monte Carlo engine
+    (see :func:`repro.sim.montecarlo.run_monte_carlo`); the table only
+    needs the summary accessors both engines share.
+    """
     rows: List[Table2Row] = []
     for name in circuits:
         netlist = benchmark_circuit(name)
@@ -59,7 +67,10 @@ def run_table2(config: InputStats,
         spsta = run_spsta(netlist, config, delay_model, algebra)
         ssta = run_ssta(netlist, delay_model)
         mc = run_monte_carlo(netlist, config, n_trials, delay_model,
-                             rng=np.random.default_rng(seed))
+                             rng=np.random.default_rng(seed),
+                             mode=mc_mode,
+                             shards=shards if mc_mode == "stream" else 1,
+                             workers=workers if mc_mode == "stream" else 1)
         for direction in ("rise", "fall"):
             p, mu, sigma = spsta.report(endpoint, direction)
             pair = getattr(ssta.arrivals[endpoint], direction)

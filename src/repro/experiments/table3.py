@@ -36,6 +36,7 @@ class RuntimeRow:
     ssta_seconds: float
     mc_seconds: float
     mc_scalar_seconds: float = float("nan")
+    mc_shard_summary: str = ""
 
     @property
     def mc_over_spsta(self) -> float:
@@ -51,12 +52,17 @@ def run_table3(config: InputStats,
                n_trials: int = 10_000,
                seed: int = 0,
                delay_model: DelayModel = UnitDelay(),
-               scalar_probe_trials: int = 200) -> List[RuntimeRow]:
+               scalar_probe_trials: int = 200,
+               mc_mode: str = "waves",
+               shards: int = 1,
+               workers: int = 1) -> List[RuntimeRow]:
     """Time each analyzer once per circuit (same workload as Table 2).
 
     ``scalar_probe_trials`` scalar-reference trials are timed and linearly
     extrapolated to ``n_trials`` for the ``mc_scalar_seconds`` column
-    (0 disables the probe).
+    (0 disables the probe).  ``mc_mode="stream"`` times the sharded
+    streaming engine instead and records its per-shard timing/memory
+    counters in ``mc_shard_summary``.
     """
     rows: List[RuntimeRow] = []
     for name in circuits:
@@ -66,8 +72,11 @@ def run_table3(config: InputStats,
         t1 = time.perf_counter()
         run_ssta(netlist, delay_model)
         t2 = time.perf_counter()
-        run_monte_carlo(netlist, config, n_trials, delay_model,
-                        rng=np.random.default_rng(seed))
+        mc = run_monte_carlo(netlist, config, n_trials, delay_model,
+                             rng=np.random.default_rng(seed),
+                             mode=mc_mode,
+                             shards=shards if mc_mode == "stream" else 1,
+                             workers=workers if mc_mode == "stream" else 1)
         t3 = time.perf_counter()
         scalar_seconds = float("nan")
         if scalar_probe_trials > 0:
@@ -75,8 +84,9 @@ def run_table3(config: InputStats,
                                               scalar_probe_trials, seed,
                                               delay_model)
                               * n_trials / scalar_probe_trials)
+        shard_summary = mc.summary() if hasattr(mc, "summary") else ""
         rows.append(RuntimeRow(name, t1 - t0, t2 - t1, t3 - t2,
-                               scalar_seconds))
+                               scalar_seconds, shard_summary))
     return rows
 
 
@@ -117,4 +127,10 @@ def format_table3(rows: Sequence[RuntimeRow],
             f"{row.circuit:>7} | {row.spsta_seconds:>9.4f} | "
             f"{row.ssta_seconds:>9.4f} | {row.mc_seconds:>9.4f} | "
             f"{scalar} | {row.mc_over_spsta:>8.1f}x | {ratio}")
+    shard_blocks = [row.mc_shard_summary for row in rows
+                    if row.mc_shard_summary]
+    if shard_blocks:
+        lines.append("")
+        lines.append("Monte Carlo shard counters:")
+        lines.extend(shard_blocks)
     return "\n".join(lines)

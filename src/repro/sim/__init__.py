@@ -7,16 +7,37 @@
   arrival is the last output change.  Exact for every gate type; the oracle.
 - :mod:`repro.sim.montecarlo` — numpy-vectorized simulator with closed-form
   per-gate-family rules, validated trial-for-trial against the reference.
+  Two modes: ``"waves"`` retains every per-trial array, ``"stream"`` folds
+  waves into O(1)-per-net statistics and can shard trials over processes.
+- :mod:`repro.sim.accumulator` — the streaming sufficient statistics and
+  their shard-merge algebra.
+- :mod:`repro.sim.parallel` — shard planning (``SeedSequence.spawn``
+  seeding) and the process-pool / serial shard executor.
 """
 
-from repro.sim.montecarlo import DirectionStats, MonteCarloResult, run_monte_carlo
+from repro.sim.accumulator import (DirectionMoments, NetAccumulator,
+                                   accumulate_waves, merge_accumulators)
+from repro.sim.montecarlo import (DirectionStats, MonteCarloResult,
+                                  StreamResult, run_monte_carlo)
+from repro.sim.parallel import (ShardPlan, ShardReport, WaveMemoryMeter,
+                                plan_shards, run_shards)
 from repro.sim.reference import event_gate_output, simulate_trial
 from repro.sim.sampler import LaunchSample, sample_launch_points
 
 __all__ = [
     "run_monte_carlo",
     "MonteCarloResult",
+    "StreamResult",
     "DirectionStats",
+    "DirectionMoments",
+    "NetAccumulator",
+    "accumulate_waves",
+    "merge_accumulators",
+    "ShardPlan",
+    "ShardReport",
+    "WaveMemoryMeter",
+    "plan_shards",
+    "run_shards",
     "sample_launch_points",
     "LaunchSample",
     "simulate_trial",

@@ -14,13 +14,24 @@ All trials propagate simultaneously as numpy arrays.  Per-gate-family rules
 
 Gate delays come from the :class:`~repro.core.delay.DelayModel`; a non-zero
 delay sigma draws an independent Gaussian delay per gate per trial.
+
+Two execution modes share these semantics:
+
+- ``mode="waves"`` (default) retains every net's per-trial arrays in a
+  :class:`MonteCarloResult` — O(nets x trials) memory, full waveform access.
+- ``mode="stream"`` folds each wave into O(1)-per-net sufficient statistics
+  (:mod:`repro.sim.accumulator`) the moment its last consumer has read it,
+  optionally sharding the trial budget over a process pool
+  (:mod:`repro.sim.parallel`).  Single-shard streaming runs are bit-exact
+  against the wave engine on the same launch draws; the kernel below reuses
+  retired trial buffers, which also makes it measurably faster.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+import time as _time
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -28,19 +39,18 @@ from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats
 from repro.logic.gates import GateType, gate_spec
 from repro.netlist.core import Netlist
+from repro.sim.accumulator import (DirectionStats, NetAccumulator,
+                                   merge_accumulators)
+from repro.sim.parallel import (ShardPlan, ShardReport, WaveMemoryMeter,
+                                plan_shards, run_shards)
 from repro.sim.sampler import LaunchSample, sample_launch_points
 
-
-@dataclass(frozen=True)
-class DirectionStats:
-    """Monte Carlo estimate for one transition direction at one net: the
-    occurrence probability and the conditional arrival moments (NaN when the
-    transition never occurred in any trial) — one Table 2 cell triple."""
-
-    probability: float
-    mean: float
-    std: float
-    n_occurrences: int
+__all__ = [
+    "DirectionStats",
+    "MonteCarloResult",
+    "StreamResult",
+    "run_monte_carlo",
+]
 
 
 class MonteCarloResult:
@@ -96,33 +106,61 @@ def run_monte_carlo(netlist: Netlist,
                     n_trials: int = 10_000,
                     delay_model: DelayModel = UnitDelay(),
                     rng: Optional[np.random.Generator] = None,
-                    samples: Optional[Dict[str, LaunchSample]] = None
-                    ) -> MonteCarloResult:
+                    samples: Optional[Dict[str, LaunchSample]] = None,
+                    mode: str = "waves",
+                    shards: int = 1,
+                    workers: int = 1,
+                    keep_nets: Sequence[str] = ()
+                    ) -> "Union[MonteCarloResult, StreamResult]":
     """Simulate ``n_trials`` independent cycles of the whole netlist.
 
     Pass ``samples`` (from :func:`repro.sim.sampler.sample_launch_points`)
     to reuse a fixed set of launch draws — e.g. to compare engines on
     identical trials.
+
+    ``mode="stream"`` returns a :class:`StreamResult` of merged per-net
+    statistics instead of retained waves: the trial budget is split into
+    ``shards`` chunks (each independently seeded via
+    ``SeedSequence.spawn``, so results depend only on the root seed and
+    shard count), executed on up to ``workers`` processes, and folded
+    shard by shard.  Waves are retired as soon as their last consumer has
+    read them; name nets in ``keep_nets`` to retain their full waveforms
+    anyway.  With ``shards=1`` the streaming statistics are bit-exact
+    against this function's ``mode="waves"`` accessors on the same draws.
     """
     if rng is None:
         rng = np.random.default_rng(0)
+    if mode == "stream":
+        return _run_stream(netlist, stats, n_trials, delay_model, rng,
+                           samples, shards, workers, tuple(keep_nets))
+    if mode != "waves":
+        raise ValueError(f"mode must be 'waves' or 'stream', got {mode!r}")
+    if shards != 1 or workers != 1 or keep_nets:
+        raise ValueError("shards/workers/keep_nets require mode='stream' "
+                         "(mode='waves' retains every wave in one shard)")
     if samples is None:
         samples = sample_launch_points(netlist, stats, n_trials, rng)
     waves: Dict[str, LaunchSample] = dict(samples)
     mis_aware = hasattr(delay_model, "delay_mis")
     for gate in netlist.combinational_gates:
         operands = [waves[src] for src in gate.inputs]
-        if mis_aware:
-            delay_draw = _mis_delay_draw(delay_model, gate, operands,
-                                         n_trials, rng)
-        else:
-            delay = delay_model.delay(gate)
-            if delay.sigma > 0.0:
-                delay_draw = rng.normal(delay.mu, delay.sigma, size=n_trials)
-            else:
-                delay_draw = delay.mu
+        delay_draw = _delay_draw(delay_model, gate, operands, n_trials, rng,
+                                 mis_aware)
         waves[gate.name] = _gate_wave(gate.gate_type, operands, delay_draw)
     return MonteCarloResult(netlist.name, n_trials, waves)
+
+
+def _delay_draw(delay_model: DelayModel, gate, operands, n_trials: int,
+                rng: np.random.Generator, mis_aware: bool
+                ) -> Union[float, np.ndarray]:
+    """Per-gate delay (scalar) or per-trial delay draw (array) — shared by
+    both execution modes so identical rngs consume identical streams."""
+    if mis_aware:
+        return _mis_delay_draw(delay_model, gate, operands, n_trials, rng)
+    delay = delay_model.delay(gate)
+    if delay.sigma > 0.0:
+        return rng.normal(delay.mu, delay.sigma, size=n_trials)
+    return delay.mu
 
 
 def _mis_delay_draw(delay_model: DelayModel, gate, operands, n_trials: int,
@@ -207,3 +245,317 @@ def _parity_wave(operands: Sequence[LaunchSample]):
     t_last = np.where(switching, times, -math.inf).max(axis=0)
     time = np.where(init != final, t_last, np.nan)
     return init, final, time
+
+
+# ---------------------------------------------------------------------------
+# Streaming (memory-bounded, sharded) mode
+# ---------------------------------------------------------------------------
+
+class StreamResult:
+    """Merged streaming statistics of a sharded Monte Carlo run.
+
+    Offers the same summary accessors as :class:`MonteCarloResult`
+    (``direction_stats`` / ``signal_probability`` / ``toggling_rate``)
+    backed by O(1)-per-net accumulators instead of retained waves.
+    Waveforms exist only for nets that were named in ``keep_nets``.
+    """
+
+    def __init__(self, netlist_name: str, n_trials: int,
+                 accumulators: Dict[str, NetAccumulator],
+                 shard_reports: Tuple[ShardReport, ...],
+                 kept_waves: Dict[str, LaunchSample]) -> None:
+        self.netlist_name = netlist_name
+        self.n_trials = n_trials
+        self._accumulators = accumulators
+        self.shard_reports = shard_reports
+        self._kept = kept_waves
+
+    @property
+    def nets(self) -> Sequence[str]:
+        return tuple(self._accumulators)
+
+    def accumulator(self, net: str) -> NetAccumulator:
+        return self._accumulators[net]
+
+    def wave(self, net: str) -> LaunchSample:
+        if net not in self._kept:
+            raise KeyError(
+                f"net {net!r} has no retained wave: streaming mode frees "
+                f"waves after accumulation; pass keep_nets=[{net!r}] to "
+                f"run_monte_carlo to retain it")
+        return self._kept[net]
+
+    def direction_stats(self, net: str, direction: str) -> DirectionStats:
+        """Estimate (P, mean, std) for 'rise' or 'fall' at a net."""
+        return self._accumulators[net].direction_stats(direction)
+
+    def signal_probability(self, net: str) -> float:
+        return self._accumulators[net].signal_probability
+
+    def toggling_rate(self, net: str) -> float:
+        return self._accumulators[net].toggling_rate
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.shard_reports)
+
+    @property
+    def peak_wave_bytes(self) -> int:
+        """Largest per-shard live-wave working set observed."""
+        return max((r.peak_wave_bytes for r in self.shard_reports), default=0)
+
+    def summary(self) -> str:
+        """Human-readable run summary with per-shard counters."""
+        lines = [
+            f"streaming MC on {self.netlist_name}: {self.n_trials} trials, "
+            f"{len(self.shard_reports)} shard(s), "
+            f"{self.total_seconds * 1e3:.1f} ms shard CPU, "
+            f"peak waves {self.peak_wave_bytes / 1024:.0f} KiB"]
+        lines.extend("  " + r.format() for r in self.shard_reports)
+        return "\n".join(lines)
+
+
+class _BufferPool:
+    """Recycles retired per-trial arrays so the hot loop stops allocating."""
+
+    __slots__ = ("n_trials", "_bools", "_floats")
+
+    def __init__(self, n_trials: int) -> None:
+        self.n_trials = n_trials
+        self._bools: List[np.ndarray] = []
+        self._floats: List[np.ndarray] = []
+
+    def take_bool(self) -> np.ndarray:
+        return self._bools.pop() if self._bools else np.empty(
+            self.n_trials, dtype=bool)
+
+    def take_float(self) -> np.ndarray:
+        return self._floats.pop() if self._floats else np.empty(
+            self.n_trials, dtype=np.float64)
+
+    def give(self, *arrays: np.ndarray) -> None:
+        for array in arrays:
+            if array.dtype == np.bool_:
+                self._bools.append(array)
+            else:
+                self._floats.append(array)
+
+
+def _stream_gate(gate_type: GateType, operands: Sequence[LaunchSample],
+                 delay: Union[float, np.ndarray], pool: _BufferPool,
+                 rise_out: np.ndarray, fall_out: np.ndarray,
+                 tmp_bool: np.ndarray
+                 ) -> Tuple[LaunchSample, np.ndarray, np.ndarray]:
+    """The wave-engine gate rules, restated without redundant passes.
+
+    Returns ``(wave, rise_mask, fall_mask)``; the masks live in the caller's
+    scratch buffers.  Bit-exactness with :func:`_gate_wave` rests on two
+    invariants: a wave's ``time`` is NaN exactly where ``init == final``
+    (so ``fmax``/``fmin`` folds see only switching arrivals, reproducing the
+    masked MIN/MAX reductions), and ``NaN + delay`` stays NaN (so the
+    glitch-filter ``where`` is already encoded in the time array).
+    """
+    spec = gate_spec(gate_type)
+    init = pool.take_bool()
+    final = pool.take_bool()
+    if len(operands) == 1:
+        src = operands[0]
+        time = pool.take_float()
+        np.add(src.time, delay, out=time)
+        if spec.inverting:
+            np.logical_not(src.init, out=init)
+            np.logical_not(src.final, out=final)
+        else:
+            np.copyto(init, src.init)
+            np.copyto(final, src.final)
+    elif spec.is_parity:
+        time = pool.take_float()
+        first, second = operands[0], operands[1]
+        np.logical_xor(first.init, second.init, out=init)
+        np.logical_xor(first.final, second.final, out=final)
+        np.fmax(first.time, second.time, out=time)
+        for other in operands[2:]:
+            np.logical_xor(init, other.init, out=init)
+            np.logical_xor(final, other.final, out=final)
+            np.fmax(time, other.time, out=time)
+        np.equal(init, final, out=tmp_bool)
+        time[tmp_bool] = np.nan
+        np.add(time, delay, out=time)
+        if spec.inverting:
+            np.logical_not(init, out=init)
+            np.logical_not(final, out=final)
+    else:
+        and_core = spec.controlling_value == 0
+        fold = np.logical_and if and_core else np.logical_or
+        t_max = pool.take_float()
+        t_min = pool.take_float()
+        first, second = operands[0], operands[1]
+        fold(first.init, second.init, out=init)
+        fold(first.final, second.final, out=final)
+        np.fmax(first.time, second.time, out=t_max)
+        np.fmin(first.time, second.time, out=t_min)
+        for other in operands[2:]:
+            fold(init, other.init, out=init)
+            fold(final, other.final, out=final)
+            np.fmax(t_max, other.time, out=t_max)
+            np.fmin(t_min, other.time, out=t_min)
+        np.greater(final, init, out=rise_out)
+        np.greater(init, final, out=fall_out)
+        # Rise settles at the MAX (AND core) / MIN (OR core) switching
+        # arrival; fall at the opposite extreme.
+        time, t_other = (t_max, t_min) if and_core else (t_min, t_max)
+        np.copyto(time, t_other, where=fall_out)
+        np.logical_or(rise_out, fall_out, out=tmp_bool)
+        np.logical_not(tmp_bool, out=tmp_bool)
+        time[tmp_bool] = np.nan
+        np.add(time, delay, out=time)
+        pool.give(t_other)
+        if spec.inverting:
+            np.logical_not(init, out=init)
+            np.logical_not(final, out=final)
+            return (LaunchSample(init=init, final=final, time=time),
+                    fall_out, rise_out)
+        return (LaunchSample(init=init, final=final, time=time),
+                rise_out, fall_out)
+    np.greater(final, init, out=rise_out)
+    np.greater(init, final, out=fall_out)
+    return (LaunchSample(init=init, final=final, time=time),
+            rise_out, fall_out)
+
+
+def _stream_shard(netlist: Netlist,
+                  stats: Union[InputStats, Mapping[str, InputStats]],
+                  plan: ShardPlan,
+                  delay_model: DelayModel,
+                  samples: Optional[Dict[str, LaunchSample]],
+                  keep_nets: Tuple[str, ...],
+                  rng: Optional[np.random.Generator]
+                  ) -> Tuple[Dict[str, NetAccumulator],
+                             Dict[str, LaunchSample], ShardReport]:
+    """Run one shard: sample (unless given), propagate, fold, retire."""
+    t_start = _time.perf_counter()
+    n_trials = plan.n_trials
+    if rng is None:
+        rng = np.random.default_rng(plan.seed)
+    owns_samples = samples is None
+    if samples is None:
+        samples = sample_launch_points(netlist, stats, n_trials, rng)
+    keep: Set[str] = set(keep_nets)
+    meter = WaveMemoryMeter()
+    pool = _BufferPool(n_trials)
+    rise_scratch = np.empty(n_trials, dtype=bool)
+    fall_scratch = np.empty(n_trials, dtype=bool)
+    tmp_bool = np.empty(n_trials, dtype=bool)
+    time_scratch = np.empty(n_trials, dtype=np.float64)
+    refs: Dict[str, int] = {}
+    for gate in netlist.combinational_gates:
+        for src in gate.inputs:
+            refs[src] = refs.get(src, 0) + 1
+    accumulators: Dict[str, NetAccumulator] = {}
+    waves: Dict[str, LaunchSample] = {}
+    owned: Set[str] = set()
+    kept: Dict[str, LaunchSample] = {}
+
+    def retire(net: str) -> None:
+        if refs.get(net, 0) == 0 and net in waves and net not in keep:
+            wave = waves.pop(net)
+            meter.released(wave.init, wave.final, wave.time)
+            if net in owned:
+                pool.give(wave.init, wave.final, wave.time)
+
+    for net, wave in samples.items():
+        meter.allocated(wave.init, wave.final, wave.time)
+        np.greater(wave.final, wave.init, out=rise_scratch)
+        np.greater(wave.init, wave.final, out=fall_scratch)
+        accumulators[net] = NetAccumulator.from_arrays(
+            wave.init, wave.final, wave.time, rise_scratch, fall_scratch,
+            time_scratch)
+        waves[net] = wave
+        if owns_samples:
+            owned.add(net)
+        if net in keep:
+            kept[net] = wave
+        retire(net)
+    mis_aware = hasattr(delay_model, "delay_mis")
+    for gate in netlist.combinational_gates:
+        operands = [waves[src] for src in gate.inputs]
+        delay = _delay_draw(delay_model, gate, operands, n_trials, rng,
+                            mis_aware)
+        wave, rise, fall = _stream_gate(gate.gate_type, operands, delay,
+                                        pool, rise_scratch, fall_scratch,
+                                        tmp_bool)
+        meter.allocated(wave.init, wave.final, wave.time)
+        accumulators[gate.name] = NetAccumulator.from_arrays(
+            wave.init, wave.final, wave.time, rise, fall, time_scratch)
+        waves[gate.name] = wave
+        owned.add(gate.name)
+        if gate.name in keep:
+            kept[gate.name] = wave
+        for src in gate.inputs:
+            refs[src] -= 1
+            retire(src)
+        retire(gate.name)
+    report = ShardReport(index=plan.index, n_trials=n_trials,
+                         seconds=_time.perf_counter() - t_start,
+                         peak_wave_bytes=meter.peak_bytes)
+    return accumulators, kept, report
+
+
+def _run_stream_shard(payload) -> Tuple[Dict[str, NetAccumulator],
+                                        Dict[str, LaunchSample], ShardReport]:
+    """Top-level (picklable) shard entry point for the process pool."""
+    return _stream_shard(*payload)
+
+
+def _slice_samples(samples: Dict[str, LaunchSample], offset: int,
+                   n_trials: int) -> Dict[str, LaunchSample]:
+    end = offset + n_trials
+    return {net: LaunchSample(init=w.init[offset:end],
+                              final=w.final[offset:end],
+                              time=w.time[offset:end])
+            for net, w in samples.items()}
+
+
+def _run_stream(netlist: Netlist,
+                stats: Union[InputStats, Mapping[str, InputStats]],
+                n_trials: int,
+                delay_model: DelayModel,
+                rng: np.random.Generator,
+                samples: Optional[Dict[str, LaunchSample]],
+                shards: int,
+                workers: int,
+                keep_nets: Tuple[str, ...]) -> StreamResult:
+    known = set(netlist.nets)
+    unknown = [net for net in keep_nets if net not in known]
+    if unknown:
+        raise ValueError(f"keep_nets name unknown nets: {unknown}")
+    if samples is not None:
+        have = next(iter(samples.values())).n_trials if samples else 0
+        if have != n_trials:
+            raise ValueError(
+                f"samples hold {have} trials but n_trials={n_trials}")
+    plans = plan_shards(n_trials, shards, rng)
+    payloads = []
+    for plan in plans:
+        shard_samples = None
+        if samples is not None:
+            shard_samples = _slice_samples(samples, plan.offset,
+                                           plan.n_trials)
+        shard_rng = rng if plan.seed is None else None
+        payloads.append((netlist, stats, plan, delay_model, shard_samples,
+                         keep_nets, shard_rng))
+    shard_results = run_shards(_run_stream_shard, payloads, workers)
+    accumulators = merge_accumulators([accs for accs, _, _ in shard_results])
+    reports = tuple(report for _, _, report in shard_results)
+    kept: Dict[str, LaunchSample] = {}
+    if keep_nets:
+        if len(shard_results) == 1:
+            kept = shard_results[0][1]
+        else:
+            for net in keep_nets:
+                parts = [kept_waves[net] for _, kept_waves, _ in shard_results]
+                kept[net] = LaunchSample(
+                    init=np.concatenate([p.init for p in parts]),
+                    final=np.concatenate([p.final for p in parts]),
+                    time=np.concatenate([p.time for p in parts]))
+    return StreamResult(netlist.name, n_trials, accumulators, reports, kept)

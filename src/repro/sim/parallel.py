@@ -1,0 +1,145 @@
+"""Shard scheduling for the Monte Carlo engines.
+
+Splits an ``n_trials`` budget into shards, gives every shard an
+independent, reproducible random stream, and fans the shard workloads out
+over a ``multiprocessing`` pool (with a serial fallback when the pool is
+unavailable or not worth its start-up cost).
+
+Seeding discipline: shard streams come from
+``numpy.random.SeedSequence.spawn`` on the caller's generator, so the
+trial stream of shard *i* depends only on (root seed, shard index) — never
+on the worker that happens to execute it.  Combined with the fixed merge
+order in :func:`repro.sim.accumulator.merge_accumulators`, the same root
+seed yields bit-identical merged statistics at any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's slice of the trial budget.
+
+    ``offset`` is the first global trial index (used to slice shared launch
+    samples); ``seed`` is the shard's spawned SeedSequence, or None for a
+    single-shard run that borrows the caller's generator directly.
+    """
+
+    index: int
+    n_trials: int
+    offset: int
+    seed: Optional[np.random.SeedSequence]
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Observability counters of one executed shard."""
+
+    index: int
+    n_trials: int
+    seconds: float
+    peak_wave_bytes: int
+
+    def format(self) -> str:
+        return (f"shard {self.index}: {self.n_trials} trials, "
+                f"{self.seconds * 1e3:.1f} ms, "
+                f"peak waves {self.peak_wave_bytes / 1024:.0f} KiB")
+
+
+def seed_sequence_of(rng: np.random.Generator) -> np.random.SeedSequence:
+    """The SeedSequence backing ``rng`` (every ``default_rng`` has one)."""
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        return seed_seq
+    # Exotic bit generators without a stored SeedSequence: derive one
+    # deterministically from the generator's own stream.
+    return np.random.SeedSequence(int(rng.integers(0, 2 ** 63)))
+
+
+def plan_shards(n_trials: int, shards: int,
+                rng: np.random.Generator) -> List[ShardPlan]:
+    """Split ``n_trials`` into ``shards`` near-equal chunks.
+
+    The remainder goes to the leading shards so every shard size differs by
+    at most one trial.  With a single shard no child stream is spawned: the
+    caller's generator is used as-is, keeping one-shard streaming runs on
+    the same draw sequence as the wave-retaining engine.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > n_trials:
+        shards = n_trials
+    if shards == 1:
+        return [ShardPlan(index=0, n_trials=n_trials, offset=0, seed=None)]
+    base, extra = divmod(n_trials, shards)
+    seeds = seed_sequence_of(rng).spawn(shards)
+    plans: List[ShardPlan] = []
+    offset = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        plans.append(ShardPlan(index=i, n_trials=size, offset=offset,
+                               seed=seeds[i]))
+        offset += size
+    return plans
+
+
+def run_shards(worker: Callable[[T], R], payloads: Sequence[T],
+               workers: int = 1) -> List[R]:
+    """Map ``worker`` over ``payloads``, preserving payload order.
+
+    ``workers > 1`` uses a ``multiprocessing.Pool``; any failure to stand
+    the pool up (restricted environments, unpicklable payloads) falls back
+    to the serial path, whose results are identical by construction.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    payloads = list(payloads)
+    if workers == 1 or len(payloads) <= 1:
+        return [worker(p) for p in payloads]
+    try:
+        with multiprocessing.Pool(min(workers, len(payloads))) as pool:
+            return pool.map(worker, payloads)
+    except Exception:
+        return [worker(p) for p in payloads]
+
+
+class WaveMemoryMeter:
+    """Tracks the bytes held in live per-trial wave arrays.
+
+    The streaming executor calls :meth:`allocated` when a net's wave is
+    created and :meth:`released` when its last consumer retires it; the
+    recorded peak is the O(circuit-width) working set the memory-bounded
+    mode promises (accumulators hold O(1) per net and are not counted).
+    """
+
+    def __init__(self) -> None:
+        self.live_bytes = 0
+        self.peak_bytes = 0
+
+    def allocated(self, *arrays: np.ndarray) -> None:
+        self.live_bytes += sum(a.nbytes for a in arrays)
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+
+    def released(self, *arrays: np.ndarray) -> None:
+        self.live_bytes -= sum(a.nbytes for a in arrays)
+
+
+def timed(fn: Callable[[], T]) -> "tuple[T, float]":
+    """(result, wall seconds) of a thunk — shard workers time themselves so
+    the counters survive the trip back from a pool worker."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0

@@ -1,0 +1,130 @@
+"""Tests for repro.sim.accumulator — streaming statistics and their merge."""
+
+import numpy as np
+import pytest
+
+from repro.sim.accumulator import (
+    DirectionMoments,
+    NetAccumulator,
+    accumulate_waves,
+    merge_accumulators,
+)
+from repro.sim.sampler import LaunchSample
+
+
+def _wave(init, final, time):
+    return LaunchSample(init=np.asarray(init, dtype=bool),
+                        final=np.asarray(final, dtype=bool),
+                        time=np.asarray(time, dtype=np.float64))
+
+
+class TestDirectionMoments:
+    def test_matches_numpy_mean_std(self, rng):
+        times = rng.normal(3.0, 0.7, size=1000)
+        m = DirectionMoments.from_times(times)
+        assert m.count == 1000
+        assert m.mean == times.mean()
+        assert m.std == times.std()
+
+    def test_empty(self):
+        m = DirectionMoments.from_times(np.array([]))
+        assert m.count == 0
+        assert np.isnan(m.std)
+
+    def test_sum_and_sum_sq_derivable(self):
+        times = np.array([1.0, 2.0, 4.0])
+        m = DirectionMoments.from_times(times)
+        assert m.sum == pytest.approx(7.0)
+        assert m.sum_sq == pytest.approx(21.0)
+
+    def test_merge_equals_whole(self, rng):
+        times = rng.normal(0.0, 1.0, size=999)
+        merged = (DirectionMoments.from_times(times[:400])
+                  .merge(DirectionMoments.from_times(times[400:])))
+        whole = DirectionMoments.from_times(times)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.std == pytest.approx(whole.std, rel=1e-12)
+
+    def test_merge_with_empty_is_identity(self, rng):
+        m = DirectionMoments.from_times(rng.normal(size=50))
+        for merged in (m.merge(DirectionMoments()),
+                       DirectionMoments().merge(m)):
+            assert merged == m
+
+
+class TestNetAccumulator:
+    def test_tallies(self):
+        # Trials: ZERO, ONE, RISE(t=1), FALL(t=2), ONE.
+        acc = NetAccumulator.from_arrays(
+            np.array([0, 1, 0, 1, 1], dtype=bool),
+            np.array([0, 1, 1, 0, 1], dtype=bool),
+            np.array([np.nan, np.nan, 1.0, 2.0, np.nan]))
+        assert acc.n_trials == 5
+        assert acc.n_one == 2
+        assert acc.rise.count == 1 and acc.rise.mean == 1.0
+        assert acc.fall.count == 1 and acc.fall.mean == 2.0
+        assert acc.signal_probability == pytest.approx((2 * 2 + 2) / 5 / 2)
+        assert acc.toggling_rate == pytest.approx(2 / 5)
+
+    def test_direction_stats_nan_when_absent(self):
+        acc = NetAccumulator.from_arrays(
+            np.zeros(4, dtype=bool), np.zeros(4, dtype=bool),
+            np.full(4, np.nan))
+        stats = acc.direction_stats("rise")
+        assert stats.probability == 0.0
+        assert np.isnan(stats.mean) and np.isnan(stats.std)
+        assert stats.n_occurrences == 0
+
+    def test_rejects_bad_direction(self):
+        acc = NetAccumulator(n_trials=1)
+        with pytest.raises(ValueError):
+            acc.direction_stats("sideways")
+
+    def test_merge_concatenates(self, rng):
+        def random_wave(n):
+            cats = rng.integers(0, 4, size=n)
+            init = (cats == 1) | (cats == 3)
+            final = (cats == 1) | (cats == 2)
+            time = np.where(init != final, rng.normal(size=n), np.nan)
+            return _wave(init, final, time)
+
+        a, b = random_wave(300), random_wave(200)
+        whole = _wave(np.concatenate([a.init, b.init]),
+                      np.concatenate([a.final, b.final]),
+                      np.concatenate([a.time, b.time]))
+        merged = (NetAccumulator.from_arrays(a.init, a.final, a.time)
+                  .merge(NetAccumulator.from_arrays(b.init, b.final, b.time)))
+        direct = NetAccumulator.from_arrays(whole.init, whole.final,
+                                            whole.time)
+        assert merged.n_trials == direct.n_trials
+        assert merged.n_one == direct.n_one
+        assert merged.signal_probability == direct.signal_probability
+        for direction in ("rise", "fall"):
+            m = merged.direction_stats(direction)
+            d = direct.direction_stats(direction)
+            assert m.n_occurrences == d.n_occurrences
+            assert m.mean == pytest.approx(d.mean, rel=1e-12)
+            assert m.std == pytest.approx(d.std, rel=1e-12)
+
+
+class TestMergeAccumulators:
+    def test_single_shard_is_identity(self):
+        shard = {"a": NetAccumulator(n_trials=3, n_one=1)}
+        assert merge_accumulators([shard]) == shard
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_accumulators([])
+
+    def test_net_set_mismatch_rejected(self):
+        a = {"x": NetAccumulator(n_trials=1)}
+        b = {"y": NetAccumulator(n_trials=1)}
+        with pytest.raises(ValueError):
+            merge_accumulators([a, b])
+
+    def test_accumulate_waves(self):
+        waves = {"n": _wave([0, 0], [1, 0], [0.5, np.nan])}
+        accs = accumulate_waves(waves)
+        assert accs["n"].rise.count == 1
+        assert accs["n"].n_trials == 2

@@ -1,0 +1,186 @@
+"""Tests for the streaming Monte Carlo mode.
+
+The load-bearing test is the differential one: on the same launch draws
+with ``shards=1``, every streaming accessor must be *bit-exact* equal to
+the wave-retaining accessor — that is what licenses dropping the waves.
+The second pillar is seeding: the same root seed must give identical
+merged statistics at any worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delay import MisDelay, NormalDelay, UnitDelay
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.sim.montecarlo import StreamResult, run_monte_carlo
+from repro.sim.parallel import plan_shards, run_shards
+from repro.sim.sampler import sample_launch_points
+
+
+def _assert_bit_exact(netlist, config, delay_model, n_trials=1500, seed=11):
+    samples = sample_launch_points(netlist, config, n_trials,
+                                   np.random.default_rng(seed))
+    keep = list(netlist.endpoints)[:2]
+    wav = run_monte_carlo(netlist, config, n_trials, delay_model,
+                          rng=np.random.default_rng(seed + 1),
+                          samples=samples)
+    st = run_monte_carlo(netlist, config, n_trials, delay_model,
+                         rng=np.random.default_rng(seed + 1),
+                         samples=samples, mode="stream", keep_nets=keep)
+    assert isinstance(st, StreamResult)
+    assert set(st.nets) == set(wav.nets)
+    for net in wav.nets:
+        assert st.signal_probability(net) == wav.signal_probability(net)
+        assert st.toggling_rate(net) == wav.toggling_rate(net)
+        for direction in ("rise", "fall"):
+            a = wav.direction_stats(net, direction)
+            b = st.direction_stats(net, direction)
+            assert b.probability == a.probability, (net, direction)
+            assert b.n_occurrences == a.n_occurrences, (net, direction)
+            if a.n_occurrences == 0:
+                assert np.isnan(b.mean) and np.isnan(b.std)
+            else:
+                assert b.mean == a.mean, (net, direction)
+                assert b.std == a.std, (net, direction)
+    for net in keep:
+        kept, full = st.wave(net), wav.wave(net)
+        assert np.array_equal(kept.init, full.init)
+        assert np.array_equal(kept.final, full.final)
+        assert np.array_equal(kept.time, full.time, equal_nan=True)
+
+
+class TestDifferentialBitExact:
+    def test_s298_unit_delay(self):
+        _assert_bit_exact(benchmark_circuit("s298"), CONFIG_I, UnitDelay())
+
+    def test_s298_gaussian_delay(self):
+        _assert_bit_exact(benchmark_circuit("s298"), CONFIG_I,
+                          NormalDelay(1.0, 0.2))
+
+    def test_s298_mis_aware_delay(self):
+        _assert_bit_exact(benchmark_circuit("s298"), CONFIG_I,
+                          MisDelay(sigma=0.1))
+
+    def test_s526_config_ii(self):
+        _assert_bit_exact(benchmark_circuit("s526"), CONFIG_II,
+                          NormalDelay(1.0, 0.1))
+
+    def test_mixed_gate_types(self, mixed_circuit):
+        _assert_bit_exact(mixed_circuit, CONFIG_I, UnitDelay())
+
+
+class TestWorkerInvariance:
+    def test_same_seed_same_statistics_any_worker_count(self):
+        netlist = benchmark_circuit("s298")
+        results = {
+            workers: run_monte_carlo(
+                netlist, CONFIG_I, 2000, NormalDelay(1.0, 0.1),
+                rng=np.random.default_rng(42), mode="stream",
+                shards=4, workers=workers)
+            for workers in (1, 2, 4)}
+        baseline = results[1]
+        for workers in (2, 4):
+            other = results[workers]
+            for net in baseline.nets:
+                assert other.accumulator(net) == baseline.accumulator(net), \
+                    (net, workers)
+
+    def test_different_shard_counts_differ(self):
+        # Sanity check that the invariance above is not vacuous: changing
+        # the *shard* count changes the draws (documented semantics).
+        netlist = benchmark_circuit("s27")
+        one = run_monte_carlo(netlist, CONFIG_I, 2000, rng=np.random.
+                              default_rng(5), mode="stream", shards=1)
+        four = run_monte_carlo(netlist, CONFIG_I, 2000, rng=np.random.
+                               default_rng(5), mode="stream", shards=4)
+        assert any(one.accumulator(n) != four.accumulator(n)
+                   for n in one.nets)
+
+    def test_shard_reports_cover_all_trials(self):
+        st = run_monte_carlo(benchmark_circuit("s27"), CONFIG_I, 1001,
+                             rng=np.random.default_rng(0), mode="stream",
+                             shards=3)
+        assert sum(r.n_trials for r in st.shard_reports) == 1001
+        assert len(st.shard_reports) == 3
+        assert st.total_seconds > 0.0
+        assert "shard 2" in st.summary()
+
+
+class TestStreamBehavior:
+    def test_memory_bounded_below_full_waves(self):
+        netlist = benchmark_circuit("s1196")
+        n_trials = 2000
+        st = run_monte_carlo(netlist, CONFIG_I, n_trials,
+                             rng=np.random.default_rng(1), mode="stream")
+        # A full wave set holds init+final+time (1+1+8 bytes) per net per
+        # trial; the streaming peak must be well below it.
+        full_bytes = len(netlist.nets) * n_trials * 10
+        assert 0 < st.peak_wave_bytes < full_bytes / 2
+
+    def test_wave_access_requires_keep(self):
+        st = run_monte_carlo(benchmark_circuit("s27"), CONFIG_I, 100,
+                             rng=np.random.default_rng(0), mode="stream")
+        with pytest.raises(KeyError, match="keep_nets"):
+            st.wave("G17")
+
+    def test_unknown_keep_net_rejected(self):
+        with pytest.raises(ValueError, match="unknown nets"):
+            run_monte_carlo(benchmark_circuit("s27"), CONFIG_I, 100,
+                            rng=np.random.default_rng(0), mode="stream",
+                            keep_nets=["nope"])
+
+    def test_unknown_mode_rejected(self, and2_circuit):
+        with pytest.raises(ValueError, match="mode"):
+            run_monte_carlo(and2_circuit, CONFIG_I, 10, mode="turbo")
+
+    def test_stream_args_rejected_in_waves_mode(self, and2_circuit):
+        with pytest.raises(ValueError, match="stream"):
+            run_monte_carlo(and2_circuit, CONFIG_I, 10, shards=4)
+
+    def test_sample_length_mismatch_rejected(self, and2_circuit, rng):
+        samples = sample_launch_points(and2_circuit, CONFIG_I, 50, rng)
+        with pytest.raises(ValueError, match="trials"):
+            run_monte_carlo(and2_circuit, CONFIG_I, 100, samples=samples,
+                            mode="stream")
+
+    def test_kept_waves_concatenate_across_shards(self, chain_circuit):
+        samples = sample_launch_points(chain_circuit, CONFIG_I, 400,
+                                       np.random.default_rng(9))
+        wav = run_monte_carlo(chain_circuit, CONFIG_I, 400, samples=samples,
+                              rng=np.random.default_rng(2))
+        st = run_monte_carlo(chain_circuit, CONFIG_I, 400, samples=samples,
+                             rng=np.random.default_rng(2), mode="stream",
+                             shards=4, keep_nets=["n3"])
+        got, want = st.wave("n3"), wav.wave("n3")
+        assert got.n_trials == 400
+        assert np.array_equal(got.init, want.init)
+        assert np.array_equal(got.time, want.time, equal_nan=True)
+
+
+class TestShardScheduler:
+    def test_plan_sizes_and_offsets(self):
+        plans = plan_shards(10, 3, np.random.default_rng(0))
+        assert [p.n_trials for p in plans] == [4, 3, 3]
+        assert [p.offset for p in plans] == [0, 4, 7]
+        assert all(p.seed is not None for p in plans)
+
+    def test_single_shard_borrows_caller_rng(self):
+        (plan,) = plan_shards(10, 1, np.random.default_rng(0))
+        assert plan.seed is None
+
+    def test_shards_clamped_to_trials(self):
+        plans = plan_shards(2, 8, np.random.default_rng(0))
+        assert len(plans) == 2
+
+    def test_invalid_counts_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            plan_shards(0, 1, rng)
+        with pytest.raises(ValueError):
+            plan_shards(10, 0, rng)
+        with pytest.raises(ValueError):
+            run_shards(lambda x: x, [1], workers=0)
+
+    def test_run_shards_preserves_order(self):
+        assert run_shards(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
