@@ -28,6 +28,7 @@ from repro.core import (
     MomentAlgebra,
     NormalDelay,
     Prob4,
+    SpstaProfile,
     SpstaResult,
     SstaResult,
     StaResult,
@@ -77,6 +78,7 @@ __all__ = [
     "run_ssta",
     "SstaResult",
     "run_spsta",
+    "SpstaProfile",
     "SpstaResult",
     "MomentAlgebra",
     "MixtureAlgebra",

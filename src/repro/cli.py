@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats
+from repro.core.profiling import SpstaProfile
 from repro.core.spsta import run_spsta
 from repro.core.ssta import run_ssta
 from repro.core.sta import run_sta
@@ -67,7 +68,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     lo, hi = sta.endpoint_window(endpoint)
     print(f"  STA bounds: [{lo:.2f}, {hi:.2f}]")
     ssta = run_ssta(netlist)
-    spsta = run_spsta(netlist, config)
+    spsta_profile = SpstaProfile() if args.profile else None
+    spsta = run_spsta(netlist, config, engine=args.engine,
+                      workers=args.spsta_workers, profile=spsta_profile)
     mc = None
     if args.trials > 0:
         mc = run_monte_carlo(netlist, config, args.trials,
@@ -88,6 +91,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
           f"{spsta.prob4[endpoint].signal_probability:.3f}")
     if mc is not None and hasattr(mc, "summary"):
         print(mc.summary())
+    if spsta_profile is not None:
+        print(spsta_profile.render(indent="  "))
     return 0
 
 
@@ -106,7 +111,9 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     config = _config(args.config)
     rows = run_table3(config, n_trials=args.trials, seed=args.seed,
                       mc_mode=args.mc_mode, shards=args.shards,
-                      workers=args.workers)
+                      workers=args.workers, engine=args.engine,
+                      spsta_workers=args.spsta_workers,
+                      profile=args.profile)
     print(format_table3(rows))
     return 0
 
@@ -247,6 +254,16 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--workers", type=int, default=1,
                          help="processes for --mc-mode stream")
 
+    def add_spsta_engine_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--engine", choices=("fast", "naive"),
+                         default="fast",
+                         help="SPSTA propagation engine (fast: levelized "
+                              "batched kernels; naive: per-gate reference)")
+        cmd.add_argument("--spsta-workers", type=int, default=1,
+                         help="process pool size for the fast grid engine")
+        cmd.add_argument("--profile", action="store_true",
+                         help="print SPSTA phase timings and work counters")
+
     analyze = sub.add_parser("analyze", help="run all analyzers on a circuit")
     analyze.add_argument("circuit", help="benchmark name or .bench path")
     analyze.add_argument("--config", default="I", help="input stats: I or II")
@@ -254,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Monte Carlo trials (0 disables MC)")
     analyze.add_argument("--seed", type=int, default=0)
     add_mc_engine_args(analyze)
+    add_spsta_engine_args(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     table2 = sub.add_parser("table2", help="regenerate paper Table 2")
@@ -268,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--trials", type=int, default=10_000)
     table3.add_argument("--seed", type=int, default=0)
     add_mc_engine_args(table3)
+    add_spsta_engine_args(table3)
     table3.set_defaults(func=_cmd_table3)
 
     errors = sub.add_parser("errors", help="abstract error summary, both configs")

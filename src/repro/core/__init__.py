@@ -66,6 +66,7 @@ from repro.core.paths import (
     path_delay,
 )
 from repro.core.probability import propagate_prob4, signal_probabilities
+from repro.core.profiling import SpstaProfile
 from repro.core.spsta import (
     GridAlgebra,
     MixtureAlgebra,
@@ -74,6 +75,7 @@ from repro.core.spsta import (
     TopFunction,
     run_spsta,
 )
+from repro.core.spsta_fast import run_spsta_fast
 from repro.core.spsta_canonical import CanonicalTopAlgebra, endpoint_correlation
 from repro.core.ssta import ArrivalPair, SstaResult, run_ssta
 from repro.core.ssta_canonical import (
@@ -137,6 +139,8 @@ __all__ = [
     "CorrelatedSstaResult",
     "ArrivalPair",
     "run_spsta",
+    "run_spsta_fast",
+    "SpstaProfile",
     "SpstaResult",
     "TopFunction",
     "MomentAlgebra",

@@ -41,18 +41,22 @@ from typing import (Dict, Generic, List, Mapping, Optional, Sequence, Tuple,
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats, Prob4
 from repro.core.probability import gate_prob4
+from repro.core.profiling import SpstaProfile
 from repro.logic.fourvalue import Logic4, gate_output_value
 from repro.logic.gates import GateSpec, GateType, gate_spec
 from repro.netlist.core import Gate, Netlist
 from repro.stats.clark import clark_max_many, clark_min_many
-from repro.stats.grid import GridDensity, TimeGrid
+from repro.stats.grid import GridDensity, KernelCache, TimeGrid
 from repro.stats.mixture import GaussianMixture
 from repro.stats.moments import WeightedMoments, weighted_sum_moments
 from repro.stats.normal import Normal
 
 D = TypeVar("D")
 
-#: Parity-gate fan-in limit for the exact 4^k joint enumeration.
+#: Parity-gate fan-in limit for the exact 4^k joint enumeration.  Netlists
+#: with wider XOR trees should be rewritten with
+#: :func:`repro.netlist.transform.decompose_fanin` first (the documented
+#: fallback), or pass an explicit ``max_parity_fanin`` to :func:`run_spsta`.
 MAX_PARITY_FANIN = 10
 
 
@@ -174,16 +178,29 @@ class MixtureAlgebra(TopAlgebra[GaussianMixture]):
 
 
 class GridAlgebra(TopAlgebra[GridDensity]):
-    """Conditionals as discretized densities on a shared time grid."""
+    """Conditionals as discretized densities on a shared time grid.
 
-    def __init__(self, grid: TimeGrid) -> None:
+    ``conv_method`` selects the delay-convolution algorithm (``"direct"``,
+    ``"fft"``, or ``"auto"``; see :meth:`GridDensity.convolved`).  The
+    default ``"direct"`` preserves the historical numerics bit for bit; the
+    fast engine supplies its own batched FFT path regardless.  A per-algebra
+    :class:`~repro.stats.grid.KernelCache` builds each distinct delay kernel
+    once per analysis.
+    """
+
+    def __init__(self, grid: TimeGrid, conv_method: str = "direct") -> None:
+        if conv_method not in ("direct", "fft", "auto"):
+            raise ValueError(f"unknown conv_method {conv_method!r}")
         self.grid = grid
+        self.conv_method = conv_method
+        self.kernel_cache = KernelCache(grid)
 
     def from_normal(self, normal: Normal) -> GridDensity:
         return GridDensity.from_normal(self.grid, normal)
 
     def add_delay(self, dist: GridDensity, delay: Normal) -> GridDensity:
-        return dist.convolved(delay)
+        return dist.convolved(delay, method=self.conv_method,
+                              cache=self.kernel_cache)
 
     def maximum(self, dists: Sequence[GridDensity]) -> GridDensity:
         acc = dists[0]
@@ -259,6 +276,7 @@ class SpstaResult(Generic[D]):
     algebra: TopAlgebra[D]
     prob4: Mapping[str, Prob4]
     tops: Mapping[str, NetTops[D]]
+    profile: Optional[SpstaProfile] = None
 
     def report(self, net: str, direction: str) -> Tuple[float, float, float]:
         """(P, mean, std) of one direction at one net — a Table 2 cell.
@@ -290,18 +308,75 @@ class SpstaResult(Generic[D]):
 def run_spsta(netlist: Netlist,
               stats: Union[InputStats, Mapping[str, InputStats]],
               delay_model: DelayModel = UnitDelay(),
-              algebra: Optional[TopAlgebra[D]] = None) -> SpstaResult[D]:
+              algebra: Optional[TopAlgebra[D]] = None,
+              *,
+              engine: str = "fast",
+              workers: int = 1,
+              profile: Optional[SpstaProfile] = None,
+              max_parity_fanin: Optional[int] = None) -> SpstaResult[D]:
     """Run SPSTA over a netlist.
 
     ``stats`` is a single :class:`InputStats` asserted at every launch point
     (the paper's setup) or a per-launch-point mapping.  ``algebra`` selects
     the TOP abstraction (default: :class:`MomentAlgebra`).
+
+    ``engine`` selects the propagation engine: ``"fast"`` (default) is the
+    levelized engine of :mod:`repro.core.spsta_fast` — subset-weight-table
+    caching, subset-lattice MAX/MIN sharing, and (for :class:`GridAlgebra`)
+    batched array kernels with cached FFT delay convolution; ``"naive"`` is
+    the original per-gate reference sweep.  Both produce the same results
+    (bit-exact for :class:`MomentAlgebra`; within discretization rounding
+    for :class:`GridAlgebra` — see ``tests/test_spsta_fastpath.py``).
+
+    ``workers`` (fast grid engine only) opts into a process pool that
+    splits each level across worker processes.  ``profile`` is an optional
+    :class:`~repro.core.profiling.SpstaProfile` populated during the run
+    (one is always attached to the result).  ``max_parity_fanin`` overrides
+    :data:`MAX_PARITY_FANIN`, the guard against the 4^k parity blowup.
     """
     if algebra is None:
         algebra = MomentAlgebra()
+    if engine == "fast":
+        from repro.core.spsta_fast import run_spsta_fast
+        return run_spsta_fast(netlist, stats, delay_model, algebra,
+                              workers=workers, profile=profile,
+                              max_parity_fanin=max_parity_fanin)
+    if engine != "naive":
+        raise ValueError(f"unknown engine {engine!r} (use 'fast' or 'naive')")
+
+    if profile is None:
+        profile = SpstaProfile()
+    profile.engine = "naive"
+    profile.algebra = type(algebra).__name__
+    profile.circuit = netlist.name
+    parity_cap = MAX_PARITY_FANIN if max_parity_fanin is None else max_parity_fanin
+    validate_parity_fanins(netlist, parity_cap)
+
     prob4: Dict[str, Prob4] = {}
     tops: Dict[str, NetTops[D]] = {}
+    with profile.phase("launch"):
+        launch_tops(netlist, stats, algebra, prob4, tops)
 
+    with profile.phase("propagate"):
+        for gate in netlist.combinational_gates:
+            in_probs = [prob4[src] for src in gate.inputs]
+            in_tops = [tops[src] for src in gate.inputs]
+            prob4[gate.name] = gate_prob4(gate.gate_type, in_probs)
+            tops[gate.name] = _gate_tops(gate, in_probs, in_tops, delay_model,
+                                         algebra, parity_cap, profile)
+            profile.gates_processed += 1
+
+    _harvest_kernel_counters(algebra, profile)
+    return SpstaResult(netlist.name, algebra, prob4, tops, profile)
+
+
+def launch_tops(netlist: Netlist,
+                stats: Union[InputStats, Mapping[str, InputStats]],
+                algebra: TopAlgebra[D],
+                prob4: Dict[str, Prob4],
+                tops: Dict[str, NetTops[D]]) -> None:
+    """Assert launch-point statistics into ``prob4``/``tops`` (shared by the
+    naive and fast engines so both start from identical TOPs)."""
     for net in netlist.launch_points:
         s = stats if isinstance(stats, InputStats) else stats[net]
         prob4[net] = s.prob4
@@ -313,14 +388,14 @@ def run_spsta(netlist: Netlist,
                 if s.prob4.p_fall > 0.0 else TopFunction.absent())
         tops[net] = NetTops(rise, fall)
 
-    for gate in netlist.combinational_gates:
-        in_probs = [prob4[src] for src in gate.inputs]
-        in_tops = [tops[src] for src in gate.inputs]
-        prob4[gate.name] = gate_prob4(gate.gate_type, in_probs)
-        tops[gate.name] = _gate_tops(gate, in_probs, in_tops, delay_model,
-                                     algebra)
 
-    return SpstaResult(netlist.name, algebra, prob4, tops)
+def _harvest_kernel_counters(algebra: TopAlgebra,
+                             profile: SpstaProfile) -> None:
+    """Copy kernel-cache hit/miss counts off a grid algebra, if present."""
+    cache = getattr(algebra, "kernel_cache", None)
+    if cache is not None:
+        profile.kernel_cache_hits = cache.hits
+        profile.kernel_cache_misses = cache.misses
 
 
 def _delay_for(delay_model: DelayModel, gate: Gate):
@@ -335,7 +410,9 @@ def _delay_for(delay_model: DelayModel, gate: Gate):
 
 def _gate_tops(gate: Gate, in_probs: Sequence[Prob4],
                in_tops: Sequence[NetTops[D]], delay_model: DelayModel,
-               algebra: TopAlgebra[D]) -> NetTops[D]:
+               algebra: TopAlgebra[D],
+               max_parity_fanin: int = MAX_PARITY_FANIN,
+               profile: Optional[SpstaProfile] = None) -> NetTops[D]:
     spec = gate_spec(gate.gate_type)
     delay_for = _delay_for(delay_model, gate)
     if gate.gate_type in (GateType.BUFF, GateType.NOT):
@@ -345,8 +422,10 @@ def _gate_tops(gate: Gate, in_probs: Sequence[Prob4],
         return NetTops(_delayed(core.rise, delay, algebra),
                        _delayed(core.fall, delay, algebra))
     if spec.is_parity:
-        return _parity_tops(spec, in_probs, in_tops, delay_for, algebra)
-    core = _controlling_tops(spec, in_probs, in_tops, delay_for, algebra)
+        return _parity_tops(spec, in_probs, in_tops, delay_for, algebra,
+                            max_parity_fanin, profile)
+    core = _controlling_tops(spec, in_probs, in_tops, delay_for, algebra,
+                             profile)
     if spec.inverting:
         core = core.swapped()
     return core
@@ -361,7 +440,8 @@ def _delayed(top: TopFunction[D], delay: Normal,
 
 def _controlling_tops(spec: GateSpec, in_probs: Sequence[Prob4],
                       in_tops: Sequence[NetTops[D]], delay_for,
-                      algebra: TopAlgebra[D]) -> NetTops[D]:
+                      algebra: TopAlgebra[D],
+                      profile: Optional[SpstaProfile] = None) -> NetTops[D]:
     """Eq. 11 subset enumeration for AND/OR-core gates (pre-inversion).
 
     For the AND core (non-controlling value 1): the output rises iff every
@@ -388,13 +468,21 @@ def _controlling_tops(spec: GateSpec, in_probs: Sequence[Prob4],
         switch_top=lambda t: t.fall,
         static_prob=static_prob,
         use_max=not is_and_core)
+    if profile is not None:
+        profile.subset_terms += len(rise_terms) + len(fall_terms)
     return NetTops(_mixed(rise_terms, algebra), _mixed(fall_terms, algebra))
 
 
 def _subset_terms(in_probs: Sequence[Prob4], in_tops: Sequence[NetTops[D]],
                   algebra: TopAlgebra[D], delay_for, switch_prob, switch_top,
                   static_prob, use_max: bool) -> List[Tuple[float, D]]:
-    """All (weight, conditional) terms of one output direction (Eq. 11)."""
+    """All (weight, conditional) terms of one output direction (Eq. 11).
+
+    The per-mask weight is computed as ``static_factor * w`` with ``w``
+    folded over the candidates in index order — the exact multiplication
+    order the fast engine's cached weight tables use, so the two paths stay
+    bit-identical.
+    """
     candidates: List[int] = []
     static_factor = 1.0
     for i, (p, t) in enumerate(zip(in_probs, in_tops)):
@@ -406,14 +494,15 @@ def _subset_terms(in_probs: Sequence[Prob4], in_tops: Sequence[NetTops[D]],
         return []
     terms: List[Tuple[float, D]] = []
     for mask in range(1, 1 << len(candidates)):
-        weight = static_factor
+        w = 1.0
         dists: List[D] = []
         for bit, i in enumerate(candidates):
             if mask & (1 << bit):
-                weight *= switch_prob(in_probs[i])
+                w *= switch_prob(in_probs[i])
                 dists.append(switch_top(in_tops[i]).conditional)
             else:
-                weight *= static_prob(in_probs[i])
+                w *= static_prob(in_probs[i])
+        weight = static_factor * w
         if weight <= 0.0:
             continue
         combined = (algebra.maximum(dists) if use_max
@@ -425,7 +514,9 @@ def _subset_terms(in_probs: Sequence[Prob4], in_tops: Sequence[NetTops[D]],
 
 def _parity_tops(spec: GateSpec, in_probs: Sequence[Prob4],
                  in_tops: Sequence[NetTops[D]], delay_for,
-                 algebra: TopAlgebra[D]) -> NetTops[D]:
+                 algebra: TopAlgebra[D],
+                 max_fanin: int = MAX_PARITY_FANIN,
+                 profile: Optional[SpstaProfile] = None) -> NetTops[D]:
     """Exact joint enumeration for XOR/XNOR (no controlling value).
 
     The output toggles at every switching input, so it transitions iff an
@@ -434,10 +525,7 @@ def _parity_tops(spec: GateSpec, in_probs: Sequence[Prob4],
     falling input distributions inside one MAX is correct here.
     """
     k = len(in_probs)
-    if k > MAX_PARITY_FANIN:
-        raise ValueError(
-            f"parity gate fan-in {k} exceeds enumeration limit "
-            f"{MAX_PARITY_FANIN}")
+    check_parity_fanin(k, max_fanin)
     rise_terms: List[Tuple[float, D]] = []
     fall_terms: List[Tuple[float, D]] = []
     for assignment in product(tuple(Logic4), repeat=k):
@@ -468,7 +556,39 @@ def _parity_tops(spec: GateSpec, in_probs: Sequence[Prob4],
             rise_terms.append((weight, combined))
         else:
             fall_terms.append((weight, combined))
+    if profile is not None:
+        profile.parity_terms += len(rise_terms) + len(fall_terms)
     return NetTops(_mixed(rise_terms, algebra), _mixed(fall_terms, algebra))
+
+
+def validate_parity_fanins(netlist: Netlist,
+                           max_fanin: int = MAX_PARITY_FANIN) -> None:
+    """Reject over-wide parity gates before any propagation starts.
+
+    The four-value probability sweep that precedes the TOP computation is
+    itself a 4^k joint enumeration for parity gates, so checking only
+    inside :func:`_parity_tops` would let a wide XOR burn minutes in
+    ``gate_prob4`` before the guard ever fires.
+    """
+    for gate in netlist.combinational_gates:
+        if gate_spec(gate.gate_type).is_parity:
+            check_parity_fanin(len(gate.inputs), max_fanin)
+
+
+def check_parity_fanin(fanin: int, max_fanin: int = MAX_PARITY_FANIN) -> None:
+    """Guard against the parity 4^k joint-enumeration blowup.
+
+    A 16-input XOR would silently enumerate 4^16 ≈ 4.3e9 assignments;
+    refuse anything beyond ``max_fanin`` with a pointer at the documented
+    fallback (rewriting wide gates as bounded-fan-in trees).
+    """
+    if fanin > max_fanin:
+        raise ValueError(
+            f"parity gate fan-in {fanin} exceeds the 4^k joint-enumeration "
+            f"limit {max_fanin} ({4 ** fanin:,} assignments); decompose "
+            f"wide XOR/XNOR gates first with "
+            f"repro.netlist.transform.decompose_fanin(netlist, max_fanin=2) "
+            f"or raise run_spsta(..., max_parity_fanin=...) explicitly")
 
 
 def _mixed(terms: Sequence[Tuple[float, D]],

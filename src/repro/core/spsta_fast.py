@@ -1,0 +1,957 @@
+"""Levelized fast-path SPSTA engine.
+
+Same mathematics as :mod:`repro.core.spsta` (Eq. 11/12 subset enumeration
+over an abstract TOP algebra), restructured for speed:
+
+- **Subset-weight-table caching** — the per-mask probability products of
+  Eq. 11 depend only on the candidates' (switch, static) probability
+  vectors, which repeat across thousands of gates on an ISCAS netlist.
+  :class:`WeightTableCache` memoizes the 2^k-entry tables keyed on
+  ``(fanin, rounded probability vector)``; each bucket stores the *exact*
+  vectors it has seen, so a rounded-key collision can never leak a
+  neighbouring gate's table and the moment engine stays bit-identical to
+  the naive sweep.
+
+- **Subset-lattice MAX/MIN sharing** — the naive path folds Clark/grid
+  MAX over each subset from scratch (k·2^(k-1) pairwise folds per gate
+  direction).  Because every algebra folds its k-ary MAX left-to-right,
+  the MAX over a subset equals ``max(MAX(subset minus top bit), top)``:
+  dynamic programming over the precomputed subset lattice computes each
+  mask in ONE pairwise fold (2^k - 1 - k total) with identical results.
+
+- **Levelized batch propagation (grid algebra)** — gates are processed
+  level by level; within a level all conditional densities are stacked
+  into 2-D arrays so normalization, CDF accumulation, Eq. 3 MAX and the
+  Eq. 8 weighted-sum mix run as stacked array operations, delay
+  convolutions are grouped by kernel and dispatched as one batched FFT
+  (cached taps and kernel spectra via
+  :class:`~repro.stats.grid.KernelCache`), and an opt-in ``workers=``
+  process pool splits a level across processes.
+
+- **Parity prefix enumeration (grid algebra)** — XOR/XNOR joint
+  enumeration collapses the 4^k four-value assignments to the 3^k
+  (static / rise / fall) patterns, tracking the static-ones parity as an
+  (even, odd) weight pair and sharing MAX-fold prefixes.
+
+Differential equivalence with the naive engine is pinned by
+``tests/test_spsta_fastpath.py``: bit-exact for :class:`MomentAlgebra`
+(and the other closed-form algebras), ≤1e-9 relative moment error for
+:class:`GridAlgebra`.  The grid fast path assumes the time grid covers the
+support of every density (as any grid analysis must): it normalizes terms
+before the delay convolution instead of after, which is only exact when
+the convolution loses no probability mass off the grid ends.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.delay import DelayModel
+from repro.core.inputs import InputStats, Prob4
+from repro.core.probability import gate_prob4
+from repro.core.profiling import SpstaProfile
+from repro.core.spsta import (MAX_PARITY_FANIN, GridAlgebra, NetTops,
+                              SpstaResult, TopAlgebra, TopFunction,
+                              _delay_for, _gate_tops,
+                              _harvest_kernel_counters, _mixed,
+                              check_parity_fanin, launch_tops,
+                              validate_parity_fanins)
+from repro.logic.gates import GateSpec, GateType, gate_spec
+from repro.netlist.core import Gate, Netlist
+from repro.stats.grid import (GridDensity, KernelCache, TimeGrid, cdf_rows,
+                              convolve_rows, kernel_retention_vector,
+                              shift_retention_vector, shift_rows,
+                              trapezoid_rows)
+from repro.stats.normal import Normal
+
+#: Below this many gates in a level, a worker pool is pure overhead.
+MIN_GATES_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# Subset lattice: precomputed per fanin, shared by every gate.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SubsetLattice:
+    """Static structure of the non-empty subsets of ``k`` candidates.
+
+    Arrays are indexed by ``mask - 1`` for masks ``1 .. 2^k - 1``.  ``top``
+    is the highest set bit, ``prev`` the mask with that bit cleared (the
+    DP predecessor), ``pop`` the popcount; ``by_pop[c]`` lists the 0-based
+    indices of all masks with popcount ``c + 1`` (for batched grid DP).
+    """
+
+    k: int
+    top: np.ndarray
+    prev: np.ndarray
+    pop: np.ndarray
+    by_pop: Tuple[np.ndarray, ...]
+
+
+@lru_cache(maxsize=None)
+def subset_lattice(k: int) -> SubsetLattice:
+    """The (memoized) subset lattice for fanin ``k``."""
+    masks = np.arange(1, 1 << k)
+    top = np.zeros(masks.shape[0], dtype=np.int64)
+    pop = np.zeros(masks.shape[0], dtype=np.int64)
+    for idx, mask in enumerate(masks):
+        top[idx] = int(mask).bit_length() - 1
+        pop[idx] = bin(int(mask)).count("1")
+    prev = masks - (1 << top)
+    by_pop = tuple(np.nonzero(pop == c)[0] for c in range(1, k + 1))
+    return SubsetLattice(k, top, prev, pop, by_pop)
+
+
+# ---------------------------------------------------------------------------
+# Eq. 11 subset-weight tables, memoized across gates.
+# ---------------------------------------------------------------------------
+
+def build_weight_table(switch: Tuple[float, ...],
+                       static: Tuple[float, ...]) -> np.ndarray:
+    """Per-mask subset weights for one candidate probability vector.
+
+    Folds the factors in candidate index order — the exact multiplication
+    order of the naive ``_subset_terms`` loop, so cached tables keep the
+    moment engine bit-identical to the reference path.
+    """
+    k = len(switch)
+    table = np.empty((1 << k) - 1)
+    for mask in range(1, 1 << k):
+        w = 1.0
+        for bit in range(k):
+            w *= switch[bit] if (mask >> bit) & 1 else static[bit]
+        table[mask - 1] = w
+    return table
+
+
+class WeightTableCache:
+    """Memoized Eq. 11 subset-weight tables.
+
+    Keys are ``(fanin, rounded switch/static probability vectors)``; each
+    bucket stores the exact vectors alongside the table and only serves an
+    exact match, so rounding governs hashing but never the numbers.
+    """
+
+    __slots__ = ("hits", "misses", "_buckets")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._buckets: Dict[tuple, List[tuple]] = {}
+
+    def table(self, switch: Tuple[float, ...],
+              static: Tuple[float, ...]) -> np.ndarray:
+        key = (len(switch),
+               tuple(round(p, 12) for p in switch),
+               tuple(round(p, 12) for p in static))
+        bucket = self._buckets.setdefault(key, [])
+        for exact_switch, exact_static, table in bucket:
+            if exact_switch == switch and exact_static == static:
+                self.hits += 1
+                return table
+        table = build_weight_table(switch, static)
+        bucket.append((switch, static, table))
+        self.misses += 1
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Generic fast path (any TOP algebra): lattice DP + cached weight tables.
+# ---------------------------------------------------------------------------
+
+def _fast_subset_terms(in_probs: Sequence[Prob4], in_tops, algebra,
+                       delay_for, switch_prob, switch_top, static_prob,
+                       use_max: bool, wcache: WeightTableCache,
+                       profile: SpstaProfile):
+    """Eq. 11 terms via subset-lattice DP (one pairwise fold per mask)."""
+    candidates: List[int] = []
+    static_factor = 1.0
+    for i, (p, t) in enumerate(zip(in_probs, in_tops)):
+        if switch_prob(p) > 0.0 and switch_top(t).occurs:
+            candidates.append(i)
+        else:
+            static_factor *= static_prob(p)
+    if static_factor <= 0.0 or not candidates:
+        return []
+    k = len(candidates)
+    switch = tuple(switch_prob(in_probs[i]) for i in candidates)
+    static = tuple(static_prob(in_probs[i]) for i in candidates)
+    table = wcache.table(switch, static)
+    lat = subset_lattice(k)
+    conds = [switch_top(in_tops[i]).conditional for i in candidates]
+    combine = algebra.maximum if use_max else algebra.minimum
+    sub: List = [None] * (1 << k)
+    terms = []
+    for mask in range(1, 1 << k):
+        idx = mask - 1
+        prev = int(lat.prev[idx])
+        if prev == 0:
+            node = conds[int(lat.top[idx])]
+        else:
+            node = combine([sub[prev], conds[int(lat.top[idx])]])
+            profile.max_folds += 1
+        sub[mask] = node
+        weight = static_factor * table[idx]
+        if weight <= 0.0:
+            continue
+        terms.append((weight,
+                      algebra.add_delay(node, delay_for(int(lat.pop[idx])))))
+    profile.subset_terms += len(terms)
+    return terms
+
+
+def _gate_tops_generic(gate: Gate, in_probs, in_tops, delay_model, algebra,
+                       wcache: WeightTableCache, parity_cap: int,
+                       profile: SpstaProfile):
+    """Fast per-gate TOPs for closed-form algebras (moments, mixtures,
+    canonical forms); identical call sequence to the naive path except that
+    subset maxima are shared through the lattice DP."""
+    spec = gate_spec(gate.gate_type)
+    if (gate.gate_type in (GateType.BUFF, GateType.NOT) or spec.is_parity):
+        # Single-input and parity gates gain nothing from subset sharing;
+        # reuse the reference implementation (keeps parity bit-exact).
+        return _gate_tops(gate, in_probs, in_tops, delay_model, algebra,
+                          parity_cap, profile)
+    delay_for = _delay_for(delay_model, gate)
+    is_and_core = spec.controlling_value == 0
+
+    def static_prob(p: Prob4) -> float:
+        return p.p_one if is_and_core else p.p_zero
+
+    rise_terms = _fast_subset_terms(
+        in_probs, in_tops, algebra, delay_for,
+        switch_prob=lambda p: p.p_rise, switch_top=lambda t: t.rise,
+        static_prob=static_prob, use_max=is_and_core,
+        wcache=wcache, profile=profile)
+    fall_terms = _fast_subset_terms(
+        in_probs, in_tops, algebra, delay_for,
+        switch_prob=lambda p: p.p_fall, switch_top=lambda t: t.fall,
+        static_prob=static_prob, use_max=not is_and_core,
+        wcache=wcache, profile=profile)
+    core = NetTops(_mixed(rise_terms, algebra), _mixed(fall_terms, algebra))
+    if spec.inverting:
+        core = core.swapped()
+    return core
+
+
+# ---------------------------------------------------------------------------
+# Grid fast path: batched array kernels over raw density rows.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _GridContext:
+    """Everything one process needs to evaluate grid gates."""
+
+    grid: TimeGrid
+    delay_model: DelayModel
+    kernel_cache: KernelCache
+    wcache: WeightTableCache
+    parity_cap: int
+    profile: SpstaProfile
+    conv_method: str = "auto"
+
+    def __post_init__(self) -> None:
+        self._retentions: Dict[tuple, np.ndarray] = {}
+
+    def retention(self, delay: Normal) -> np.ndarray:
+        """Memoized retention vector for one delay (see
+        :func:`~repro.stats.grid.kernel_retention_vector`)."""
+        dt = self.grid.dt
+        if delay.sigma <= 0.0:
+            key = ("shift", int(round(delay.mu / dt)))
+        else:
+            key = (delay.mu, delay.sigma)
+        vec = self._retentions.get(key)
+        if vec is None:
+            if delay.sigma <= 0.0:
+                vec = shift_retention_vector(key[1], self.grid.n, dt)
+            else:
+                vec = kernel_retention_vector(self.kernel_cache.kernel(delay),
+                                              self.grid.n, dt)
+            self._retentions[key] = vec
+        return vec
+
+
+#: Per-net prepared arrays, per direction: (weight, normalized pdf, cdf);
+#: pdf/cdf ``None`` when the transition never occurs.
+_PrepEntry = Tuple[float, Optional[np.ndarray], Optional[np.ndarray],
+                   float, Optional[np.ndarray], Optional[np.ndarray]]
+
+
+def _prepare_nets(net_table: Mapping[str, tuple],
+                  dt: float) -> Dict[str, _PrepEntry]:
+    """Normalize every referenced density once and precompute its CDF.
+
+    The naive path re-normalizes and re-integrates operands inside every
+    pairwise MAX; here each net pays once per level regardless of fanout.
+    Stacks all rows into one matrix so the normalization and cumulative
+    integral run as 2-D array ops.
+    """
+    rows: List[np.ndarray] = []
+    slots: List[Tuple[str, int]] = []
+    for net, (rw, rvals, fw, fvals) in net_table.items():
+        if rvals is not None:
+            slots.append((net, 0))
+            rows.append(rvals)
+        if fvals is not None:
+            slots.append((net, 1))
+            rows.append(fvals)
+    norm: Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]] = {}
+    if rows:
+        stack = np.vstack(rows)
+        ints = trapezoid_rows(stack, dt)
+        if np.any(ints <= 0.0):
+            raise ValueError("cannot normalize an empty density")
+        stack = stack / ints[:, None]
+        cdfs = cdf_rows(stack, dt)
+        for i, slot in enumerate(slots):
+            norm[slot] = (stack[i], cdfs[i])
+    prep: Dict[str, _PrepEntry] = {}
+    for net, (rw, rvals, fw, fvals) in net_table.items():
+        rpdf, rcdf = norm.get((net, 0), (None, None))
+        fpdf, fcdf = norm.get((net, 1), (None, None))
+        prep[net] = (rw, rpdf, rcdf, fw, fpdf, fcdf)
+    return prep
+
+
+#: One output direction of one gate before convolution/mix: the total
+#: occurrence weight plus one pre-mixed row per distinct delay kernel.
+#: The naive mix normalizes each *convolved* term, so each term's row is
+#: scaled by ``weight / retention`` (exact per-term convolution mass, via
+#: the retention vectors) before terms sharing a kernel are summed —
+#: convolution is linear, so convolving the group once equals convolving
+#: and normalizing every Eq. 11/12 term separately.
+_DirTerms = Optional[Tuple[float, List[Tuple[Normal, np.ndarray]]]]
+
+
+class _ControllingJob:
+    """One AND/OR-core gate direction whose subset DP is deferred.
+
+    Jobs from every gate of a level are grouped by ``(fanin, use_max)`` and
+    evaluated together in :func:`_run_controlling_jobs` as 3-D stacked array
+    ops — the per-gate Python/numpy dispatch overhead of running the subset
+    lattice once per gate dominates the s9234 profile otherwise.  After the
+    batched run, ``total`` holds the direction's occurrence weight and
+    ``acc`` maps each distinct delay kernel to its pre-mixed row.
+    """
+
+    __slots__ = ("k", "use_max", "weights", "pdfs", "cdfs", "delay_for",
+                 "total", "acc")
+
+    def __init__(self, k: int, use_max: bool, weights: np.ndarray,
+                 pdfs: List[np.ndarray], cdfs: List[np.ndarray],
+                 delay_for) -> None:
+        self.k = k
+        self.use_max = use_max
+        self.weights = weights
+        self.pdfs = pdfs
+        self.cdfs = cdfs
+        self.delay_for = delay_for
+        self.total = 0.0
+        self.acc: Dict[Tuple[float, float],
+                       Tuple[Normal, np.ndarray]] = {}
+
+
+def _controlling_jobs(spec: GateSpec, in_probs, prep_inputs, delay_for,
+                      ctx: _GridContext):
+    """Build the two core-direction jobs of an AND/OR-core gate (or
+    ``None`` where the direction cannot occur)."""
+    is_and_core = spec.controlling_value == 0
+    jobs: List[Optional[_ControllingJob]] = []
+    for which, use_max in ((0, is_and_core), (1, not is_and_core)):
+        off = 0 if which == 0 else 3
+        candidates: List[int] = []
+        static_factor = 1.0
+        for i, p in enumerate(in_probs):
+            entry = prep_inputs[i]
+            sp = p.p_rise if which == 0 else p.p_fall
+            if sp > 0.0 and entry[off] > 0.0 and entry[off + 1] is not None:
+                candidates.append(i)
+            else:
+                static_factor *= p.p_one if is_and_core else p.p_zero
+        if static_factor <= 0.0 or not candidates:
+            jobs.append(None)
+            continue
+        switch = tuple((in_probs[i].p_rise if which == 0
+                        else in_probs[i].p_fall) for i in candidates)
+        static = tuple((in_probs[i].p_one if is_and_core
+                        else in_probs[i].p_zero) for i in candidates)
+        weights = static_factor * ctx.wcache.table(switch, static)
+        if not (weights > 0.0).any():
+            jobs.append(None)
+            continue
+        jobs.append(_ControllingJob(
+            len(candidates), use_max, weights,
+            [prep_inputs[i][off + 1] for i in candidates],
+            [prep_inputs[i][off + 2] for i in candidates], delay_for))
+    return jobs[0], jobs[1]
+
+
+#: Upper bound on batch-size × subset-count rows a chunked DP holds live;
+#: at n = 2048 this keeps the three (B, M, n) work arrays near ~100 MB.
+MAX_DP_ROWS = 2048
+
+
+def _run_controlling_jobs(jobs: Sequence[_ControllingJob],
+                          ctx: _GridContext) -> None:
+    """Evaluate every deferred controlling-gate direction of a level.
+
+    Jobs are grouped by ``(fanin, use_max)`` so one 3-D DP sweep serves all
+    gates sharing a lattice, chunked to bound peak memory.  Each job's math
+    involves only its own rows, so grouping cannot change which operations
+    run on a job's data.  Results across different groupings agree to a few
+    ULPs rather than bit-exactly: NumPy's SIMD elementwise division is not
+    guaranteed correctly rounded on every platform (observed 0.5-ulp
+    truncations from the AVX-512 kernel), so the normalization inside the
+    DP may round differently between batch shapes.
+    """
+    groups: Dict[Tuple[int, bool], List[_ControllingJob]] = {}
+    for job in jobs:
+        groups.setdefault((job.k, job.use_max), []).append(job)
+    for (k, use_max), group in groups.items():
+        lat = subset_lattice(k)
+        chunk = max(1, MAX_DP_ROWS // ((1 << k) - 1))
+        for lo in range(0, len(group), chunk):
+            _run_controlling_chunk(group[lo:lo + chunk], lat, use_max, ctx)
+
+
+def _run_controlling_chunk(batch: Sequence[_ControllingJob],
+                           lat: SubsetLattice, use_max: bool,
+                           ctx: _GridContext) -> None:
+    """Subset DP + retention-corrected row extraction for one job batch."""
+    dt = ctx.grid.dt
+    n = ctx.grid.n
+    k = lat.k
+    b = len(batch)
+    pdfs = np.empty((b, k, n))
+    cdfs = np.empty((b, k, n))
+    for j, job in enumerate(batch):
+        for i in range(k):
+            pdfs[j, i] = job.pdfs[i]
+            cdfs[j, i] = job.cdfs[i]
+    # DP over the subset lattice, batched by popcount across the whole
+    # batch: all masks of one cardinality of all gates combine their
+    # predecessor with one extra input in a single stacked Eq. 3 pass.
+    # Mirrors the naive fold exactly: operands are normalized before each
+    # fold and the result's CDF is recomputed by trapezoid accumulation.
+    node_pdf = np.empty((b, (1 << k) - 1, n))
+    node_cdf = np.empty_like(node_pdf)
+    singles = lat.by_pop[0]
+    node_pdf[:, singles] = pdfs[:, lat.top[singles]]
+    node_cdf[:, singles] = cdfs[:, lat.top[singles]]
+    for c in range(1, k):
+        idxs = lat.by_pop[c]
+        if idxs.size == 0:
+            continue
+        pa = node_pdf[:, lat.prev[idxs] - 1]
+        ca = node_cdf[:, lat.prev[idxs] - 1]
+        pb = pdfs[:, lat.top[idxs]]
+        cb = cdfs[:, lat.top[idxs]]
+        if use_max:
+            raw = pa * cb                                 # Eq. 3
+            raw += pb * ca
+        else:
+            raw = pa * (1.0 - cb)                         # MIN analogue
+            raw += pb * (1.0 - ca)
+        flat = raw.reshape(-1, n)
+        ints = trapezoid_rows(flat, dt)
+        if np.any(ints <= 0.0):
+            raise ValueError("cannot normalize an empty density")
+        flat /= ints[:, None]
+        node_pdf[:, idxs] = raw
+        node_cdf[:, idxs] = cdf_rows(flat, dt).reshape(b, idxs.size, n)
+        ctx.profile.max_folds += idxs.size * b
+    # Fold each positive mask's weight and exact convolution retention into
+    # its node row, accumulating one pre-mixed row per distinct delay
+    # kernel per job (convolution is linear, so one convolution of the
+    # accumulated row equals convolving every Eq. 11 term separately).
+    weight_mat = np.stack([job.weights for job in batch])
+    job_delays = [[job.delay_for(c) for c in range(1, k + 1)]
+                  for job in batch]
+    distinct = {(d.mu, d.sigma) for ds in job_delays for d in ds}
+    if len(distinct) == 1:
+        # One kernel for every mask of every job (any constant-delay
+        # model): fold weights and retentions over the whole lattice in a
+        # single pass — no per-popcount gathers.
+        delay = job_delays[0][0]
+        retained = node_pdf @ ctx.retention(delay)        # (b, masks)
+        positive = weight_mat > 0.0
+        if np.any(positive & (retained <= 0.0)):
+            raise ValueError("cannot normalize an empty density")
+        coef = np.where(positive, weight_mat
+                        / np.where(retained > 0.0, retained, 1.0), 0.0)
+        rows_all = np.einsum("jm,jmn->jn", coef, node_pdf)
+        key = (delay.mu, delay.sigma)
+        for j, job in enumerate(batch):
+            job.acc[key] = (delay, rows_all[j])
+        _finish_jobs(batch, ctx)
+        return
+    for c_idx in range(k):
+        sel = lat.by_pop[c_idx]
+        w = weight_mat[:, sel]
+        active = np.nonzero((w > 0.0).any(axis=1))[0]
+        if active.size == 0:
+            continue
+        by_delay: Dict[Tuple[float, float], Tuple[Normal, List[int]]] = {}
+        for j in active:
+            delay = job_delays[j][c_idx]
+            by_delay.setdefault((delay.mu, delay.sigma), (delay, []))[1] \
+                .append(int(j))
+        sub = node_pdf[:, sel]
+        for key, (delay, js) in by_delay.items():
+            retention = ctx.retention(delay)
+            jarr = np.asarray(js)
+            subj = sub if jarr.size == b else sub[jarr]
+            retained = subj @ retention
+            wj = w[jarr]
+            positive = wj > 0.0
+            if np.any(positive & (retained <= 0.0)):
+                raise ValueError("cannot normalize an empty density")
+            coef = np.where(positive,
+                            wj / np.where(retained > 0.0, retained, 1.0), 0.0)
+            rows_c = np.einsum("jl,jln->jn", coef, subj)
+            for t, j in enumerate(js):
+                acc = batch[j].acc.get(key)
+                if acc is None:
+                    batch[j].acc[key] = (delay, rows_c[t])
+                else:
+                    batch[j].acc[key] = (delay, acc[1] + rows_c[t])
+    _finish_jobs(batch, ctx)
+
+
+def _finish_jobs(batch: Sequence[_ControllingJob],
+                 ctx: _GridContext) -> None:
+    """Total occurrence weight (in naive mask order) and term counters."""
+    for job in batch:
+        positive = np.nonzero(job.weights > 0.0)[0]
+        total = 0.0
+        for idx in positive:            # mask order, like the naive mix
+            total += job.weights[idx]
+        job.total = total
+        ctx.profile.subset_terms += positive.size
+
+
+def _grid_parity(gate: Gate, spec: GateSpec, in_probs, prep_inputs,
+                 delay_for, ctx: _GridContext
+                 ) -> Tuple[_DirTerms, _DirTerms]:
+    """Parity (XOR/XNOR) TOPs on raw rows via 3^k prefix enumeration.
+
+    Equivalent to the naive 4^k four-value enumeration: non-switching
+    inputs collapse into an (even, odd) static-ones parity weight pair,
+    switching inputs extend a shared MAX-fold prefix.  The output direction
+    follows the initial-value parity (falls start at 1), inverted for XNOR.
+    """
+    k = len(in_probs)
+    check_parity_fanin(k, ctx.parity_cap)
+    dt = ctx.grid.dt
+    rise_terms: List[Tuple[float, int, np.ndarray]] = []
+    fall_terms: List[Tuple[float, int, np.ndarray]] = []
+
+    options = []
+    for i, p in enumerate(in_probs):
+        entry = prep_inputs[i]
+        options.append((
+            p,
+            (entry[1], entry[2]) if (p.p_rise > 0.0 and entry[0] > 0.0
+                                     and entry[1] is not None) else None,
+            (entry[4], entry[5]) if (p.p_fall > 0.0 and entry[3] > 0.0
+                                     and entry[4] is not None) else None,
+        ))
+
+    def fold(state, cond):
+        # State: (normalized pdf, cdf) of the shared MAX-fold prefix.
+        if state is None:
+            return cond
+        pa, ca = state
+        pb, cb = cond
+        raw = pa * cb + pb * ca
+        ints = float(np.trapezoid(raw, dx=dt))
+        if ints <= 0.0:
+            raise ValueError("cannot normalize an empty density")
+        pdf = raw / ints
+        ctx.profile.max_folds += 1
+        return pdf, cdf_rows(pdf[np.newaxis, :], dt)[0]
+
+    def recurse(i, even_w, odd_w, state, n_switch):
+        if even_w <= 0.0 and odd_w <= 0.0:
+            return
+        if i == k:
+            if n_switch == 0 or n_switch % 2 == 0:
+                return
+            row = state[0]
+            rise_w, fall_w = ((even_w, odd_w) if not spec.inverting
+                              else (odd_w, even_w))
+            if rise_w > 0.0:
+                rise_terms.append((rise_w, n_switch, row))
+            if fall_w > 0.0:
+                fall_terms.append((fall_w, n_switch, row))
+            return
+        p, rise_cond, fall_cond = options[i]
+        # Static 0 keeps the parity, static 1 flips it.
+        recurse(i + 1, even_w * p.p_zero + odd_w * p.p_one,
+                even_w * p.p_one + odd_w * p.p_zero, state, n_switch)
+        if rise_cond is not None:   # rise starts at 0: parity unchanged
+            recurse(i + 1, even_w * p.p_rise, odd_w * p.p_rise,
+                    fold(state, rise_cond), n_switch + 1)
+        if fall_cond is not None:   # fall starts at 1: parity flips
+            recurse(i + 1, odd_w * p.p_fall, even_w * p.p_fall,
+                    fold(state, fall_cond), n_switch + 1)
+
+    recurse(0, 1.0, 0.0, None, 0)
+    ctx.profile.parity_terms += len(rise_terms) + len(fall_terms)
+
+    def collapse(terms: List[Tuple[float, int, np.ndarray]]) -> _DirTerms:
+        if not terms:
+            return None
+        total = 0.0
+        acc: Dict[Tuple[float, float], Tuple[Normal, np.ndarray]] = {}
+        for w, pop, row in terms:
+            total += w
+            delay = delay_for(pop)
+            retained = float(row @ ctx.retention(delay))
+            if retained <= 0.0:
+                raise ValueError("cannot normalize an empty density")
+            contrib = (w / retained) * row
+            key = (delay.mu, delay.sigma)
+            prev = acc.get(key)
+            acc[key] = (delay, contrib if prev is None
+                        else prev[1] + contrib)
+        return total, list(acc.values())
+
+    return collapse(rise_terms), collapse(fall_terms)
+
+
+def _grid_gate_items(gate: Gate, in_probs, prep_inputs, ctx: _GridContext):
+    """Phase A dispatch for one gate: per-direction rows, or deferred jobs.
+
+    BUFF/NOT and parity gates resolve immediately to ``_DirTerms``;
+    AND/OR-core gates return :class:`_ControllingJob` placeholders whose
+    rows are filled by the cross-gate batched DP.
+    """
+    spec = gate_spec(gate.gate_type)
+    delay_for = _delay_for(ctx.delay_model, gate)
+    if gate.gate_type in (GateType.BUFF, GateType.NOT):
+        # A single term per direction: the final per-segment normalization
+        # is scale-invariant, so no retention correction is needed.
+        entry = prep_inputs[0]
+        delay = delay_for(1)
+        rise: _DirTerms = ((entry[0], [(delay, entry[1])])
+                           if entry[1] is not None and entry[0] > 0.0
+                           else None)
+        fall: _DirTerms = ((entry[3], [(delay, entry[4])])
+                           if entry[4] is not None and entry[3] > 0.0
+                           else None)
+        if gate.gate_type is GateType.NOT:
+            rise, fall = fall, rise
+        return rise, fall
+    if spec.is_parity:
+        return _grid_parity(gate, spec, in_probs, prep_inputs, delay_for, ctx)
+    rise, fall = _controlling_jobs(spec, in_probs, prep_inputs, delay_for,
+                                   ctx)
+    if spec.inverting:
+        rise, fall = fall, rise
+    return rise, fall
+
+
+#: Worker/parent result for one gate: name plus per-direction
+#: (weight, conditional values) with ``None`` for absent transitions.
+_GateArrays = Tuple[str,
+                    Optional[Tuple[float, np.ndarray]],
+                    Optional[Tuple[float, np.ndarray]]]
+
+
+def _grid_process_gates(net_table: Mapping[str, tuple],
+                        gates: Sequence[Tuple[Gate, Tuple[Prob4, ...]]],
+                        ctx: _GridContext) -> List[_GateArrays]:
+    """Phases A+B for a set of independent (same-level) gates.
+
+    Phase A walks the gates in Python but produces only raw weighted rows,
+    deferring every AND/OR-core subset DP into jobs that run as cross-gate
+    3-D batches; phase B stacks every row of the set into one 2-D matrix,
+    convolves kernel groups in batched FFT calls, and mixes/normalizes all
+    segments with run-length batched sums — the levelized stacked-array
+    core of the engine.  Chunking a level across workers changes only how
+    rows are grouped into matrices, never which operations touch a row, so
+    worker counts leave results unchanged up to elementwise-division
+    rounding (a few ULPs; see :func:`_run_controlling_jobs`).
+    """
+    grid = ctx.grid
+    dt = grid.dt
+    profile = ctx.profile
+    with profile.phase("subset-eval"):
+        prep = _prepare_nets(net_table, dt)
+        entries: List[Tuple[int, int, object]] = []   # gate, dir, terms/job
+        pending: List[_ControllingJob] = []
+        for gate_idx, (gate, in_probs) in enumerate(gates):
+            prep_inputs = [prep[src] for src in gate.inputs]
+            for direction, item in enumerate(
+                    _grid_gate_items(gate, in_probs, prep_inputs, ctx)):
+                if item is None:
+                    continue
+                entries.append((gate_idx, direction, item))
+                if isinstance(item, _ControllingJob):
+                    pending.append(item)
+        _run_controlling_jobs(pending, ctx)
+        rows: List[np.ndarray] = []
+        delays: List[Normal] = []
+        segments: List[Tuple[int, int, int, float]] = []  # gate, dir, start, w
+        for gate_idx, direction, item in entries:
+            if isinstance(item, _ControllingJob):
+                total = item.total
+                dir_rows = list(item.acc.values())
+            else:
+                total, dir_rows = item
+            segments.append((gate_idx, direction, len(rows), total))
+            for delay, row in dir_rows:
+                rows.append(row)
+                delays.append(delay)
+    if not rows:
+        return [(gate.name, None, None) for gate, _ in gates]
+
+    with profile.phase("convolve"):
+        matrix = np.vstack(rows)
+        groups: Dict[Tuple[float, float], List[int]] = {}
+        for i, delay in enumerate(delays):
+            groups.setdefault((delay.mu, delay.sigma), []).append(i)
+        # With rows pre-merged per kernel in phase A, levels of a
+        # homogeneous-delay design collapse to one group — no scatter copy.
+        single = len(groups) == 1
+        out = None if single else np.empty_like(matrix)
+        for (mu, sigma), idxs in groups.items():
+            sel = None if single else np.asarray(idxs)
+            src = matrix if single else matrix[sel]
+            if sigma <= 0.0:
+                res = shift_rows(src, int(round(mu / dt)))
+                profile.shift_rows += src.shape[0]
+            else:
+                kernel = ctx.kernel_cache.kernel(Normal(mu, sigma))
+                method = ctx.conv_method
+                if method == "auto":
+                    # Always FFT: engine batches are nearly always past the
+                    # direct/FFT crossover, and a fixed choice keeps results
+                    # independent of how a level is chunked across workers
+                    # (FFT and direct differ by ~1e-16 per bin).
+                    method = "fft"
+                res = convolve_rows(src, kernel, method)
+                if method == "fft":
+                    profile.fft_convolutions += src.shape[0]
+                else:
+                    profile.direct_convolutions += src.shape[0]
+            if single:
+                out = res
+            else:
+                out[sel] = res
+
+    with profile.phase("mix"):
+        # Term weights and per-term convolution retentions were folded into
+        # the rows in phase A, so the mix is one contiguous segment sum
+        # followed by a batched normalization (plus clipping FFT noise).
+        # np.add.reduceat walks segments one ufunc reduction at a time;
+        # summing runs of equal-length segments through a reshape is much
+        # faster, and most segments are a single row (one delay kernel).
+        np.maximum(out, 0.0, out=out)
+        n_seg = len(segments)
+        counts = [0] * n_seg
+        for idx in range(n_seg - 1):
+            counts[idx] = segments[idx + 1][2] - segments[idx][2]
+        counts[-1] = out.shape[0] - segments[-1][2]
+        mixed = np.empty((n_seg, grid.n))
+        seg = pos = 0
+        while seg < n_seg:
+            count = counts[seg]
+            run = seg + 1
+            while run < n_seg and counts[run] == count:
+                run += 1
+            block = out[pos:pos + (run - seg) * count]
+            if count == 1:
+                mixed[seg:run] = block
+            else:
+                mixed[seg:run] = block.reshape(run - seg, count,
+                                               grid.n).sum(axis=1)
+            pos += (run - seg) * count
+            seg = run
+        ints = trapezoid_rows(mixed, dt)
+        if np.any(ints <= 0.0):
+            raise ValueError("cannot normalize an empty density")
+        mixed /= ints[:, None]
+
+    results: List[List[Optional[Tuple[float, np.ndarray]]]] = [
+        [None, None] for _ in gates]
+    for seg_idx, (gate_idx, direction, _, total) in enumerate(segments):
+        results[gate_idx][direction] = (total, mixed[seg_idx])
+    return [(gates[i][0].name, results[i][0], results[i][1])
+            for i in range(len(gates))]
+
+
+# ---------------------------------------------------------------------------
+# Worker pool plumbing (opt-in, grid algebra only).
+# ---------------------------------------------------------------------------
+
+_WORKER_CTX: Optional[_GridContext] = None
+
+
+def _grid_worker_init(grid_params: Tuple[float, float, int],
+                      delay_model: DelayModel, parity_cap: int,
+                      conv_method: str) -> None:
+    global _WORKER_CTX
+    grid = TimeGrid(*grid_params)
+    _WORKER_CTX = _GridContext(grid=grid, delay_model=delay_model,
+                               kernel_cache=KernelCache(grid),
+                               wcache=WeightTableCache(),
+                               parity_cap=parity_cap,
+                               profile=SpstaProfile(),
+                               conv_method=conv_method)
+
+
+_WORK_COUNTERS = ("subset_terms", "parity_terms", "max_folds",
+                  "fft_convolutions", "direct_convolutions", "shift_rows")
+
+
+def _grid_worker_chunk(payload):
+    """Process one chunk of a level in a worker; returns results plus the
+    work-counter deltas for the parent profile (cache hit/miss counters
+    stay per-process)."""
+    ctx = _WORKER_CTX
+    net_table, gates = payload
+    before = {name: getattr(ctx.profile, name) for name in _WORK_COUNTERS}
+    results = _grid_process_gates(net_table, gates, ctx)
+    deltas = {name: getattr(ctx.profile, name) - before[name]
+              for name in _WORK_COUNTERS}
+    return results, deltas
+
+
+# ---------------------------------------------------------------------------
+# Engine driver.
+# ---------------------------------------------------------------------------
+
+def run_spsta_fast(netlist: Netlist,
+                   stats: Union[InputStats, Mapping[str, InputStats]],
+                   delay_model: DelayModel,
+                   algebra: TopAlgebra,
+                   *,
+                   workers: int = 1,
+                   profile: Optional[SpstaProfile] = None,
+                   max_parity_fanin: Optional[int] = None) -> SpstaResult:
+    """Levelized fast SPSTA sweep (see module docstring).
+
+    Called through ``run_spsta(..., engine="fast")``; not meant to be
+    invoked directly.
+    """
+    if profile is None:
+        profile = SpstaProfile()
+    profile.engine = "fast"
+    profile.algebra = type(algebra).__name__
+    profile.circuit = netlist.name
+    profile.workers = workers
+    parity_cap = (MAX_PARITY_FANIN if max_parity_fanin is None
+                  else max_parity_fanin)
+    validate_parity_fanins(netlist, parity_cap)
+    wcache = WeightTableCache()
+
+    prob4: Dict[str, Prob4] = {}
+    tops: Dict[str, NetTops] = {}
+    with profile.phase("levelize"):
+        levels = netlist.levels
+    profile.levels = len(levels)
+    with profile.phase("launch"):
+        launch_tops(netlist, stats, algebra, prob4, tops)
+
+    if isinstance(algebra, GridAlgebra):
+        _propagate_grid(netlist, levels, prob4, tops, delay_model, algebra,
+                        wcache, parity_cap, workers, profile)
+    else:
+        with profile.phase("propagate"):
+            for level in levels:
+                for gate in level:
+                    in_probs = [prob4[src] for src in gate.inputs]
+                    in_tops = [tops[src] for src in gate.inputs]
+                    prob4[gate.name] = gate_prob4(gate.gate_type, in_probs)
+                    tops[gate.name] = _gate_tops_generic(
+                        gate, in_probs, in_tops, delay_model, algebra,
+                        wcache, parity_cap, profile)
+                    profile.gates_processed += 1
+
+    profile.weight_table_hits = wcache.hits
+    profile.weight_table_misses = wcache.misses
+    _harvest_kernel_counters(algebra, profile)
+    return SpstaResult(netlist.name, algebra, prob4, tops, profile)
+
+
+def _propagate_grid(netlist: Netlist, levels, prob4, tops, delay_model,
+                    algebra: GridAlgebra, wcache: WeightTableCache,
+                    parity_cap: int, workers: int,
+                    profile: SpstaProfile) -> None:
+    """Level-by-level batched sweep for the grid algebra."""
+    grid = algebra.grid
+    ctx = _GridContext(grid=grid, delay_model=delay_model,
+                       kernel_cache=algebra.kernel_cache, wcache=wcache,
+                       parity_cap=parity_cap, profile=profile)
+    pool: Optional[ProcessPoolExecutor] = None
+    if workers > 1:
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_grid_worker_init,
+            initargs=((grid.start, grid.stop, grid.n), delay_model,
+                      parity_cap, ctx.conv_method))
+    try:
+        for level in levels:
+            gates: List[Tuple[Gate, Tuple[Prob4, ...]]] = []
+            net_table: Dict[str, tuple] = {}
+            for gate in level:
+                in_probs = tuple(prob4[src] for src in gate.inputs)
+                prob4[gate.name] = gate_prob4(gate.gate_type, in_probs)
+                gates.append((gate, in_probs))
+                for src in gate.inputs:
+                    if src not in net_table:
+                        t = tops[src]
+                        net_table[src] = (
+                            t.rise.weight,
+                            t.rise.conditional.values if t.rise.occurs
+                            else None,
+                            t.fall.weight,
+                            t.fall.conditional.values if t.fall.occurs
+                            else None)
+            if pool is not None and len(gates) >= workers * MIN_GATES_PER_WORKER:
+                results = _run_level_in_pool(pool, net_table, gates, workers,
+                                             profile)
+            else:
+                results = _grid_process_gates(net_table, gates, ctx)
+            for name, rise_info, fall_info in results:
+                tops[name] = NetTops(_wrap_top(grid, rise_info),
+                                     _wrap_top(grid, fall_info))
+                profile.gates_processed += 1
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+
+def _wrap_top(grid: TimeGrid,
+              info: Optional[Tuple[float, np.ndarray]]) -> TopFunction:
+    if info is None:
+        return TopFunction.absent()
+    weight, values = info
+    return TopFunction(weight, GridDensity.from_trusted(grid, values))
+
+
+def _run_level_in_pool(pool: ProcessPoolExecutor, net_table, gates,
+                       workers: int, profile: SpstaProfile):
+    """Split one level across the pool; merge work counters back."""
+    chunk_size = max(1, (len(gates) + workers - 1) // workers)
+    futures = []
+    for start in range(0, len(gates), chunk_size):
+        chunk = gates[start:start + chunk_size]
+        chunk_nets = {src: net_table[src]
+                      for gate, _ in chunk for src in gate.inputs}
+        futures.append(pool.submit(_grid_worker_chunk, (chunk_nets, chunk)))
+    results = []
+    for future in futures:
+        chunk_results, deltas = future.result()
+        results.extend(chunk_results)
+        for name, delta in deltas.items():
+            setattr(profile, name, getattr(profile, name) + delta)
+    return results

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats
+from repro.core.profiling import SpstaProfile
 from repro.core.spsta import run_spsta
 from repro.core.ssta import run_ssta
 from repro.netlist.benchmarks import TABLE_CIRCUITS, benchmark_circuit
@@ -29,6 +30,8 @@ class RuntimeRow:
     ``mc_scalar_seconds`` estimates a plain (non-vectorized) logic
     simulator's cost for the same trial count — the engine class the paper
     actually timed — extrapolated from a short scalar run.
+    ``spsta_profile_summary`` is the rendered SPSTA profile block when the
+    run was profiled (empty otherwise).
     """
 
     circuit: str
@@ -37,6 +40,7 @@ class RuntimeRow:
     mc_seconds: float
     mc_scalar_seconds: float = float("nan")
     mc_shard_summary: str = ""
+    spsta_profile_summary: str = ""
 
     @property
     def mc_over_spsta(self) -> float:
@@ -55,20 +59,28 @@ def run_table3(config: InputStats,
                scalar_probe_trials: int = 200,
                mc_mode: str = "waves",
                shards: int = 1,
-               workers: int = 1) -> List[RuntimeRow]:
+               workers: int = 1,
+               engine: str = "fast",
+               spsta_workers: int = 1,
+               profile: bool = False) -> List[RuntimeRow]:
     """Time each analyzer once per circuit (same workload as Table 2).
 
     ``scalar_probe_trials`` scalar-reference trials are timed and linearly
     extrapolated to ``n_trials`` for the ``mc_scalar_seconds`` column
     (0 disables the probe).  ``mc_mode="stream"`` times the sharded
     streaming engine instead and records its per-shard timing/memory
-    counters in ``mc_shard_summary``.
+    counters in ``mc_shard_summary``.  ``engine``/``spsta_workers`` select
+    the SPSTA propagation engine and its process pool; ``profile=True``
+    records each SPSTA run's phase timings and work counters into
+    ``spsta_profile_summary``.
     """
     rows: List[RuntimeRow] = []
     for name in circuits:
         netlist = benchmark_circuit(name)
+        spsta_profile = SpstaProfile() if profile else None
         t0 = time.perf_counter()
-        run_spsta(netlist, config, delay_model)
+        run_spsta(netlist, config, delay_model, engine=engine,
+                  workers=spsta_workers, profile=spsta_profile)
         t1 = time.perf_counter()
         run_ssta(netlist, delay_model)
         t2 = time.perf_counter()
@@ -85,8 +97,11 @@ def run_table3(config: InputStats,
                                               delay_model)
                               * n_trials / scalar_probe_trials)
         shard_summary = mc.summary() if hasattr(mc, "summary") else ""
+        profile_summary = (spsta_profile.render(indent="  ")
+                           if spsta_profile is not None else "")
         rows.append(RuntimeRow(name, t1 - t0, t2 - t1, t3 - t2,
-                               scalar_seconds, shard_summary))
+                               scalar_seconds, shard_summary,
+                               profile_summary))
     return rows
 
 
@@ -133,4 +148,10 @@ def format_table3(rows: Sequence[RuntimeRow],
         lines.append("")
         lines.append("Monte Carlo shard counters:")
         lines.extend(shard_blocks)
+    profile_blocks = [row.spsta_profile_summary for row in rows
+                      if row.spsta_profile_summary]
+    if profile_blocks:
+        lines.append("")
+        lines.append("SPSTA profiles:")
+        lines.extend(profile_blocks)
     return "\n".join(lines)

@@ -57,6 +57,7 @@ class Netlist:
         self._validate()
         self._topo: Tuple[Gate, ...] = self._topological_order()
         self._fanouts = self._build_fanouts()
+        self._levels: Tuple[Tuple[Gate, ...], ...] = ()
 
     # -- validation ---------------------------------------------------------
 
@@ -172,6 +173,28 @@ class Netlist:
                 f"combinational cycle in {self.name}; "
                 f"unresolved gates: {stuck[:8]}...")
         return tuple(order)
+
+    @property
+    def levels(self) -> Tuple[Tuple[Gate, ...], ...]:
+        """Combinational gates grouped by logic level (computed lazily).
+
+        A gate's level is 1 + the maximum level of its inputs; launch points
+        sit at level 0.  All gates within one level are mutually independent,
+        which is what lets the levelized SPSTA engine batch a whole level's
+        grid densities into stacked array operations (and, opt-in, farm the
+        level out to worker processes).  Concatenating the levels yields a
+        valid topological order.
+        """
+        if not self._levels and self._topo:
+            depth: Dict[str, int] = {net: 0 for net in self.launch_points}
+            buckets: Dict[int, List[Gate]] = {}
+            for gate in self._topo:
+                level = 1 + max(depth[src] for src in gate.inputs)
+                depth[gate.name] = level
+                buckets.setdefault(level, []).append(gate)
+            self._levels = tuple(tuple(buckets[level])
+                                 for level in sorted(buckets))
+        return self._levels
 
     # -- summaries --------------------------------------------------------------
 

@@ -14,11 +14,20 @@ the transition occurrence probability.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.stats.normal import Normal
+
+#: Kernels at or above this many taps are convolved via FFT under
+#: ``method="auto"``; below it the direct ``np.convolve`` wins (the O(n*m)
+#: constant is small and there is no transform overhead).
+FFT_TAP_THRESHOLD = 48
+
+#: Batches at least this tall convolve faster through one fast-length FFT
+#: than through a per-row ``np.convolve`` loop even for narrow kernels.
+FFT_BATCH_THRESHOLD = 16
 
 
 class TimeGrid:
@@ -46,6 +55,219 @@ class TimeGrid:
 
     def __repr__(self) -> str:
         return f"TimeGrid({self.start}, {self.stop}, n={self.n})"
+
+
+class GaussianKernel:
+    """A discretized Gaussian delay kernel on a grid, with cached FFT.
+
+    The delay mean is split into ``shift`` whole grid bins plus a residual
+    below half a pitch; ``taps`` spans ``[-half, +half]`` grid steps around
+    that residual and sums to one.  Centering the tap window this way keeps
+    the full kernel mass on the window for any mean (a window fixed around
+    zero truncates — or loses entirely — a Gaussian whose mean exceeds its
+    6-sigma reach).  The rFFT of the zero-padded taps is computed lazily
+    per transform size and memoized, so a batched convolution pays for one
+    kernel transform no matter how many densities it processes.
+    """
+
+    __slots__ = ("mu", "sigma", "shift", "half", "taps", "_rfft")
+
+    def __init__(self, grid: TimeGrid, delay: Normal) -> None:
+        if delay.sigma <= 0.0:
+            raise ValueError("GaussianKernel requires sigma > 0; "
+                             "deterministic delays are grid shifts")
+        self.mu = delay.mu
+        self.sigma = delay.sigma
+        self.shift = int(round(delay.mu / grid.dt))
+        residual = delay.mu - self.shift * grid.dt
+        self.half = int(math.ceil(6.0 * delay.sigma / grid.dt)) + 1
+        offsets = np.arange(-self.half, self.half + 1) * grid.dt
+        z = (offsets - residual) / delay.sigma
+        taps = np.exp(-0.5 * z * z)
+        taps /= taps.sum()
+        self.taps = taps
+        self._rfft: Dict[int, np.ndarray] = {}
+
+    def rfft(self, nfft: int) -> np.ndarray:
+        """rFFT of the taps zero-padded to ``nfft`` (memoized)."""
+        spectrum = self._rfft.get(nfft)
+        if spectrum is None:
+            spectrum = np.fft.rfft(self.taps, nfft)
+            self._rfft[nfft] = spectrum
+        return spectrum
+
+    def __len__(self) -> int:
+        return self.taps.shape[0]
+
+
+class KernelCache:
+    """Per-analysis cache of :class:`GaussianKernel` keyed on (mu, sigma).
+
+    One SPSTA/SSTA sweep over an ISCAS netlist asks for the same handful of
+    delay kernels thousands of times (every gate of a unit-delay bench shares
+    one); building each discretized Gaussian once is pure win.  The cache is
+    bound to a single :class:`TimeGrid` — mixing grids is an error.
+    """
+
+    __slots__ = ("grid", "hits", "misses", "_kernels")
+
+    def __init__(self, grid: TimeGrid) -> None:
+        self.grid = grid
+        self.hits = 0
+        self.misses = 0
+        self._kernels: Dict[Tuple[float, float], GaussianKernel] = {}
+
+    def kernel(self, delay: Normal) -> GaussianKernel:
+        key = (delay.mu, delay.sigma)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = GaussianKernel(self.grid, delay)
+            self._kernels[key] = kernel
+            self.misses += 1
+        else:
+            self.hits += 1
+        return kernel
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << (n - 1).bit_length()
+
+
+def _next_fast_len(n: int) -> int:
+    """Smallest 5-smooth integer >= n (a fast FFT size for pocketfft).
+
+    A 2048-point density convolved with a ±half kernel needs an FFT of only
+    n + 2*half points; rounding that up to the next power of two (4096) can
+    double the transform cost.  5-smooth sizes keep the transform within a
+    few percent of the power-of-two throughput at nearly the minimal length.
+    """
+    if n <= 6:
+        return max(n, 1)
+    best = _next_pow2(n)
+    p5 = 1
+    while p5 < best:
+        p35 = p5
+        while p35 < best:
+            # Round n / p35 up to the next power of two.
+            q = -(-n // p35)
+            candidate = p35 * _next_pow2(q)
+            if n <= candidate < best:
+                best = candidate
+            p35 *= 3
+        p5 *= 5
+    return best
+
+
+def shift_rows(rows: np.ndarray, bins: int) -> np.ndarray:
+    """Deterministic delay on a stack of densities: shift every row by
+    ``bins`` grid steps, zero-filling (same edge semantics as
+    :meth:`GridDensity.shifted`)."""
+    out = np.zeros_like(rows)
+    n = rows.shape[1]
+    if bins >= 0:
+        if bins < n:
+            out[:, bins:] = rows[:, :n - bins]
+    else:
+        out[:, :bins] = rows[:, -bins:]
+    return out
+
+
+def convolve_rows(rows: np.ndarray, kernel: GaussianKernel,
+                  method: str = "auto") -> np.ndarray:
+    """Convolve a (m, n) stack of densities with one shared kernel.
+
+    The residual-mean taps are applied as a windowed convolution (the
+    ``[half : half + n]`` slice of the full convolution) and the kernel's
+    whole-bin mean as a zero-filling grid shift, so the delay mean is
+    honored exactly no matter how it compares to the kernel's 6-sigma
+    reach.  FFT and direct results are interchangeable (up to ~1e-15
+    rounding).  ``method`` is ``"direct"``, ``"fft"``, or ``"auto"`` (FFT
+    for wide kernels or tall batches).
+    """
+    n = rows.shape[1]
+    half = kernel.half
+    if method == "auto":
+        # Per-row flops decide for a lone row: direct costs O(n * taps),
+        # FFT costs O(nfft log nfft) regardless of kernel width.  Tall
+        # batches amortize the kernel spectrum and transform bookkeeping,
+        # so the FFT also wins there even for narrow kernels.
+        method = ("fft" if len(kernel) >= FFT_TAP_THRESHOLD
+                  or rows.shape[0] >= FFT_BATCH_THRESHOLD else "direct")
+    if method == "direct":
+        out = np.empty_like(rows)
+        for i in range(rows.shape[0]):
+            out[i] = np.convolve(rows[i], kernel.taps)[half:half + n]
+    elif method == "fft":
+        nfft = _next_fast_len(n + 2 * half)
+        spectra = np.fft.rfft(rows, nfft) * kernel.rfft(nfft)
+        full = np.fft.irfft(spectra, nfft)
+        out = np.ascontiguousarray(full[:, half:half + n])
+    else:
+        raise ValueError(f"unknown convolution method {method!r}")
+    if kernel.shift:
+        out = shift_rows(out, kernel.shift)
+    return out
+
+
+def trapezoid_rows(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Trapezoid-rule integral of each row of a (m, n) density stack."""
+    return (rows.sum(axis=1) - 0.5 * (rows[:, 0] + rows[:, -1])) * dt
+
+
+def kernel_retention_vector(kernel: GaussianKernel, n: int,
+                            dt: float) -> np.ndarray:
+    """Vector ``c`` with ``trapezoid(convolve(f, kernel)) == f @ c``.
+
+    Convolution truncated to the grid window and the trapezoid rule are
+    both linear in the input row, so the integral of a convolved density —
+    the per-term normalizer of the naive mix — is an inner product with a
+    fixed, kernel-dependent vector.  This lets the fast engine pre-mix all
+    terms sharing a delay kernel (dividing each by its exact retention)
+    and convolve the group once, instead of convolving every Eq. 11 term
+    separately just to measure its edge losses.
+
+    ``c`` composes the two linear stages of :func:`convolve_rows` — the
+    windowed tap convolution, then the whole-bin mean shift: correlating
+    the shift stage's own retention vector with the taps pulls it back
+    through the convolution (``(A^T c_shift)[s] = sum_t taps[t - s + half]
+    c_shift[t]``), so ``c[i]`` is exactly the trapezoid weight source bin
+    ``i`` retains end to end.
+    """
+    c_shift = shift_retention_vector(kernel.shift, n, dt)
+    half = kernel.half
+    return np.convolve(c_shift, kernel.taps[::-1])[half:half + n]
+
+
+def shift_retention_vector(bins: int, n: int, dt: float) -> np.ndarray:
+    """Vector ``c`` with ``trapezoid(shift(f, bins)) == f @ c``.
+
+    Same idea as :func:`kernel_retention_vector` for deterministic delays:
+    bins shifted off the grid contribute nothing, and the sources landing
+    on the two boundary bins are half-weighted by the trapezoid rule.
+    """
+    i = np.arange(n)
+    c = ((i + bins >= 0) & (i + bins <= n - 1)).astype(float)
+    first_src = -bins           # source bin that lands on out[0]
+    if 0 <= first_src < n:
+        c[first_src] -= 0.5
+    last_src = n - 1 - bins     # source bin that lands on out[-1]
+    if 0 <= last_src < n:
+        c[last_src] -= 0.5
+    return dt * c
+
+
+def cdf_rows(rows: np.ndarray, dt: float) -> np.ndarray:
+    """Cumulative trapezoid integral of each row (same shape), matching
+    :meth:`GridDensity.cdf_values` bin for bin."""
+    out = np.zeros_like(rows)
+    np.cumsum((rows[:, 1:] + rows[:, :-1]) * (0.5 * dt), axis=1,
+              out=out[:, 1:])
+    return out
 
 
 class GridDensity:
@@ -82,6 +304,20 @@ class GridDensity:
     def zero(cls, grid: TimeGrid) -> "GridDensity":
         """The empty density (no transition occurs)."""
         return cls(grid, np.zeros(grid.n))
+
+    @classmethod
+    def from_trusted(cls, grid: TimeGrid, values: np.ndarray) -> "GridDensity":
+        """Wrap an array known to be a valid density (right shape, >= 0).
+
+        The batched fast path produces thousands of intermediate arrays from
+        operations that preserve non-negativity, so it skips the per-array
+        validation/clip of ``__init__`` (which profiles as a top cost of the
+        naive sweep).
+        """
+        density = cls.__new__(cls)
+        density.grid = grid
+        density.values = values
+        return density
 
     @property
     def total_weight(self) -> float:
@@ -144,17 +380,27 @@ class GridDensity:
             values[:bins] = self.values[-bins:]
         return GridDensity(self.grid, values)
 
-    def convolved(self, delay: Normal) -> "GridDensity":
-        """SUM with an independent Gaussian delay via discrete convolution."""
+    def convolved(self, delay: Normal, method: str = "direct",
+                  cache: Optional[KernelCache] = None) -> "GridDensity":
+        """SUM with an independent Gaussian delay via discrete convolution.
+
+        ``method`` selects the algorithm: ``"direct"`` (per-row
+        ``np.convolve``, the default), ``"fft"`` (circular convolution on a
+        zero-padded fast-composite transform long enough to be exactly
+        linear, identical up to ~1e-15), or ``"auto"`` (FFT once the kernel
+        passes ``FFT_TAP_THRESHOLD`` taps).  The delay mean is applied
+        exactly — whole grid bins as a shift, the sub-bin residual inside
+        the kernel (see :class:`GaussianKernel`).  A :class:`KernelCache`
+        reuses the discretized kernel — and its FFT — across the thousands
+        of identical delays of one analysis.
+        """
         if delay.sigma <= 0.0:
             return self.shifted(delay.mu)
-        half = int(math.ceil(6.0 * delay.sigma / self.grid.dt))
-        offsets = np.arange(-half, half + 1) * self.grid.dt
-        z = (offsets - delay.mu) / delay.sigma
-        kernel = np.exp(-0.5 * z * z)
-        kernel /= kernel.sum()
-        full = np.convolve(self.values, kernel)
-        values = full[half:half + self.grid.n]
+        if cache is not None:
+            kernel = cache.kernel(delay)
+        else:
+            kernel = GaussianKernel(self.grid, delay)
+        values = convolve_rows(self.values[np.newaxis, :], kernel, method)[0]
         return GridDensity(self.grid, values)
 
     def max_with(self, other: "GridDensity") -> "GridDensity":

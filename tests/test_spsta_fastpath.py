@@ -1,0 +1,205 @@
+"""Differential tests pinning the fast SPSTA engine to the naive reference.
+
+The fast engine (:mod:`repro.core.spsta_fast`) must be a pure optimization:
+same inputs, same results.  The contract is graded per algebra:
+
+- :class:`MomentAlgebra` / :class:`MixtureAlgebra`: bit-exact.  The fast
+  path folds the same factors in the same order (cached weight tables,
+  subset-lattice DP matching the naive pairwise fold order).
+- :class:`GridAlgebra`: equal within discretization rounding.  Batched
+  normalization, retention-vector pre-mixing, and FFT convolution reorder
+  floating-point reductions, so weights are compared to 1e-12 absolute
+  (parity gates also sum 3^k instead of 4^k terms — a deliberate
+  refactoring worth a ULP) and conditional moments to 1e-9 relative.
+- ``workers > 1`` (grid only): identical grouping of row operations, but
+  NumPy's SIMD elementwise division is not guaranteed correctly rounded on
+  every platform, so worker counts are pinned to a few-ULP absolute band
+  rather than bit equality (see the ``_run_controlling_jobs`` docstring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delay import MisDelay, NormalDelay, UnitDelay
+from repro.core.inputs import CONFIG_I, CONFIG_II
+from repro.core.spsta import (GridAlgebra, MixtureAlgebra, MomentAlgebra,
+                              run_spsta)
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.transform import decompose_fanin
+from repro.stats.grid import TimeGrid
+
+CIRCUITS = ("s27", "s298", "s386")
+DELAYS = (UnitDelay(), NormalDelay(1.0, 0.1), MisDelay())
+CONFIGS = {"I": CONFIG_I, "II": CONFIG_II}
+
+GRID = TimeGrid(-8.0, 45.0, 2048)
+
+
+def _both(netlist, config, delay, algebra_factory, **fast_kwargs):
+    fast = run_spsta(netlist, config, delay, algebra_factory(),
+                     engine="fast", **fast_kwargs)
+    naive = run_spsta(netlist, config, delay, algebra_factory(),
+                      engine="naive")
+    assert set(fast.tops) == set(naive.tops)
+    return fast, naive
+
+
+def _assert_bitexact(fast, naive):
+    """Closed-form algebras: weights and conditional stats must be equal
+    to the last bit on every net and direction."""
+    for net in naive.tops:
+        assert fast.prob4[net] == naive.prob4[net], net
+        for direction in ("rise", "fall"):
+            a = getattr(fast.tops[net], direction)
+            b = getattr(naive.tops[net], direction)
+            assert a.weight == b.weight, (net, direction)
+            assert a.occurs == b.occurs, (net, direction)
+            if b.occurs:
+                assert (fast.algebra.stats(a.conditional)
+                        == naive.algebra.stats(b.conditional)), (net, direction)
+
+
+def _assert_grid_close(fast, naive, weight_atol=1e-12, moment_rtol=1e-9):
+    for net in naive.tops:
+        for direction in ("rise", "fall"):
+            a = getattr(fast.tops[net], direction)
+            b = getattr(naive.tops[net], direction)
+            assert a.weight == pytest.approx(b.weight, abs=weight_atol), \
+                (net, direction)
+            assert a.occurs == b.occurs, (net, direction)
+            if b.occurs:
+                mean_a, std_a = fast.algebra.stats(a.conditional)
+                mean_b, std_b = naive.algebra.stats(b.conditional)
+                assert mean_a == pytest.approx(mean_b, rel=moment_rtol), \
+                    (net, direction)
+                assert std_a == pytest.approx(std_b, rel=moment_rtol,
+                                              abs=1e-12), (net, direction)
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("delay", DELAYS, ids=lambda d: type(d).__name__)
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_moment_engine_bitexact(circuit, delay, config_name):
+    netlist = benchmark_circuit(circuit)
+    fast, naive = _both(netlist, CONFIGS[config_name], delay, MomentAlgebra)
+    _assert_bitexact(fast, naive)
+
+
+@pytest.mark.parametrize("delay", DELAYS, ids=lambda d: type(d).__name__)
+def test_mixture_engine_bitexact(delay):
+    netlist = benchmark_circuit("s298")
+    fast, naive = _both(netlist, CONFIG_I, delay, MixtureAlgebra)
+    _assert_bitexact(fast, naive)
+
+
+@pytest.mark.parametrize("circuit,delay", [
+    ("s27", NormalDelay(1.0, 0.1)),
+    ("s27", UnitDelay()),
+    ("s298", NormalDelay(1.0, 0.1)),
+    ("s298", UnitDelay()),
+], ids=["s27-normal", "s27-unit", "s298-normal", "s298-unit"])
+def test_grid_engine_close(circuit, delay):
+    netlist = benchmark_circuit(circuit)
+    fast, naive = _both(netlist, CONFIG_I, delay,
+                        lambda: GridAlgebra(GRID))
+    _assert_grid_close(fast, naive)
+
+
+def test_grid_engine_close_config_ii():
+    netlist = benchmark_circuit("s298")
+    fast, naive = _both(netlist, CONFIG_II, NormalDelay(1.0, 0.1),
+                        lambda: GridAlgebra(GRID))
+    _assert_grid_close(fast, naive)
+
+
+def test_grid_parity_gates_close():
+    """XOR/XNOR take the 3^k prefix recursion on the fast grid path while
+    the reference enumerates 4^k assignments; the reordered weight sums may
+    differ by a ULP but nothing more."""
+    netlist = Netlist("parity", ["a", "b", "c", "d"], ["x", "y"], [
+        Gate("x", GateType.XOR, ("a", "b", "c")),
+        Gate("n", GateType.XNOR, ("c", "d")),
+        Gate("y", GateType.XOR, ("x", "n")),
+    ])
+    fast, naive = _both(netlist, CONFIG_I, NormalDelay(1.0, 0.1),
+                        lambda: GridAlgebra(GRID))
+    _assert_grid_close(fast, naive)
+
+
+def test_grid_workers_match_serial():
+    """A worker pool must only re-chunk the per-level batches, never change
+    the math.  Bit equality is not promised (SIMD division rounding varies
+    per process); a zero-rtol absolute band of 1e-12 on densities and
+    weights is far below any quantity the analysis reports."""
+    netlist = benchmark_circuit("s298")
+    delay = NormalDelay(1.0, 0.1)
+    serial = run_spsta(netlist, CONFIG_I, delay, GridAlgebra(GRID),
+                       engine="fast", workers=1)
+    pooled = run_spsta(netlist, CONFIG_I, delay, GridAlgebra(GRID),
+                       engine="fast", workers=2)
+    for net in serial.tops:
+        for direction in ("rise", "fall"):
+            a = getattr(serial.tops[net], direction)
+            b = getattr(pooled.tops[net], direction)
+            assert np.isclose(a.weight, b.weight, rtol=0, atol=1e-12), \
+                (net, direction)
+            assert a.occurs == b.occurs, (net, direction)
+            if a.occurs:
+                assert np.allclose(a.conditional.values,
+                                   b.conditional.values,
+                                   rtol=0, atol=1e-12), (net, direction)
+
+
+@pytest.mark.parametrize("engine", ["fast", "naive"])
+def test_parity_fanin_cap_raises(engine):
+    """A 12-input XOR would enumerate 4^12 assignments; both engines must
+    refuse it up front and point at the decomposition fallback."""
+    inputs = [f"i{k}" for k in range(12)]
+    netlist = Netlist("wide_xor", inputs, ["y"],
+                      [Gate("y", GateType.XOR, tuple(inputs))])
+    with pytest.raises(ValueError, match="decompose_fanin"):
+        run_spsta(netlist, CONFIG_I, engine=engine)
+
+
+def test_parity_fanin_cap_fallback():
+    """The documented escape hatch — rewriting wide gates as bounded
+    fan-in trees — must run on both engines and agree bit-exactly."""
+    inputs = [f"i{k}" for k in range(12)]
+    netlist = Netlist("wide_xor", inputs, ["y"],
+                      [Gate("y", GateType.XOR, tuple(inputs))])
+    narrow = decompose_fanin(netlist, max_fanin=2)
+    fast, naive = _both(narrow, CONFIG_I, UnitDelay(), MomentAlgebra)
+    _assert_bitexact(fast, naive)
+
+
+def test_parity_fanin_cap_override():
+    """``max_parity_fanin`` lifts the guard explicitly (kept tiny here:
+    4^11 enumerations would be slow, so only the bound is probed)."""
+    inputs = [f"i{k}" for k in range(4)]
+    netlist = Netlist("xor4", inputs, ["y"],
+                      [Gate("y", GateType.XOR, tuple(inputs))])
+    with pytest.raises(ValueError, match="decompose_fanin"):
+        run_spsta(netlist, CONFIG_I, engine="fast", max_parity_fanin=3)
+    run_spsta(netlist, CONFIG_I, engine="fast", max_parity_fanin=4)
+
+
+def test_fast_engine_profile_counters():
+    """The fast grid run must actually exercise the optimizations the
+    profile layer counts: cached weight tables, cached kernels, FFT."""
+    from repro.core.profiling import SpstaProfile
+
+    profile = SpstaProfile()
+    run_spsta(benchmark_circuit("s298"), CONFIG_I, NormalDelay(1.0, 0.1),
+              GridAlgebra(GRID), engine="fast", profile=profile)
+    assert profile.engine == "fast"
+    assert profile.gates_processed > 0
+    assert profile.levels > 0
+    assert profile.subset_terms > 0
+    assert profile.weight_table_hits > 0
+    assert profile.kernel_cache_hits > 0
+    assert profile.fft_convolutions > 0
+    assert "phase seconds" in profile.render() or profile.phase_seconds
