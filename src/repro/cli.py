@@ -9,6 +9,7 @@ Subcommands:
 - ``report`` — per-endpoint slack / miss-probability signoff view.
 - ``slack`` — per-net slack and slack histogram.
 - ``testability`` — COP measures and optional BDD-miter ATPG.
+- ``verify`` — cross-engine differential conformance sweep (JSON report).
 - ``stats`` — structural statistics of a circuit.
 - ``generate`` / ``convert`` — synthesize circuits; .bench <-> Verilog.
 
@@ -217,6 +218,20 @@ def _cmd_testability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import run_conformance
+
+    report = run_conformance(seed=args.seed, n_random=args.random,
+                             benches=tuple(args.benches.split(",")),
+                             trials=args.trials, config=_config(args.config))
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+    print(report.render())
+    if args.json:
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
 
@@ -293,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
     errors.add_argument("--trials", type=int, default=10_000)
     errors.add_argument("--seed", type=int, default=0)
     errors.set_defaults(func=_cmd_errors)
+
+    verify = sub.add_parser(
+        "verify",
+        help="cross-engine conformance sweep (exit 1 on divergence)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="root seed for fuzzed circuits and MC draws")
+    verify.add_argument("--random", type=int, default=3,
+                        help="number of fuzzed random circuits")
+    verify.add_argument("--benches", default="s27,s208",
+                        help="comma-separated benchmark names")
+    verify.add_argument("--trials", type=int, default=20_000,
+                        help="Monte Carlo oracle trials per circuit")
+    verify.add_argument("--config", default="I", help="input stats: I or II")
+    verify.add_argument("--json", help="write the JSON report to this path")
+    verify.set_defaults(func=_cmd_verify)
 
     report = sub.add_parser("report",
                             help="per-endpoint slack/miss-probability report")

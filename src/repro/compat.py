@@ -1,0 +1,18 @@
+"""Compatibility shims for the declared dependency floors.
+
+``pyproject.toml`` pins ``numpy>=1.21``; ``np.trapezoid`` only exists from
+NumPy 2.0 (it renamed ``np.trapz``).  Every trapezoid-rule call in the
+package goes through this module so a fresh install at the declared floor
+works, and so a future floor bump deletes exactly one branch.  CI's
+``numpy-floor`` job installs the floor versions and runs ``spsta analyze``
+to keep this promise honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+if hasattr(np, "trapezoid"):
+    trapezoid = np.trapezoid
+else:  # pragma: no cover - exercised by CI's numpy-floor job (numpy < 2.0)
+    trapezoid = np.trapz

@@ -48,6 +48,14 @@ class SpstaProfile:
     direct_convolutions: int = 0  # rows convolved with np.convolve
     shift_rows: int = 0          # rows shifted (deterministic delays)
 
+    # numerical guardrails (grid engines): probability mass clipped off the
+    # grid edge by shift/convolution/sampling, and NaN/Inf sentinel sweeps
+    mass_checks: int = 0         # grid operations audited for clipped mass
+    clipped_mass: float = 0.0    # total probability mass lost off-grid
+    clip_events: int = 0         # operations past the warn threshold
+    max_clip_fraction: float = 0.0  # worst single-operation clip fraction
+    finite_checks: int = 0       # NaN/Inf sentinel sweeps performed
+
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -94,6 +102,11 @@ class SpstaProfile:
             f"{indent}  convolutions: {self.fft_convolutions} fft rows, "
             f"{self.direct_convolutions} direct rows, "
             f"{self.shift_rows} shifted rows",
+            f"{indent}  mass guardrail: {self.mass_checks} checks, "
+            f"{self.clipped_mass:.3g} clipped "
+            f"({self.clip_events} past warn threshold, "
+            f"worst fraction {self.max_clip_fraction:.3g}); "
+            f"finite sweeps: {self.finite_checks}",
         ]
         if self.phase_seconds:
             phases = "  ".join(f"{name}={seconds * 1e3:.1f}ms"

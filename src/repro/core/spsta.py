@@ -45,8 +45,9 @@ from repro.core.profiling import SpstaProfile
 from repro.logic.fourvalue import Logic4, gate_output_value
 from repro.logic.gates import GateSpec, GateType, gate_spec
 from repro.netlist.core import Gate, Netlist
+from repro.compat import trapezoid
 from repro.stats.clark import clark_max_many, clark_min_many
-from repro.stats.grid import GridDensity, KernelCache, TimeGrid
+from repro.stats.grid import GridDensity, KernelCache, MassLedger, TimeGrid
 from repro.stats.mixture import GaussianMixture
 from repro.stats.moments import WeightedMoments, weighted_sum_moments
 from repro.stats.normal import Normal
@@ -194,13 +195,16 @@ class GridAlgebra(TopAlgebra[GridDensity]):
         self.grid = grid
         self.conv_method = conv_method
         self.kernel_cache = KernelCache(grid)
+        self.mass_ledger = MassLedger()
 
     def from_normal(self, normal: Normal) -> GridDensity:
-        return GridDensity.from_normal(self.grid, normal)
+        return GridDensity.from_normal(self.grid, normal,
+                                       ledger=self.mass_ledger)
 
     def add_delay(self, dist: GridDensity, delay: Normal) -> GridDensity:
         return dist.convolved(delay, method=self.conv_method,
-                              cache=self.kernel_cache)
+                              cache=self.kernel_cache,
+                              ledger=self.mass_ledger)
 
     def maximum(self, dists: Sequence[GridDensity]) -> GridDensity:
         acc = dists[0]
@@ -229,13 +233,12 @@ class GridAlgebra(TopAlgebra[GridDensity]):
         return dist.mean(), dist.std()
 
     def skewness(self, dist: GridDensity) -> float:
-        import numpy as np
         mean, var = dist.mean(), dist.var()
         if var <= 0.0:
             return 0.0
         t = dist.grid.points
-        third = float(np.trapezoid((t - mean) ** 3 * dist.values,
-                                   dx=dist.grid.dt)) / dist.total_weight
+        third = float(trapezoid((t - mean) ** 3 * dist.values,
+                                dx=dist.grid.dt)) / dist.total_weight
         return third / var ** 1.5
 
 
@@ -391,11 +394,18 @@ def launch_tops(netlist: Netlist,
 
 def _harvest_kernel_counters(algebra: TopAlgebra,
                              profile: SpstaProfile) -> None:
-    """Copy kernel-cache hit/miss counts off a grid algebra, if present."""
+    """Copy kernel-cache and mass-ledger counters off a grid algebra."""
     cache = getattr(algebra, "kernel_cache", None)
     if cache is not None:
         profile.kernel_cache_hits = cache.hits
         profile.kernel_cache_misses = cache.misses
+    ledger = getattr(algebra, "mass_ledger", None)
+    if ledger is not None:
+        profile.mass_checks += ledger.checks
+        profile.clipped_mass += ledger.clipped_mass
+        profile.clip_events += ledger.clip_events
+        profile.max_clip_fraction = max(profile.max_clip_fraction,
+                                        ledger.max_clip_fraction)
 
 
 def _delay_for(delay_model: DelayModel, gate: Gate):

@@ -51,6 +51,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.compat import trapezoid
 from repro.core.delay import DelayModel
 from repro.core.inputs import InputStats, Prob4
 from repro.core.probability import gate_prob4
@@ -63,7 +64,8 @@ from repro.core.spsta import (MAX_PARITY_FANIN, GridAlgebra, NetTops,
                               validate_parity_fanins)
 from repro.logic.gates import GateSpec, GateType, gate_spec
 from repro.netlist.core import Gate, Netlist
-from repro.stats.grid import (GridDensity, KernelCache, TimeGrid, cdf_rows,
+from repro.stats.grid import (MASS_WARN_FRACTION, GridDensity, KernelCache,
+                              TimeGrid, _warn_truncation, cdf_rows,
                               convolve_rows, kernel_retention_vector,
                               shift_retention_vector, shift_rows,
                               trapezoid_rows)
@@ -277,6 +279,31 @@ class _GridContext:
             self._retentions[key] = vec
         return vec
 
+    def record_mass(self, clipped, reference, operation: str) -> None:
+        """Mass-conservation audit of a batch of grid operations.
+
+        ``clipped``/``reference`` are matching scalars or arrays of
+        off-grid mass lost vs the mass each operation started with; the
+        aggregates land in the run's :class:`SpstaProfile` (the fast
+        engine's counterpart of :class:`~repro.stats.grid.MassLedger`).
+        """
+        clip = np.maximum(np.ravel(np.asarray(clipped, dtype=float)), 0.0)
+        ref = np.ravel(np.asarray(reference, dtype=float))
+        prof = self.profile
+        prof.mass_checks += clip.size
+        if clip.size == 0:
+            return
+        ok = ref > 0.0
+        frac = np.where(ok, clip / np.where(ok, ref, 1.0), 0.0)
+        prof.clipped_mass += float(np.where(ok, clip, 0.0).sum())
+        worst = float(frac.max())
+        events = int((frac > MASS_WARN_FRACTION).sum())
+        if events:
+            prof.clip_events += events
+            _warn_truncation(operation, worst)
+        if worst > prof.max_clip_fraction:
+            prof.max_clip_fraction = worst
+
 
 #: Per-net prepared arrays, per direction: (weight, normalized pdf, cdf);
 #: pdf/cdf ``None`` when the transition never occurs.
@@ -321,13 +348,16 @@ def _prepare_nets(net_table: Mapping[str, tuple],
 
 
 #: One output direction of one gate before convolution/mix: the total
-#: occurrence weight plus one pre-mixed row per distinct delay kernel.
+#: occurrence weight, the integral the direction's convolved rows should
+#: sum to (the mass-conservation audit reference: 1.0 for a BUFF/NOT's
+#: single normalized row, the occurrence weight for retention-corrected
+#: subset/parity rows), plus one pre-mixed row per distinct delay kernel.
 #: The naive mix normalizes each *convolved* term, so each term's row is
 #: scaled by ``weight / retention`` (exact per-term convolution mass, via
 #: the retention vectors) before terms sharing a kernel are summed —
 #: convolution is linear, so convolving the group once equals convolving
 #: and normalizing every Eq. 11/12 term separately.
-_DirTerms = Optional[Tuple[float, List[Tuple[Normal, np.ndarray]]]]
+_DirTerms = Optional[Tuple[float, float, List[Tuple[Normal, np.ndarray]]]]
 
 
 class _ControllingJob:
@@ -484,6 +514,10 @@ def _run_controlling_chunk(batch: Sequence[_ControllingJob],
         positive = weight_mat > 0.0
         if np.any(positive & (retained <= 0.0)):
             raise ValueError("cannot normalize an empty density")
+        # Each node row is normalized, so its post-convolution integral is
+        # its retention; the off-grid loss of mask `m` is w_m * (1 - r_m).
+        ctx.record_mass((weight_mat * (1.0 - retained))[positive],
+                        weight_mat[positive], "subset convolution")
         coef = np.where(positive, weight_mat
                         / np.where(retained > 0.0, retained, 1.0), 0.0)
         rows_all = np.einsum("jm,jmn->jn", coef, node_pdf)
@@ -513,6 +547,8 @@ def _run_controlling_chunk(batch: Sequence[_ControllingJob],
             positive = wj > 0.0
             if np.any(positive & (retained <= 0.0)):
                 raise ValueError("cannot normalize an empty density")
+            ctx.record_mass((wj * (1.0 - retained))[positive],
+                            wj[positive], "subset convolution")
             coef = np.where(positive,
                             wj / np.where(retained > 0.0, retained, 1.0), 0.0)
             rows_c = np.einsum("jl,jln->jn", coef, subj)
@@ -571,7 +607,7 @@ def _grid_parity(gate: Gate, spec: GateSpec, in_probs, prep_inputs,
         pa, ca = state
         pb, cb = cond
         raw = pa * cb + pb * ca
-        ints = float(np.trapezoid(raw, dx=dt))
+        ints = float(trapezoid(raw, dx=dt))
         if ints <= 0.0:
             raise ValueError("cannot normalize an empty density")
         pdf = raw / ints
@@ -617,12 +653,13 @@ def _grid_parity(gate: Gate, spec: GateSpec, in_probs, prep_inputs,
             retained = float(row @ ctx.retention(delay))
             if retained <= 0.0:
                 raise ValueError("cannot normalize an empty density")
+            ctx.record_mass(w * (1.0 - retained), w, "parity convolution")
             contrib = (w / retained) * row
             key = (delay.mu, delay.sigma)
             prev = acc.get(key)
             acc[key] = (delay, contrib if prev is None
                         else prev[1] + contrib)
-        return total, list(acc.values())
+        return total, total, list(acc.values())
 
     return collapse(rise_terms), collapse(fall_terms)
 
@@ -638,13 +675,14 @@ def _grid_gate_items(gate: Gate, in_probs, prep_inputs, ctx: _GridContext):
     delay_for = _delay_for(ctx.delay_model, gate)
     if gate.gate_type in (GateType.BUFF, GateType.NOT):
         # A single term per direction: the final per-segment normalization
-        # is scale-invariant, so no retention correction is needed.
+        # is scale-invariant, so no retention correction is needed and the
+        # row stays a normalized pdf (expected post-convolution mass 1.0).
         entry = prep_inputs[0]
         delay = delay_for(1)
-        rise: _DirTerms = ((entry[0], [(delay, entry[1])])
+        rise: _DirTerms = ((entry[0], 1.0, [(delay, entry[1])])
                            if entry[1] is not None and entry[0] > 0.0
                            else None)
-        fall: _DirTerms = ((entry[3], [(delay, entry[4])])
+        fall: _DirTerms = ((entry[3], 1.0, [(delay, entry[4])])
                            if entry[4] is not None and entry[3] > 0.0
                            else None)
         if gate.gate_type is GateType.NOT:
@@ -700,14 +738,17 @@ def _grid_process_gates(net_table: Mapping[str, tuple],
         _run_controlling_jobs(pending, ctx)
         rows: List[np.ndarray] = []
         delays: List[Normal] = []
-        segments: List[Tuple[int, int, int, float]] = []  # gate, dir, start, w
+        # Per direction: gate, dir, start row, occurrence weight, and the
+        # integral its convolved rows should sum to (mass audit reference).
+        segments: List[Tuple[int, int, int, float, float]] = []
         for gate_idx, direction, item in entries:
             if isinstance(item, _ControllingJob):
                 total = item.total
+                expected = total
                 dir_rows = list(item.acc.values())
             else:
-                total, dir_rows = item
-            segments.append((gate_idx, direction, len(rows), total))
+                total, expected, dir_rows = item
+            segments.append((gate_idx, direction, len(rows), total, expected))
             for delay, row in dir_rows:
                 rows.append(row)
                 delays.append(delay)
@@ -779,11 +820,23 @@ def _grid_process_gates(net_table: Mapping[str, tuple],
         ints = trapezoid_rows(mixed, dt)
         if np.any(ints <= 0.0):
             raise ValueError("cannot normalize an empty density")
+        # Mass audit: retention-corrected segments should integrate to
+        # their occurrence weight, BUFF/NOT segments to 1.0; anything lost
+        # beyond FFT noise is mass the grid shift/convolution clipped.
+        expected = np.array([seg[4] for seg in segments])
+        ctx.record_mass(expected - ints, expected, "level mix")
         mixed /= ints[:, None]
+        # NaN/Inf sentinel: downstream rows bypass GridDensity validation
+        # (``from_trusted``), so this is the fast path's divergence check.
+        profile.finite_checks += 1
+        if not np.isfinite(mixed).all():
+            raise ValueError(
+                "non-finite density after level mix (NaN/Inf sentinel: a "
+                "grid operation diverged)")
 
     results: List[List[Optional[Tuple[float, np.ndarray]]]] = [
         [None, None] for _ in gates]
-    for seg_idx, (gate_idx, direction, _, total) in enumerate(segments):
+    for seg_idx, (gate_idx, direction, _, total, _) in enumerate(segments):
         results[gate_idx][direction] = (total, mixed[seg_idx])
     return [(gates[i][0].name, results[i][0], results[i][1])
             for i in range(len(gates))]
@@ -810,20 +863,23 @@ def _grid_worker_init(grid_params: Tuple[float, float, int],
 
 
 _WORK_COUNTERS = ("subset_terms", "parity_terms", "max_folds",
-                  "fft_convolutions", "direct_convolutions", "shift_rows")
+                  "fft_convolutions", "direct_convolutions", "shift_rows",
+                  "mass_checks", "clipped_mass", "clip_events",
+                  "finite_checks")
 
 
 def _grid_worker_chunk(payload):
     """Process one chunk of a level in a worker; returns results plus the
     work-counter deltas for the parent profile (cache hit/miss counters
-    stay per-process)."""
+    stay per-process).  ``max_clip_fraction`` rides along as a running
+    maximum rather than a delta."""
     ctx = _WORKER_CTX
     net_table, gates = payload
     before = {name: getattr(ctx.profile, name) for name in _WORK_COUNTERS}
     results = _grid_process_gates(net_table, gates, ctx)
     deltas = {name: getattr(ctx.profile, name) - before[name]
               for name in _WORK_COUNTERS}
-    return results, deltas
+    return results, deltas, ctx.profile.max_clip_fraction
 
 
 # ---------------------------------------------------------------------------
@@ -950,8 +1006,10 @@ def _run_level_in_pool(pool: ProcessPoolExecutor, net_table, gates,
         futures.append(pool.submit(_grid_worker_chunk, (chunk_nets, chunk)))
     results = []
     for future in futures:
-        chunk_results, deltas = future.result()
+        chunk_results, deltas, worker_max_clip = future.result()
         results.extend(chunk_results)
         for name, delta in deltas.items():
             setattr(profile, name, getattr(profile, name) + delta)
+        profile.max_clip_fraction = max(profile.max_clip_fraction,
+                                        worker_max_clip)
     return results

@@ -31,6 +31,7 @@ from typing import Dict, Mapping, Sequence, Union
 
 import numpy as np
 
+from repro.compat import trapezoid
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats
 from repro.logic.gates import GateType, gate_spec
@@ -98,7 +99,7 @@ class ProbabilityWaveform:
         """Integral of P(1)(1 - P(1)) dt: total 'in flux' exposure, a
         proxy for glitch/noise susceptibility of the net."""
         p = self.values
-        return float(np.trapezoid(p * (1.0 - p), dx=self.grid.dt))
+        return float(trapezoid(p * (1.0 - p), dx=self.grid.dt))
 
 
 def _cdf(times: np.ndarray, normal: Normal) -> np.ndarray:

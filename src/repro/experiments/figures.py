@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.compat import trapezoid
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats
 from repro.core.ssta import run_ssta
@@ -78,8 +79,8 @@ def _grid_skewness(density: GridDensity) -> float:
         return 0.0
     t = density.grid.points
     w = density.total_weight
-    third = float(np.trapezoid((t - mean) ** 3 * density.values,
-                           dx=density.grid.dt)) / w
+    third = float(trapezoid((t - mean) ** 3 * density.values,
+                            dx=density.grid.dt)) / w
     return third / var ** 1.5
 
 

@@ -15,12 +15,17 @@ seed yields bit-identical merged statistics at any worker count.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import multiprocessing.pool
+import pickle
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -57,7 +62,13 @@ class ShardReport:
 
 
 def seed_sequence_of(rng: np.random.Generator) -> np.random.SeedSequence:
-    """The SeedSequence backing ``rng`` (every ``default_rng`` has one)."""
+    """The SeedSequence backing ``rng`` (every ``default_rng`` has one).
+
+    Side effect on the fallback path only: an exotic bit generator without
+    a stored SeedSequence derives one from its own stream, which consumes
+    one ``integers`` draw and advances the caller's generator — the same
+    caveat as :meth:`repro.stats.mixture.GaussianMixture.sample`.
+    """
     seed_seq = getattr(rng.bit_generator, "seed_seq", None)
     if isinstance(seed_seq, np.random.SeedSequence):
         return seed_seq
@@ -95,13 +106,48 @@ def plan_shards(n_trials: int, shards: int,
     return plans
 
 
+@dataclass
+class _ShardOutcome:
+    """What came back from one pool-side shard call: a value or the
+    exception the worker raised (never both)."""
+
+    value: object = None
+    error: Optional[BaseException] = None
+
+
+class _ShardCall:
+    """Pool-side wrapper that captures worker exceptions as outcomes.
+
+    With worker failures carried back as data, any exception that escapes
+    ``pool.map`` itself is pool/serialization infrastructure (unpicklable
+    worker, payload, or result) by construction — the discriminator that
+    lets :func:`run_shards` fall back serially on infrastructure failures
+    while re-raising real worker bugs.
+    """
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: Callable[[T], R]) -> None:
+        self.worker = worker
+
+    def __call__(self, payload: T) -> _ShardOutcome:
+        try:
+            return _ShardOutcome(value=self.worker(payload))
+        except Exception as exc:   # noqa: BLE001 - re-raised in the parent
+            return _ShardOutcome(error=exc)
+
+
 def run_shards(worker: Callable[[T], R], payloads: Sequence[T],
                workers: int = 1) -> List[R]:
     """Map ``worker`` over ``payloads``, preserving payload order.
 
-    ``workers > 1`` uses a ``multiprocessing.Pool``; any failure to stand
-    the pool up (restricted environments, unpicklable payloads) falls back
-    to the serial path, whose results are identical by construction.
+    ``workers > 1`` uses a ``multiprocessing.Pool``; failure to *stand the
+    pool up* (restricted environments) or to *ship the workload through it*
+    (unpicklable worker/payloads/results) logs the reason and falls back to
+    the serial path, whose results are identical by construction.  An
+    exception raised by ``worker`` itself propagates to the caller —
+    silently re-running the whole workload serially would mask the bug and
+    double the runtime.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -109,10 +155,28 @@ def run_shards(worker: Callable[[T], R], payloads: Sequence[T],
     if workers == 1 or len(payloads) <= 1:
         return [worker(p) for p in payloads]
     try:
-        with multiprocessing.Pool(min(workers, len(payloads))) as pool:
-            return pool.map(worker, payloads)
-    except Exception:
+        pool = multiprocessing.Pool(min(workers, len(payloads)))
+    except (OSError, ValueError, ImportError) as exc:
+        logger.warning("multiprocessing pool unavailable (%s); "
+                       "running %d shards serially", exc, len(payloads))
         return [worker(p) for p in payloads]
+    try:
+        with pool:
+            outcomes = pool.map(_ShardCall(worker), payloads)
+    except (pickle.PicklingError, TypeError, AttributeError,
+            multiprocessing.pool.MaybeEncodingError) as exc:
+        # Worker exceptions were captured pool-side, so reaching here means
+        # the workload never made the round trip (pickling the callable,
+        # a payload, or a result failed); the serial rerun is legitimate.
+        logger.warning("shard workload not picklable (%s); "
+                       "running %d shards serially", exc, len(payloads))
+        return [worker(p) for p in payloads]
+    results: List[R] = []
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+        results.append(outcome.value)
+    return results
 
 
 class WaveMemoryMeter:

@@ -14,11 +14,13 @@ the transition occurrence probability.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.stats.normal import Normal
+from repro.compat import trapezoid
+from repro.stats.normal import Normal, norm_cdf
 
 #: Kernels at or above this many taps are convolved via FFT under
 #: ``method="auto"``; below it the direct ``np.convolve`` wins (the O(n*m)
@@ -28,6 +30,77 @@ FFT_TAP_THRESHOLD = 48
 #: Batches at least this tall convolve faster through one fast-length FFT
 #: than through a per-row ``np.convolve`` loop even for narrow kernels.
 FFT_BATCH_THRESHOLD = 16
+
+#: Fraction of a density's mass clipped off the grid edge above which the
+#: operation emits a :class:`MassTruncationWarning` (and a
+#: :class:`MassLedger` counts a clip event).  Well above the ~1e-16 tail of
+#: a properly sized grid, well below anything that distorts moments.
+MASS_WARN_FRACTION = 1e-6
+
+#: Off-grid fraction above which :meth:`GridDensity.from_normal` refuses to
+#: build the density: a Gaussian mostly (or entirely) past the grid edge
+#: would be silently renormalized into an edge artifact.
+MASS_ERROR_FRACTION = 0.5
+
+
+class MassTruncationWarning(RuntimeWarning):
+    """Probability mass was clipped off the grid edge and renormalized away.
+
+    Raised-as-warning by the grid operations when an operation loses more
+    than :data:`MASS_WARN_FRACTION` of its mass past the grid window — the
+    symptom of a time grid that is too small for the circuit being
+    analyzed.  The conformance harness (``repro.verify``) turns the same
+    signal, accounted in a :class:`MassLedger`, into a red check.
+    """
+
+
+class MassLedger:
+    """Mass-conservation accounting for grid operations.
+
+    Before this ledger existed, probability clipped off the grid edge by
+    ``from_normal`` / ``shifted`` / ``convolved`` was silently renormalized
+    away — an undersized grid produced confidently wrong moments.  Engines
+    attach one ledger per analysis (see
+    :class:`~repro.core.spsta.GridAlgebra`); the counters surface through
+    :class:`~repro.core.profiling.SpstaProfile` and ``analyze --profile``,
+    and the verify harness fails a run whose ``max_clip_fraction`` exceeds
+    its policy.
+    """
+
+    __slots__ = ("checks", "clipped_mass", "clip_events", "max_clip_fraction")
+
+    def __init__(self) -> None:
+        self.checks = 0              # operations accounted
+        self.clipped_mass = 0.0      # total probability lost off-grid
+        self.clip_events = 0         # operations past MASS_WARN_FRACTION
+        self.max_clip_fraction = 0.0
+
+    def record(self, clipped: float, reference: float) -> float:
+        """Account one operation; returns the clipped fraction.
+
+        ``clipped`` is the mass lost past the grid window, ``reference``
+        the mass the operation should have preserved.  Negative ``clipped``
+        (trapezoid/FFT rounding) clamps to zero.
+        """
+        self.checks += 1
+        if reference <= 0.0:
+            return 0.0
+        clipped = max(clipped, 0.0)
+        fraction = clipped / reference
+        self.clipped_mass += clipped
+        if fraction > MASS_WARN_FRACTION:
+            self.clip_events += 1
+        if fraction > self.max_clip_fraction:
+            self.max_clip_fraction = fraction
+        return fraction
+
+
+def _warn_truncation(operation: str, fraction: float) -> None:
+    warnings.warn(
+        f"{operation} clipped {fraction:.3g} of its probability mass off "
+        f"the grid edge (> {MASS_WARN_FRACTION:g}); the result is "
+        f"renormalized on the window — enlarge the TimeGrid",
+        MassTruncationWarning, stacklevel=3)
 
 
 class TimeGrid:
@@ -281,15 +354,42 @@ class GridDensity:
         if arr.shape != (grid.n,):
             raise ValueError(
                 f"values shape {arr.shape} does not match grid size {grid.n}")
+        if not np.isfinite(arr).all():
+            raise ValueError("density values must be finite (NaN/Inf "
+                             "sentinel: an upstream operation diverged)")
         if np.any(arr < -1e-12):
             raise ValueError("density values must be non-negative")
         self.values = np.clip(arr, 0.0, None)
 
     @classmethod
-    def from_normal(cls, grid: TimeGrid, normal: Normal,
-                    weight: float = 1.0) -> "GridDensity":
+    def from_normal(cls, grid: TimeGrid, normal: Normal, weight: float = 1.0,
+                    *, ledger: Optional[MassLedger] = None) -> "GridDensity":
         """Sample ``weight * N(mu, sigma^2)``; sigma == 0 becomes a one-bin
-        point mass carrying the full weight."""
+        point mass carrying the full weight.
+
+        Mass conservation is checked analytically: the Gaussian tail beyond
+        the grid window is recorded in ``ledger`` (if given), warned about
+        past :data:`MASS_WARN_FRACTION`, and refused past
+        :data:`MASS_ERROR_FRACTION` — a Gaussian centered at or past the
+        grid edge no longer comes back as a silently renormalized edge
+        artifact.
+        """
+        if normal.sigma <= 0.0:
+            off_fraction = (0.0 if grid.start - 0.5 * grid.dt <= normal.mu
+                            <= grid.stop + 0.5 * grid.dt else 1.0)
+        else:
+            on_grid = (norm_cdf(grid.stop, normal.mu, normal.sigma)
+                       - norm_cdf(grid.start, normal.mu, normal.sigma))
+            off_fraction = max(1.0 - on_grid, 0.0)
+        if ledger is not None:
+            ledger.record(weight * off_fraction, weight)
+        if off_fraction >= MASS_ERROR_FRACTION:
+            raise ValueError(
+                f"N({normal.mu:g}, {normal.sigma:g}^2) lies "
+                f"{100 * off_fraction:.1f}% outside {grid!r}; refusing to "
+                f"build a silently renormalized density — enlarge the grid")
+        if off_fraction > MASS_WARN_FRACTION:
+            _warn_truncation("from_normal", off_fraction)
         if normal.sigma <= 0.0:
             values = np.zeros(grid.n)
             idx = int(np.clip(round((normal.mu - grid.start) / grid.dt),
@@ -322,7 +422,7 @@ class GridDensity:
     @property
     def total_weight(self) -> float:
         """Integral of the density (trapezoid rule)."""
-        return float(np.trapezoid(self.values, dx=self.grid.dt))
+        return float(trapezoid(self.values, dx=self.grid.dt))
 
     def cdf_values(self) -> np.ndarray:
         """Cumulative integral on the grid (same shape as ``values``)."""
@@ -336,7 +436,7 @@ class GridDensity:
         w = self.total_weight
         if w <= 0.0:
             raise ValueError("mean of an empty density is undefined")
-        return float(np.trapezoid(self.grid.points * self.values, dx=self.grid.dt)) / w
+        return float(trapezoid(self.grid.points * self.values, dx=self.grid.dt)) / w
 
     def var(self) -> float:
         """Variance of the normalized distribution."""
@@ -344,8 +444,8 @@ class GridDensity:
         if w <= 0.0:
             raise ValueError("variance of an empty density is undefined")
         m = self.mean()
-        raw2 = float(np.trapezoid(self.grid.points ** 2 * self.values,
-                              dx=self.grid.dt)) / w
+        raw2 = float(trapezoid(self.grid.points ** 2 * self.values,
+                               dx=self.grid.dt)) / w
         return max(raw2 - m * m, 0.0)
 
     def std(self) -> float:
@@ -367,10 +467,13 @@ class GridDensity:
         self._check_grid(other)
         return GridDensity(self.grid, self.values + other.values)
 
-    def shifted(self, delay: float) -> "GridDensity":
+    def shifted(self, delay: float, *,
+                ledger: Optional[MassLedger] = None) -> "GridDensity":
         """Deterministic delay: shift by a whole number of bins (the delay is
         rounded to the grid pitch; unit-delay experiments use an exact pitch
-        divisor so no rounding error accrues)."""
+        divisor so no rounding error accrues).  Bins shifted past the grid
+        edge are accounted in ``ledger`` and warned about past
+        :data:`MASS_WARN_FRACTION` instead of vanishing silently."""
         bins = int(round(delay / self.grid.dt))
         values = np.zeros_like(self.values)
         if bins >= 0:
@@ -378,10 +481,21 @@ class GridDensity:
                 values[bins:] = self.values[:self.grid.n - bins]
         else:
             values[:bins] = self.values[-bins:]
-        return GridDensity(self.grid, values)
+        result = GridDensity(self.grid, values)
+        if bins != 0:
+            before = self.total_weight
+            clipped = max(before - result.total_weight, 0.0)
+            if ledger is not None:
+                fraction = ledger.record(clipped, before)
+            else:
+                fraction = clipped / before if before > 0.0 else 0.0
+            if fraction > MASS_WARN_FRACTION:
+                _warn_truncation("shifted", fraction)
+        return result
 
     def convolved(self, delay: Normal, method: str = "direct",
-                  cache: Optional[KernelCache] = None) -> "GridDensity":
+                  cache: Optional[KernelCache] = None, *,
+                  ledger: Optional[MassLedger] = None) -> "GridDensity":
         """SUM with an independent Gaussian delay via discrete convolution.
 
         ``method`` selects the algorithm: ``"direct"`` (per-row
@@ -392,16 +506,27 @@ class GridDensity:
         exactly — whole grid bins as a shift, the sub-bin residual inside
         the kernel (see :class:`GaussianKernel`).  A :class:`KernelCache`
         reuses the discretized kernel — and its FFT — across the thousands
-        of identical delays of one analysis.
+        of identical delays of one analysis.  Mass pushed past the grid
+        window by the convolution is accounted in ``ledger`` and warned
+        about past :data:`MASS_WARN_FRACTION`.
         """
         if delay.sigma <= 0.0:
-            return self.shifted(delay.mu)
+            return self.shifted(delay.mu, ledger=ledger)
         if cache is not None:
             kernel = cache.kernel(delay)
         else:
             kernel = GaussianKernel(self.grid, delay)
         values = convolve_rows(self.values[np.newaxis, :], kernel, method)[0]
-        return GridDensity(self.grid, values)
+        result = GridDensity(self.grid, values)
+        before = self.total_weight
+        clipped = max(before - result.total_weight, 0.0)
+        if ledger is not None:
+            fraction = ledger.record(clipped, before)
+        else:
+            fraction = clipped / before if before > 0.0 else 0.0
+        if fraction > MASS_WARN_FRACTION:
+            _warn_truncation("convolved", fraction)
+        return result
 
     def max_with(self, other: "GridDensity") -> "GridDensity":
         """MAX of independent conditional distributions (Eq. 3), normalized."""

@@ -29,6 +29,12 @@ class MixtureComponent:
     sigma: float
 
     def __post_init__(self) -> None:
+        if not (math.isfinite(self.weight) and math.isfinite(self.mu)
+                and math.isfinite(self.sigma)):
+            raise ValueError(
+                f"component parameters must be finite, got "
+                f"(w={self.weight}, mu={self.mu}, sigma={self.sigma}) "
+                f"(NaN/Inf sentinel: an upstream operation diverged)")
         if self.weight < 0.0:
             raise ValueError(f"component weight must be >= 0, got {self.weight}")
         if self.sigma < 0.0:
@@ -235,11 +241,19 @@ class GaussianMixture:
                 hi = mid
         return 0.5 * (lo + hi)
 
-    def sample(self, n: int, rng) -> "list":
-        """Draw ``n`` samples from the normalized mixture (``rng`` is a
-        numpy Generator).  Used for validation (e.g. KS tests against
-        Monte Carlo) and for driving downstream samplers from SPSTA
-        results."""
+    def sample(self, n: int, rng) -> "np.ndarray":
+        """Draw ``n`` samples from the normalized mixture as a float array
+        (``rng`` is a numpy Generator).  Used for validation (e.g. KS tests
+        against Monte Carlo) and for driving downstream samplers from SPSTA
+        results.
+
+        Side effect: the draw advances ``rng``'s stream (one ``choice`` of
+        size ``n`` plus one ``standard_normal`` of size ``n``) — callers
+        sharing a generator across samplers must account for the consumed
+        state, the same caveat as
+        :func:`repro.sim.parallel.seed_sequence_of`'s exotic-bit-generator
+        fallback.
+        """
         import numpy as np
         if not self._components:
             raise ValueError("cannot sample an empty mixture")

@@ -49,6 +49,11 @@ class Normal:
     sigma: float = 0.0
 
     def __post_init__(self) -> None:
+        if not (math.isfinite(self.mu) and math.isfinite(self.sigma)):
+            raise ValueError(
+                f"Normal parameters must be finite, got mu={self.mu}, "
+                f"sigma={self.sigma} (NaN/Inf sentinel: an upstream "
+                f"operation diverged)")
         if self.sigma < 0.0:
             raise ValueError(f"sigma must be non-negative, got {self.sigma}")
 

@@ -1,0 +1,30 @@
+"""Cross-engine differential conformance harness.
+
+The repo computes the same per-net arrival statistics five ways — moment,
+mixture, and grid TOP algebras, each through a naive and a fast engine,
+plus two Monte Carlo simulators.  This package sweeps every engine pair
+over fuzzed random circuits and ISCAS benches under per-pair tolerance
+policies (:mod:`repro.verify.policies`), with Monte Carlo as the
+ground-truth oracle, and turns the stats layer's mass-conservation /
+NaN-sentinel counters into hard failures.  ``spsta verify`` runs the sweep
+from the command line and emits a machine-readable JSON report; CI runs it
+on every push.  See ``docs/verification.md``.
+"""
+
+from repro.verify.harness import (CircuitConformance, ConformanceReport,
+                                  Divergence, PairCheck, run_conformance,
+                                  verify_circuit)
+from repro.verify.policies import (GUARDRAIL_MAX_CLIP_FRACTION, POLICIES,
+                                   TolerancePolicy)
+
+__all__ = [
+    "CircuitConformance",
+    "ConformanceReport",
+    "Divergence",
+    "GUARDRAIL_MAX_CLIP_FRACTION",
+    "PairCheck",
+    "POLICIES",
+    "TolerancePolicy",
+    "run_conformance",
+    "verify_circuit",
+]

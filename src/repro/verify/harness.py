@@ -1,0 +1,417 @@
+"""Differential conformance sweep over every engine pair.
+
+One :func:`verify_circuit` call runs a circuit through all six SPSTA
+engine/algebra combinations plus both Monte Carlo simulators, then checks
+every pair named in :data:`repro.verify.policies.POLICIES` net by net:
+
+- replication pairs (``fast-vs-naive/*``, ``wave-vs-stream/mc``) over
+  every net — the engines share their mathematics, so any visible
+  disagreement is a bug;
+- abstraction pairs (``*-vs-grid``) and statistical pairs (``*-vs-mc``)
+  over the netlist's endpoints, where the tolerance policy encodes the
+  modelling error the pair is *allowed* to have.
+
+The sweep also enforces the stats layer's numerical guardrails: the grid
+runs must actually exercise the mass-conservation accounting
+(``mass_checks > 0``) and must never clip more than
+:data:`~repro.verify.policies.GUARDRAIL_MAX_CLIP_FRACTION` of any
+density's mass off the grid edge.  :func:`run_conformance` fuzzes random
+circuits (seeded, reproducible) alongside ISCAS benches and aggregates
+everything into a :class:`ConformanceReport` with a JSON serialization for
+CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.delay import DelayModel, NormalDelay, UnitDelay
+from repro.core.inputs import CONFIG_I, InputStats
+from repro.core.profiling import SpstaProfile
+from repro.core.spsta import (GridAlgebra, MixtureAlgebra, MomentAlgebra,
+                              run_spsta)
+from repro.netlist.analysis import net_depths
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Netlist
+from repro.netlist.generator import GeneratorProfile, generate_circuit
+from repro.sim.montecarlo import run_monte_carlo
+from repro.stats.grid import TimeGrid
+from repro.verify.policies import (GUARDRAIL_MAX_CLIP_FRACTION, POLICIES,
+                                   TolerancePolicy)
+
+#: Grid pitch used by the sweep: an exact divisor of the unit gate delay,
+#: so delay shifts land on whole bins and the grid engines carry no
+#: avoidable discretization drift into the comparison.
+GRID_BINS_PER_UNIT = 32
+
+#: Margin (in time units) added on both sides of the circuit's depth span
+#: so launch densities (N(0,1) tails) and delay spread stay on-grid; with
+#: it, the mass guardrail passing is a *property of the sweep*, not luck.
+GRID_MARGIN = 8.0
+
+DEFAULT_TRIALS = 20_000
+DEFAULT_BENCHES: Tuple[str, ...] = ("s27", "s208")
+
+#: (probability, mean, std, occurrence count or None) for one transition —
+#: the common currency every engine's result is adapted into.
+_Stats = Tuple[float, float, float, Optional[int]]
+_StatsFn = Callable[[str, str], _Stats]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One compared quantity that exceeded its pair's tolerance."""
+
+    pair: str
+    net: str
+    direction: str
+    metric: str          # "probability" | "mean" | "std"
+    value_a: float
+    value_b: float
+    delta: float
+    tolerance: float
+
+    def describe(self) -> str:
+        return (f"{self.pair} @ {self.net}/{self.direction}: "
+                f"{self.metric} {self.value_a:.6g} vs {self.value_b:.6g} "
+                f"(delta {self.delta:.3g} > tol {self.tolerance:.3g})")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"pair": self.pair, "net": self.net,
+                "direction": self.direction, "metric": self.metric,
+                "value_a": self.value_a, "value_b": self.value_b,
+                "delta": self.delta, "tolerance": self.tolerance}
+
+
+@dataclass
+class PairCheck:
+    """Result of sweeping one engine pair over one circuit."""
+
+    pair: str
+    n_nets: int
+    n_comparisons: int
+    max_delta: Dict[str, float]
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"pair": self.pair, "nets": self.n_nets,
+                "comparisons": self.n_comparisons,
+                "max_delta": dict(self.max_delta),
+                "passed": self.passed,
+                "divergences": [d.to_dict() for d in self.divergences]}
+
+
+@dataclass
+class CircuitConformance:
+    """All pair checks plus the guardrail audit for one circuit."""
+
+    circuit: str
+    kind: str                      # "random" | "bench"
+    n_gates: int
+    depth: int
+    seconds: float
+    checks: List[PairCheck]
+    guardrail: Dict[str, float]
+    guardrail_failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (not self.guardrail_failures
+                and all(check.passed for check in self.checks))
+
+    @property
+    def divergences(self) -> List[Divergence]:
+        return [d for check in self.checks for d in check.divergences]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"circuit": self.circuit, "kind": self.kind,
+                "gates": self.n_gates, "depth": self.depth,
+                "seconds": round(self.seconds, 3),
+                "passed": self.passed,
+                "checks": [check.to_dict() for check in self.checks],
+                "guardrail": dict(self.guardrail),
+                "guardrail_failures": list(self.guardrail_failures)}
+
+
+@dataclass
+class ConformanceReport:
+    """Machine-readable outcome of a full conformance sweep."""
+
+    seed: int
+    trials: int
+    circuits: List[CircuitConformance]
+
+    @property
+    def passed(self) -> bool:
+        return all(circuit.passed for circuit in self.circuits)
+
+    @property
+    def n_comparisons(self) -> int:
+        return sum(check.n_comparisons
+                   for circuit in self.circuits for check in circuit.checks)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"report": "spsta-conformance",
+                "seed": self.seed,
+                "trials": self.trials,
+                "guardrail_max_clip_fraction": GUARDRAIL_MAX_CLIP_FRACTION,
+                "passed": self.passed,
+                "comparisons": self.n_comparisons,
+                "policies": {name: {"abs_probability": p.abs_probability,
+                                    "abs_mean": p.abs_mean,
+                                    "abs_std": p.abs_std,
+                                    "min_occurrences": p.min_occurrences,
+                                    "endpoints_only": p.endpoints_only}
+                             for name, p in POLICIES.items()},
+                "circuits": [circuit.to_dict()
+                             for circuit in self.circuits]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        lines = [f"conformance sweep: seed {self.seed}, "
+                 f"{self.trials} MC trials, {len(self.circuits)} circuits, "
+                 f"{self.n_comparisons} comparisons"]
+        for circuit in self.circuits:
+            verdict = "pass" if circuit.passed else "FAIL"
+            lines.append(
+                f"  {circuit.circuit} ({circuit.kind}, "
+                f"{circuit.n_gates} gates, depth {circuit.depth}): "
+                f"{verdict} in {circuit.seconds:.1f}s, worst clip fraction "
+                f"{circuit.guardrail.get('max_clip_fraction', 0.0):.3g}")
+            for failure in circuit.guardrail_failures:
+                lines.append(f"    guardrail: {failure}")
+            for divergence in circuit.divergences:
+                lines.append(f"    {divergence.describe()}")
+        lines.append("=> " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def _spsta_stats(result) -> _StatsFn:
+    def get(net: str, direction: str) -> _Stats:
+        p, mean, std = result.report(net, direction)
+        return p, mean, std, None
+    return get
+
+
+def _mc_stats(result) -> _StatsFn:
+    def get(net: str, direction: str) -> _Stats:
+        stats = result.direction_stats(net, direction)
+        return stats.probability, stats.mean, stats.std, stats.n_occurrences
+    return get
+
+
+def _compare_pair(policy: TolerancePolicy, nets: Sequence[str],
+                  stats_a: _StatsFn, stats_b: _StatsFn) -> PairCheck:
+    """Sweep one engine pair over ``nets`` under its tolerance policy."""
+    check = PairCheck(pair=policy.pair, n_nets=len(nets), n_comparisons=0,
+                      max_delta={"probability": 0.0, "mean": 0.0,
+                                 "std": 0.0})
+
+    def record(net: str, direction: str, metric: str, a: float, b: float,
+               tolerance: float) -> None:
+        delta = abs(a - b)
+        check.n_comparisons += 1
+        check.max_delta[metric] = max(check.max_delta[metric], delta)
+        if delta > tolerance:
+            check.divergences.append(Divergence(
+                pair=policy.pair, net=net, direction=direction,
+                metric=metric, value_a=a, value_b=b, delta=delta,
+                tolerance=tolerance))
+
+    for net in nets:
+        for direction in ("rise", "fall"):
+            p_a, mean_a, std_a, count_a = stats_a(net, direction)
+            p_b, mean_b, std_b, count_b = stats_b(net, direction)
+            record(net, direction, "probability", p_a, p_b,
+                   policy.abs_probability)
+            # Conditional moments are compared only where both engines
+            # agree the transition occurs (a weight mismatch is already a
+            # probability divergence) and, for statistical pairs, where
+            # the oracle saw enough occurrences for its estimate to carry
+            # less noise than the tolerance.
+            if not (math.isfinite(mean_a) and math.isfinite(mean_b)):
+                continue
+            counts = [c for c in (count_a, count_b) if c is not None]
+            if counts and min(counts) < policy.min_occurrences:
+                continue
+            record(net, direction, "mean", mean_a, mean_b, policy.abs_mean)
+            record(net, direction, "std", std_a, std_b, policy.abs_std)
+    return check
+
+
+def sweep_grid_for(netlist: Netlist) -> TimeGrid:
+    """The conformance sweep's grid for a circuit: unit-delay-aligned pitch
+    (:data:`GRID_BINS_PER_UNIT` bins per time unit) spanning the circuit's
+    depth with :data:`GRID_MARGIN` of headroom on both sides."""
+    depth = max(net_depths(netlist).values(), default=1)
+    start = -GRID_MARGIN
+    stop = depth + GRID_MARGIN
+    n = GRID_BINS_PER_UNIT * int(round(stop - start)) + 1
+    return TimeGrid(start, stop, n)
+
+
+def verify_circuit(netlist: Netlist,
+                   config: InputStats = CONFIG_I,
+                   *,
+                   trials: int = DEFAULT_TRIALS,
+                   seed: int = 0,
+                   delay_model: DelayModel = UnitDelay(),
+                   kind: str = "bench") -> CircuitConformance:
+    """Run every engine on one circuit and check every pair's policy.
+
+    Each SPSTA run gets a fresh algebra (its own mass ledger and caches)
+    and its own :class:`SpstaProfile`; the two Monte Carlo runs replay the
+    same root seed, which makes ``wave-vs-stream/mc`` a bit-exactness
+    check, not a statistical one.
+    """
+    t0 = time.perf_counter()
+    grid = sweep_grid_for(netlist)
+    depth = max(net_depths(netlist).values(), default=1)
+
+    algebra_factories = {"moment": MomentAlgebra,
+                         "mixture": MixtureAlgebra,
+                         "grid": lambda: GridAlgebra(grid)}
+    runs: Dict[Tuple[str, str], object] = {}
+    profiles: Dict[Tuple[str, str], SpstaProfile] = {}
+    for algebra_name, factory in algebra_factories.items():
+        for engine in ("naive", "fast"):
+            profile = SpstaProfile()
+            runs[(algebra_name, engine)] = run_spsta(
+                netlist, config, delay_model, factory(),
+                engine=engine, profile=profile)
+            profiles[(algebra_name, engine)] = profile
+
+    mc_wave = run_monte_carlo(netlist, config, trials, delay_model,
+                              rng=np.random.default_rng(seed))
+    mc_stream = run_monte_carlo(netlist, config, trials, delay_model,
+                                rng=np.random.default_rng(seed),
+                                mode="stream", shards=1)
+
+    all_nets = sorted(runs[("moment", "naive")].tops)
+    endpoints = list(dict.fromkeys(netlist.endpoints))
+    mc_nets = sorted(mc_wave.nets)
+
+    sides: Dict[str, Tuple[_StatsFn, Sequence[str]]] = {
+        "moment": (_spsta_stats(runs[("moment", "fast")]), all_nets),
+        "mixture": (_spsta_stats(runs[("mixture", "fast")]), all_nets),
+        "grid": (_spsta_stats(runs[("grid", "fast")]), all_nets),
+        "mc": (_mc_stats(mc_wave), mc_nets),
+    }
+
+    checks: List[PairCheck] = []
+    for algebra_name in ("moment", "mixture", "grid"):
+        policy = POLICIES[f"fast-vs-naive/{algebra_name}"]
+        checks.append(_compare_pair(
+            policy, all_nets,
+            _spsta_stats(runs[(algebra_name, "fast")]),
+            _spsta_stats(runs[(algebra_name, "naive")])))
+    checks.append(_compare_pair(
+        POLICIES["wave-vs-stream/mc"], mc_nets,
+        _mc_stats(mc_wave), _mc_stats(mc_stream)))
+    for pair in ("moment-vs-grid", "mixture-vs-grid",
+                 "moment-vs-mc", "mixture-vs-mc", "grid-vs-mc"):
+        policy = POLICIES[pair]
+        name_a, name_b = pair.split("-vs-")
+        nets = endpoints if policy.endpoints_only else all_nets
+        checks.append(_compare_pair(policy, nets,
+                                    sides[name_a][0], sides[name_b][0]))
+
+    guardrail = {"mass_checks": 0.0, "clipped_mass": 0.0,
+                 "clip_events": 0.0, "max_clip_fraction": 0.0,
+                 "finite_checks": 0.0}
+    for engine in ("naive", "fast"):
+        profile = profiles[("grid", engine)]
+        guardrail["mass_checks"] += profile.mass_checks
+        guardrail["clipped_mass"] += profile.clipped_mass
+        guardrail["clip_events"] += profile.clip_events
+        guardrail["finite_checks"] += profile.finite_checks
+        guardrail["max_clip_fraction"] = max(
+            guardrail["max_clip_fraction"], profile.max_clip_fraction)
+
+    guardrail_failures: List[str] = []
+    if guardrail["mass_checks"] == 0:
+        guardrail_failures.append(
+            "mass-conservation accounting never ran on the grid engines")
+    if guardrail["max_clip_fraction"] > GUARDRAIL_MAX_CLIP_FRACTION:
+        guardrail_failures.append(
+            f"worst clipped-mass fraction "
+            f"{guardrail['max_clip_fraction']:.3g} exceeds "
+            f"{GUARDRAIL_MAX_CLIP_FRACTION:.3g} — the sweep grid does not "
+            f"cover the circuit's arrival window")
+
+    return CircuitConformance(
+        circuit=netlist.name, kind=kind,
+        n_gates=len(netlist.combinational_gates), depth=depth,
+        seconds=time.perf_counter() - t0,
+        checks=checks, guardrail=guardrail,
+        guardrail_failures=guardrail_failures)
+
+
+#: Fuzz shapes cycle through this family: wide and shallow, many launch
+#: points per gate.  Narrow/deep random circuits reconverge so heavily
+#: that the paper's independence approximation (Sec. 4) dominates the
+#: comparison and the Monte Carlo oracle stops measuring implementation
+#: correctness — on such circuits SPSTA can report p > 0 for transitions
+#: that are structurally impossible.  The wide family keeps the
+#: approximation's bias within the statistical pairs' tolerance, like the
+#: ISCAS benches the paper evaluates on.
+_FUZZ_SHAPES: Tuple[Tuple[int, int, int, int, int, float], ...] = (
+    # (n_inputs, n_outputs, n_dffs, n_gates, depth, xor_fraction)
+    (12, 4, 6, 30, 4, 0.0),
+    (14, 4, 8, 36, 5, 0.0),
+    (12, 4, 6, 32, 4, 0.15),   # exercises the parity (Eq. 12) path
+)
+
+
+def fuzz_profiles(seed: int, count: int) -> List[GeneratorProfile]:
+    """Deterministic fuzzing schedule: ``count`` circuit profiles drawn
+    from :data:`_FUZZ_SHAPES` with per-profile seeds derived from the
+    root seed."""
+    profiles = []
+    for i in range(count):
+        n_inputs, n_outputs, n_dffs, n_gates, depth, xor = \
+            _FUZZ_SHAPES[i % len(_FUZZ_SHAPES)]
+        profiles.append(GeneratorProfile(
+            name=f"fuzz-{seed}-{i}",
+            n_inputs=n_inputs, n_outputs=n_outputs, n_dffs=n_dffs,
+            n_gates=n_gates, depth=depth,
+            seed=seed * 7919 + i, xor_fraction=xor))
+    return profiles
+
+
+def run_conformance(seed: int = 0,
+                    n_random: int = 3,
+                    benches: Sequence[str] = DEFAULT_BENCHES,
+                    trials: int = DEFAULT_TRIALS,
+                    config: InputStats = CONFIG_I) -> ConformanceReport:
+    """The full sweep: fuzzed random circuits plus ISCAS benches.
+
+    Random circuits run under :class:`NormalDelay` (exercises the grid
+    engines' Gaussian-kernel FFT convolution path); benches run under
+    :class:`UnitDelay` (exercises the pure-shift path and matches the
+    paper's Table 2 setup).
+    """
+    circuits: List[CircuitConformance] = []
+    for i, profile in enumerate(fuzz_profiles(seed, n_random)):
+        circuits.append(verify_circuit(
+            generate_circuit(profile), config, trials=trials,
+            seed=seed * 10_007 + i, delay_model=NormalDelay(1.0, 0.1),
+            kind="random"))
+    for i, name in enumerate(benches):
+        circuits.append(verify_circuit(
+            benchmark_circuit(name), config, trials=trials,
+            seed=seed * 10_007 + n_random + i, delay_model=UnitDelay(),
+            kind="bench"))
+    return ConformanceReport(seed=seed, trials=trials, circuits=circuits)

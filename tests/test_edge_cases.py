@@ -133,9 +133,11 @@ class TestDegenerateCircuits:
     def test_grid_density_entirely_off_grid(self):
         from repro.stats.grid import GridDensity, TimeGrid
 
+        # Used to come back as a silently renormalized (near-empty) density;
+        # the mass guardrail now refuses it outright.
         grid = TimeGrid(0.0, 1.0, 64)
-        d = GridDensity.from_normal(grid, Normal(100.0, 0.5))
-        assert d.total_weight == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(ValueError, match="outside"):
+            GridDensity.from_normal(grid, Normal(100.0, 0.5))
 
     def test_parity_fanin_guard(self):
         from repro.core.inputs import CONFIG_I

@@ -1,0 +1,151 @@
+"""Mass-conservation and NaN/Inf guardrails in the stats layer.
+
+Covers the regression (grid-edge truncation used to be silent) and the
+fault-injection proof: deliberately under-sized grids must light up the
+ledger counters, the profile, and the conformance harness's guardrail.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import CONFIG_I
+from repro.core.profiling import SpstaProfile
+from repro.core.spsta import GridAlgebra, run_spsta
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.stats.grid import (MASS_WARN_FRACTION, GridDensity, MassLedger,
+                              MassTruncationWarning, TimeGrid)
+from repro.stats.mixture import MixtureComponent
+from repro.stats.normal import Normal
+
+
+class TestFromNormalTruncation:
+    def test_on_grid_density_is_silent_and_ledgered(self):
+        grid = TimeGrid(-8.0, 8.0, 512)
+        ledger = MassLedger()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            GridDensity.from_normal(grid, Normal(0.0, 1.0), ledger=ledger)
+        assert ledger.checks == 1
+        assert ledger.clip_events == 0
+        assert ledger.max_clip_fraction < MASS_WARN_FRACTION
+
+    def test_partially_off_grid_warns_and_records(self):
+        # N(0, 1) on [-1, 8]: ~16% of the mass lies below the grid.
+        grid = TimeGrid(-1.0, 8.0, 512)
+        ledger = MassLedger()
+        with pytest.warns(MassTruncationWarning, match="clipped"):
+            GridDensity.from_normal(grid, Normal(0.0, 1.0), ledger=ledger)
+        assert ledger.clip_events == 1
+        assert ledger.max_clip_fraction == pytest.approx(
+            Normal(0.0, 1.0).cdf(-1.0), rel=0.05)
+
+    def test_mostly_off_grid_raises(self):
+        grid = TimeGrid(0.0, 1.0, 64)
+        with pytest.raises(ValueError, match="outside"):
+            GridDensity.from_normal(grid, Normal(100.0, 0.5))
+
+    def test_point_mass_off_grid_raises(self):
+        grid = TimeGrid(0.0, 1.0, 64)
+        with pytest.raises(ValueError, match="outside"):
+            GridDensity.from_normal(grid, Normal(2.0, 0.0))
+
+
+class TestShiftAndConvolveTruncation:
+    def test_shift_off_the_edge_is_recorded(self):
+        grid = TimeGrid(-4.0, 4.0, 256)
+        density = GridDensity.from_normal(grid, Normal(0.0, 0.5))
+        ledger = MassLedger()
+        with pytest.warns(MassTruncationWarning):
+            shifted = density.shifted(5.0, ledger=ledger)
+        assert ledger.clip_events == 1
+        # The recorded fraction matches the mass that actually vanished.
+        lost = 1.0 - shifted.total_weight / density.total_weight
+        assert ledger.max_clip_fraction == pytest.approx(lost, rel=1e-6)
+
+    def test_convolution_off_the_edge_is_recorded(self):
+        grid = TimeGrid(-4.0, 4.0, 256)
+        density = GridDensity.from_normal(grid, Normal(1.0, 0.3))
+        ledger = MassLedger()
+        with pytest.warns(MassTruncationWarning):
+            density.convolved(Normal(3.0, 0.4), ledger=ledger)
+        assert ledger.clip_events == 1
+        assert ledger.max_clip_fraction > MASS_WARN_FRACTION
+
+    def test_interior_shift_stays_quiet(self):
+        grid = TimeGrid(-8.0, 8.0, 512)
+        density = GridDensity.from_normal(grid, Normal(-2.0, 0.5))
+        ledger = MassLedger()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            density.shifted(1.0, ledger=ledger)
+        assert ledger.clip_events == 0
+
+
+class TestFiniteSentinels:
+    def test_grid_density_rejects_nan(self):
+        grid = TimeGrid(0.0, 1.0, 8)
+        values = np.zeros(8)
+        values[3] = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            GridDensity(grid, values)
+
+    def test_normal_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            Normal(float("nan"), 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            Normal(0.0, float("inf"))
+
+    def test_mixture_component_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            MixtureComponent(float("inf"), 0.0, 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            MixtureComponent(1.0, float("nan"), 1.0)
+
+
+class TestFaultInjection:
+    """Deliberately under-size the grid: the guardrail must fire."""
+
+    @pytest.mark.parametrize("engine", ["naive", "fast"])
+    def test_undersized_grid_lights_the_profile(self, engine):
+        netlist = benchmark_circuit("s27")
+        # Launch arrivals are N(0, 1); a grid starting at -2 clips ~2.3%
+        # of every launch density — far past the warn threshold but well
+        # short of the refuse-outright threshold.
+        grid = TimeGrid(-2.0, 10.0, 384)
+        profile = SpstaProfile()
+        with pytest.warns(MassTruncationWarning):
+            run_spsta(netlist, CONFIG_I, algebra=GridAlgebra(grid),
+                      engine=engine, profile=profile)
+        assert profile.mass_checks > 0
+        assert profile.clip_events > 0
+        assert profile.max_clip_fraction == pytest.approx(
+            Normal(0.0, 1.0).cdf(-2.0), rel=0.1)
+        assert "mass guardrail" in profile.render()
+
+    @pytest.mark.parametrize("engine", ["naive", "fast"])
+    def test_well_sized_grid_stays_clean(self, engine):
+        netlist = benchmark_circuit("s27")
+        grid = TimeGrid(-8.0, 16.0, 768)
+        profile = SpstaProfile()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MassTruncationWarning)
+            run_spsta(netlist, CONFIG_I, algebra=GridAlgebra(grid),
+                      engine=engine, profile=profile)
+        assert profile.mass_checks > 0
+        assert profile.clip_events == 0
+        assert profile.max_clip_fraction < MASS_WARN_FRACTION
+
+    def test_harness_turns_mass_loss_into_failure(self, monkeypatch):
+        import repro.verify.harness as harness
+
+        monkeypatch.setattr(harness, "sweep_grid_for",
+                            lambda netlist: TimeGrid(-2.0, 10.0, 384))
+        with pytest.warns(MassTruncationWarning):
+            conformance = harness.verify_circuit(
+                benchmark_circuit("s27"), CONFIG_I, trials=500, seed=0)
+        assert conformance.guardrail_failures
+        assert not conformance.passed
+        assert conformance.guardrail["max_clip_fraction"] > \
+            MASS_WARN_FRACTION

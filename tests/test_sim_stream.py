@@ -184,3 +184,30 @@ class TestShardScheduler:
 
     def test_run_shards_preserves_order(self):
         assert run_shards(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_worker_exception_propagates_through_pool(self):
+        # A bug in the worker must surface, not trigger a silent serial
+        # rerun (the old fallback swallowed every pool.map exception).
+        with pytest.raises(ValueError, match="worker bug on 2"):
+            run_shards(_failing_worker, [1, 2, 3], workers=2)
+
+    def test_worker_exception_propagates_serially(self):
+        with pytest.raises(ValueError, match="worker bug on 2"):
+            run_shards(_failing_worker, [1, 2, 3], workers=1)
+
+    def test_unpicklable_worker_falls_back_serially(self, caplog):
+        import logging
+
+        # Lambdas cannot cross the pool boundary; the infrastructure
+        # failure is logged and the workload reruns serially.
+        with caplog.at_level(logging.WARNING, logger="repro.sim.parallel"):
+            result = run_shards(lambda x: x + 1, [1, 2, 3], workers=2)
+        assert result == [2, 3, 4]
+        assert any("serially" in record.getMessage()
+                   for record in caplog.records)
+
+
+def _failing_worker(x):
+    if x == 2:
+        raise ValueError(f"worker bug on {x}")
+    return x * 10

@@ -1,0 +1,152 @@
+"""Conformance harness: pair comparison, policies, report, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.verify import (GUARDRAIL_MAX_CLIP_FRACTION, POLICIES,
+                          run_conformance, verify_circuit)
+from repro.verify.harness import (_compare_pair, fuzz_profiles,
+                                  sweep_grid_for)
+from repro.verify.policies import TolerancePolicy
+
+
+def _stats_table(table):
+    """Adapter: {(net, direction): (p, mean, std, count)} -> stats fn."""
+    return lambda net, direction: table[(net, direction)]
+
+
+class TestComparePair:
+    POLICY = TolerancePolicy(pair="a-vs-b", description="test",
+                             abs_probability=0.01, abs_mean=0.1,
+                             abs_std=0.1, min_occurrences=10)
+
+    def test_agreement_passes(self):
+        table = {("y", "rise"): (0.5, 1.0, 0.2, 100),
+                 ("y", "fall"): (0.5, 1.1, 0.2, 100)}
+        check = _compare_pair(self.POLICY, ["y"], _stats_table(table),
+                              _stats_table(table))
+        assert check.passed
+        assert check.n_comparisons == 6   # probability + mean + std, twice
+
+    def test_probability_divergence_detected(self):
+        a = {("y", "rise"): (0.5, 1.0, 0.2, 100),
+             ("y", "fall"): (0.5, 1.0, 0.2, 100)}
+        b = {("y", "rise"): (0.55, 1.0, 0.2, 100),
+             ("y", "fall"): (0.5, 1.0, 0.2, 100)}
+        check = _compare_pair(self.POLICY, ["y"], _stats_table(a),
+                              _stats_table(b))
+        assert not check.passed
+        [divergence] = check.divergences
+        assert divergence.metric == "probability"
+        assert divergence.net == "y"
+        assert divergence.delta == pytest.approx(0.05)
+
+    def test_mean_divergence_detected(self):
+        a = {("y", "rise"): (0.5, 1.0, 0.2, 100),
+             ("y", "fall"): (0.0, math.nan, math.nan, 0)}
+        b = {("y", "rise"): (0.5, 1.5, 0.2, 100),
+             ("y", "fall"): (0.0, math.nan, math.nan, 0)}
+        check = _compare_pair(self.POLICY, ["y"], _stats_table(a),
+                              _stats_table(b))
+        assert [d.metric for d in check.divergences] == ["mean"]
+
+    def test_min_occurrences_gates_moments_not_probability(self):
+        # 5 occurrences < min_occurrences=10: the wild moment mismatch is
+        # ignored, but the probability mismatch still counts.
+        a = {("y", "rise"): (0.5, 1.0, 0.2, 5),
+             ("y", "fall"): (0.5, 1.0, 0.2, 5)}
+        b = {("y", "rise"): (0.4, 9.9, 9.9, 5),
+             ("y", "fall"): (0.5, 1.0, 0.2, 5)}
+        check = _compare_pair(self.POLICY, ["y"], _stats_table(a),
+                              _stats_table(b))
+        assert [d.metric for d in check.divergences] == ["probability"]
+
+    def test_absent_transition_skips_moments(self):
+        table = {("y", "rise"): (0.0, math.nan, math.nan, 0),
+                 ("y", "fall"): (0.0, math.nan, math.nan, 0)}
+        check = _compare_pair(self.POLICY, ["y"], _stats_table(table),
+                              _stats_table(table))
+        assert check.passed
+        assert check.n_comparisons == 2   # probabilities only
+
+
+class TestPolicies:
+    def test_every_pair_has_a_policy(self):
+        expected = {"fast-vs-naive/moment", "fast-vs-naive/mixture",
+                    "fast-vs-naive/grid", "wave-vs-stream/mc",
+                    "moment-vs-grid", "mixture-vs-grid",
+                    "moment-vs-mc", "mixture-vs-mc", "grid-vs-mc"}
+        assert set(POLICIES) == expected
+
+    def test_replication_pairs_are_tightest(self):
+        for name, policy in POLICIES.items():
+            if name.startswith("fast-vs-naive"):
+                assert policy.abs_probability <= 1e-9, name
+                assert not policy.endpoints_only, name
+            if name.endswith("-vs-mc") and "stream" not in name:
+                assert policy.min_occurrences > 0, name
+
+    def test_guardrail_threshold_positive(self):
+        assert 0.0 < GUARDRAIL_MAX_CLIP_FRACTION <= 1e-3
+
+
+class TestVerifyCircuit:
+    def test_s27_conforms(self):
+        conformance = verify_circuit(benchmark_circuit("s27"),
+                                     trials=4000, seed=0)
+        assert conformance.passed, conformance.to_dict()
+        assert conformance.guardrail["mass_checks"] > 0
+        assert len(conformance.checks) == len(POLICIES)
+        pairs = {check.pair for check in conformance.checks}
+        assert pairs == set(POLICIES)
+
+    def test_sweep_grid_pitch_divides_unit_delay(self):
+        grid = sweep_grid_for(benchmark_circuit("s27"))
+        assert (1.0 / grid.dt) == pytest.approx(round(1.0 / grid.dt))
+
+
+class TestRunConformance:
+    def test_fuzz_profiles_deterministic(self):
+        assert fuzz_profiles(7, 4) == fuzz_profiles(7, 4)
+        assert fuzz_profiles(7, 2) != fuzz_profiles(8, 2)
+
+    def test_small_sweep_passes_and_serializes(self):
+        report = run_conformance(seed=0, n_random=1, benches=("s27",),
+                                 trials=2000)
+        assert report.passed
+        assert report.n_comparisons > 0
+        payload = json.loads(report.to_json())
+        assert payload["report"] == "spsta-conformance"
+        assert payload["passed"] is True
+        assert len(payload["circuits"]) == 2
+        assert set(payload["policies"]) == set(POLICIES)
+        rendered = report.render()
+        assert "PASS" in rendered and "s27" in rendered
+
+
+class TestVerifyCli:
+    def test_exit_zero_and_json_on_pass(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["verify", "--seed", "0", "--random", "1",
+                     "--benches", "s27", "--trials", "1000",
+                     "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert "PASS" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_guardrail_failure(self, monkeypatch, capsys):
+        import repro.verify.harness as harness
+        from repro.stats.grid import TimeGrid
+
+        monkeypatch.setattr(harness, "sweep_grid_for",
+                            lambda netlist: TimeGrid(-2.0, 10.0, 384))
+        with pytest.warns(Warning):
+            code = main(["verify", "--seed", "0", "--random", "0",
+                         "--benches", "s27", "--trials", "500"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
