@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import json
 import os
+from pathlib import Path
 import subprocess
 import sys
-from pathlib import Path
 
 from benchmarks.conftest import save_artifact
 
@@ -24,7 +24,9 @@ CIRCUITS = ("s1196", "s9234")
 MIN_SPEEDUP = 3.0
 
 _RUNNER = """
-import json, time
+import json
+import time
+
 from repro.core.delay import NormalDelay
 from repro.core.inputs import CONFIG_I
 from repro.core.profiling import SpstaProfile

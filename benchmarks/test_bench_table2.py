@@ -16,8 +16,8 @@ import pytest
 
 from benchmarks.conftest import save_artifact
 from repro.core.inputs import CONFIG_I, CONFIG_II
-from repro.experiments.errors import error_summary, format_error_summary
 from repro.experiments.csv_export import table2_csv
+from repro.experiments.errors import error_summary, format_error_summary
 from repro.experiments.table2 import format_table2, run_table2
 
 N_TRIALS = 10_000
@@ -29,7 +29,8 @@ def test_table2_config(benchmark, results_dir, label, config):
         run_table2, args=(config,), kwargs={"n_trials": N_TRIALS},
         rounds=1, iterations=1)
     summary = error_summary(rows)
-    text = format_table2(rows, title=f"Table 2, configuration ({label.upper()})")
+    text = format_table2(
+        rows, title=f"Table 2, configuration ({label.upper()})")
     text += "\n\n" + format_error_summary(summary)
     save_artifact(results_dir, f"table2_config_{label}.txt", text)
     table2_csv(rows, results_dir / f"table2_config_{label}.csv")

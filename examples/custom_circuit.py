@@ -13,11 +13,14 @@ Shows the full API surface on a hand-written circuit:
 Run:  python examples/custom_circuit.py
 """
 
-import numpy as np
 
 from repro.core.inputs import CONFIG_I
-from repro.core.spsta import GridAlgebra, MixtureAlgebra, MomentAlgebra, \
-    run_spsta
+from repro.core.spsta import (
+    GridAlgebra,
+    MixtureAlgebra,
+    MomentAlgebra,
+    run_spsta,
+)
 from repro.logic.fourvalue import Logic4
 from repro.netlist.bench import parse_bench
 from repro.sim.reference import simulate_trial

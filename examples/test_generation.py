@@ -33,14 +33,16 @@ def main() -> None:
     print("Hardest faults for random patterns (COP detectability):")
     for fault, d in cop.hardest_faults(5):
         needed = patterns_for_confidence(d, 0.95)
-        needed_text = ("untestable by random patterns" if needed == float("inf")
-                       else f"~{needed:.0f} patterns for 95% confidence")
+        needed_text = (
+            "untestable by random patterns" if needed == float("inf")
+            else f"~{needed:.0f} patterns for 95% confidence")
         print(f"  {str(fault):>9}: D={d:.4f}  ({needed_text})")
 
     # 2. coverage curve.
     print("\nExpected random-pattern stuck-at coverage:")
     for n in (8, 32, 128, 512):
-        print(f"  {n:>4} patterns: {100 * random_pattern_coverage(cop, n):.1f}%")
+        pct = 100 * random_pattern_coverage(cop, n)
+        print(f"  {n:>4} patterns: {pct:.1f}%")
 
     # 3. deterministic ATPG for the hardest fault.
     hardest, d = cop.hardest_faults(1)[0]

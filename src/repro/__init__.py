@@ -10,8 +10,14 @@ paper's evaluation.
 
 Quickstart::
 
-    from repro import (benchmark_circuit, CONFIG_I, run_spsta, run_ssta,
-                       run_monte_carlo, critical_endpoint)
+    from repro import (
+        CONFIG_I,
+        benchmark_circuit,
+        critical_endpoint,
+        run_monte_carlo,
+        run_spsta,
+        run_ssta,
+    )
 
     netlist = benchmark_circuit("s27")
     endpoint, _depth = critical_endpoint(netlist)

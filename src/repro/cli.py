@@ -10,6 +10,7 @@ Subcommands:
 - ``slack`` — per-net slack and slack histogram.
 - ``testability`` — COP measures and optional BDD-miter ATPG.
 - ``verify`` — cross-engine differential conformance sweep (JSON report).
+- ``lint`` — static circuit & configuration analysis (docs/linting.md).
 - ``stats`` — structural statistics of a circuit.
 - ``generate`` / ``convert`` — synthesize circuits; .bench <-> Verilog.
 
@@ -20,8 +21,8 @@ Circuits are named benchmarks (``s27``, ``s208``, ... — see
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
+import sys
 from typing import Optional, Sequence
 
 import numpy as np
@@ -61,8 +62,24 @@ def _config(label: str) -> InputStats:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    netlist = _load_circuit(args.circuit)
+    from repro.lint import NetlistError, report_from_error
+
+    try:
+        netlist = _load_circuit(args.circuit)
+    except NetlistError as error:
+        print(report_from_error(args.circuit, error).render())
+        return 1
     config = _config(args.config)
+    if not args.no_lint:
+        from repro.lint import LintConfig, LintFailure, preflight
+        try:
+            preflight(netlist, LintConfig(
+                input_stats=config, trials=args.trials))
+        except LintFailure as failure:
+            print(failure.report.render(verbose=False))
+            print("preflight lint failed; fix the errors above or rerun "
+                  "with --no-lint")
+            return 1
     endpoint, depth = critical_endpoint(netlist)
     print(f"{netlist.name}: critical endpoint {endpoint} (depth {depth})")
     sta = run_sta(netlist)
@@ -192,8 +209,11 @@ def _cmd_slack(args: argparse.Namespace) -> int:
 
 
 def _cmd_testability(args: argparse.Namespace) -> int:
-    from repro.testability import (compute_cop, patterns_for_confidence,
-                                   random_pattern_coverage)
+    from repro.testability import (
+        compute_cop,
+        patterns_for_confidence,
+        random_pattern_coverage,
+    )
 
     netlist = _load_circuit(args.circuit)
     cop = compute_cop(netlist, args.probability)
@@ -230,6 +250,61 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.json:
         print(f"wrote {args.json}")
     return 0 if report.passed else 1
+
+
+def _parse_grid_spec(spec: str):
+    from repro.stats.grid import TimeGrid
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--grid expects START:STOP:N (e.g. -8:60:2048), got {spec!r}")
+    try:
+        return TimeGrid(float(parts[0]), float(parts[1]), int(parts[2]))
+    except ValueError as exc:
+        raise SystemExit(f"bad --grid {spec!r}: {exc}")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        NetlistError,
+        Severity,
+        load_baseline,
+        report_from_error,
+        run_lint,
+        write_baseline,
+    )
+
+    baseline = (load_baseline(args.baseline) if args.baseline
+                else frozenset())
+    try:
+        netlist = _load_circuit(args.circuit)
+    except NetlistError as error:
+        report = report_from_error(args.circuit, error, baseline)
+    else:
+        config = LintConfig(
+            input_stats=_config(args.config),
+            trials=args.trials,
+            max_parity_fanin=args.max_parity_fanin,
+            grid=_parse_grid_spec(args.grid) if args.grid else None,
+            disabled=frozenset(args.disable.split(","))
+            if args.disable else frozenset())
+        report = run_lint(netlist, config, baseline)
+    if args.write_baseline:
+        write_baseline(report, args.write_baseline)
+        print(f"wrote baseline {args.write_baseline}")
+    if args.json:
+        if args.json == "-":
+            print(report.to_json())
+        else:
+            Path(args.json).write_text(report.to_json() + "\n")
+            print(f"wrote {args.json}")
+    if args.json != "-":
+        print(report.render())
+    if args.fail_on == "never":
+        return 0
+    return 0 if report.passed(Severity.parse(args.fail_on)) else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -285,9 +360,43 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--trials", type=int, default=10_000,
                          help="Monte Carlo trials (0 disables MC)")
     analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--no-lint", action="store_true",
+                         help="skip the preflight lint (error-level "
+                              "diagnostics abort the run)")
     add_mc_engine_args(analyze)
     add_spsta_engine_args(analyze)
     analyze.set_defaults(func=_cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static circuit & configuration analysis (docs/linting.md)")
+    lint.add_argument("circuit", help="benchmark name or .bench path")
+    lint.add_argument("--config", default="I", help="input stats: I or II")
+    lint.add_argument("--trials", type=int, default=10_000,
+                      help="Monte Carlo trial count the SP203 cost "
+                           "estimate prices")
+    lint.add_argument("--max-parity-fanin", type=int, default=10,
+                      help="parity 4^k enumeration cap for SP201")
+    lint.add_argument("--grid",
+                      help="TimeGrid as START:STOP:N (e.g. -8:60:2048); "
+                           "enables the SP303 grid-coverage prediction")
+    lint.add_argument("--json",
+                      help="write the JSON report to this path ('-' for "
+                           "stdout)")
+    lint.add_argument("--fail-on", choices=("error", "warning", "never"),
+                      default="error",
+                      help="exit nonzero at this severity or worse "
+                           "(default: error)")
+    lint.add_argument("--baseline",
+                      help="baseline file of suppressed rule:location "
+                           "keys")
+    lint.add_argument("--write-baseline",
+                      help="write the current findings as a new baseline "
+                           "file")
+    lint.add_argument("--disable",
+                      help="comma-separated rule IDs to disable "
+                           "(e.g. SP301,SP109)")
+    lint.set_defaults(func=_cmd_lint)
 
     table2 = sub.add_parser("table2", help="regenerate paper Table 2")
     table2.add_argument("--config", default="I")
@@ -304,7 +413,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_spsta_engine_args(table3)
     table3.set_defaults(func=_cmd_table3)
 
-    errors = sub.add_parser("errors", help="abstract error summary, both configs")
+    errors = sub.add_parser(
+        "errors", help="abstract error summary, both configs")
     errors.add_argument("--trials", type=int, default=10_000)
     errors.add_argument("--seed", type=int, default=0)
     errors.set_defaults(func=_cmd_errors)

@@ -21,8 +21,8 @@ from repro.core.constraints import (
     parse_sdc,
 )
 from repro.core.corners import (
-    Corner,
     STANDARD_CORNERS,
+    Corner,
     corner_vs_statistical,
     ocv_slacks,
     run_corners,
@@ -48,17 +48,6 @@ from repro.core.nldm import (
     TimingArc,
     run_nldm_sta,
 )
-from repro.core.slack import compute_slacks, slack_histogram
-from repro.core.trace import (
-    input_stats_from_trace,
-    prob4_from_trace,
-    stats_from_traces,
-)
-from repro.core.sequential import (
-    run_sequential_monte_carlo,
-    steady_state_launch_stats,
-)
-from repro.core.waveform import ProbabilityWaveform, propagate_waveforms
 from repro.core.paths import (
     TimingPath,
     criticality_probabilities,
@@ -67,6 +56,11 @@ from repro.core.paths import (
 )
 from repro.core.probability import propagate_prob4, signal_probabilities
 from repro.core.profiling import SpstaProfile
+from repro.core.sequential import (
+    run_sequential_monte_carlo,
+    steady_state_launch_stats,
+)
+from repro.core.slack import compute_slacks, slack_histogram
 from repro.core.spsta import (
     GridAlgebra,
     MixtureAlgebra,
@@ -75,14 +69,19 @@ from repro.core.spsta import (
     TopFunction,
     run_spsta,
 )
-from repro.core.spsta_fast import run_spsta_fast
-from repro.core.spsta_canonical import CanonicalTopAlgebra, endpoint_correlation
-from repro.core.ssta import ArrivalPair, SstaResult, run_ssta
-from repro.core.ssta_canonical import (
-    CorrelatedSstaResult,
-    run_ssta_correlated,
+from repro.core.spsta_canonical import (
+    CanonicalTopAlgebra,
+    endpoint_correlation,
 )
+from repro.core.spsta_fast import run_spsta_fast
+from repro.core.ssta import ArrivalPair, SstaResult, run_ssta
+from repro.core.ssta_canonical import CorrelatedSstaResult, run_ssta_correlated
 from repro.core.sta import StaResult, run_sta
+from repro.core.trace import (
+    input_stats_from_trace,
+    prob4_from_trace,
+    stats_from_traces,
+)
 from repro.core.variational import (
     CanonicalForm,
     ProcessSpace,
@@ -90,6 +89,7 @@ from repro.core.variational import (
     run_variational,
     timing_yield,
 )
+from repro.core.waveform import ProbabilityWaveform, propagate_waveforms
 
 __all__ = [
     "InputStats",

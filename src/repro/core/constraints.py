@@ -22,8 +22,8 @@ not excluded").
 
 from __future__ import annotations
 
-import shlex
 from dataclasses import dataclass, field
+import shlex
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.delay import DelayModel, UnitDelay

@@ -27,7 +27,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, Mapping, Sequence, Tuple, Union
 
-from repro.logic.bdd import BDDManager, TRUE
+from repro.logic.bdd import TRUE, BDDManager
 from repro.logic.gates import GateType, gate_spec
 from repro.netlist.core import Netlist
 from repro.power.density import build_net_bdds
@@ -59,7 +59,8 @@ def higher_order_covariance(manager: BDDManager, funcs: Sequence[int],
     """n-th order covariance E[prod_i (x_i - E x_i)] of n+1 functions
     (Eq. 14), by inclusion-exclusion over subsets:
 
-        E[prod (x_i - p_i)] = sum_{S} prod_{i not in S} (-p_i) * P(AND_{i in S} x_i)
+        E[prod (x_i - p_i)]
+            = sum_{S} prod_{i not in S} (-p_i) * P(AND_{i in S} x_i)
     """
     probs = dict(probabilities)
     p = [manager.signal_probability(f, probs) for f in funcs]

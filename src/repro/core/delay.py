@@ -7,9 +7,9 @@ process-variation studies (the paper's Fig. 1 framing) without change.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Protocol
+import zlib
 
 from repro.netlist.core import Gate
 from repro.stats.normal import Normal

@@ -18,7 +18,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Set, Union
+from typing import Dict, Mapping, Set, Union
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.ssta import ArrivalPair, _gate_output, run_ssta

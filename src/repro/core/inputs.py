@@ -18,8 +18,8 @@ one, i.e. P1 plus half of each transition value's dwell.)
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+import math
 
 from repro.logic.fourvalue import Logic4
 from repro.stats.normal import Normal

@@ -30,8 +30,8 @@ files are full of them.
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
+import re
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.nldm import LookupTable, NldmLibrary, TimingArc

@@ -18,8 +18,8 @@ run on realistic, topology-dependent delays instead of unit delays:
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
 
 from repro.logic.gates import GateType
 from repro.netlist.core import Gate, Netlist

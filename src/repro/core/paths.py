@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.delay import DelayModel, UnitDelay
-from repro.netlist.analysis import net_depths
 from repro.netlist.core import Netlist
 from repro.stats.normal import Normal
 

@@ -9,7 +9,7 @@ For an AND-core gate (non-controlling value 1):
 
     P1(y) = prod_i P1(x_i)
     Pr(y) = prod_i (P1 + Pr)(x_i) - P1(y)        # all finals one, not all ones
-    Pf(y) = prod_i (P1 + Pf)(x_i) - P1(y)        # all initials one, not all ones
+    Pf(y) = prod_i (P1 + Pf)(x_i) - P1(y)   # all initials one, not all ones
     P0(y) = 1 - P1 - Pr - Pf
 
 which is exactly the paper's Eq. 10; the OR-core is the 0/1 mirror image.
@@ -90,7 +90,8 @@ def gate_prob4_enumerated(gate_type: GateType,
 
 
 def propagate_prob4(netlist: Netlist,
-                    launch: Union[Prob4, Mapping[str, Prob4]]) -> Dict[str, Prob4]:
+                    launch: Union[Prob4, Mapping[str, Prob4]],
+                    ) -> Dict[str, Prob4]:
     """Propagate four-value probabilities from launch points to every net.
 
     ``launch`` is either a single Prob4 applied to every launch point (the
@@ -106,7 +107,8 @@ def propagate_prob4(netlist: Netlist,
 
 
 def signal_probabilities(netlist: Netlist,
-                         launch: Union[float, Mapping[str, float]]) -> Dict[str, float]:
+                         launch: Union[float, Mapping[str, float]],
+                         ) -> Dict[str, float]:
     """Two-value signal probability propagation (paper Eq. 5 per gate).
 
     ``launch`` gives P(x = 1) at each launch point (or one value for all).

@@ -19,9 +19,9 @@ flag, and recorded into the Table 3 experiment output.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+import time
 from typing import Dict, Iterator
 
 

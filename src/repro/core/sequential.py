@@ -35,8 +35,6 @@ from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats, Prob4
 from repro.core.probability import propagate_prob4
 from repro.netlist.core import Netlist
-from repro.sim.montecarlo import run_monte_carlo
-from repro.sim.sampler import LaunchSample
 from repro.stats.normal import Normal
 
 

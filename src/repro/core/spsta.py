@@ -35,9 +35,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import (Dict, Generic, List, Mapping, Optional, Sequence, Tuple,
-                    TypeVar, Union)
+from typing import (
+    Dict,
+    Generic,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
+from repro.compat import trapezoid
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats, Prob4
 from repro.core.probability import gate_prob4
@@ -45,7 +55,6 @@ from repro.core.profiling import SpstaProfile
 from repro.logic.fourvalue import Logic4, gate_output_value
 from repro.logic.gates import GateSpec, GateType, gate_spec
 from repro.netlist.core import Gate, Netlist
-from repro.compat import trapezoid
 from repro.stats.clark import clark_max_many, clark_min_many
 from repro.stats.grid import GridDensity, KernelCache, MassLedger, TimeGrid
 from repro.stats.mixture import GaussianMixture
@@ -85,7 +94,8 @@ class TopAlgebra(Generic[D]):
     def minimum(self, dists: Sequence[D]) -> D:
         raise NotImplementedError
 
-    def mix(self, terms: Sequence[Tuple[float, D]]) -> Tuple[float, Optional[D]]:
+    def mix(self, terms: Sequence[Tuple[float, D]],
+            ) -> Tuple[float, Optional[D]]:
         """WEIGHTED SUM: combine (weight, conditional) terms into the total
         weight and the mixed conditional distribution (None if weight 0)."""
         raise NotImplementedError
@@ -352,7 +362,8 @@ def run_spsta(netlist: Netlist,
     profile.engine = "naive"
     profile.algebra = type(algebra).__name__
     profile.circuit = netlist.name
-    parity_cap = MAX_PARITY_FANIN if max_parity_fanin is None else max_parity_fanin
+    parity_cap = (MAX_PARITY_FANIN if max_parity_fanin is None
+                  else max_parity_fanin)
     validate_parity_fanins(netlist, parity_cap)
 
     prob4: Dict[str, Prob4] = {}

@@ -22,7 +22,6 @@ Cost: each conditional distribution is a dense vector over
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence, Tuple
 
 import numpy as np

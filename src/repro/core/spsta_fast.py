@@ -47,7 +47,17 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -56,19 +66,36 @@ from repro.core.delay import DelayModel
 from repro.core.inputs import InputStats, Prob4
 from repro.core.probability import gate_prob4
 from repro.core.profiling import SpstaProfile
-from repro.core.spsta import (MAX_PARITY_FANIN, GridAlgebra, NetTops,
-                              SpstaResult, TopAlgebra, TopFunction,
-                              _delay_for, _gate_tops,
-                              _harvest_kernel_counters, _mixed,
-                              check_parity_fanin, launch_tops,
-                              validate_parity_fanins)
+from repro.core.spsta import (
+    MAX_PARITY_FANIN,
+    GridAlgebra,
+    NetTops,
+    SpstaResult,
+    TopAlgebra,
+    TopFunction,
+    _delay_for,
+    _gate_tops,
+    _harvest_kernel_counters,
+    _mixed,
+    check_parity_fanin,
+    launch_tops,
+    validate_parity_fanins,
+)
 from repro.logic.gates import GateSpec, GateType, gate_spec
 from repro.netlist.core import Gate, Netlist
-from repro.stats.grid import (MASS_WARN_FRACTION, GridDensity, KernelCache,
-                              TimeGrid, _warn_truncation, cdf_rows,
-                              convolve_rows, kernel_retention_vector,
-                              shift_retention_vector, shift_rows,
-                              trapezoid_rows)
+from repro.stats.grid import (
+    MASS_WARN_FRACTION,
+    GridDensity,
+    KernelCache,
+    TimeGrid,
+    _warn_truncation,
+    cdf_rows,
+    convolve_rows,
+    kernel_retention_vector,
+    shift_retention_vector,
+    shift_rows,
+    trapezoid_rows,
+)
 from repro.stats.normal import Normal
 
 #: Below this many gates in a level, a worker pool is pure overhead.
@@ -167,10 +194,15 @@ class WeightTableCache:
 # Generic fast path (any TOP algebra): lattice DP + cached weight tables.
 # ---------------------------------------------------------------------------
 
-def _fast_subset_terms(in_probs: Sequence[Prob4], in_tops, algebra,
-                       delay_for, switch_prob, switch_top, static_prob,
+def _fast_subset_terms(in_probs: Sequence[Prob4],
+                       in_tops: Sequence[NetTops],
+                       algebra: TopAlgebra,
+                       delay_for: Callable[[int], Any],
+                       switch_prob: Callable[[Prob4], float],
+                       switch_top: Callable[[NetTops], TopFunction],
+                       static_prob: Callable[[Prob4], float],
                        use_max: bool, wcache: WeightTableCache,
-                       profile: SpstaProfile):
+                       profile: SpstaProfile) -> List[Tuple[float, Any]]:
     """Eq. 11 terms via subset-lattice DP (one pairwise fold per mask)."""
     candidates: List[int] = []
     static_factor = 1.0
@@ -208,9 +240,11 @@ def _fast_subset_terms(in_probs: Sequence[Prob4], in_tops, algebra,
     return terms
 
 
-def _gate_tops_generic(gate: Gate, in_probs, in_tops, delay_model, algebra,
+def _gate_tops_generic(gate: Gate, in_probs: Sequence[Prob4],
+                       in_tops: Sequence[NetTops],
+                       delay_model: DelayModel, algebra: TopAlgebra,
                        wcache: WeightTableCache, parity_cap: int,
-                       profile: SpstaProfile):
+                       profile: SpstaProfile) -> NetTops:
     """Fast per-gate TOPs for closed-form algebras (moments, mixtures,
     canonical forms); identical call sequence to the naive path except that
     subset maxima are shared through the lattice DP."""
@@ -388,8 +422,12 @@ class _ControllingJob:
                        Tuple[Normal, np.ndarray]] = {}
 
 
-def _controlling_jobs(spec: GateSpec, in_probs, prep_inputs, delay_for,
-                      ctx: _GridContext):
+def _controlling_jobs(spec: GateSpec, in_probs: Sequence[Prob4],
+                      prep_inputs: Sequence[tuple],
+                      delay_for: Callable[[int], Any],
+                      ctx: _GridContext,
+                      ) -> Tuple[Optional[_ControllingJob],
+                                 Optional[_ControllingJob]]:
     """Build the two core-direction jobs of an AND/OR-core gate (or
     ``None`` where the direction cannot occur)."""
     is_and_core = spec.controlling_value == 0
@@ -600,7 +638,9 @@ def _grid_parity(gate: Gate, spec: GateSpec, in_probs, prep_inputs,
                                      and entry[4] is not None) else None,
         ))
 
-    def fold(state, cond):
+    def fold(state: Optional[Tuple[np.ndarray, np.ndarray]],
+             cond: Tuple[np.ndarray, np.ndarray],
+             ) -> Tuple[np.ndarray, np.ndarray]:
         # State: (normalized pdf, cdf) of the shared MAX-fold prefix.
         if state is None:
             return cond
@@ -614,7 +654,9 @@ def _grid_parity(gate: Gate, spec: GateSpec, in_probs, prep_inputs,
         ctx.profile.max_folds += 1
         return pdf, cdf_rows(pdf[np.newaxis, :], dt)[0]
 
-    def recurse(i, even_w, odd_w, state, n_switch):
+    def recurse(i: int, even_w: float, odd_w: float,
+                state: Optional[Tuple[np.ndarray, np.ndarray]],
+                n_switch: int) -> None:
         if even_w <= 0.0 and odd_w <= 0.0:
             return
         if i == k:
@@ -664,7 +706,9 @@ def _grid_parity(gate: Gate, spec: GateSpec, in_probs, prep_inputs,
     return collapse(rise_terms), collapse(fall_terms)
 
 
-def _grid_gate_items(gate: Gate, in_probs, prep_inputs, ctx: _GridContext):
+def _grid_gate_items(gate: Gate, in_probs: Sequence[Prob4],
+                     prep_inputs: Sequence[tuple],
+                     ctx: _GridContext) -> Tuple[Any, Any]:
     """Phase A dispatch for one gate: per-direction rows, or deferred jobs.
 
     BUFF/NOT and parity gates resolve immediately to ``_DirTerms``;
@@ -868,7 +912,10 @@ _WORK_COUNTERS = ("subset_terms", "parity_terms", "max_folds",
                   "finite_checks")
 
 
-def _grid_worker_chunk(payload):
+def _grid_worker_chunk(
+    payload: Tuple[Mapping[str, tuple],
+                   Sequence[Tuple[Gate, Tuple[Prob4, ...]]]],
+) -> Tuple[List[_GateArrays], Dict[str, int], float]:
     """Process one chunk of a level in a worker; returns results plus the
     work-counter deltas for the parent profile (cache hit/miss counters
     stay per-process).  ``max_clip_fraction`` rides along as a running
@@ -972,7 +1019,8 @@ def _propagate_grid(netlist: Netlist, levels, prob4, tops, delay_model,
                             t.fall.weight,
                             t.fall.conditional.values if t.fall.occurs
                             else None)
-            if pool is not None and len(gates) >= workers * MIN_GATES_PER_WORKER:
+            if (pool is not None
+                    and len(gates) >= workers * MIN_GATES_PER_WORKER):
                 results = _run_level_in_pool(pool, net_table, gates, workers,
                                              profile)
             else:
@@ -994,8 +1042,11 @@ def _wrap_top(grid: TimeGrid,
     return TopFunction(weight, GridDensity.from_trusted(grid, values))
 
 
-def _run_level_in_pool(pool: ProcessPoolExecutor, net_table, gates,
-                       workers: int, profile: SpstaProfile):
+def _run_level_in_pool(pool: ProcessPoolExecutor,
+                       net_table: Mapping[str, tuple],
+                       gates: Sequence[Tuple[Gate, Tuple[Prob4, ...]]],
+                       workers: int,
+                       profile: SpstaProfile) -> List[_GateArrays]:
     """Split one level across the pool; merge work counters back."""
     chunk_size = max(1, (len(gates) + workers - 1) // workers)
     futures = []

@@ -92,7 +92,8 @@ def run_ssta(netlist: Netlist, delay_model: DelayModel = UnitDelay(),
         launch = ArrivalPair(Normal(0.0, 1.0), Normal(0.0, 1.0))
     arrivals: Dict[str, ArrivalPair] = {}
     for net in netlist.launch_points:
-        arrivals[net] = launch if isinstance(launch, ArrivalPair) else launch[net]
+        arrivals[net] = (launch if isinstance(launch, ArrivalPair)
+                         else launch[net])
     for gate in netlist.combinational_gates:
         operands = [arrivals[src] for src in gate.inputs]
         delay = delay_model.delay(gate)

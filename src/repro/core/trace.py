@@ -15,7 +15,7 @@ from a short trace.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Union
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 

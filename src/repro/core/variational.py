@@ -23,9 +23,9 @@ notes for this method family.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -120,7 +120,7 @@ class CanonicalForm:
         return CanonicalForm(self.space, -self.a0, -self.coeffs,
                              self.local_var)
 
-    # -- evaluation ------------------------------------------------------------
+    # -- evaluation -----------------------------------------------------------
 
     def at_corner(self, corner: Mapping[str, float]) -> float:
         """Evaluate the polynomial at fixed parameter values (local term at

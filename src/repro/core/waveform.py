@@ -106,6 +106,7 @@ def _cdf(times: np.ndarray, normal: Normal) -> np.ndarray:
     if normal.sigma <= 0.0:
         return (times >= normal.mu).astype(float)
     from math import sqrt
+
     from scipy.special import erf
     z = (times - normal.mu) / (normal.sigma * sqrt(2.0))
     return 0.5 * (1.0 + erf(z))

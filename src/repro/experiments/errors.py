@@ -15,8 +15,8 @@ contains sigma = 0.00 MC cells).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import List, Sequence
 
 from repro.experiments.table2 import Table2Row

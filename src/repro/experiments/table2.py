@@ -12,8 +12,8 @@ inputs and flip-flop outputs statistics").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np

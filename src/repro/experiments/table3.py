@@ -8,8 +8,8 @@ than a 10,000-trial Monte Carlo simulation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+import time
 from typing import List, Sequence
 
 import numpy as np
@@ -134,9 +134,10 @@ def format_table3(rows: Sequence[RuntimeRow],
         "-" * 84,
     ]
     for row in rows:
-        scalar = ("   --     " if row.mc_scalar_seconds != row.mc_scalar_seconds
+        no_scalar = row.mc_scalar_seconds != row.mc_scalar_seconds
+        scalar = ("   --     " if no_scalar
                   else f"{row.mc_scalar_seconds:>10.2f}")
-        ratio = ("    --    " if row.mc_scalar_seconds != row.mc_scalar_seconds
+        ratio = ("    --    " if no_scalar
                  else f"{row.scalar_mc_over_spsta:>9.1f}x")
         lines.append(
             f"{row.circuit:>7} | {row.spsta_seconds:>9.4f} | "

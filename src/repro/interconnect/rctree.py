@@ -4,7 +4,8 @@ A classic distributed-RC interconnect model: a tree of nodes, each with a
 grounded capacitance and a resistance to its parent; the root connects to
 the driver.  The Elmore delay to a sink is
 
-    T_D(sink) = sum_over_nodes_k  R(path(root->sink) intersect path(root->k)) * C_k
+    T_D(sink) = sum_over_nodes_k
+        R(path(root->sink) intersect path(root->k)) * C_k
 
 computed here by the standard downstream-capacitance path traversal.  The
 second moment (m2) supports two-pole style variance estimates; both feed

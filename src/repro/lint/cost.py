@@ -1,0 +1,96 @@
+"""SP2xx engine-cost rules: predict runtime blowups before propagation.
+
+SPSTA's per-gate cost is structural: a controlling-value gate with fan-in
+``k`` contributes up to ``2^k`` Eq. 11 subset terms per transition
+direction, and a parity gate enumerates ``4^k`` joint four-value
+assignments.  Both are knowable from the netlist alone, so the linter
+prices a run statically — today the only guard is
+:func:`repro.core.spsta.validate_parity_fanins`, which fires inside
+``run_spsta`` after the caller has already committed to the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.logic.gates import gate_spec
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintConfig
+    from repro.netlist.core import Netlist
+
+#: Caps the reported per-gate term counts so the JSON stays finite even
+#: for absurd fan-ins (4^1000 is a number, not a diagnostic).
+_COUNT_CAP = 10 ** 15
+
+
+def _capped_power(base: int, exponent: int) -> int:
+    if exponent * base.bit_length() > 60:
+        return _COUNT_CAP
+    return min(base ** exponent, _COUNT_CAP)
+
+
+def cost_diagnostics(netlist: "Netlist",
+                     config: "LintConfig") -> List[Diagnostic]:
+    """SP201 parity blowups, SP202 subset-table widths, SP203 estimates."""
+    diagnostics: List[Diagnostic] = []
+    subset_terms = 0
+    parity_assignments = 0
+    for gate in netlist.combinational_gates:
+        spec = gate_spec(gate.gate_type)
+        k = len(gate.inputs)
+        if spec.is_parity:
+            assignments = _capped_power(4, k)
+            parity_assignments = min(parity_assignments + assignments,
+                                     _COUNT_CAP)
+            if k > config.max_parity_fanin:
+                diagnostics.append(Diagnostic(
+                    rule="SP201", severity=Severity.ERROR, gate=gate.name,
+                    message=f"parity gate {gate.name} fan-in {k} exceeds "
+                            f"the 4^k joint-enumeration limit "
+                            f"{config.max_parity_fanin} "
+                            f"({assignments:,} assignments); run_spsta "
+                            f"will refuse it",
+                    data={"fanin": k, "assignments": assignments,
+                          "limit": config.max_parity_fanin},
+                    suggestion="rewrite wide XOR/XNOR gates with "
+                               "repro.netlist.transform.decompose_fanin("
+                               "netlist, max_fanin=2) or raise "
+                               "run_spsta(..., max_parity_fanin=...)"))
+        else:
+            terms = _capped_power(2, k)
+            subset_terms = min(subset_terms + 2 * terms, _COUNT_CAP)
+            if k > config.subset_warn_fanin:
+                diagnostics.append(Diagnostic(
+                    rule="SP202", severity=Severity.WARNING, gate=gate.name,
+                    message=f"gate {gate.name} fan-in {k} yields up to "
+                            f"{terms:,} Eq. 11 subset terms per direction "
+                            f"(warn threshold: fan-in "
+                            f"{config.subset_warn_fanin})",
+                    data={"fanin": k, "subset_terms": terms,
+                          "threshold": config.subset_warn_fanin},
+                    suggestion="decompose wide gates with "
+                               "repro.netlist.transform.decompose_fanin "
+                               "to trade modelling granularity for "
+                               "exponential runtime"))
+    mc_cost = config.trials * len(netlist.combinational_gates)
+    over_budget = (subset_terms > config.subset_term_budget
+                   or mc_cost > config.mc_cost_budget)
+    severity = Severity.WARNING if over_budget else Severity.INFO
+    diagnostics.append(Diagnostic(
+        rule="SP203", severity=severity,
+        message=f"estimated engine cost: {subset_terms:,} Eq. 11 subset "
+                f"terms, {parity_assignments:,} parity assignments, "
+                f"{mc_cost:,} Monte Carlo gate evaluations at "
+                f"{config.trials:,} trials"
+                + (" — over budget" if over_budget else ""),
+        data={"eq11_subset_terms": subset_terms,
+              "parity_assignments": parity_assignments,
+              "mc_trials": config.trials,
+              "mc_gate_evaluations": mc_cost,
+              "subset_term_budget": config.subset_term_budget,
+              "mc_cost_budget": config.mc_cost_budget},
+        suggestion=("lower --trials, shard the Monte Carlo run, or "
+                    "decompose wide gates" if over_budget else None)))
+    return diagnostics

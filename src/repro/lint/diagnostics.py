@@ -1,0 +1,128 @@
+"""Structured diagnostics shared by the linter and the netlist validator.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a stable rule
+identifier (``SP1xx`` structural, ``SP2xx`` engine cost, ``SP3xx`` accuracy
+— see ``docs/linting.md`` for the catalog), a severity, the net or gate it
+anchors to, a human-readable message, an optional suggested fix, and a
+``data`` mapping of machine-readable details for the JSON report.
+
+:class:`NetlistError` is the construction-time face of the same records:
+``Netlist.__init__`` validates through the linter's structural rules and
+raises it carrying the error diagnostics, so a malformed netlist produces
+the same rule IDs and locations whether it is rejected by the parser or
+reported by ``spsta lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import enum
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    @classmethod
+    def parse(cls, label: str) -> "Severity":
+        try:
+            return cls(label.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {label!r} "
+                f"(use error, warning, or info)") from None
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``net`` and ``gate`` locate the finding in the circuit (either, both,
+    or neither — a circuit-wide finding such as an engine-cost estimate has
+    no location).  ``data`` holds machine-readable details (cycle paths,
+    cost estimates, correlation depths) that the JSON report preserves.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    net: Optional[str] = None
+    gate: Optional[str] = None
+    suggestion: Optional[str] = None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        """Location string: ``net:<n>``, ``gate:<g>``, or ``circuit``."""
+        if self.gate is not None:
+            return f"gate:{self.gate}"
+        if self.net is not None:
+            return f"net:{self.net}"
+        return "circuit"
+
+    @property
+    def key(self) -> str:
+        """Baseline-suppression key: rule plus location."""
+        return f"{self.rule}:{self.location}"
+
+    def render(self) -> str:
+        text = (f"{self.rule} {self.severity.value} [{self.location}] "
+                f"{self.message}")
+        if self.suggestion:
+            text += f"\n    fix: {self.suggestion}"
+        return text
+
+    def to_dict(self) -> Mapping[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "net": self.net,
+            "gate": self.gate,
+            "location": self.location,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "data": dict(self.data),
+        }
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    """Highest severity present, or None for an empty sequence."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+class NetlistError(ValueError):
+    """A netlist failed structural validation.
+
+    Subclasses :class:`ValueError` so long-standing ``except ValueError``
+    call sites keep working; carries the structured :class:`Diagnostic`
+    records so newer callers (the linter, the CLI) can report rule IDs and
+    locations instead of a bare message.
+    """
+
+    def __init__(self, circuit: str,
+                 diagnostics: Sequence[Diagnostic]) -> None:
+        self.circuit = circuit
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(diagnostics)
+        summary = "; ".join(d.message for d in self.diagnostics[:4])
+        if len(self.diagnostics) > 4:
+            summary += f"; ... ({len(self.diagnostics)} findings)"
+        super().__init__(f"invalid netlist {circuit!r}: {summary}")

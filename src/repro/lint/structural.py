@@ -1,0 +1,235 @@
+"""SP1xx structural rules: netlist well-formedness and liveness.
+
+The error-level checks (``SP101``–``SP106``) are the single source of truth
+for netlist validity: ``Netlist.__init__`` runs
+:func:`construction_diagnostics` and raises
+:class:`~repro.lint.diagnostics.NetlistError` on any error, and the linter
+reports the same records for circuits that cannot even be constructed.
+Because they must run *before* a valid topological order exists, they
+operate on the raw ``(inputs, outputs, gates)`` triple, and cycles are
+reported as explicit gate paths instead of the old topo-sort
+``ValueError`` with a truncated "unresolved gates" list.
+
+The warning-level liveness checks (``SP108``/``SP109``) need the validated
+graph views and live in :func:`liveness_diagnostics`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.logic.gates import GateType
+
+if TYPE_CHECKING:
+    from repro.netlist.core import Gate, Netlist
+
+
+def construction_diagnostics(name: str,
+                             inputs: Sequence[str],
+                             outputs: Sequence[str],
+                             gates: Sequence["Gate"],
+                             ) -> List[Diagnostic]:
+    """All error-level structural findings of a raw netlist description.
+
+    An empty result means the netlist is constructible: unique primary
+    inputs, single drivers, no undriven references, and an acyclic
+    combinational graph.
+    """
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_check_primary_inputs(name, inputs, gates))
+    diagnostics.extend(_check_drivers(gates))
+    diagnostics.extend(_check_undriven(inputs, outputs, gates))
+    diagnostics.extend(_check_cycles(inputs, gates))
+    return diagnostics
+
+
+def structural_warnings(netlist: "Netlist") -> List[Diagnostic]:
+    """Warning-level structural findings of a *valid* netlist."""
+    diagnostics = _check_duplicate_outputs(netlist)
+    diagnostics.extend(liveness_diagnostics(netlist))
+    return diagnostics
+
+
+def _check_primary_inputs(name: str, inputs: Sequence[str],
+                          gates: Sequence["Gate"]) -> Iterator[Diagnostic]:
+    seen: Set[str] = set()
+    for pi in inputs:
+        if pi in seen:
+            yield Diagnostic(
+                rule="SP101", severity=Severity.ERROR, net=pi,
+                message=f"duplicate primary input {pi} in {name}",
+                suggestion="declare each INPUT() once")
+        seen.add(pi)
+    gate_names = {g.name for g in gates}
+    for pi in dict.fromkeys(inputs):
+        if pi in gate_names:
+            yield Diagnostic(
+                rule="SP102", severity=Severity.ERROR, net=pi,
+                message=f"primary input {pi} is also gate-driven",
+                suggestion="rename the gate output or drop the INPUT() "
+                           "declaration")
+
+
+def _check_drivers(gates: Sequence["Gate"]) -> Iterator[Diagnostic]:
+    drivers: Dict[str, int] = {}
+    for gate in gates:
+        drivers[gate.name] = drivers.get(gate.name, 0) + 1
+    for net, count in drivers.items():
+        if count > 1:
+            yield Diagnostic(
+                rule="SP103", severity=Severity.ERROR, net=net,
+                message=f"net {net} driven twice ({count} drivers)",
+                data={"drivers": count},
+                suggestion="give each driving gate a unique output net")
+
+
+def _check_undriven(inputs: Sequence[str], outputs: Sequence[str],
+                    gates: Sequence["Gate"]) -> Iterator[Diagnostic]:
+    known = set(inputs) | {g.name for g in gates}
+    reported: Set[Tuple[str, str]] = set()
+    for gate in gates:
+        for src in gate.inputs:
+            if src not in known and (gate.name, src) not in reported:
+                reported.add((gate.name, src))
+                yield Diagnostic(
+                    rule="SP104", severity=Severity.ERROR,
+                    net=src, gate=gate.name,
+                    message=f"gate {gate.name} references undriven net {src}",
+                    suggestion=f"drive {src} from a gate or declare it "
+                               f"INPUT({src})")
+    for po in dict.fromkeys(outputs):
+        if po not in known:
+            yield Diagnostic(
+                rule="SP105", severity=Severity.ERROR, net=po,
+                message=f"primary output {po} is undriven",
+                suggestion=f"drive {po} from a gate or drop the "
+                           f"OUTPUT({po}) declaration")
+
+
+def _check_cycles(inputs: Sequence[str],
+                  gates: Sequence["Gate"]) -> Iterator[Diagnostic]:
+    """Combinational cycles as explicit gate paths.
+
+    Kahn's algorithm finds the stuck set; a successor walk restricted to
+    that set extracts one concrete cycle per strongly connected region.
+    Unknown (undriven) nets count as sources so an SP104 error elsewhere
+    does not masquerade as a cycle.
+    """
+    comb = [g for g in gates if g.gate_type is not GateType.DFF]
+    by_name = {g.name: g for g in comb}
+    pending: Dict[str, int] = {}
+    dependents: Dict[str, List[str]] = {}
+    ready: List[str] = []
+    for gate in comb:
+        waits = sum(1 for src in gate.inputs if src in by_name)
+        for src in gate.inputs:
+            if src in by_name:
+                dependents.setdefault(src, []).append(gate.name)
+        if waits == 0:
+            ready.append(gate.name)
+        else:
+            pending[gate.name] = waits
+    cursor = 0
+    resolved: Set[str] = set()
+    while cursor < len(ready):
+        current = ready[cursor]
+        cursor += 1
+        resolved.add(current)
+        for dep in dependents.get(current, ()):
+            pending[dep] -= 1
+            if pending[dep] == 0:
+                ready.append(dep)
+    stuck = {name for name, n in pending.items() if n > 0}
+    visited: Set[str] = set()
+    for start in sorted(stuck):
+        if start in visited:
+            continue
+        cycle = _extract_cycle(start, by_name, stuck)
+        visited.update(cycle)
+        # The walk follows predecessors; reverse so arrows read as
+        # signal flow (each gate drives the next).
+        cycle = list(reversed(cycle))
+        path = " -> ".join(cycle + [cycle[0]])
+        yield Diagnostic(
+            rule="SP106", severity=Severity.ERROR, gate=cycle[0],
+            message=f"combinational cycle: {path}",
+            data={"cycle": list(cycle)},
+            suggestion="break the loop with a DFF or remove the feedback "
+                       "arc")
+
+
+def _extract_cycle(start: str, by_name: Dict[str, "Gate"],
+                   stuck: Set[str]) -> List[str]:
+    """Walk stuck-gate predecessors from ``start`` until a repeat, then
+    return the repeated segment (a concrete combinational cycle)."""
+    path: List[str] = []
+    index: Dict[str, int] = {}
+    current = start
+    while current not in index:
+        index[current] = len(path)
+        path.append(current)
+        current = next(src for src in by_name[current].inputs
+                       if src in stuck)
+    return path[index[current]:]
+
+
+def _check_duplicate_outputs(netlist: "Netlist") -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    seen: Set[str] = set()
+    for po in netlist.outputs:
+        if po in seen:
+            diagnostics.append(Diagnostic(
+                rule="SP107", severity=Severity.WARNING, net=po,
+                message=f"primary output {po} declared more than once",
+                suggestion="declare each OUTPUT() once"))
+        seen.add(po)
+    return diagnostics
+
+
+def liveness_diagnostics(netlist: "Netlist") -> List[Diagnostic]:
+    """SP108 dead logic and SP109 dangling nets.
+
+    Liveness is a fixpoint over backward reachability from the primary
+    outputs: a DFF keeps its data cone alive only if the DFF itself is
+    read somewhere live, so an entire dead sequential island is reported,
+    not just its combinational fringe.
+    """
+    live: Set[str] = set()
+    stack = [po for po in dict.fromkeys(netlist.outputs)]
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = netlist.gates.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    diagnostics: List[Diagnostic] = []
+    endpoints = set(netlist.endpoints)
+    for gate in netlist.gates.values():
+        if gate.name in live:
+            continue
+        kind = ("DFF" if gate.gate_type is GateType.DFF
+                else gate.gate_type.value + " gate")
+        diagnostics.append(Diagnostic(
+            rule="SP108", severity=Severity.WARNING, gate=gate.name,
+            message=f"dead logic: {kind} {gate.name} is unreachable from "
+                    f"any primary output",
+            suggestion="remove the gate or connect its cone to an output"))
+    for net in netlist.nets:
+        if netlist.fanouts(net) or net in endpoints:
+            continue
+        if net in netlist.gates and netlist.gates[net].gate_type \
+                is GateType.DFF:
+            what = f"DFF output {net}"
+        elif net in netlist.gates:
+            what = f"gate output {net}"
+        else:
+            what = f"primary input {net}"
+        diagnostics.append(Diagnostic(
+            rule="SP109", severity=Severity.WARNING, net=net,
+            message=f"dangling net: {what} drives nothing and is not an "
+                    f"endpoint",
+            suggestion="remove the driver or route the net to a sink"))
+    return diagnostics

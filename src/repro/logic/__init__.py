@@ -17,7 +17,7 @@ from repro.logic.fourvalue import (
     init_bit,
     is_transition,
 )
-from repro.logic.gates import GateType, GATE_LIBRARY, GateSpec
+from repro.logic.gates import GATE_LIBRARY, GateSpec, GateType
 
 __all__ = [
     "Logic4",

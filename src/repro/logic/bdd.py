@@ -253,7 +253,8 @@ class BDDManager:
             try:
                 bit = assignment[name]
             except KeyError:
-                raise ValueError(f"assignment missing variable {name!r}") from None
+                raise ValueError(
+                    f"assignment missing variable {name!r}") from None
             node = high if bit else low
         return node
 

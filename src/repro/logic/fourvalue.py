@@ -79,4 +79,5 @@ def parse_logic4(symbol: str) -> Logic4:
     try:
         return table[symbol.strip().lower()]
     except KeyError:
-        raise ValueError(f"not a four-value logic symbol: {symbol!r}") from None
+        raise ValueError(
+            f"not a four-value logic symbol: {symbol!r}") from None

@@ -19,8 +19,8 @@ output is a launch point, its data input a capture endpoint).
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
+import enum
 from typing import Optional, Sequence
 
 
@@ -115,8 +115,9 @@ GATE_LIBRARY = {
                           is_parity=False, min_inputs=1, max_inputs=None),
     GateType.NOR: GateSpec(GateType.NOR, controlling_value=1, inverting=True,
                            is_parity=False, min_inputs=1, max_inputs=None),
-    GateType.NOT: GateSpec(GateType.NOT, controlling_value=None, inverting=True,
-                           is_parity=False, min_inputs=1, max_inputs=1),
+    GateType.NOT: GateSpec(GateType.NOT, controlling_value=None,
+                           inverting=True, is_parity=False,
+                           min_inputs=1, max_inputs=1),
     GateType.BUFF: GateSpec(GateType.BUFF, controlling_value=None,
                             inverting=False, is_parity=False,
                             min_inputs=1, max_inputs=1),

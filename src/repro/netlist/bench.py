@@ -15,8 +15,8 @@ the suite).
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
+import re
 from typing import List, Union
 
 from repro.logic.gates import GateType

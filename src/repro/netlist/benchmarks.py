@@ -61,7 +61,7 @@ def _profile_for(name: str) -> GeneratorProfile:
 
 @lru_cache(maxsize=None)
 def benchmark_circuit(name: str) -> Netlist:
-    """Load (s27) or deterministically generate (others) a benchmark circuit."""
+    """Load (s27) or deterministically generate a benchmark circuit."""
     if name == "s27":
         return parse_bench_file(_DATA_DIR / "s27.bench")
     if name not in _PROFILES:

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
+from repro.lint.diagnostics import NetlistError, Severity
+from repro.lint.structural import construction_diagnostics
 from repro.logic.gates import GateType, gate_spec
 
 
@@ -49,34 +51,32 @@ class Netlist:
         self.name = name
         self.inputs: Tuple[str, ...] = tuple(inputs)
         self.outputs: Tuple[str, ...] = tuple(outputs)
-        self.gates: Dict[str, Gate] = {}
-        for gate in gates:
-            if gate.name in self.gates:
-                raise ValueError(f"net {gate.name} driven twice")
-            self.gates[gate.name] = gate
-        self._validate()
+        gate_list = tuple(gates)
+        self._validate(gate_list)
+        self.gates: Dict[str, Gate] = {g.name: g for g in gate_list}
         self._topo: Tuple[Gate, ...] = self._topological_order()
         self._fanouts = self._build_fanouts()
         self._levels: Tuple[Tuple[Gate, ...], ...] = ()
 
     # -- validation ---------------------------------------------------------
 
-    def _validate(self) -> None:
-        input_set = set(self.inputs)
-        if len(input_set) != len(self.inputs):
-            raise ValueError(f"duplicate primary input in {self.name}")
-        for pi in self.inputs:
-            if pi in self.gates:
-                raise ValueError(f"primary input {pi} is also gate-driven")
-        known = input_set | set(self.gates)
-        for gate in self.gates.values():
-            for src in gate.inputs:
-                if src not in known:
-                    raise ValueError(
-                        f"gate {gate.name} references undriven net {src}")
-        for po in self.outputs:
-            if po not in known:
-                raise ValueError(f"primary output {po} is undriven")
+    def _validate(self, gates: Sequence[Gate]) -> None:
+        """Reject malformed netlists with structured diagnostics.
+
+        Validation is delegated to the linter's SP1xx structural rules
+        (:func:`repro.lint.structural.construction_diagnostics`) so
+        construction errors and ``spsta lint`` reports share rule IDs,
+        locations, and messages; any error-severity finding —
+        duplicate/gate-driven primary inputs, multi-driven or undriven
+        nets, undriven outputs, combinational cycles (as explicit paths)
+        — raises a :class:`~repro.lint.diagnostics.NetlistError`, which
+        remains a ``ValueError`` for compatibility.
+        """
+        diagnostics = construction_diagnostics(
+            self.name, self.inputs, self.outputs, gates)
+        errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+        if errors:
+            raise NetlistError(self.name, errors)
 
     # -- basic views ----------------------------------------------------------
 
@@ -97,7 +97,7 @@ class Netlist:
 
     @property
     def launch_points(self) -> Tuple[str, ...]:
-        """Primary inputs plus DFF output nets — sources of the timing graph."""
+        """Primary inputs plus DFF outputs — timing-graph sources."""
         return self.inputs + tuple(g.name for g in self.dffs)
 
     @property
@@ -196,7 +196,7 @@ class Netlist:
                                  for level in sorted(buckets))
         return self._levels
 
-    # -- summaries --------------------------------------------------------------
+    # -- summaries ------------------------------------------------------------
 
     def __repr__(self) -> str:
         return (f"Netlist({self.name!r}: {len(self.inputs)} PI, "

@@ -26,9 +26,9 @@ so benchmark circuits are bit-identical across runs and machines.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import random
+from typing import Dict, List
 
 from repro.logic.gates import GateType
 from repro.netlist.core import Gate, Netlist

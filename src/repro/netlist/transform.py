@@ -13,10 +13,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.logic.bdd import BDDManager
-from repro.logic.gates import GateType, gate_spec
+from repro.logic.gates import GateSpec, GateType, gate_spec
 from repro.netlist.core import Gate, Netlist
 from repro.power.density import build_net_bdds
 
@@ -121,7 +121,8 @@ def sweep_constants(netlist: Netlist,
                    outputs, new_gates)
 
 
-def _simplify(gate: Gate, spec, live: List[str], const_bits: List[int]):
+def _simplify(gate: Gate, spec: GateSpec, live: List[str],
+              const_bits: List[int]) -> Union[Gate, int]:
     """Simplified replacement for one gate, or a constant 0/1."""
     gt = gate.gate_type
     if not const_bits:

@@ -20,9 +20,9 @@ more than one module per file.
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+import re
+from typing import Dict, List, Union
 
 from repro.logic.gates import GateType
 from repro.netlist.core import Gate, Netlist

@@ -22,12 +22,7 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.core.paths import k_longest_paths
-from repro.core.variational import (
-    ProcessSpace,
-    VariationalDelay,
-    run_variational,
-    timing_yield,
-)
+from repro.core.variational import ProcessSpace, run_variational, timing_yield
 from repro.netlist.core import Gate, Netlist
 from repro.stats.normal import Normal
 

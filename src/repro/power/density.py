@@ -69,8 +69,9 @@ def transition_densities(netlist: Netlist,
     return densities
 
 
-def boolean_difference_probability(manager: BDDManager, f: int, var: str,
-                                   probabilities: Mapping[str, float]) -> float:
+def boolean_difference_probability(
+        manager: BDDManager, f: int, var: str,
+        probabilities: Mapping[str, float]) -> float:
     """P(df/dvar) evaluated exactly on the BDD (Eq. 7 + Sec. 2.2.1)."""
     diff = manager.boolean_difference(f, var)
     return manager.signal_probability(diff, dict(probabilities))
@@ -91,7 +92,8 @@ def build_net_bdds(netlist: Netlist,
 
 def transition_densities_bdd(netlist: Netlist,
                              launch_probs: Union[float, Mapping[str, float]],
-                             launch_densities: Union[float, Mapping[str, float]]
+                             launch_densities: Union[
+                                 float, Mapping[str, float]],
                              ) -> Dict[str, float]:
     """Correlation-exact density propagation: every net's Boolean difference
     with respect to every launch point in its support, on BDDs.

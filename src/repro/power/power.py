@@ -44,7 +44,8 @@ def switching_power(netlist: Netlist,
     ``toggling_rates`` maps nets to expected transitions per cycle — from
     :func:`repro.power.density.transition_densities`, from an SPSTA result's
     :meth:`~repro.core.spsta.SpstaResult.toggling_rate`, or from a Monte
-    Carlo result's :meth:`~repro.sim.montecarlo.MonteCarloResult.toggling_rate`.
+    Carlo result's
+    :meth:`~repro.sim.montecarlo.MonteCarloResult.toggling_rate`.
     Net load = wire capacitance + one gate-input capacitance per fanout.
     """
     if vdd <= 0.0 or f_clk <= 0.0:

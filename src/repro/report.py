@@ -7,14 +7,14 @@ weighted statistics, and the K most critical paths with per-stage detail.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import List, Optional, Sequence
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import CONFIG_I, InputStats
 from repro.core.paths import k_longest_paths, path_delay
-from repro.core.spsta import SpstaResult, run_spsta
+from repro.core.spsta import run_spsta
 from repro.core.ssta import SstaResult, run_ssta
 from repro.core.sta import run_sta
 from repro.netlist.analysis import net_depths

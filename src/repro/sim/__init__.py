@@ -15,12 +15,25 @@
   seeding) and the process-pool / serial shard executor.
 """
 
-from repro.sim.accumulator import (DirectionMoments, NetAccumulator,
-                                   accumulate_waves, merge_accumulators)
-from repro.sim.montecarlo import (DirectionStats, MonteCarloResult,
-                                  StreamResult, run_monte_carlo)
-from repro.sim.parallel import (ShardPlan, ShardReport, WaveMemoryMeter,
-                                plan_shards, run_shards)
+from repro.sim.accumulator import (
+    DirectionMoments,
+    NetAccumulator,
+    accumulate_waves,
+    merge_accumulators,
+)
+from repro.sim.montecarlo import (
+    DirectionStats,
+    MonteCarloResult,
+    StreamResult,
+    run_monte_carlo,
+)
+from repro.sim.parallel import (
+    ShardPlan,
+    ShardReport,
+    WaveMemoryMeter,
+    plan_shards,
+    run_shards,
+)
 from repro.sim.reference import event_gate_output, simulate_trial
 from repro.sim.sampler import LaunchSample, sample_launch_points
 

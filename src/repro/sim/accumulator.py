@@ -24,8 +24,8 @@ differential tests in ``tests/test_sim_stream.py``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+import math
 from typing import Dict, Mapping
 
 import numpy as np

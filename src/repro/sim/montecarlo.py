@@ -30,19 +30,27 @@ Two execution modes share these semantics:
 from __future__ import annotations
 
 import math
-import time as _time
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
+import time as _time
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats
 from repro.logic.gates import GateType, gate_spec
 from repro.netlist.core import Netlist
-from repro.sim.accumulator import (DirectionStats, NetAccumulator,
-                                   merge_accumulators)
-from repro.sim.parallel import (ShardPlan, ShardReport, WaveMemoryMeter,
-                                plan_shards, run_shards)
+from repro.sim.accumulator import (
+    DirectionStats,
+    NetAccumulator,
+    merge_accumulators,
+)
+from repro.sim.parallel import (
+    ShardPlan,
+    ShardReport,
+    WaveMemoryMeter,
+    plan_shards,
+    run_shards,
+)
 from repro.sim.sampler import LaunchSample, sample_launch_points
 
 __all__ = [

@@ -15,12 +15,12 @@ seed yields bit-identical merged statistics at any worker count.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import logging
 import multiprocessing
 import multiprocessing.pool
 import pickle
 import time
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np

@@ -15,8 +15,13 @@ equations rely on:
   (Eq. 13) and empirical moment helpers used by the Monte Carlo analyses.
 """
 
-from repro.stats.clark import clark_max, clark_max_many, clark_min, clark_min_many
-from repro.stats.grid import TimeGrid, GridDensity
+from repro.stats.clark import (
+    clark_max,
+    clark_max_many,
+    clark_min,
+    clark_min_many,
+)
+from repro.stats.grid import GridDensity, TimeGrid
 from repro.stats.mixture import GaussianMixture, MixtureComponent
 from repro.stats.moments import (
     WeightedMoments,

@@ -14,8 +14,8 @@ the transition occurrence probability.
 from __future__ import annotations
 
 import math
-import warnings
 from typing import Dict, Iterable, Optional, Sequence, Tuple
+import warnings
 
 import numpy as np
 
@@ -397,7 +397,8 @@ class GridDensity:
             values[idx] = weight / grid.dt
             return cls(grid, values)
         z = (grid.points - normal.mu) / normal.sigma
-        values = weight * np.exp(-0.5 * z * z) / (normal.sigma * math.sqrt(2 * math.pi))
+        norm = normal.sigma * math.sqrt(2 * math.pi)
+        values = weight * np.exp(-0.5 * z * z) / norm
         return cls(grid, values)
 
     @classmethod
@@ -426,9 +427,8 @@ class GridDensity:
 
     def cdf_values(self) -> np.ndarray:
         """Cumulative integral on the grid (same shape as ``values``)."""
-        cum = np.concatenate((
-            [0.0],
-            np.cumsum((self.values[1:] + self.values[:-1]) * 0.5 * self.grid.dt)))
+        mids = (self.values[1:] + self.values[:-1]) * 0.5 * self.grid.dt
+        cum = np.concatenate(([0.0], np.cumsum(mids)))
         return cum
 
     def mean(self) -> float:
@@ -436,7 +436,8 @@ class GridDensity:
         w = self.total_weight
         if w <= 0.0:
             raise ValueError("mean of an empty density is undefined")
-        return float(trapezoid(self.grid.points * self.values, dx=self.grid.dt)) / w
+        first = trapezoid(self.grid.points * self.values, dx=self.grid.dt)
+        return float(first) / w
 
     def var(self) -> float:
         """Variance of the normalized distribution."""
@@ -553,7 +554,8 @@ class GridDensity:
 
 
 def grid_weighted_sum(grid: TimeGrid,
-                      terms: Iterable[Tuple[float, GridDensity]]) -> GridDensity:
+                      terms: Iterable[Tuple[float, GridDensity]],
+                      ) -> GridDensity:
     """WEIGHTED SUM (Eq. 8) of grid densities."""
     acc = GridDensity.zero(grid)
     for weight, density in terms:

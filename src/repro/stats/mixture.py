@@ -12,9 +12,9 @@ pair, in the style of Gaussian mixture reduction).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+import math
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.stats.clark import clark_max_moments, clark_min_moments
 from repro.stats.normal import Normal, norm_cdf, norm_pdf
@@ -36,7 +36,8 @@ class MixtureComponent:
                 f"(w={self.weight}, mu={self.mu}, sigma={self.sigma}) "
                 f"(NaN/Inf sentinel: an upstream operation diverged)")
         if self.weight < 0.0:
-            raise ValueError(f"component weight must be >= 0, got {self.weight}")
+            raise ValueError(
+                f"component weight must be >= 0, got {self.weight}")
         if self.sigma < 0.0:
             raise ValueError(f"component sigma must be >= 0, got {self.sigma}")
 
@@ -55,7 +56,8 @@ class GaussianMixture:
             c for c in components if c.weight > 0.0)
 
     @classmethod
-    def from_normal(cls, normal: Normal, weight: float = 1.0) -> "GaussianMixture":
+    def from_normal(cls, normal: Normal,
+                    weight: float = 1.0) -> "GaussianMixture":
         """A single-component mixture from a Gaussian with a given weight."""
         return cls([MixtureComponent(weight, normal.mu, normal.sigma)])
 
@@ -80,7 +82,7 @@ class GaussianMixture:
         return sum(c.weight for c in self._components)
 
     def mean(self) -> float:
-        """Mean of the *normalized* (conditional-on-occurrence) distribution."""
+        """Mean of the normalized (conditional-on-occurrence) form."""
         w = self.total_weight
         if w <= 0.0:
             raise ValueError("mean of an empty mixture is undefined")
@@ -117,12 +119,14 @@ class GaussianMixture:
         return acc / w
 
     def pdf(self, x: float) -> float:
-        """Density value at ``x`` (NOT normalized: integrates to total weight)."""
-        return sum(c.weight * norm_pdf(x, c.mu, c.sigma) for c in self._components)
+        """Density at ``x`` (unnormalized: integrates to total weight)."""
+        return sum(c.weight * norm_pdf(x, c.mu, c.sigma)
+                   for c in self._components)
 
     def cdf(self, x: float) -> float:
         """Sub-probability cdf at ``x`` (tends to total weight as x -> inf)."""
-        return sum(c.weight * norm_cdf(x, c.mu, c.sigma) for c in self._components)
+        return sum(c.weight * norm_cdf(x, c.mu, c.sigma)
+                   for c in self._components)
 
     def scaled(self, factor: float) -> "GaussianMixture":
         """Scale all weights — the scalar multiply of a WEIGHTED SUM term."""
@@ -189,7 +193,7 @@ class GaussianMixture:
         return GaussianMixture(out)
 
     def reduced(self, max_components: int) -> "GaussianMixture":
-        """Merge closest component pairs until at most ``max_components`` remain.
+        """Merge closest pairs until ``max_components`` or fewer remain.
 
         Each merge is moment-preserving for the pair (weight, mean, and
         variance of the two-component sub-mixture are kept exactly), the

@@ -16,8 +16,8 @@ bookkeeping explicit and is what the evaluation reports).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -46,7 +46,8 @@ class WeightedMoments:
         """Second raw moment E[t^2] of the conditional distribution."""
         return self.mean * self.mean + self.var
 
-    def shifted(self, delay_mean: float, delay_var: float = 0.0) -> "WeightedMoments":
+    def shifted(self, delay_mean: float,
+                delay_var: float = 0.0) -> "WeightedMoments":
         """SUM with an independent delay (Eq. 2)."""
         return WeightedMoments(self.weight, self.mean + delay_mean,
                                self.var + delay_var)
@@ -97,7 +98,8 @@ def empirical_moments(samples: Sequence[float]) -> Tuple[float, float]:
     return float(arr.mean()), float(arr.std())
 
 
-def skewness_from_moments(mean: float, var: float, third_central: float) -> float:
+def skewness_from_moments(mean: float, var: float,
+                          third_central: float) -> float:
     """Standardized skewness from central moments; 0 for zero variance."""
     if var <= 0.0:
         return 0.0

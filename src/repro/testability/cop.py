@@ -22,8 +22,8 @@ Monte Carlo oracle the tests compare against.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np

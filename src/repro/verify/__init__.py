@@ -11,11 +11,19 @@ from the command line and emits a machine-readable JSON report; CI runs it
 on every push.  See ``docs/verification.md``.
 """
 
-from repro.verify.harness import (CircuitConformance, ConformanceReport,
-                                  Divergence, PairCheck, run_conformance,
-                                  verify_circuit)
-from repro.verify.policies import (GUARDRAIL_MAX_CLIP_FRACTION, POLICIES,
-                                   TolerancePolicy)
+from repro.verify.harness import (
+    CircuitConformance,
+    ConformanceReport,
+    Divergence,
+    PairCheck,
+    run_conformance,
+    verify_circuit,
+)
+from repro.verify.policies import (
+    GUARDRAIL_MAX_CLIP_FRACTION,
+    POLICIES,
+    TolerancePolicy,
+)
 
 __all__ = [
     "CircuitConformance",

@@ -23,10 +23,10 @@ CI.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import json
 import math
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,16 +34,25 @@ import numpy as np
 from repro.core.delay import DelayModel, NormalDelay, UnitDelay
 from repro.core.inputs import CONFIG_I, InputStats
 from repro.core.profiling import SpstaProfile
-from repro.core.spsta import (GridAlgebra, MixtureAlgebra, MomentAlgebra,
-                              run_spsta)
+from repro.core.spsta import (
+    GridAlgebra,
+    MixtureAlgebra,
+    MomentAlgebra,
+    SpstaResult,
+    run_spsta,
+)
+from repro.lint.engine import LintConfig, preflight as lint_preflight
 from repro.netlist.analysis import net_depths
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.netlist.core import Netlist
 from repro.netlist.generator import GeneratorProfile, generate_circuit
 from repro.sim.montecarlo import run_monte_carlo
 from repro.stats.grid import TimeGrid
-from repro.verify.policies import (GUARDRAIL_MAX_CLIP_FRACTION, POLICIES,
-                                   TolerancePolicy)
+from repro.verify.policies import (
+    GUARDRAIL_MAX_CLIP_FRACTION,
+    POLICIES,
+    TolerancePolicy,
+)
 
 #: Grid pitch used by the sweep: an exact divisor of the unit gate delay,
 #: so delay shifts land on whole bins and the grid engines carry no
@@ -198,7 +207,7 @@ class ConformanceReport:
         return "\n".join(lines)
 
 
-def _spsta_stats(result) -> _StatsFn:
+def _spsta_stats(result: SpstaResult) -> _StatsFn:
     def get(net: str, direction: str) -> _Stats:
         p, mean, std = result.report(net, direction)
         return p, mean, std, None
@@ -268,16 +277,28 @@ def verify_circuit(netlist: Netlist,
                    trials: int = DEFAULT_TRIALS,
                    seed: int = 0,
                    delay_model: DelayModel = UnitDelay(),
-                   kind: str = "bench") -> CircuitConformance:
+                   kind: str = "bench",
+                   preflight: bool = True) -> CircuitConformance:
     """Run every engine on one circuit and check every pair's policy.
 
     Each SPSTA run gets a fresh algebra (its own mass ledger and caches)
     and its own :class:`SpstaProfile`; the two Monte Carlo runs replay the
     same root seed, which makes ``wave-vs-stream/mc`` a bit-exactness
     check, not a statistical one.
+
+    Unless ``preflight=False``, the circuit first passes through the
+    static linter (``repro.lint``) configured exactly like the sweep —
+    same trials, delay model, and grid — so a pathological circuit (wide
+    parity gate, undersized grid, structural damage) fails fast with
+    diagnostics instead of a mid-propagation traceback; error-level
+    findings raise :class:`~repro.lint.engine.LintFailure`.
     """
     t0 = time.perf_counter()
     grid = sweep_grid_for(netlist)
+    if preflight:
+        lint_preflight(netlist, LintConfig(
+            input_stats=config, delay_model=delay_model, grid=grid,
+            trials=trials))
     depth = max(net_depths(netlist).values(), default=1)
 
     algebra_factories = {"moment": MomentAlgebra,

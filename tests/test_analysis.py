@@ -1,7 +1,7 @@
 """Tests for repro.netlist.analysis — structural analyses."""
 
-import pytest
 
+from repro.logic.gates import GateType
 from repro.netlist.analysis import (
     circuit_stats,
     critical_endpoint,
@@ -10,7 +10,6 @@ from repro.netlist.analysis import (
     net_depths,
 )
 from repro.netlist.core import Gate, Netlist
-from repro.logic.gates import GateType
 
 
 class TestDepths:

@@ -2,8 +2,8 @@
 
 from itertools import product
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.logic.bdd import FALSE, TRUE, BDDManager
 from repro.logic.gates import GateType

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.constraints import (
-    ConstrainedSlack,
     SdcParseError,
     TimingConstraints,
     constrained_slacks,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.corners import (
     Corner,
-    STANDARD_CORNERS,
     ScaledDelay,
     corner_vs_statistical,
     ocv_slacks,

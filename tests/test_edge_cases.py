@@ -1,6 +1,5 @@
 """Edge-case batch: numerical tails, degenerate inputs, API misuse."""
 
-import math
 
 import numpy as np
 import pytest

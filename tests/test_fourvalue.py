@@ -1,7 +1,7 @@
 """Tests for repro.logic.fourvalue — the {0,1,r,f} algebra of Table 1."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.logic.fourvalue import (
     Logic4,

@@ -1,7 +1,7 @@
 """Tests for repro.logic.gates — the gate library."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.logic.gates import GATE_LIBRARY, GateType, gate_spec
 

@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.logic.gates import GateType
 from repro.netlist.analysis import circuit_stats, critical_endpoint, net_depths
+from repro.netlist.bench import parse_bench, write_bench
 from repro.netlist.benchmarks import (
     TABLE_CIRCUITS,
     benchmark_circuit,
     benchmark_names,
 )
-from repro.netlist.bench import parse_bench, write_bench
 from repro.netlist.generator import GeneratorProfile, generate_circuit
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.incremental import IncrementalSsta
 from repro.core.ssta import run_ssta
-from repro.netlist.analysis import fanin_cone
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.stats.normal import Normal
 

@@ -1,9 +1,8 @@
 """Tests for repro.core.inputs — Prob4 and the paper's configurations."""
 
-import math
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats, Prob4
 from repro.logic.fourvalue import Logic4

@@ -1,0 +1,580 @@
+"""Tests for repro.lint — the static circuit & model analyzer.
+
+Covers the diagnostics data model, every rule family on pathological
+fixtures (cyclic, floating net, multi-driver, wide parity, reconvergent
+diamond, undersized grid), golden JSON reports, the baseline-suppression
+round trip, the CLI subcommand, and the property that healthy circuits
+(generator output and every bundled benchmark) lint clean at error
+level.  The grid-coverage test pins the acceptance criterion that the
+static SP303 prediction and the runtime MassLedger agree.
+"""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.cli import main
+from repro.core.delay import NormalDelay
+from repro.core.inputs import CONFIG_I
+from repro.core.profiling import SpstaProfile
+from repro.core.spsta import GridAlgebra, run_spsta
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    LintFailure,
+    LintReport,
+    NetlistError,
+    Severity,
+    load_baseline,
+    max_severity,
+    preflight,
+    report_from_error,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.accuracy import find_reconvergence
+from repro.logic.gates import GateType
+from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
+from repro.netlist.core import Gate, Netlist
+from repro.netlist.generator import GeneratorProfile, generate_circuit
+from repro.stats.grid import (
+    MASS_WARN_FRACTION,
+    MassTruncationWarning,
+    TimeGrid,
+)
+from repro.verify import verify_circuit
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "lint"
+
+
+# -- fixtures --------------------------------------------------------------
+
+
+def diamond() -> Netlist:
+    """Reconvergent fanout: x splits into two cones that meet at y."""
+    return Netlist("diamond", ["x"], ["y"], [
+        Gate("a", GateType.NOT, ("x",)),
+        Gate("b", GateType.BUFF, ("x",)),
+        Gate("y", GateType.AND, ("a", "b")),
+    ])
+
+
+def wide_parity(fanin: int = 12) -> Netlist:
+    inputs = [f"i{k}" for k in range(fanin)]
+    return Netlist("wide_parity", inputs, ["y"],
+                   [Gate("y", GateType.XOR, tuple(inputs))])
+
+
+def buffer_chain(depth: int = 6) -> Netlist:
+    gates = []
+    prev = "x"
+    for k in range(depth):
+        gates.append(Gate(f"g{k}", GateType.BUFF, (prev,)))
+        prev = f"g{k}"
+    return Netlist("chain", ["x"], [prev], gates)
+
+
+# -- diagnostics data model ------------------------------------------------
+
+
+class TestDiagnostic:
+    def test_location_and_key(self):
+        net_d = Diagnostic("SP109", Severity.WARNING, "m", net="n1")
+        gate_d = Diagnostic("SP201", Severity.ERROR, "m",
+                            net="n1", gate="g1")
+        circuit_d = Diagnostic("SP203", Severity.INFO, "m")
+        assert net_d.location == "net:n1"
+        assert gate_d.location == "gate:g1"       # gate wins over net
+        assert circuit_d.location == "circuit"
+        assert net_d.key == "SP109:net:n1"
+
+    def test_severity_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.parse("Error") is Severity.ERROR
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        mixed = [Diagnostic("SP1", Severity.INFO, "a"),
+                 Diagnostic("SP2", Severity.ERROR, "b"),
+                 Diagnostic("SP3", Severity.WARNING, "c")]
+        assert max_severity(mixed) is Severity.ERROR
+
+    def test_render_includes_fix(self):
+        d = Diagnostic("SP104", Severity.ERROR, "missing net",
+                       net="n", gate="g", suggestion="drive it")
+        text = d.render()
+        assert "SP104 error [gate:g] missing net" in text
+        assert "fix: drive it" in text
+
+
+# -- SP1xx structural ------------------------------------------------------
+
+
+class TestStructuralErrors:
+    def test_cycle_reported_as_path(self):
+        with pytest.raises(NetlistError) as err:
+            Netlist("cyclic", ["x"], ["a"], [
+                Gate("a", GateType.AND, ("c", "x")),
+                Gate("b", GateType.AND, ("a", "x")),
+                Gate("c", GateType.AND, ("b", "x")),
+            ])
+        assert isinstance(err.value, ValueError)  # legacy catch sites
+        assert "cycle" in str(err.value)
+        (diag,) = [d for d in err.value.diagnostics if d.rule == "SP106"]
+        assert diag.severity is Severity.ERROR
+        # The printed path follows signal flow: a drives b drives c
+        # drives a, so every flow edge appears in the rotation.
+        for edge in ("a -> b", "b -> c", "c -> a"):
+            assert edge in diag.message
+        assert sorted(diag.data["cycle"]) == ["a", "b", "c"]
+
+    def test_multi_driver(self):
+        with pytest.raises(NetlistError, match="driven twice") as err:
+            Netlist("multi", ["x", "y"], ["n"], [
+                Gate("n", GateType.AND, ("x", "y")),
+                Gate("n", GateType.OR, ("x", "y")),
+            ])
+        (diag,) = err.value.diagnostics
+        assert diag.rule == "SP103"
+        assert diag.net == "n"
+        assert diag.data["drivers"] == 2
+
+    def test_floating_net(self):
+        with pytest.raises(NetlistError, match="undriven") as err:
+            Netlist("floating", ["x"], ["y"],
+                    [Gate("y", GateType.AND, ("x", "ghost"))])
+        (diag,) = err.value.diagnostics
+        assert diag.rule == "SP104"
+        assert diag.net == "ghost" and diag.gate == "y"
+
+    def test_undriven_output(self):
+        with pytest.raises(NetlistError, match="undriven") as err:
+            Netlist("po", ["x"], ["nowhere"],
+                    [Gate("y", GateType.NOT, ("x",))])
+        assert [d.rule for d in err.value.diagnostics] == ["SP105"]
+
+    def test_duplicate_primary_input(self):
+        with pytest.raises(NetlistError, match="duplicate") as err:
+            Netlist("dup", ["x", "x"], ["y"],
+                    [Gate("y", GateType.NOT, ("x",))])
+        assert [d.rule for d in err.value.diagnostics] == ["SP101"]
+
+    def test_gate_driven_primary_input(self):
+        with pytest.raises(NetlistError, match="gate-driven") as err:
+            Netlist("clash", ["x", "y"], ["y"],
+                    [Gate("y", GateType.NOT, ("x",))])
+        assert "SP102" in {d.rule for d in err.value.diagnostics}
+
+    def test_report_from_error_not_constructible(self):
+        try:
+            Netlist("bad", ["x"], ["y"],
+                    [Gate("y", GateType.AND, ("x", "gh"))])
+        except NetlistError as error:
+            report = report_from_error("bad", error)
+        assert not report.constructible
+        assert not report.passed()
+        assert report.to_dict()["constructible"] is False
+
+
+class TestStructuralWarnings:
+    def test_dead_logic_and_dangling(self):
+        netlist = Netlist("deadwood", ["x"], ["y"], [
+            Gate("y", GateType.NOT, ("x",)),
+            Gate("dead", GateType.AND, ("x", "x")),  # reaches no output
+        ])
+        report = run_lint(netlist, LintConfig())
+        rules = {d.rule for d in report.diagnostics}
+        assert "SP108" in rules
+        (dead,) = report.select("SP108")
+        assert dead.gate == "dead"
+        # dead's output also dangles
+        assert any(d.net == "dead" for d in report.select("SP109"))
+        assert report.passed()                  # warnings, not errors
+
+    def test_dead_dff_island(self):
+        netlist = Netlist("island", ["x"], ["y"], [
+            Gate("y", GateType.NOT, ("x",)),
+            Gate("L1", GateType.DFF, ("f",)),
+            Gate("f", GateType.NOT, ("L1",)),   # feeds only the dead DFF
+        ])
+        report = run_lint(netlist, LintConfig())
+        dead_gates = {d.gate for d in report.select("SP108")}
+        assert dead_gates == {"L1", "f"}
+
+    def test_duplicate_output(self):
+        netlist = Netlist("dup_po", ["x"], ["y", "y"],
+                          [Gate("y", GateType.NOT, ("x",))])
+        report = run_lint(netlist, LintConfig())
+        assert [d.rule for d in report.select("SP107")] == ["SP107"]
+
+    def test_clean_circuit_has_no_structural_findings(self):
+        report = run_lint(diamond(), LintConfig())
+        assert not report.select("SP10")
+
+
+# -- SP2xx engine cost -----------------------------------------------------
+
+
+class TestCost:
+    def test_wide_parity_is_an_error(self):
+        report = run_lint(wide_parity(12), LintConfig())
+        (diag,) = report.select("SP201")
+        assert diag.severity is Severity.ERROR
+        assert diag.gate == "y"
+        assert diag.data["fanin"] == 12
+        assert diag.data["assignments"] == 4 ** 12
+        assert "decompose_fanin" in diag.suggestion
+        assert not report.passed()
+
+    def test_parity_within_cap_is_clean(self):
+        report = run_lint(wide_parity(10), LintConfig())
+        assert not report.select("SP201")
+        assert report.passed()
+
+    def test_raised_cap_clears_sp201(self):
+        report = run_lint(wide_parity(12),
+                          LintConfig(max_parity_fanin=12))
+        assert not report.select("SP201")
+
+    def test_wide_and_gate_warns(self):
+        inputs = [f"i{k}" for k in range(13)]
+        netlist = Netlist("wide_and", inputs, ["y"],
+                          [Gate("y", GateType.AND, tuple(inputs))])
+        report = run_lint(netlist, LintConfig())
+        (diag,) = report.select("SP202")
+        assert diag.severity is Severity.WARNING
+        assert diag.data["subset_terms"] == 2 ** 13
+        assert report.passed()                  # warning at default gate
+
+    def test_cost_estimate_always_present(self):
+        report = run_lint(diamond(), LintConfig(trials=1000))
+        (est,) = report.select("SP203")
+        assert est.severity is Severity.INFO
+        assert est.data["mc_gate_evaluations"] == 1000 * 3
+        assert est.data["eq11_subset_terms"] > 0
+
+    def test_cost_estimate_over_budget_warns(self):
+        report = run_lint(diamond(),
+                          LintConfig(trials=10_000, mc_cost_budget=100))
+        (est,) = report.select("SP203")
+        assert est.severity is Severity.WARNING
+        assert "over budget" in est.message
+
+
+# -- SP301/SP302 reconvergent fanout ---------------------------------------
+
+
+class TestReconvergence:
+    def test_diamond_names_the_reconvergence_point(self):
+        report = run_lint(diamond(), LintConfig())
+        (diag,) = report.select("SP301")
+        assert diag.severity is Severity.WARNING
+        assert diag.net == "x"                  # the stem
+        assert diag.gate == "y"                 # where it reconverges
+        assert diag.data["max_correlation_depth"] == 2
+        (summary,) = report.select("SP302")
+        assert summary.net == "y"
+        assert summary.data["endpoints"]["y"]["reconvergent_stems"] == 1
+
+    def test_find_reconvergence_metrics(self):
+        stems, endpoints = find_reconvergence(diamond())
+        assert set(stems) == {"x"}
+        assert stems["x"].first_gate == "y"
+        assert stems["x"].n_gates == 1
+        assert endpoints == {
+            "y": {"reconvergent_stems": 1, "max_correlation_depth": 2}}
+
+    def test_chain_has_no_reconvergence(self):
+        stems, endpoints = find_reconvergence(buffer_chain())
+        assert stems == {} and endpoints == {}
+
+    def test_downstream_endpoints_observe_the_stem(self):
+        netlist = Netlist("deep", ["x"], ["z"], [
+            Gate("a", GateType.NOT, ("x",)),
+            Gate("b", GateType.BUFF, ("x",)),
+            Gate("y", GateType.AND, ("a", "b")),
+            Gate("z", GateType.NOT, ("y",)),    # sees it transitively
+        ])
+        _, endpoints = find_reconvergence(netlist)
+        assert "z" in endpoints
+
+    def test_dff_fanout_is_not_combinational(self):
+        # x feeds one gate and one DFF: not a combinational stem.
+        netlist = Netlist("seq", ["x"], ["y"], [
+            Gate("y", GateType.NOT, ("x",)),
+            Gate("L", GateType.DFF, ("x",)),
+            Gate("q", GateType.NOT, ("L",)),
+        ])
+        stems, _ = find_reconvergence(netlist)
+        assert stems == {}
+
+    def test_report_cap_emits_overflow_note(self):
+        # Five independent diamonds, reporting capped at two.
+        gates, outputs = [], []
+        for k in range(5):
+            gates += [Gate(f"a{k}", GateType.NOT, (f"x{k}",)),
+                      Gate(f"b{k}", GateType.BUFF, (f"x{k}",)),
+                      Gate(f"y{k}", GateType.AND, (f"a{k}", f"b{k}"))]
+            outputs.append(f"y{k}")
+        netlist = Netlist("many", [f"x{k}" for k in range(5)],
+                          outputs, gates)
+        report = run_lint(netlist, LintConfig(max_reports=2))
+        findings = report.select("SP301")
+        warnings = [d for d in findings
+                    if d.severity is Severity.WARNING]
+        notes = [d for d in findings if d.severity is Severity.INFO]
+        assert len(warnings) == 2
+        assert len(notes) == 1
+        assert notes[0].data["total_stems"] == 5
+
+
+# -- SP303 grid coverage ---------------------------------------------------
+
+
+class TestGridCoverage:
+    DELAY = NormalDelay(1.0, 0.1)
+
+    def config(self, grid: TimeGrid) -> LintConfig:
+        return LintConfig(grid=grid, delay_model=self.DELAY)
+
+    def test_no_grid_no_sp303(self):
+        report = run_lint(buffer_chain(), LintConfig())
+        assert not report.select("SP303")
+
+    def test_adequate_grid_is_clean(self):
+        report = run_lint(buffer_chain(6),
+                          self.config(TimeGrid(-8.0, 14.0, 512)))
+        assert not report.select("SP303")
+
+    def test_low_edge_clip_warns(self):
+        # Launch support is N(0, 1) at 6 sigma: reaches -6 < -2.
+        report = run_lint(buffer_chain(6),
+                          self.config(TimeGrid(-2.0, 14.0, 512)))
+        low = [d for d in report.select("SP303")
+               if d.data.get("edge") == "low"]
+        assert len(low) == 1
+        assert low[0].data["support_bound"] == pytest.approx(-6.0)
+
+    def test_undersized_grid_predicts_endpoint_clipping(self):
+        report = run_lint(buffer_chain(6),
+                          self.config(TimeGrid(-8.0, 7.5, 512)))
+        high = [d for d in report.select("SP303")
+                if d.data.get("edge") == "high"]
+        assert len(high) == 1
+        diag = high[0]
+        assert diag.net == "g5"                 # the chain endpoint
+        assert diag.data["mu_bound"] == pytest.approx(6.0)
+        assert diag.data["overrun"] > 0
+        assert 0.0 < diag.data["predicted_tail_mass"] < 0.5
+        assert "extend the TimeGrid stop" in diag.suggestion
+
+    def test_prediction_agrees_with_runtime_mass_ledger(self):
+        """Acceptance criterion: SP303 and the MassLedger tell one story.
+
+        The same circuit/delay/grid goes through the static predictor and
+        the real grid engine; where the linter predicts clipping the
+        ledger must record lost mass, and where it predicts none the
+        ledger must stay below the warn threshold.
+        """
+        netlist = buffer_chain(6)
+        for grid, expect_clip in ((TimeGrid(-8.0, 7.5, 512), True),
+                                  (TimeGrid(-8.0, 14.0, 512), False)):
+            report = run_lint(netlist, self.config(grid))
+            predicted = [d for d in report.select("SP303")
+                         if d.data.get("edge") == "high"]
+            profile = SpstaProfile()
+            if expect_clip:
+                with pytest.warns(MassTruncationWarning):
+                    run_spsta(netlist, CONFIG_I, self.DELAY,
+                              GridAlgebra(grid), profile=profile)
+                assert predicted, "linter missed the undersized grid"
+                assert profile.clip_events > 0
+                assert profile.clipped_mass > 0.0
+            else:
+                run_spsta(netlist, CONFIG_I, self.DELAY,
+                          GridAlgebra(grid), profile=profile)
+                assert not predicted, "linter cried wolf"
+                assert profile.max_clip_fraction <= MASS_WARN_FRACTION
+
+
+# -- engine: report, baseline, preflight -----------------------------------
+
+
+class TestEngine:
+    def test_report_sorted_most_severe_first(self):
+        report = run_lint(wide_parity(12), LintConfig())
+        ranks = [d.severity.rank for d in report.diagnostics]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_disabled_rule_is_dropped(self):
+        report = run_lint(diamond(), LintConfig(disabled=frozenset(
+            {"SP301", "SP302", "SP203"})))
+        assert not report.diagnostics
+
+    def test_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = run_lint(diamond(), LintConfig())
+        assert not first.passed(Severity.WARNING)
+        write_baseline(first, path)
+        baseline = load_baseline(path)
+        assert "SP301:gate:y" in baseline
+        second = run_lint(diamond(), LintConfig(), baseline)
+        assert second.passed(Severity.WARNING)
+        assert not second.diagnostics
+        assert len(second.suppressed) == len(first.diagnostics)
+
+    def test_load_baseline_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"no": "suppress key"}')
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            load_baseline(path)
+
+    def test_preflight_raises_on_errors(self):
+        with pytest.raises(LintFailure) as failure:
+            preflight(wide_parity(12))
+        assert failure.value.report.select("SP201")
+        # Clean circuit returns the report instead.
+        report = preflight(buffer_chain())
+        assert isinstance(report, LintReport)
+
+    def test_verify_harness_preflight(self):
+        with pytest.raises(LintFailure):
+            verify_circuit(wide_parity(14), trials=100)
+
+    def test_json_schema(self):
+        payload = json.loads(run_lint(diamond(), LintConfig()).to_json())
+        assert payload["report"] == "spsta-lint"
+        assert payload["version"] == 1
+        assert payload["circuit"] == "diamond"
+        assert payload["constructible"] is True
+        assert set(payload["counts"]) == {"error", "warning", "info"}
+        assert isinstance(payload["suppressed"], int)
+        for diag in payload["diagnostics"]:
+            assert set(diag) == {"rule", "severity", "net", "gate",
+                                 "location", "message", "suggestion",
+                                 "data"}
+            assert diag["severity"] in ("error", "warning", "info")
+
+
+class TestGoldenReports:
+    """The full JSON report of each fixture, pinned byte for byte."""
+
+    @pytest.mark.parametrize("name,build", [
+        ("diamond", diamond),
+        ("wide_parity", wide_parity),
+    ])
+    def test_golden(self, name, build):
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        assert run_lint(build(), LintConfig()).to_dict() == golden
+
+
+# -- healthy circuits lint clean -------------------------------------------
+
+
+class TestHealthyCircuits:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_benchmarks_pass_at_error_level(self, name):
+        report = run_lint(benchmark_circuit(name), LintConfig())
+        errors = [d for d in report.diagnostics
+                  if d.severity is Severity.ERROR]
+        assert errors == []
+        assert report.passed(Severity.ERROR)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2 ** 31 - 1),
+           n_gates=st.integers(10, 60),
+           xor=st.sampled_from([0.0, 0.1, 0.3]))
+    def test_generated_circuits_pass_at_error_level(self, seed, n_gates,
+                                                    xor):
+        netlist = generate_circuit(GeneratorProfile(
+            name=f"fuzz{seed}", n_inputs=5, n_outputs=3, n_dffs=2,
+            n_gates=n_gates, depth=5, seed=seed, xor_fraction=xor))
+        assert run_lint(netlist, LintConfig()).passed(Severity.ERROR)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+CYCLIC_BENCH = """\
+INPUT(x)
+OUTPUT(a)
+a = AND(b, x)
+b = AND(a, x)
+"""
+
+DIAMOND_BENCH = """\
+INPUT(x)
+OUTPUT(y)
+a = NOT(x)
+b = BUFF(x)
+y = AND(a, b)
+"""
+
+
+class TestCli:
+    def test_lint_clean_benchmark(self, capsys):
+        assert main(["lint", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "lint s27:" in out and "0 errors" in out
+
+    def test_lint_json_stdout(self, capsys):
+        assert main(["lint", "s27", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"] == "spsta-lint"
+        assert payload["circuit"] == "s27"
+
+    def test_lint_json_file(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(["lint", "s27", "--json", str(path)]) == 0
+        assert json.loads(path.read_text())["circuit"] == "s27"
+
+    def test_lint_cyclic_bench_fails(self, capsys, tmp_path):
+        bench = tmp_path / "cyclic.bench"
+        bench.write_text(CYCLIC_BENCH)
+        assert main(["lint", str(bench)]) == 1
+        out = capsys.readouterr().out
+        assert "SP106" in out and "combinational cycle" in out
+
+    def test_lint_fail_on_warning(self, capsys, tmp_path):
+        bench = tmp_path / "diamond.bench"
+        bench.write_text(DIAMOND_BENCH)
+        assert main(["lint", str(bench)]) == 0
+        assert main(["lint", str(bench), "--fail-on", "warning"]) == 1
+        assert main(["lint", str(bench), "--fail-on", "never"]) == 0
+
+    def test_lint_baseline_flow(self, capsys, tmp_path):
+        bench = tmp_path / "diamond.bench"
+        bench.write_text(DIAMOND_BENCH)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bench), "--write-baseline",
+                     str(baseline)]) == 0
+        assert main(["lint", str(bench), "--baseline", str(baseline),
+                     "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-suppressed" in out
+
+    def test_lint_disable(self, capsys):
+        assert main(["lint", "s27", "--json", "-",
+                     "--disable", "SP301,SP302"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert not any(d["rule"] in ("SP301", "SP302")
+                       for d in payload["diagnostics"])
+
+    def test_lint_grid_option(self, capsys):
+        assert main(["lint", "s27", "--grid=-8:3:128", "--json", "-",
+                     "--fail-on", "never"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(d["rule"] == "SP303" for d in payload["diagnostics"])
+
+    def test_analyze_preflight_blocks_errors(self, capsys, tmp_path):
+        wide = ", ".join(f"i{k}" for k in range(12))
+        bench = tmp_path / "wide.bench"
+        bench.write_text("".join(f"INPUT(i{k})\n" for k in range(12))
+                         + "OUTPUT(y)\n" + f"y = XOR({wide})\n")
+        assert main(["analyze", str(bench), "--trials", "100"]) == 1
+        out = capsys.readouterr().out
+        assert "SP201" in out and "--no-lint" in out

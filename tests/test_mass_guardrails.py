@@ -14,8 +14,13 @@ from repro.core.inputs import CONFIG_I
 from repro.core.profiling import SpstaProfile
 from repro.core.spsta import GridAlgebra, run_spsta
 from repro.netlist.benchmarks import benchmark_circuit
-from repro.stats.grid import (MASS_WARN_FRACTION, GridDensity, MassLedger,
-                              MassTruncationWarning, TimeGrid)
+from repro.stats.grid import (
+    MASS_WARN_FRACTION,
+    GridDensity,
+    MassLedger,
+    MassTruncationWarning,
+    TimeGrid,
+)
 from repro.stats.mixture import MixtureComponent
 from repro.stats.normal import Normal
 

@@ -13,7 +13,7 @@ from repro.core.delay import MisDelay, UnitDelay
 from repro.core.inputs import CONFIG_I, InputStats, Prob4
 from repro.core.spsta import run_spsta
 from repro.core.ssta import run_ssta
-from repro.logic.fourvalue import Logic4, from_bits
+from repro.logic.fourvalue import from_bits
 from repro.logic.gates import GateType
 from repro.netlist.core import Gate, Netlist
 from repro.sim.montecarlo import run_monte_carlo

@@ -60,8 +60,10 @@ class TestGenericLibrary:
 
     def test_delay_monotone_in_slew_and_load(self):
         arc = NldmLibrary.generic().arc(GateType.NAND)
-        assert arc.delay.interpolate(2.0, 1.0) > arc.delay.interpolate(0.1, 1.0)
-        assert arc.delay.interpolate(0.5, 4.0) > arc.delay.interpolate(0.5, 0.5)
+        assert (arc.delay.interpolate(2.0, 1.0)
+                > arc.delay.interpolate(0.1, 1.0))
+        assert (arc.delay.interpolate(0.5, 4.0)
+                > arc.delay.interpolate(0.5, 0.5))
 
     def test_inverter_faster_than_xor(self):
         lib = NldmLibrary.generic()
@@ -151,6 +153,7 @@ class TestFrozenDelays:
     def test_bridges_to_statistical_engines(self):
         """NLDM delays drive SPSTA / SSTA / MC unchanged."""
         import numpy as np
+
         from repro.core.inputs import CONFIG_I
         from repro.core.spsta import run_spsta
         from repro.core.ssta import run_ssta

@@ -8,20 +8,28 @@ integrating, and whole random circuits through both engines.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
+import numpy as np
 
 from repro.core.delay import NormalDelay
 from repro.core.inputs import CONFIG_I
 from repro.core.spsta import MomentAlgebra, run_spsta
-from repro.core.spsta_fast import (WeightTableCache, build_weight_table,
-                                   subset_lattice)
+from repro.core.spsta_fast import (
+    WeightTableCache,
+    build_weight_table,
+    subset_lattice,
+)
 from repro.logic.gates import GateType
 from repro.netlist.core import Gate, Netlist
-from repro.stats.grid import (GaussianKernel, TimeGrid, convolve_rows,
-                              kernel_retention_vector, shift_retention_vector,
-                              shift_rows, trapezoid_rows)
+from repro.stats.grid import (
+    GaussianKernel,
+    TimeGrid,
+    convolve_rows,
+    kernel_retention_vector,
+    shift_retention_vector,
+    shift_rows,
+    trapezoid_rows,
+)
 from repro.stats.normal import Normal
 
 GRID = TimeGrid(-5.0, 15.0, 512)
@@ -189,4 +197,5 @@ def test_random_circuit_fast_matches_naive_bitexact(netlist):
             assert a.occurs == b.occurs, (net, direction)
             if b.occurs:
                 assert (fast.algebra.stats(a.conditional)
-                        == naive.algebra.stats(b.conditional)), (net, direction)
+                        == naive.algebra.stats(b.conditional)), \
+                    (net, direction)

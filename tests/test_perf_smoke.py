@@ -68,7 +68,8 @@ def test_fast_engine_matches_naive_with_populated_profile():
             assert a.weight == b.weight, (net, direction)
             if b.occurs:
                 assert (fast.algebra.stats(a.conditional)
-                        == naive.algebra.stats(b.conditional)), (net, direction)
+                        == naive.algebra.stats(b.conditional)), \
+                    (net, direction)
     assert profile.gates_processed == len(list(netlist.combinational_gates))
     assert profile.subset_terms > 0
     assert profile.weight_table_hits > 0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.inputs import CONFIG_I, InputStats, Prob4
+from repro.core.inputs import CONFIG_I
 from repro.logic.gates import GateType
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.netlist.core import Gate, Netlist

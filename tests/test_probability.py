@@ -1,7 +1,7 @@
 """Tests for repro.core.probability — four-value and two-value propagation."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.core.inputs import Prob4
 from repro.core.probability import (

@@ -15,9 +15,9 @@ then cross-checked against each other and against exact enumeration:
 
 from itertools import product
 
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.inputs import CONFIG_I, CONFIG_II, Prob4
 from repro.core.probability import propagate_prob4

@@ -84,6 +84,7 @@ class TestChipYield:
         track the Monte Carlo fraction of cycles whose latest transition
         beats the clock."""
         import numpy as np
+
         from repro.core.inputs import CONFIG_I
         from repro.sim.montecarlo import run_monte_carlo
 

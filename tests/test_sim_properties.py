@@ -10,10 +10,9 @@ topologies vary beyond the hand-picked benchmarks:
    merged statistics for any worker count.
 """
 
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.delay import NormalDelay, UnitDelay
 from repro.core.inputs import CONFIG_I, CONFIG_II

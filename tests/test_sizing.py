@@ -4,7 +4,7 @@ import pytest
 
 from repro.logic.gates import GateType
 from repro.netlist.benchmarks import benchmark_circuit
-from repro.netlist.core import Gate, Netlist
+from repro.netlist.core import Gate
 from repro.opt.sizing import SizedDelay, optimize_sizing
 
 

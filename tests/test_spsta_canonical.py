@@ -11,7 +11,10 @@ import pytest
 
 from repro.core.inputs import CONFIG_I, InputStats, Prob4
 from repro.core.spsta import MomentAlgebra, run_spsta
-from repro.core.spsta_canonical import CanonicalTopAlgebra, endpoint_correlation
+from repro.core.spsta_canonical import (
+    CanonicalTopAlgebra,
+    endpoint_correlation,
+)
 from repro.logic.gates import GateType
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.netlist.core import Gate, Netlist

@@ -24,11 +24,15 @@ import pytest
 
 from repro.core.delay import MisDelay, NormalDelay, UnitDelay
 from repro.core.inputs import CONFIG_I, CONFIG_II
-from repro.core.spsta import (GridAlgebra, MixtureAlgebra, MomentAlgebra,
-                              run_spsta)
+from repro.core.spsta import (
+    GridAlgebra,
+    MixtureAlgebra,
+    MomentAlgebra,
+    run_spsta,
+)
 from repro.logic.gates import GateType
-from repro.netlist.core import Gate, Netlist
 from repro.netlist.benchmarks import benchmark_circuit
+from repro.netlist.core import Gate, Netlist
 from repro.netlist.transform import decompose_fanin
 from repro.stats.grid import TimeGrid
 
@@ -60,7 +64,8 @@ def _assert_bitexact(fast, naive):
             assert a.occurs == b.occurs, (net, direction)
             if b.occurs:
                 assert (fast.algebra.stats(a.conditional)
-                        == naive.algebra.stats(b.conditional)), (net, direction)
+                        == naive.algebra.stats(b.conditional)), \
+                    (net, direction)
 
 
 def _assert_grid_close(fast, naive, weight_atol=1e-12, moment_rtol=1e-9):

@@ -7,7 +7,7 @@ import pytest
 from repro.core.delay import UnitDelay
 from repro.core.inputs import CONFIG_I, CONFIG_II, InputStats, Prob4
 from repro.core.probability import propagate_prob4
-from repro.core.spsta import MomentAlgebra, run_spsta
+from repro.core.spsta import run_spsta
 from repro.logic.gates import GateType
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.netlist.core import Gate, Netlist
@@ -77,7 +77,8 @@ class TestEquation12:
             for n in (1, 2, 3):
                 netlist = _single(gate_type, n)
                 result = run_spsta(netlist, UNIFORM)
-                for direction, attr in (("rise", "p_rise"), ("fall", "p_fall")):
+                pairs = (("rise", "p_rise"), ("fall", "p_fall"))
+                for direction, attr in pairs:
                     p, _, _ = result.report("y", direction)
                     expected = getattr(result.prob4["y"], attr)
                     assert p == pytest.approx(expected, abs=1e-9), \

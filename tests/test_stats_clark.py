@@ -1,8 +1,8 @@
 """Tests for repro.stats.clark — Clark MAX/MIN moment formulas (Eq. 4)."""
 
+from hypothesis import given, settings, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.stats.clark import (
     clark_cov_with_third,

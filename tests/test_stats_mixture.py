@@ -1,10 +1,9 @@
 """Tests for repro.stats.mixture — Gaussian mixtures (WEIGHTED SUM form)."""
 
-import math
 
+from hypothesis import given, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.stats.mixture import (
     GaussianMixture,

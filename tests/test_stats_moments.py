@@ -1,10 +1,9 @@
 """Tests for repro.stats.moments — weighted-sum moment algebra (Eq. 13)."""
 
-import math
 
+from hypothesis import given, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.stats.moments import (
     WeightedMoments,

@@ -2,8 +2,8 @@
 
 import math
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 from scipy import stats as scipy_stats
 
 from repro.stats.normal import Normal, norm_cdf, norm_pdf

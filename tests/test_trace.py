@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.inputs import CONFIG_I, Prob4
+from repro.core.inputs import CONFIG_I
 from repro.core.trace import (
     input_stats_from_trace,
     prob4_from_trace,
@@ -76,11 +76,10 @@ class TestEndToEnd:
     def test_sequential_mc_traces_feed_spsta(self):
         """Full loop: simulate a sequential run, fit launch stats from the
         observed FF traces, and run SPSTA with them."""
+        from repro.core.inputs import InputStats
         from repro.core.sequential import run_sequential_monte_carlo
         from repro.core.spsta import run_spsta
         from repro.netlist.benchmarks import benchmark_circuit
-
-        from repro.core.inputs import InputStats
 
         netlist = benchmark_circuit("s27")
         mc = run_sequential_monte_carlo(netlist, CONFIG_I, n_cycles=5_000,

@@ -1,13 +1,16 @@
 """Tests for repro.netlist.transform — decomposition, sweeping, equivalence."""
 
 import pytest
-from hypothesis import given, settings
 
 from repro.logic.gates import GateType
 from repro.netlist.analysis import max_fanin
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.netlist.core import Gate, Netlist
-from repro.netlist.transform import decompose_fanin, equivalent, sweep_constants
+from repro.netlist.transform import (
+    decompose_fanin,
+    equivalent,
+    sweep_constants,
+)
 
 
 def _wide_gate(gate_type, n=5):
@@ -141,6 +144,7 @@ class TestSweepConstants:
         # Check by simulation: for trials with pi=1, endpoint settled
         # values agree.
         from itertools import product
+
         from repro.logic.bdd import BDDManager
         from repro.power.density import build_net_bdds
 

@@ -7,7 +7,6 @@ from repro.core.variational import (
     CanonicalForm,
     ProcessSpace,
     VariationalDelay,
-    VariationalResult,
     run_variational,
     timing_yield,
 )

@@ -7,10 +7,13 @@ import pytest
 
 from repro.cli import main
 from repro.netlist.benchmarks import benchmark_circuit
-from repro.verify import (GUARDRAIL_MAX_CLIP_FRACTION, POLICIES,
-                          run_conformance, verify_circuit)
-from repro.verify.harness import (_compare_pair, fuzz_profiles,
-                                  sweep_grid_for)
+from repro.verify import (
+    GUARDRAIL_MAX_CLIP_FRACTION,
+    POLICIES,
+    run_conformance,
+    verify_circuit,
+)
+from repro.verify.harness import _compare_pair, fuzz_profiles, sweep_grid_for
 from repro.verify.policies import TolerancePolicy
 
 
@@ -140,8 +143,8 @@ class TestVerifyCli:
         assert "PASS" in capsys.readouterr().out
 
     def test_exit_nonzero_on_guardrail_failure(self, monkeypatch, capsys):
-        import repro.verify.harness as harness
         from repro.stats.grid import TimeGrid
+        import repro.verify.harness as harness
 
         monkeypatch.setattr(harness, "sweep_grid_for",
                             lambda netlist: TimeGrid(-2.0, 10.0, 384))

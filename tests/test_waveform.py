@@ -12,9 +12,7 @@ from repro.core.waveform import (
 )
 from repro.logic.gates import GateType
 from repro.netlist.benchmarks import benchmark_circuit
-from repro.sim.montecarlo import run_monte_carlo
 from repro.stats.grid import TimeGrid
-from repro.stats.normal import Normal
 
 GRID = TimeGrid(-8.0, 16.0, 2048)
 
