@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 import sys
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.netlist.bench import parse_bench_file
 from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
 from repro.netlist.core import Netlist
 from repro.sim.montecarlo import run_monte_carlo
+from repro.sim.parallel import RetryPolicy
 
 
 def _load_circuit(name: str) -> Netlist:
@@ -59,6 +60,40 @@ def _config(label: str) -> InputStats:
     if label.upper() == "II":
         return CONFIG_II
     raise SystemExit(f"config must be I or II, got {label!r}")
+
+
+class _McFault(NamedTuple):
+    """Fault-tolerance settings decoded from the shared MC CLI flags."""
+
+    retry: Optional[RetryPolicy]
+    deadline: Optional[float]
+    checkpoint: Optional[str]
+    resume: bool
+
+
+def _mc_fault_args(args: argparse.Namespace) -> _McFault:
+    """Fault-tolerance settings for ``run_monte_carlo`` from CLI flags.
+
+    The retry/checkpoint/deadline features are stream-engine-only (the
+    wave engine has no shards to retry), so using them with the default
+    ``--mc-mode waves`` is a usage error, not a silent no-op.
+    """
+    wanted = {
+        "--mc-retries": bool(args.mc_retries),
+        "--mc-checkpoint": args.mc_checkpoint is not None,
+        "--resume": args.resume,
+        "--deadline": args.deadline is not None,
+    }
+    active = [flag for flag, given in wanted.items() if given]
+    if active and args.mc_mode != "stream":
+        raise SystemExit(
+            f"{', '.join(active)} require(s) --mc-mode stream")
+    if args.resume and not args.mc_checkpoint:
+        raise SystemExit("--resume requires --mc-checkpoint DIR")
+    retry = (RetryPolicy(max_attempts=args.mc_retries + 1)
+             if args.mc_retries else None)
+    return _McFault(retry=retry, deadline=args.deadline,
+                    checkpoint=args.mc_checkpoint, resume=args.resume)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -91,10 +126,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                       workers=args.spsta_workers, profile=spsta_profile)
     mc = None
     if args.trials > 0:
+        fault = _mc_fault_args(args)
         mc = run_monte_carlo(netlist, config, args.trials,
                              rng=np.random.default_rng(args.seed),
                              mode=args.mc_mode, shards=args.shards,
-                             workers=args.workers)
+                             workers=args.workers, retry=fault.retry,
+                             deadline=fault.deadline,
+                             checkpoint=fault.checkpoint,
+                             resume=fault.resume)
     for direction in ("rise", "fall"):
         p, mu, sigma = spsta.report(endpoint, direction)
         pair = getattr(ssta.arrivals[endpoint], direction)
@@ -116,9 +155,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     config = _config(args.config)
+    fault = _mc_fault_args(args)
     rows = run_table2(config, n_trials=args.trials, seed=args.seed,
                       mc_mode=args.mc_mode, shards=args.shards,
-                      workers=args.workers)
+                      workers=args.workers, retry=fault.retry,
+                      deadline=fault.deadline,
+                      checkpoint_dir=fault.checkpoint, resume=fault.resume)
     print(format_table2(rows, title=f"Table 2, configuration ({args.config})"))
     print()
     print(format_error_summary(error_summary(rows)))
@@ -127,11 +169,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     config = _config(args.config)
+    fault = _mc_fault_args(args)
     rows = run_table3(config, n_trials=args.trials, seed=args.seed,
                       mc_mode=args.mc_mode, shards=args.shards,
                       workers=args.workers, engine=args.engine,
                       spsta_workers=args.spsta_workers,
-                      profile=args.profile)
+                      profile=args.profile, retry=fault.retry,
+                      deadline=fault.deadline,
+                      checkpoint_dir=fault.checkpoint, resume=fault.resume)
     print(format_table3(rows))
     return 0
 
@@ -343,6 +388,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trial shards for --mc-mode stream")
         cmd.add_argument("--workers", type=int, default=1,
                          help="processes for --mc-mode stream")
+        cmd.add_argument("--mc-retries", type=int, default=0,
+                         help="per-shard retry attempts after the first "
+                              "try, with exponential backoff (stream mode; "
+                              "see docs/robustness.md)")
+        cmd.add_argument("--mc-checkpoint", metavar="DIR",
+                         help="persist each completed shard to DIR "
+                              "(atomic, manifest-keyed; stream mode)")
+        cmd.add_argument("--resume", action="store_true",
+                         help="with --mc-checkpoint: skip shards already "
+                              "on disk; the merged result is bit-identical "
+                              "to an uninterrupted run")
+        cmd.add_argument("--deadline", type=float, metavar="SECONDS",
+                         help="stop dispatching new shards after this "
+                              "budget and merge what completed (stream "
+                              "mode; partial runs report widened errors)")
 
     def add_spsta_engine_args(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--engine", choices=("fast", "naive"),

@@ -18,7 +18,8 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Set, Union
+import heapq
+from typing import Dict, List, Mapping, Set, Tuple, Union
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.ssta import ArrivalPair, _gate_output, run_ssta
@@ -64,21 +65,25 @@ class IncrementalSsta:
     def update_gate(self, gate_name: str) -> UpdateStats:
         """Re-evaluate ``gate_name`` and propagate only real changes.
 
-        A worklist in topological order; a gate whose recomputed arrival
-        pair matches the stored one (within tolerance) does not enqueue its
-        fanouts — the early termination that makes incremental analysis
-        cheap in practice.
+        A worklist in topological order — a min-heap keyed by each gate's
+        topological rank, so every pop is O(log cone) instead of the
+        O(cone) scan a plain ``min`` over a set costs (quadratic over a
+        deep cone).  A gate whose recomputed arrival pair matches the
+        stored one (within tolerance) does not enqueue its fanouts — the
+        early termination that makes incremental analysis cheap in
+        practice.
         """
         if gate_name not in self._order:
             raise KeyError(f"{gate_name} is not a combinational gate")
-        pending: Set[str] = {gate_name}
+        heap: List[Tuple[int, str]] = [(self._order[gate_name], gate_name)]
+        queued: Set[str] = {gate_name}  # guards duplicate pushes
         cone: Set[str] = set()
         recomputed = 0
         skipped = 0
         model = _FixedDelays(self._delays)
-        while pending:
-            current = min(pending, key=self._order.__getitem__)
-            pending.discard(current)
+        while heap:
+            _, current = heapq.heappop(heap)
+            queued.discard(current)
             cone.add(current)
             gate = self.netlist.gates[current]
             operands = [self.arrivals[src] for src in gate.inputs]
@@ -89,8 +94,10 @@ class IncrementalSsta:
                 continue
             self.arrivals[current] = new_pair
             for sink in self.netlist.fanouts(current):
-                if sink in self._order:  # skip DFFs: cycle boundary
-                    pending.add(sink)
+                # skip DFFs (cycle boundary) and already-queued sinks
+                if sink in self._order and sink not in queued:
+                    queued.add(sink)
+                    heapq.heappush(heap, (self._order[sink], sink))
         # cone counts every gate we *touched*; downstream gates never
         # reached (thanks to early termination) are the savings.
         return UpdateStats(recomputed=recomputed, skipped=skipped,

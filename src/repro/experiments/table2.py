@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 import math
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,6 +26,21 @@ from repro.core.ssta import run_ssta
 from repro.netlist.analysis import critical_endpoint
 from repro.netlist.benchmarks import TABLE_CIRCUITS, benchmark_circuit
 from repro.sim.montecarlo import run_monte_carlo
+from repro.sim.parallel import RetryPolicy
+
+
+def experiment_checkpoint(base: Optional[Union[str, Path]],
+                          circuit: str) -> Optional[Path]:
+    """Per-circuit checkpoint subdirectory under an experiment's base dir.
+
+    Each circuit gets its own store (``BASE/circuit``) because a
+    checkpoint directory is keyed to exactly one run; sharing one
+    directory across the sweep would make every second circuit a
+    :class:`~repro.sim.checkpoint.CheckpointMismatchError`.
+    """
+    if base is None:
+        return None
+    return Path(base) / circuit
 
 
 @dataclass(frozen=True)
@@ -53,12 +69,20 @@ def run_table2(config: InputStats,
                algebra: Optional[TopAlgebra] = None,
                mc_mode: str = "waves",
                shards: int = 1,
-               workers: int = 1) -> List[Table2Row]:
+               workers: int = 1,
+               retry: Optional[RetryPolicy] = None,
+               deadline: Optional[float] = None,
+               checkpoint_dir: Optional[Union[str, Path]] = None,
+               resume: bool = False) -> List[Table2Row]:
     """Run all three analyzers on each circuit; one row per direction.
 
     ``mc_mode``/``shards``/``workers`` select the Monte Carlo engine
     (see :func:`repro.sim.montecarlo.run_monte_carlo`); the table only
-    needs the summary accessors both engines share.
+    needs the summary accessors both engines share.  ``retry`` /
+    ``deadline`` / ``checkpoint_dir`` / ``resume`` apply fault tolerance
+    to each circuit's streaming run (``checkpoint_dir`` holds one
+    subdirectory per circuit; the ``deadline`` budget applies per
+    circuit, not to the whole sweep).
     """
     rows: List[Table2Row] = []
     for name in circuits:
@@ -70,7 +94,11 @@ def run_table2(config: InputStats,
                              rng=np.random.default_rng(seed),
                              mode=mc_mode,
                              shards=shards if mc_mode == "stream" else 1,
-                             workers=workers if mc_mode == "stream" else 1)
+                             workers=workers if mc_mode == "stream" else 1,
+                             retry=retry, deadline=deadline,
+                             checkpoint=experiment_checkpoint(
+                                 checkpoint_dir, name),
+                             resume=resume)
         for direction in ("rise", "fall"):
             p, mu, sigma = spsta.report(endpoint, direction)
             pair = getattr(ssta.arrivals[endpoint], direction)

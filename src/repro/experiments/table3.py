@@ -9,8 +9,9 @@ than a 10,000-trial Monte Carlo simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 import time
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -19,8 +20,10 @@ from repro.core.inputs import InputStats
 from repro.core.profiling import SpstaProfile
 from repro.core.spsta import run_spsta
 from repro.core.ssta import run_ssta
+from repro.experiments.table2 import experiment_checkpoint
 from repro.netlist.benchmarks import TABLE_CIRCUITS, benchmark_circuit
 from repro.sim.montecarlo import run_monte_carlo
+from repro.sim.parallel import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -62,7 +65,11 @@ def run_table3(config: InputStats,
                workers: int = 1,
                engine: str = "fast",
                spsta_workers: int = 1,
-               profile: bool = False) -> List[RuntimeRow]:
+               profile: bool = False,
+               retry: Optional[RetryPolicy] = None,
+               deadline: Optional[float] = None,
+               checkpoint_dir: Optional[Union[str, Path]] = None,
+               resume: bool = False) -> List[RuntimeRow]:
     """Time each analyzer once per circuit (same workload as Table 2).
 
     ``scalar_probe_trials`` scalar-reference trials are timed and linearly
@@ -72,7 +79,10 @@ def run_table3(config: InputStats,
     counters in ``mc_shard_summary``.  ``engine``/``spsta_workers`` select
     the SPSTA propagation engine and its process pool; ``profile=True``
     records each SPSTA run's phase timings and work counters into
-    ``spsta_profile_summary``.
+    ``spsta_profile_summary``.  ``retry``/``deadline``/``checkpoint_dir``/
+    ``resume`` apply the streaming engine's fault tolerance per circuit
+    (one checkpoint subdirectory each); note a resumed run's
+    ``mc_seconds`` times only the shards that still had to execute.
     """
     rows: List[RuntimeRow] = []
     for name in circuits:
@@ -88,7 +98,11 @@ def run_table3(config: InputStats,
                              rng=np.random.default_rng(seed),
                              mode=mc_mode,
                              shards=shards if mc_mode == "stream" else 1,
-                             workers=workers if mc_mode == "stream" else 1)
+                             workers=workers if mc_mode == "stream" else 1,
+                             retry=retry, deadline=deadline,
+                             checkpoint=experiment_checkpoint(
+                                 checkpoint_dir, name),
+                             resume=resume)
         t3 = time.perf_counter()
         scalar_seconds = float("nan")
         if scalar_probe_trials > 0:

@@ -12,7 +12,13 @@
 - :mod:`repro.sim.accumulator` — the streaming sufficient statistics and
   their shard-merge algebra.
 - :mod:`repro.sim.parallel` — shard planning (``SeedSequence.spawn``
-  seeding) and the process-pool / serial shard executor.
+  seeding) and the process-pool / serial shard executor, with per-shard
+  retry (:class:`~repro.sim.parallel.RetryPolicy`) and deadline-bounded
+  partial sweeps.
+- :mod:`repro.sim.checkpoint` — crash-safe shard persistence (atomic
+  writes, manifest keyed on seed/circuit/plan) behind ``--resume``.
+- :mod:`repro.sim.faults` — deterministic fault injection (crash, hang,
+  corrupt, kill-after-N-shards) proving the paths above end to end.
 """
 
 from repro.sim.accumulator import (
@@ -21,6 +27,21 @@ from repro.sim.accumulator import (
     accumulate_waves,
     merge_accumulators,
 )
+from repro.sim.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointKey,
+    CheckpointMismatchError,
+    CheckpointStore,
+    circuit_fingerprint,
+)
+from repro.sim.faults import (
+    CrashShard,
+    FaultInjector,
+    HangShard,
+    SlowShard,
+    corrupt_shard_file,
+)
 from repro.sim.montecarlo import (
     DirectionStats,
     MonteCarloResult,
@@ -28,11 +49,16 @@ from repro.sim.montecarlo import (
     run_monte_carlo,
 )
 from repro.sim.parallel import (
+    RetryPolicy,
+    ShardFailure,
     ShardPlan,
     ShardReport,
+    ShardRun,
+    TransientShardError,
     WaveMemoryMeter,
     plan_shards,
     run_shards,
+    run_shards_resilient,
 )
 from repro.sim.reference import event_gate_output, simulate_trial
 from repro.sim.sampler import LaunchSample, sample_launch_points
@@ -48,9 +74,25 @@ __all__ = [
     "merge_accumulators",
     "ShardPlan",
     "ShardReport",
+    "ShardRun",
+    "ShardFailure",
+    "RetryPolicy",
+    "TransientShardError",
     "WaveMemoryMeter",
     "plan_shards",
     "run_shards",
+    "run_shards_resilient",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointCorruptError",
+    "CheckpointKey",
+    "CheckpointStore",
+    "circuit_fingerprint",
+    "FaultInjector",
+    "CrashShard",
+    "HangShard",
+    "SlowShard",
+    "corrupt_shard_file",
     "sample_launch_points",
     "LaunchSample",
     "simulate_trial",

@@ -26,16 +26,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import math
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
+
+from repro.sim.sampler import LaunchSample
 
 
 @dataclass(frozen=True)
 class DirectionStats:
     """Monte Carlo estimate for one transition direction at one net: the
     occurrence probability and the conditional arrival moments (NaN when the
-    transition never occurred in any trial) — one Table 2 cell triple."""
+    transition never occurred in any trial; probability itself is NaN when
+    there were no trials at all) — one Table 2 cell triple."""
 
     probability: float
     mean: float
@@ -116,9 +119,10 @@ class NetAccumulator:
     @classmethod
     def from_arrays(cls, init: np.ndarray, final: np.ndarray,
                     time: np.ndarray,
-                    rise_mask: np.ndarray = None,
-                    fall_mask: np.ndarray = None,
-                    time_scratch: np.ndarray = None) -> "NetAccumulator":
+                    rise_mask: Optional[np.ndarray] = None,
+                    fall_mask: Optional[np.ndarray] = None,
+                    time_scratch: Optional[np.ndarray] = None
+                    ) -> "NetAccumulator":
         """Accumulate one shard's wave.  ``rise_mask``/``fall_mask`` may be
         passed when the caller already computed them (the streaming engine
         gets them for free from its gate kernel); ``time_scratch`` is an
@@ -164,6 +168,12 @@ class NetAccumulator:
         else:
             raise ValueError(f"direction must be 'rise' or 'fall', "
                              f"got {direction!r}")
+        if self.n_trials == 0:
+            # An empty accumulator carries no evidence either way: NaN
+            # throughout, matching the documented empty-direction
+            # convention (not a ZeroDivisionError).
+            return DirectionStats(float("nan"), float("nan"), float("nan"),
+                                  0)
         probability = moments.count / self.n_trials
         if moments.count == 0:
             return DirectionStats(probability, float("nan"), float("nan"), 0)
@@ -174,23 +184,29 @@ class NetAccumulator:
     def signal_probability(self) -> float:
         """Time-average probability of logic one.  The wave accessor sums
         ``init + final`` (exact small integers in float64) then halves the
-        mean; the integer tally reproduces the identical value."""
+        mean; the integer tally reproduces the identical value.  NaN for
+        an empty accumulator (no trials, no evidence)."""
+        if self.n_trials == 0:
+            return float("nan")
         total = 2 * self.n_one + self.rise.count + self.fall.count
         return (total / self.n_trials) / 2.0
 
     @property
     def toggling_rate(self) -> float:
+        """Observed transitions per cycle; NaN for an empty accumulator."""
+        if self.n_trials == 0:
+            return float("nan")
         return (self.rise.count + self.fall.count) / self.n_trials
 
 
-def accumulate_waves(waves: Mapping[str, "object"]
+def accumulate_waves(waves: Mapping[str, LaunchSample]
                      ) -> Dict[str, NetAccumulator]:
     """Fold a wave dict (net -> LaunchSample) into per-net accumulators."""
     return {net: NetAccumulator.from_arrays(w.init, w.final, w.time)
             for net, w in waves.items()}
 
 
-def merge_accumulators(shards: "list[Dict[str, NetAccumulator]]"
+def merge_accumulators(shards: "List[Dict[str, NetAccumulator]]"
                        ) -> Dict[str, NetAccumulator]:
     """Merge per-shard accumulator dicts in shard order.
 

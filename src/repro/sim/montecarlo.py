@@ -29,27 +29,33 @@ Two execution modes share these semantics:
 
 from __future__ import annotations
 
+import dataclasses
 import math
+from pathlib import Path
+import time as _time
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
-import time as _time
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import InputStats
 from repro.logic.gates import GateType, gate_spec
-from repro.netlist.core import Netlist
+from repro.netlist.core import Gate, Netlist
 from repro.sim.accumulator import (
     DirectionStats,
     NetAccumulator,
     merge_accumulators,
 )
+from repro.sim.checkpoint import CheckpointKey, CheckpointStore
+from repro.sim.faults import FaultInjector
 from repro.sim.parallel import (
+    RetryPolicy,
     ShardPlan,
     ShardReport,
     WaveMemoryMeter,
     plan_shards,
-    run_shards,
+    run_shards_resilient,
+    seed_sequence_of,
 )
 from repro.sim.sampler import LaunchSample, sample_launch_points
 
@@ -118,7 +124,12 @@ def run_monte_carlo(netlist: Netlist,
                     mode: str = "waves",
                     shards: int = 1,
                     workers: int = 1,
-                    keep_nets: Sequence[str] = ()
+                    keep_nets: Sequence[str] = (),
+                    retry: Optional[RetryPolicy] = None,
+                    deadline: Optional[float] = None,
+                    checkpoint: Optional[Union[str, Path]] = None,
+                    resume: bool = False,
+                    fault_injector: Optional[FaultInjector] = None
                     ) -> "Union[MonteCarloResult, StreamResult]":
     """Simulate ``n_trials`` independent cycles of the whole netlist.
 
@@ -135,17 +146,37 @@ def run_monte_carlo(netlist: Netlist,
     read them; name nets in ``keep_nets`` to retain their full waveforms
     anyway.  With ``shards=1`` the streaming statistics are bit-exact
     against this function's ``mode="waves"`` accessors on the same draws.
+
+    Fault tolerance (stream mode only — see ``docs/robustness.md``):
+    ``retry`` re-runs shards that fail transiently; ``checkpoint`` names a
+    directory where each completed shard is atomically persisted, and
+    ``resume=True`` skips shards already on disk (rejecting checkpoints
+    whose seed/circuit/configuration do not match); ``deadline`` bounds
+    the wall-clock budget — once expired no new shard is dispatched and
+    the completed subset is merged, with
+    :attr:`StreamResult.deadline_expired` set and ``n_trials`` reporting
+    the *effective* trial count.  ``fault_injector`` deterministically
+    injects failures for testing (:mod:`repro.sim.faults`).  None of
+    these affect the merged statistics of the shards that do run: a
+    retried, resumed, or re-sharded-onto-more-workers run is bit-identical
+    to an uninterrupted one.
     """
     if rng is None:
         rng = np.random.default_rng(0)
     if mode == "stream":
         return _run_stream(netlist, stats, n_trials, delay_model, rng,
-                           samples, shards, workers, tuple(keep_nets))
+                           samples, shards, workers, tuple(keep_nets),
+                           retry, deadline, checkpoint, resume,
+                           fault_injector)
     if mode != "waves":
         raise ValueError(f"mode must be 'waves' or 'stream', got {mode!r}")
     if shards != 1 or workers != 1 or keep_nets:
         raise ValueError("shards/workers/keep_nets require mode='stream' "
                          "(mode='waves' retains every wave in one shard)")
+    if (retry is not None or deadline is not None or checkpoint is not None
+            or resume or fault_injector is not None):
+        raise ValueError("retry/deadline/checkpoint/resume/fault_injector "
+                         "require mode='stream'")
     if samples is None:
         samples = sample_launch_points(netlist, stats, n_trials, rng)
     waves: Dict[str, LaunchSample] = dict(samples)
@@ -158,7 +189,8 @@ def run_monte_carlo(netlist: Netlist,
     return MonteCarloResult(netlist.name, n_trials, waves)
 
 
-def _delay_draw(delay_model: DelayModel, gate, operands, n_trials: int,
+def _delay_draw(delay_model: DelayModel, gate: Gate,
+                operands: Sequence[LaunchSample], n_trials: int,
                 rng: np.random.Generator, mis_aware: bool
                 ) -> Union[float, np.ndarray]:
     """Per-gate delay (scalar) or per-trial delay draw (array) — shared by
@@ -171,7 +203,8 @@ def _delay_draw(delay_model: DelayModel, gate, operands, n_trials: int,
     return delay.mu
 
 
-def _mis_delay_draw(delay_model: DelayModel, gate, operands, n_trials: int,
+def _mis_delay_draw(delay_model: DelayModel, gate: Gate,
+                    operands: Sequence[LaunchSample], n_trials: int,
                     rng: np.random.Generator) -> np.ndarray:
     """Per-trial delays for a MIS-aware model: each trial's delay depends
     on how many of the gate's inputs switch simultaneously in that trial
@@ -221,7 +254,8 @@ def _delayed(init: np.ndarray, final: np.ndarray, time: np.ndarray,
     return LaunchSample(init=init, final=final, time=out_time)
 
 
-def _controlling_wave(operands: Sequence[LaunchSample], and_core: bool):
+def _controlling_wave(operands: Sequence[LaunchSample], and_core: bool
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     inits = np.stack([o.init for o in operands])
     finals = np.stack([o.final for o in operands])
     times = np.stack([o.time for o in operands])
@@ -243,7 +277,8 @@ def _controlling_wave(operands: Sequence[LaunchSample], and_core: bool):
     return init, final, time
 
 
-def _parity_wave(operands: Sequence[LaunchSample]):
+def _parity_wave(operands: Sequence[LaunchSample]
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     inits = np.stack([o.init for o in operands])
     finals = np.stack([o.final for o in operands])
     times = np.stack([o.time for o in operands])
@@ -266,17 +301,45 @@ class StreamResult:
     (``direction_stats`` / ``signal_probability`` / ``toggling_rate``)
     backed by O(1)-per-net accumulators instead of retained waves.
     Waveforms exist only for nets that were named in ``keep_nets``.
+
+    ``n_trials`` is the *effective* trial count (what the accumulators
+    actually hold).  After a deadline-bounded run it can fall short of
+    ``planned_trials``; ``missing_shards`` names the shards that never
+    ran and :attr:`stderr_widening` is the factor by which every
+    standard-error bar widens relative to the planned budget.
     """
 
     def __init__(self, netlist_name: str, n_trials: int,
                  accumulators: Dict[str, NetAccumulator],
                  shard_reports: Tuple[ShardReport, ...],
-                 kept_waves: Dict[str, LaunchSample]) -> None:
+                 kept_waves: Dict[str, LaunchSample],
+                 planned_trials: Optional[int] = None,
+                 missing_shards: Tuple[int, ...] = (),
+                 deadline_expired: bool = False) -> None:
         self.netlist_name = netlist_name
         self.n_trials = n_trials
         self._accumulators = accumulators
         self.shard_reports = shard_reports
         self._kept = kept_waves
+        self.planned_trials = (n_trials if planned_trials is None
+                               else planned_trials)
+        self.missing_shards = missing_shards
+        self.deadline_expired = deadline_expired
+
+    @property
+    def complete(self) -> bool:
+        """Every planned shard contributed to the merged statistics."""
+        return not self.missing_shards
+
+    @property
+    def stderr_widening(self) -> float:
+        """Factor by which standard errors widen versus the planned
+        budget: ``sqrt(planned / effective)`` (1.0 for a complete run).
+        Monte Carlo standard errors scale as ``1/sqrt(n)``, so a run
+        degraded to half its trials carries ``sqrt(2)``-wider bars."""
+        if self.n_trials <= 0:
+            return float("inf")
+        return math.sqrt(self.planned_trials / self.n_trials)
 
     @property
     def nets(self) -> Sequence[str]:
@@ -319,6 +382,14 @@ class StreamResult:
             f"{len(self.shard_reports)} shard(s), "
             f"{self.total_seconds * 1e3:.1f} ms shard CPU, "
             f"peak waves {self.peak_wave_bytes / 1024:.0f} KiB"]
+        if not self.complete:
+            cause = ("deadline expired" if self.deadline_expired
+                     else "shards missing")
+            lines.append(
+                f"  PARTIAL ({cause}): {self.n_trials} of "
+                f"{self.planned_trials} planned trials "
+                f"({len(self.missing_shards)} shard(s) not run); "
+                f"standard errors ~{self.stderr_widening:.2f}x wider")
         lines.extend("  " + r.format() for r in self.shard_reports)
         return "\n".join(lines)
 
@@ -509,8 +580,18 @@ def _stream_shard(netlist: Netlist,
     return accumulators, kept, report
 
 
-def _run_stream_shard(payload) -> Tuple[Dict[str, NetAccumulator],
-                                        Dict[str, LaunchSample], ShardReport]:
+#: The picklable payload handed to each shard worker.
+_StreamPayload = Tuple[Netlist, Union[InputStats, Mapping[str, InputStats]],
+                       ShardPlan, DelayModel,
+                       Optional[Dict[str, LaunchSample]], Tuple[str, ...],
+                       Optional[np.random.Generator]]
+
+#: One shard's product: accumulators, kept waves, execution report.
+_ShardResult = Tuple[Dict[str, NetAccumulator], Dict[str, LaunchSample],
+                     ShardReport]
+
+
+def _run_stream_shard(payload: _StreamPayload) -> _ShardResult:
     """Top-level (picklable) shard entry point for the process pool."""
     return _stream_shard(*payload)
 
@@ -532,7 +613,13 @@ def _run_stream(netlist: Netlist,
                 samples: Optional[Dict[str, LaunchSample]],
                 shards: int,
                 workers: int,
-                keep_nets: Tuple[str, ...]) -> StreamResult:
+                keep_nets: Tuple[str, ...],
+                retry: Optional[RetryPolicy] = None,
+                deadline: Optional[float] = None,
+                checkpoint: Optional[Union[str, Path]] = None,
+                resume: bool = False,
+                fault_injector: Optional[FaultInjector] = None
+                ) -> StreamResult:
     known = set(netlist.nets)
     unknown = [net for net in keep_nets if net not in known]
     if unknown:
@@ -542,9 +629,31 @@ def _run_stream(netlist: Netlist,
         if have != n_trials:
             raise ValueError(
                 f"samples hold {have} trials but n_trials={n_trials}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint directory")
+    if checkpoint is not None and samples is not None:
+        raise ValueError("checkpointing cannot fingerprint caller-supplied "
+                         "launch samples; drop samples= or checkpoint=")
+    if checkpoint is not None and keep_nets:
+        raise ValueError("checkpoints persist accumulators only, so "
+                         "keep_nets cannot survive a resume; drop one")
+    # The store key must capture the root stream *before* plan_shards
+    # spawns from it (for default_rng generators seed_sequence_of is a
+    # pure read, so planning is unaffected).
+    root_seed = (seed_sequence_of(rng) if checkpoint is not None else None)
     plans = plan_shards(n_trials, shards, rng)
-    payloads = []
-    for plan in plans:
+
+    store: Optional[CheckpointStore] = None
+    done: Dict[int, Tuple[Dict[str, NetAccumulator], ShardReport]] = {}
+    if checkpoint is not None:
+        key = CheckpointKey.build(netlist, stats, delay_model, root_seed,
+                                  n_trials, len(plans))
+        store = CheckpointStore(checkpoint, key)
+        done = store.open(resume=resume)
+
+    remaining = [plan for plan in plans if plan.index not in done]
+    payloads: List[_StreamPayload] = []
+    for plan in remaining:
         shard_samples = None
         if samples is not None:
             shard_samples = _slice_samples(samples, plan.offset,
@@ -552,18 +661,52 @@ def _run_stream(netlist: Netlist,
         shard_rng = rng if plan.seed is None else None
         payloads.append((netlist, stats, plan, delay_model, shard_samples,
                          keep_nets, shard_rng))
-    shard_results = run_shards(_run_stream_shard, payloads, workers)
-    accumulators = merge_accumulators([accs for accs, _, _ in shard_results])
-    reports = tuple(report for _, _, report in shard_results)
+    worker = (_run_stream_shard if fault_injector is None
+              else fault_injector.wrap(_run_stream_shard))
+
+    kept_parts: Dict[int, Dict[str, LaunchSample]] = {}
+
+    def collect(position: int, result: _ShardResult, attempts: int) -> None:
+        """Runs the moment a shard completes: record (and persist) it so a
+        later shard failure or kill cannot lose the work."""
+        accumulators, kept_waves, report = result
+        if attempts != report.attempts:
+            report = dataclasses.replace(report, attempts=attempts)
+        index = remaining[position].index
+        if store is not None:
+            store.save_shard(index, accumulators, report)
+        done[index] = (accumulators, report)
+        if keep_nets:
+            kept_parts[index] = kept_waves
+
+    run = run_shards_resilient(worker, payloads, workers, retry=retry,
+                               deadline=deadline, on_result=collect,
+                               always_run_first=not done)
+    if not done:
+        raise RuntimeError(
+            f"deadline expired before any of the {len(plans)} shards "
+            f"completed; no statistics to merge — raise --deadline")
+    completed = sorted(done)
+    missing = tuple(plan.index for plan in plans if plan.index not in done)
+    # Fixed merge order (ascending shard index) regardless of which shards
+    # came from checkpoints and which just ran: the bit-exact-resume
+    # guarantee.
+    accumulators = merge_accumulators([done[i][0] for i in completed])
+    reports = tuple(done[i][1] for i in completed)
+    effective = sum(plans[i].n_trials for i in completed)
     kept: Dict[str, LaunchSample] = {}
-    if keep_nets:
-        if len(shard_results) == 1:
-            kept = shard_results[0][1]
+    if keep_nets and kept_parts:
+        order = [i for i in completed if i in kept_parts]
+        if len(order) == 1:
+            kept = kept_parts[order[0]]
         else:
             for net in keep_nets:
-                parts = [kept_waves[net] for _, kept_waves, _ in shard_results]
+                parts = [kept_parts[i][net] for i in order]
                 kept[net] = LaunchSample(
                     init=np.concatenate([p.init for p in parts]),
                     final=np.concatenate([p.final for p in parts]),
                     time=np.concatenate([p.time for p in parts]))
-    return StreamResult(netlist.name, n_trials, accumulators, reports, kept)
+    return StreamResult(netlist.name, effective, accumulators, reports,
+                        kept, planned_trials=n_trials,
+                        missing_shards=missing,
+                        deadline_expired=run.deadline_expired)

@@ -81,6 +81,29 @@ class TestNetAccumulator:
         with pytest.raises(ValueError):
             acc.direction_stats("sideways")
 
+    def test_empty_accumulator_is_nan_not_zero_division(self):
+        """Regression: every accessor on a zero-trial accumulator used to
+        raise ZeroDivisionError; the no-evidence answer is NaN."""
+        acc = NetAccumulator()
+        assert acc.n_trials == 0
+        assert np.isnan(acc.signal_probability)
+        assert np.isnan(acc.toggling_rate)
+        for direction in ("rise", "fall"):
+            stats = acc.direction_stats(direction)
+            assert np.isnan(stats.probability)
+            assert np.isnan(stats.mean) and np.isnan(stats.std)
+            assert stats.n_occurrences == 0
+
+    def test_empty_accumulator_merges_as_identity(self):
+        """An empty accumulator must also stay a merge identity, so a
+        zero-trial shard cannot poison a merged result."""
+        acc = NetAccumulator.from_arrays(
+            np.array([0, 1], dtype=bool), np.array([1, 1], dtype=bool),
+            np.array([1.5, np.nan]))
+        merged = NetAccumulator().merge(acc).merge(NetAccumulator())
+        assert merged == acc
+        assert merged.signal_probability == acc.signal_probability
+
     def test_merge_concatenates(self, rng):
         def random_wave(n):
             cats = rng.integers(0, 4, size=n)

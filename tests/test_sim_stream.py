@@ -211,3 +211,28 @@ def _failing_worker(x):
     if x == 2:
         raise ValueError(f"worker bug on {x}")
     return x * 10
+
+
+class TestWaveMemoryMeter:
+    def test_peak_tracks_high_water_mark(self):
+        from repro.sim.parallel import WaveMemoryMeter
+        meter = WaveMemoryMeter()
+        a = np.zeros(100, dtype=np.float64)
+        b = np.zeros(50, dtype=np.float64)
+        meter.allocated(a, b)
+        meter.released(b)
+        meter.allocated(b)
+        assert meter.peak_bytes == a.nbytes + b.nbytes
+        assert meter.live_bytes == a.nbytes + b.nbytes
+
+    def test_double_release_raises_instead_of_going_negative(self):
+        """Regression: a double release used to drive ``live_bytes``
+        negative, silently corrupting every later peak reading."""
+        from repro.sim.parallel import WaveMemoryMeter
+        meter = WaveMemoryMeter()
+        wave = np.zeros(10, dtype=np.float64)
+        meter.allocated(wave)
+        meter.released(wave)
+        with pytest.raises(ValueError, match="double release"):
+            meter.released(wave)
+        assert meter.live_bytes == 0  # state unchanged by the bad call
