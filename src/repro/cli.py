@@ -9,6 +9,7 @@ Subcommands:
 - ``report`` — per-endpoint slack / miss-probability signoff view.
 - ``slack`` — per-net slack and slack histogram.
 - ``testability`` — COP measures and optional BDD-miter ATPG.
+- ``sweep`` — scenario-batched multi-corner sweep (docs/performance.md).
 - ``verify`` — cross-engine differential conformance sweep (JSON report).
 - ``lint`` — static circuit & configuration analysis (docs/linting.md).
 - ``stats`` — structural statistics of a circuit.
@@ -168,6 +169,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
+    if args.config_sweep:
+        from repro.experiments.table3 import (
+            format_config_sweep,
+            run_config_sweep,
+        )
+        rows = run_config_sweep({"I": CONFIG_I, "II": CONFIG_II})
+        print(format_config_sweep(rows))
+        return 0
     config = _config(args.config)
     fault = _mc_fault_args(args)
     rows = run_table3(config, n_trials=args.trials, seed=args.seed,
@@ -310,6 +319,182 @@ def _parse_grid_spec(spec: str):
         raise SystemExit(f"bad --grid {spec!r}: {exc}")
 
 
+def _parse_corner_list(spec: str):
+    """``name:scale[:sigma_scale],...`` -> tuple of Corners."""
+    from repro.core.corners import Corner
+
+    corners = []
+    for item in spec.split(","):
+        parts = item.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"--corners expects NAME:SCALE[:SIGMA_SCALE] items, "
+                f"got {item!r}")
+        try:
+            corners.append(Corner(parts[0], float(parts[1]),
+                                  float(parts[2]) if len(parts) == 3
+                                  else 1.0))
+        except ValueError as exc:
+            raise SystemExit(f"bad corner {item!r}: {exc}")
+    return tuple(corners)
+
+
+def _parse_derate_spec(spec: str):
+    """``START:STOP:COUNT[:SIGMA_SCALE]`` -> tuple of derate Corners."""
+    from repro.core.scenario import derate_corners
+
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise SystemExit(
+            f"--derate-grid expects START:STOP:COUNT[:SIGMA_SCALE], "
+            f"got {spec!r}")
+    try:
+        return derate_corners(float(parts[0]), float(parts[1]),
+                              int(parts[2]),
+                              float(parts[3]) if len(parts) == 4 else 1.0)
+    except ValueError as exc:
+        raise SystemExit(f"bad --derate-grid {spec!r}: {exc}")
+
+
+def _sweep_scenarios(args: argparse.Namespace):
+    """Scenario list from ``--scenarios FILE`` or the corner flags."""
+    import json
+
+    from repro.core.corners import Corner
+    from repro.core.scenario import (
+        derate_corners,
+        scenarios_from_corners,
+    )
+
+    if args.scenarios:
+        path = Path(args.scenarios)
+        if not path.exists():
+            raise SystemExit(f"no such scenario spec: {path}")
+        try:
+            spec = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"bad scenario spec {path}: {exc}")
+        config = _config(spec.get("config", args.config))
+        corners = []
+        for entry in spec.get("corners", ()):
+            try:
+                corners.append(Corner(entry["name"],
+                                      float(entry["delay_scale"]),
+                                      float(entry.get("sigma_scale", 1.0))))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SystemExit(
+                    f"bad corner entry {entry!r} in {path}: {exc}")
+        derate = spec.get("derate")
+        if derate:
+            try:
+                corners.extend(derate_corners(
+                    float(derate.get("start", 0.8)),
+                    float(derate.get("stop", 1.25)),
+                    int(derate.get("count", 8)),
+                    float(derate.get("sigma_scale", 1.0))))
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(f"bad derate entry in {path}: {exc}")
+        if not corners:
+            raise SystemExit(
+                f"scenario spec {path} defines no corners "
+                f"(need 'corners' and/or 'derate')")
+        return scenarios_from_corners(tuple(corners), stats=config), config
+    config = _config(args.config)
+    corners = ()
+    if args.corners:
+        corners += _parse_corner_list(args.corners)
+    if args.derate_grid:
+        corners += _parse_derate_spec(args.derate_grid)
+    if not corners:
+        from repro.core.corners import STANDARD_CORNERS
+        corners = STANDARD_CORNERS
+    return scenarios_from_corners(corners, stats=config), config
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.scenario import run_scenario_batch, run_scenarios_looped
+    from repro.core.scenario_jit import resolve_jit_flag
+    from repro.core.spsta import GridAlgebra, MixtureAlgebra, MomentAlgebra
+
+    netlist = _load_circuit(args.circuit)
+    scenarios, config = _sweep_scenarios(args)
+    grid = None
+    if args.algebra == "grid":
+        grid = _parse_grid_spec(args.grid)
+        algebra = GridAlgebra(grid)
+    elif args.algebra == "mixture":
+        algebra = MixtureAlgebra()
+    else:
+        algebra = MomentAlgebra()
+    sweep = run_scenario_batch(netlist, scenarios, algebra,
+                               keep=args.keep, jit=args.jit)
+
+    report = {
+        "circuit": netlist.name,
+        "algebra": args.algebra,
+        "n_scenarios": len(scenarios),
+        "keep": args.keep,
+        "jit": resolve_jit_flag(args.jit),
+        "compile_seconds": sweep.compile_seconds,
+        "execute_seconds": sweep.execute_seconds,
+        "scenarios": [],
+    }
+    if grid is not None:
+        report["grid"] = {"start": grid.start, "stop": grid.stop,
+                          "n": grid.n}
+    for scenario, result in zip(sweep.scenarios, sweep.results):
+        worst = None
+        for net in netlist.endpoints:
+            for direction in ("rise", "fall"):
+                p, mu, sigma = result.report(net, direction)
+                if p <= 0.0:
+                    continue
+                if worst is None or mu > worst["mean"]:
+                    worst = {"endpoint": net, "direction": direction,
+                             "probability": p, "mean": mu, "std": sigma}
+        report["scenarios"].append({"name": scenario.name, "worst": worst})
+    if args.compare_looped:
+        t0 = time.perf_counter()
+        run_scenarios_looped(netlist, scenarios,
+                             (lambda: GridAlgebra(grid)) if grid is not None
+                             else type(algebra))
+        looped = time.perf_counter() - t0
+        batched = sweep.compile_seconds + sweep.execute_seconds
+        report["looped_seconds"] = looped
+        report["speedup"] = looped / batched if batched > 0 else float("inf")
+
+    if args.json:
+        text = json.dumps(report, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"wrote {args.json}")
+    if args.json != "-":
+        print(f"{netlist.name}: {len(scenarios)} scenarios "
+              f"({args.algebra} algebra) compiled in "
+              f"{sweep.compile_seconds * 1e3:.1f}ms, executed in "
+              f"{sweep.execute_seconds * 1e3:.1f}ms")
+        for entry in report["scenarios"]:
+            worst = entry["worst"]
+            if worst is None:
+                print(f"  {entry['name']:>16}: no occurring endpoint "
+                      f"transition")
+                continue
+            print(f"  {entry['name']:>16}: worst {worst['endpoint']} "
+                  f"{worst['direction']} P={worst['probability']:.3f} "
+                  f"mu={worst['mean']:.3f} sd={worst['std']:.3f}")
+        if "speedup" in report:
+            print(f"  looped fast engine: {report['looped_seconds']:.2f}s, "
+                  f"batched speedup {report['speedup']:.1f}x")
+    if args.profile:
+        print(sweep.profile.render())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintConfig,
@@ -332,6 +517,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             input_stats=_config(args.config),
             trials=args.trials,
             max_parity_fanin=args.max_parity_fanin,
+            n_scenarios=args.scenarios,
             grid=_parse_grid_spec(args.grid) if args.grid else None,
             disabled=frozenset(args.disable.split(","))
             if args.disable else frozenset())
@@ -437,6 +623,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "estimate prices")
     lint.add_argument("--max-parity-fanin", type=int, default=10,
                       help="parity 4^k enumeration cap for SP201")
+    lint.add_argument("--scenarios", type=int, default=1,
+                      help="scenario count a batched sweep would run; "
+                           "scales the SP203 cost estimate and the SP204 "
+                           "memory prediction")
     lint.add_argument("--grid",
                       help="TimeGrid as START:STOP:N (e.g. -8:60:2048); "
                            "enables the SP303 grid-coverage prediction")
@@ -469,6 +659,10 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--config", default="I")
     table3.add_argument("--trials", type=int, default=10_000)
     table3.add_argument("--seed", type=int, default=0)
+    table3.add_argument("--config-sweep", action="store_true",
+                        help="run the CONFIG I/II sweep through the "
+                             "scenario-batched backend (one compile per "
+                             "circuit) instead of the per-config tables")
     add_mc_engine_args(table3)
     add_spsta_engine_args(table3)
     table3.set_defaults(func=_cmd_table3)
@@ -478,6 +672,44 @@ def build_parser() -> argparse.ArgumentParser:
     errors.add_argument("--trials", type=int, default=10_000)
     errors.add_argument("--seed", type=int, default=0)
     errors.set_defaults(func=_cmd_errors)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="scenario-batched multi-corner sweep (compiled backend)")
+    sweep.add_argument("circuit", help="benchmark name or .bench path")
+    sweep.add_argument("--config", default="I", help="input stats: I or II")
+    sweep.add_argument("--corners",
+                       help="comma-separated NAME:SCALE[:SIGMA_SCALE] "
+                            "corner list (default: standard corners)")
+    sweep.add_argument("--derate-grid", metavar="START:STOP:COUNT[:SIGMA]",
+                       help="append a linear derate-corner grid")
+    sweep.add_argument("--scenarios", metavar="FILE",
+                       help="JSON scenario spec file (keys: config, "
+                            "corners, derate); overrides the corner flags")
+    sweep.add_argument("--algebra",
+                       choices=("moments", "mixture", "grid"),
+                       default="moments",
+                       help="arrival-time algebra (grid enables the "
+                            "vectorized stacked executor)")
+    sweep.add_argument("--grid", default="-8:60:2048",
+                       help="TimeGrid as START:STOP:N for --algebra grid")
+    sweep.add_argument("--keep", choices=("all", "endpoints"),
+                       default="endpoints",
+                       help="grid algebra: retain all nets or trim "
+                            "interior blocks after last use")
+    sweep.add_argument("--jit", choices=("auto", "on", "off"),
+                       default=None,
+                       help="numba segment-sum feature flag (default: "
+                            "SPSTA_SCENARIO_JIT env var, else auto)")
+    sweep.add_argument("--compare-looped", action="store_true",
+                       help="also time the per-scenario looped fast "
+                            "engine and report the speedup")
+    sweep.add_argument("--json",
+                       help="write the JSON report to this path ('-' for "
+                            "stdout)")
+    sweep.add_argument("--profile", action="store_true",
+                       help="print sweep phase timings and work counters")
+    sweep.set_defaults(func=_cmd_sweep)
 
     verify = sub.add_parser(
         "verify",

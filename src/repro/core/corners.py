@@ -17,7 +17,7 @@ so it can be compared against the statistical engines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.ssta import run_ssta
@@ -73,13 +73,37 @@ class CornerResult:
     worst_arrival: float             # STA max over endpoints
     worst_endpoint: str
     ssta_worst: Normal               # Clark-combined rise/fall at that net
+    spsta_worst: Optional[Normal] = None  # SPSTA conditional at that net
 
 
 def run_corners(netlist: Netlist,
                 corners: Sequence[Corner] = STANDARD_CORNERS,
-                base_model: DelayModel = UnitDelay()
+                base_model: DelayModel = UnitDelay(),
+                stats: Optional[object] = None
                 ) -> Dict[str, CornerResult]:
-    """STA + SSTA at every corner, keyed by corner name."""
+    """STA + SSTA at every corner, keyed by corner name.
+
+    With ``stats`` (an :class:`~repro.core.inputs.InputStats` or a
+    per-input mapping), every corner additionally carries the SPSTA
+    conditional arrival moments of the slower transition at its worst
+    endpoint — computed by ONE scenario-batched sweep
+    (:func:`repro.core.scenario.run_scenario_batch`) instead of a
+    per-corner analysis loop.
+    """
+    spsta_by_corner: Dict[str, object] = {}
+    if stats is not None:
+        # Imported lazily: repro.core.scenario itself imports the Corner
+        # and ScaledDelay types defined above.
+        from repro.core.scenario import (
+            run_scenario_batch,
+            scenarios_from_corners,
+        )
+        sweep = run_scenario_batch(
+            netlist,
+            scenarios_from_corners(tuple(corners), base_model, stats),
+            keep="endpoints")
+        for scenario, result in zip(sweep.scenarios, sweep.results):
+            spsta_by_corner[scenario.name] = result
     results: Dict[str, CornerResult] = {}
     for corner in corners:
         model = ScaledDelay(base_model, corner)
@@ -88,11 +112,20 @@ def run_corners(netlist: Netlist,
                         key=lambda n: (sta.max_arrival[n], n))
         ssta = run_ssta(netlist, model)
         pair = ssta.arrivals[worst_net]
+        spsta_worst: Optional[Normal] = None
+        spsta = spsta_by_corner.get(corner.name)
+        if spsta is not None:
+            reports = [spsta.report(worst_net, d) for d in ("rise", "fall")]
+            occurring = [(mu, sigma) for p, mu, sigma in reports if p > 0.0]
+            if occurring:
+                mu, sigma = max(occurring)
+                spsta_worst = Normal(float(mu), float(sigma))
         results[corner.name] = CornerResult(
             corner=corner,
             worst_arrival=sta.max_arrival[worst_net],
             worst_endpoint=worst_net,
-            ssta_worst=clark_max(pair.rise, pair.fall))
+            ssta_worst=clark_max(pair.rise, pair.fall),
+            spsta_worst=spsta_worst)
     return results
 
 

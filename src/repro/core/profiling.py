@@ -33,6 +33,7 @@ class SpstaProfile:
     algebra: str = ""
     circuit: str = ""
     workers: int = 1
+    scenarios: int = 1           # >1 for the scenario-batched backend
 
     gates_processed: int = 0
     levels: int = 0
@@ -88,7 +89,9 @@ class SpstaProfile:
         lines = [
             f"{indent}SPSTA profile [{self.engine}] "
             f"{self.circuit or '?'} / {self.algebra or '?'}"
-            + (f" / workers={self.workers}" if self.workers > 1 else ""),
+            + (f" / workers={self.workers}" if self.workers > 1 else "")
+            + (f" / scenarios={self.scenarios}"
+               if self.scenarios > 1 else ""),
             f"{indent}  gates: {self.gates_processed}  "
             f"levels: {self.levels}  subset terms: {self.subset_terms}  "
             f"parity terms: {self.parity_terms}  "

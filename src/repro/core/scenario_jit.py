@@ -1,0 +1,114 @@
+"""Optional numba acceleration for the scenario-batched backend.
+
+The scenario executor's segment summation (Eq. 8 mix) is a tight loop
+over contiguous row runs.  The pure-NumPy run-length implementation in
+:func:`repro.core.spsta_fast._mix_rows` is already fast for the common
+case (most segments hold one row); when `numba <https://numba.pydata.org>`_
+is installed, an LLVM-jitted kernel removes the remaining Python loop
+overhead for heterogeneous segment layouts.
+
+numba is an *optional* accelerator, never a dependency: this module
+imports it defensively and every caller goes through
+:func:`resolve_segment_sum`, which returns ``None`` (meaning "use the
+NumPy path") whenever numba is absent or the feature flag disables it.
+The flag:
+
+- ``jit="auto"`` (default) — use numba iff importable;
+- ``jit="on"`` — request numba, warn and fall back cleanly if absent;
+- ``jit="off"`` — never use numba;
+- the ``SPSTA_SCENARIO_JIT`` environment variable (``auto``/``on``/
+  ``off``) overrides the per-call default when the caller passes
+  ``jit=None``.
+
+Both paths compute the same sums over the same contiguous slices; they
+may differ by float summation order only, which is inside the grid
+algebra's established rounding tolerance (see docs/verification.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence
+import warnings
+
+import numpy as np
+
+try:                                        # pragma: no cover - optional
+    import numba                            # type: ignore[import-not-found]
+except ImportError:                         # pragma: no cover - default env
+    numba = None
+
+#: True when the optional numba accelerator is importable.
+HAVE_NUMBA = numba is not None
+
+#: Feature-flag environment variable consulted when ``jit=None``.
+JIT_ENV_VAR = "SPSTA_SCENARIO_JIT"
+
+_VALID_FLAGS = ("auto", "on", "off")
+
+SegmentSum = Callable[[np.ndarray, Sequence[int]], np.ndarray]
+
+
+def _segment_sum_python(rows: np.ndarray, starts: np.ndarray,
+                        counts: np.ndarray,
+                        out: np.ndarray) -> None:   # pragma: no cover
+    """Per-segment contiguous row sums (jitted when numba is present)."""
+    for seg in range(starts.shape[0]):
+        start = starts[seg]
+        count = counts[seg]
+        for col in range(rows.shape[1]):
+            acc = 0.0
+            for row in range(start, start + count):
+                acc += rows[row, col]
+            out[seg, col] = acc
+
+
+if HAVE_NUMBA:                              # pragma: no cover - optional
+    _segment_sum_compiled = numba.njit(cache=False)(_segment_sum_python)
+else:
+    _segment_sum_compiled = None
+
+
+def jit_segment_sum(rows: np.ndarray,
+                    counts: Sequence[int]) -> np.ndarray:
+    """numba-backed segment summation; only callable when numba exists."""
+    if _segment_sum_compiled is None:       # pragma: no cover - guarded
+        raise RuntimeError("numba is not available; use the NumPy path")
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    starts = np.zeros_like(counts_arr)
+    np.cumsum(counts_arr[:-1], out=starts[1:])
+    out = np.empty((counts_arr.shape[0], rows.shape[1]))
+    _segment_sum_compiled(rows, starts, counts_arr, out)
+    return out
+
+
+def resolve_jit_flag(jit: Optional[str]) -> str:
+    """Normalize the feature flag, folding in ``SPSTA_SCENARIO_JIT``."""
+    if jit is None:
+        jit = os.environ.get(JIT_ENV_VAR, "auto")
+    flag = jit.strip().lower()
+    if flag not in _VALID_FLAGS:
+        raise ValueError(
+            f"jit flag must be one of {_VALID_FLAGS}, got {jit!r}")
+    return flag
+
+
+def resolve_segment_sum(jit: Optional[str]) -> Optional[SegmentSum]:
+    """The segment-sum kernel the flag selects.
+
+    Returns the jitted kernel when enabled and available, else ``None``
+    (callers then use the NumPy run-length path).  An explicit
+    ``jit="on"`` without numba degrades with a warning instead of
+    failing — the fallback computes identical sums, only slower.
+    """
+    flag = resolve_jit_flag(jit)
+    if flag == "off":
+        return None
+    if not HAVE_NUMBA:
+        if flag == "on":
+            warnings.warn(
+                "SPSTA scenario jit requested but numba is not installed; "
+                "falling back to the NumPy segment-sum path",
+                RuntimeWarning, stacklevel=2)
+        return None
+    return jit_segment_sum                  # pragma: no cover - optional

@@ -489,6 +489,64 @@ def _run_controlling_jobs(jobs: Sequence[_ControllingJob],
             _run_controlling_chunk(group[lo:lo + chunk], lat, use_max, ctx)
 
 
+def _subset_dp(pdfs: np.ndarray, cdfs: np.ndarray, lat: SubsetLattice,
+               use_max: bool, dt: float,
+               profile: SpstaProfile) -> Tuple[np.ndarray, np.ndarray]:
+    """Subset-lattice DP over a ``(rows, k, n)`` stack of operand rows.
+
+    DP over the subset lattice, batched by popcount across the whole
+    batch: all masks of one cardinality of all rows combine their
+    predecessor with one extra input in a single stacked Eq. 3 pass.
+    Mirrors the naive fold exactly: operands are normalized before each
+    fold and the result's CDF is recomputed by trapezoid accumulation.
+    Each row's math involves only its own operands, so callers may stack
+    rows from any mix of gates (and, in the scenario backend, scenarios)
+    without changing which operations touch a row.
+
+    Returns ``(node_pdf, node_cdf)`` of shape ``(rows, 2^k - 1, n)``
+    indexed by ``mask - 1``; node pdfs are the normalized fold results,
+    node cdfs their trapezoid accumulations.  Cdfs of full-popcount
+    masks are never consumed by a further fold and are left unset —
+    callers use ``node_pdf`` only.
+
+    Masks are evaluated one at a time against strided views of the node
+    tables: the per-mask arrays are ``(rows, n)`` and rows-dominated
+    batches avoid the fancy-index copies a per-popcount gather would
+    make.
+    """
+    b, k, n = pdfs.shape
+    node_pdf = np.empty((b, (1 << k) - 1, n))
+    node_cdf = np.empty_like(node_pdf)
+    singles = lat.by_pop[0]
+    node_pdf[:, singles] = pdfs[:, lat.top[singles]]
+    node_cdf[:, singles] = cdfs[:, lat.top[singles]]
+    last = k - 1
+    for c in range(1, k):
+        idxs = lat.by_pop[c]
+        if idxs.size == 0:
+            continue
+        for m in idxs:
+            pa = node_pdf[:, lat.prev[m] - 1]
+            ca = node_cdf[:, lat.prev[m] - 1]
+            pb = pdfs[:, lat.top[m]]
+            cb = cdfs[:, lat.top[m]]
+            if use_max:
+                raw = pa * cb                             # Eq. 3
+                raw += pb * ca
+            else:
+                raw = pa * (1.0 - cb)                     # MIN analogue
+                raw += pb * (1.0 - ca)
+            ints = trapezoid_rows(raw, dt)
+            if np.any(ints <= 0.0):
+                raise ValueError("cannot normalize an empty density")
+            raw /= ints[:, None]
+            node_pdf[:, m] = raw
+            if c != last:
+                node_cdf[:, m] = cdf_rows(raw, dt)
+        profile.max_folds += idxs.size * b
+    return node_pdf, node_cdf
+
+
 def _run_controlling_chunk(batch: Sequence[_ControllingJob],
                            lat: SubsetLattice, use_max: bool,
                            ctx: _GridContext) -> None:
@@ -503,38 +561,7 @@ def _run_controlling_chunk(batch: Sequence[_ControllingJob],
         for i in range(k):
             pdfs[j, i] = job.pdfs[i]
             cdfs[j, i] = job.cdfs[i]
-    # DP over the subset lattice, batched by popcount across the whole
-    # batch: all masks of one cardinality of all gates combine their
-    # predecessor with one extra input in a single stacked Eq. 3 pass.
-    # Mirrors the naive fold exactly: operands are normalized before each
-    # fold and the result's CDF is recomputed by trapezoid accumulation.
-    node_pdf = np.empty((b, (1 << k) - 1, n))
-    node_cdf = np.empty_like(node_pdf)
-    singles = lat.by_pop[0]
-    node_pdf[:, singles] = pdfs[:, lat.top[singles]]
-    node_cdf[:, singles] = cdfs[:, lat.top[singles]]
-    for c in range(1, k):
-        idxs = lat.by_pop[c]
-        if idxs.size == 0:
-            continue
-        pa = node_pdf[:, lat.prev[idxs] - 1]
-        ca = node_cdf[:, lat.prev[idxs] - 1]
-        pb = pdfs[:, lat.top[idxs]]
-        cb = cdfs[:, lat.top[idxs]]
-        if use_max:
-            raw = pa * cb                                 # Eq. 3
-            raw += pb * ca
-        else:
-            raw = pa * (1.0 - cb)                         # MIN analogue
-            raw += pb * (1.0 - ca)
-        flat = raw.reshape(-1, n)
-        ints = trapezoid_rows(flat, dt)
-        if np.any(ints <= 0.0):
-            raise ValueError("cannot normalize an empty density")
-        flat /= ints[:, None]
-        node_pdf[:, idxs] = raw
-        node_cdf[:, idxs] = cdf_rows(flat, dt).reshape(b, idxs.size, n)
-        ctx.profile.max_folds += idxs.size * b
+    node_pdf, _ = _subset_dp(pdfs, cdfs, lat, use_max, dt, ctx.profile)
     # Fold each positive mask's weight and exact convolution retention into
     # its node row, accumulating one pre-mixed row per distinct delay
     # kernel per job (convolution is linear, so one convolution of the
@@ -562,6 +589,34 @@ def _run_controlling_chunk(batch: Sequence[_ControllingJob],
         key = (delay.mu, delay.sigma)
         for j, job in enumerate(batch):
             job.acc[key] = (delay, rows_all[j])
+        _finish_jobs(batch, ctx)
+        return
+    uniform: List[Optional[Normal]] = []
+    for ds in job_delays:
+        first = ds[0]
+        if all(d.mu == first.mu and d.sigma == first.sigma for d in ds):
+            uniform.append(first)
+        else:
+            uniform.append(None)
+            break
+    if len(uniform) == b and all(d is not None for d in uniform):
+        # Each job keeps one kernel across all its masks but kernels
+        # differ between jobs (constant-delay models in a multi-scenario
+        # batch): one per-job retention row replaces the per-popcount
+        # per-kernel gathers below.
+        rstack = np.stack([ctx.retention(d) for d in uniform])
+        retained = np.einsum("jmn,jn->jm", node_pdf, rstack)
+        positive = weight_mat > 0.0
+        if np.any(positive & (retained <= 0.0)):
+            raise ValueError("cannot normalize an empty density")
+        ctx.record_mass((weight_mat * (1.0 - retained))[positive],
+                        weight_mat[positive], "subset convolution")
+        coef = np.where(positive, weight_mat
+                        / np.where(retained > 0.0, retained, 1.0), 0.0)
+        rows_all = np.einsum("jm,jmn->jn", coef, node_pdf)
+        for j, job in enumerate(batch):
+            delay = uniform[j]
+            job.acc[(delay.mu, delay.sigma)] = (delay, rows_all[j])
         _finish_jobs(batch, ctx)
         return
     for c_idx in range(k):
@@ -741,6 +796,120 @@ def _grid_gate_items(gate: Gate, in_probs: Sequence[Prob4],
     return rise, fall
 
 
+def _convolve_matrix(matrix: np.ndarray, delays: Sequence[Normal],
+                     ctx: _GridContext) -> np.ndarray:
+    """Delay-convolve a stack of rows, grouped by kernel (phase B, part 1).
+
+    ``delays[i]`` is the kernel of ``matrix[i]``.  Shared by the per-level
+    sweep and the scenario-batched backend: each row is convolved
+    independently, so callers may stack rows from any mix of gates,
+    directions, and scenarios.
+    """
+    dt = ctx.grid.dt
+    profile = ctx.profile
+    groups: Dict[Tuple[float, float], List[int]] = {}
+    for i, delay in enumerate(delays):
+        if delay.sigma <= 0.0:
+            # Deterministic kernels act through their integer bin shift
+            # alone, so distinct means sharing a shift (e.g. nearby
+            # derate corners) merge into one group.
+            key = (float(int(round(delay.mu / dt))), -1.0)
+        else:
+            key = (delay.mu, delay.sigma)
+        groups.setdefault(key, []).append(i)
+    # With rows pre-merged per kernel in phase A, levels of a
+    # homogeneous-delay design collapse to one group — no scatter copy.
+    single = len(groups) == 1
+    out = None if single else np.empty_like(matrix)
+    for (mu, sigma), idxs in groups.items():
+        sel = None if single else np.asarray(idxs)
+        src = matrix if single else matrix[sel]
+        if sigma < 0.0:
+            res = shift_rows(src, int(mu))
+            profile.shift_rows += src.shape[0]
+        else:
+            kernel = ctx.kernel_cache.kernel(Normal(mu, sigma))
+            method = ctx.conv_method
+            if method == "auto":
+                # Always FFT: engine batches are nearly always past the
+                # direct/FFT crossover, and a fixed choice keeps results
+                # independent of how a level is chunked across workers
+                # (FFT and direct differ by ~1e-16 per bin).
+                method = "fft"
+            res = convolve_rows(src, kernel, method)
+            if method == "fft":
+                profile.fft_convolutions += src.shape[0]
+            else:
+                profile.direct_convolutions += src.shape[0]
+        if single:
+            out = res
+        else:
+            out[sel] = res
+    return out
+
+
+#: Optional replacement for the run-length segment summation inside
+#: :func:`_mix_rows` — ``(rows, counts) -> (len(counts), n)``.  The
+#: scenario backend injects a numba-jitted kernel here when the feature
+#: flag enables it (see :mod:`repro.core.scenario_jit`).
+_SegmentSum = Callable[[np.ndarray, Sequence[int]], np.ndarray]
+
+
+def _mix_rows(out: np.ndarray, counts: Sequence[int],
+              expected: np.ndarray, ctx: _GridContext,
+              segment_sum: Optional[_SegmentSum] = None) -> np.ndarray:
+    """Eq. 8 mix of convolved rows into per-segment densities (phase B,
+    part 2).
+
+    Term weights and per-term convolution retentions were folded into
+    the rows in phase A, so the mix is one contiguous segment sum
+    followed by a batched normalization (plus clipping FFT noise).
+    ``counts[i]`` rows belong to segment ``i`` and ``expected[i]`` is the
+    integral its sum should reach (the mass-conservation reference).
+    np.add.reduceat walks segments one ufunc reduction at a time;
+    summing runs of equal-length segments through a reshape is much
+    faster, and most segments are a single row (one delay kernel).
+    """
+    dt = ctx.grid.dt
+    n = ctx.grid.n
+    np.maximum(out, 0.0, out=out)
+    n_seg = len(counts)
+    if segment_sum is not None:
+        mixed = segment_sum(out, counts)
+    else:
+        mixed = np.empty((n_seg, n))
+        seg = pos = 0
+        while seg < n_seg:
+            count = counts[seg]
+            run = seg + 1
+            while run < n_seg and counts[run] == count:
+                run += 1
+            block = out[pos:pos + (run - seg) * count]
+            if count == 1:
+                mixed[seg:run] = block
+            else:
+                mixed[seg:run] = block.reshape(run - seg, count,
+                                               n).sum(axis=1)
+            pos += (run - seg) * count
+            seg = run
+    ints = trapezoid_rows(mixed, dt)
+    if np.any(ints <= 0.0):
+        raise ValueError("cannot normalize an empty density")
+    # Mass audit: retention-corrected segments should integrate to
+    # their occurrence weight, BUFF/NOT segments to 1.0; anything lost
+    # beyond FFT noise is mass the grid shift/convolution clipped.
+    ctx.record_mass(expected - ints, expected, "level mix")
+    mixed /= ints[:, None]
+    # NaN/Inf sentinel: downstream rows bypass GridDensity validation
+    # (``from_trusted``), so this is the fast path's divergence check.
+    ctx.profile.finite_checks += 1
+    if not np.isfinite(mixed).all():
+        raise ValueError(
+            "non-finite density after level mix (NaN/Inf sentinel: a "
+            "grid operation diverged)")
+    return mixed
+
+
 #: Worker/parent result for one gate: name plus per-direction
 #: (weight, conditional values) with ``None`` for absent transitions.
 _GateArrays = Tuple[str,
@@ -800,83 +969,16 @@ def _grid_process_gates(net_table: Mapping[str, tuple],
         return [(gate.name, None, None) for gate, _ in gates]
 
     with profile.phase("convolve"):
-        matrix = np.vstack(rows)
-        groups: Dict[Tuple[float, float], List[int]] = {}
-        for i, delay in enumerate(delays):
-            groups.setdefault((delay.mu, delay.sigma), []).append(i)
-        # With rows pre-merged per kernel in phase A, levels of a
-        # homogeneous-delay design collapse to one group — no scatter copy.
-        single = len(groups) == 1
-        out = None if single else np.empty_like(matrix)
-        for (mu, sigma), idxs in groups.items():
-            sel = None if single else np.asarray(idxs)
-            src = matrix if single else matrix[sel]
-            if sigma <= 0.0:
-                res = shift_rows(src, int(round(mu / dt)))
-                profile.shift_rows += src.shape[0]
-            else:
-                kernel = ctx.kernel_cache.kernel(Normal(mu, sigma))
-                method = ctx.conv_method
-                if method == "auto":
-                    # Always FFT: engine batches are nearly always past the
-                    # direct/FFT crossover, and a fixed choice keeps results
-                    # independent of how a level is chunked across workers
-                    # (FFT and direct differ by ~1e-16 per bin).
-                    method = "fft"
-                res = convolve_rows(src, kernel, method)
-                if method == "fft":
-                    profile.fft_convolutions += src.shape[0]
-                else:
-                    profile.direct_convolutions += src.shape[0]
-            if single:
-                out = res
-            else:
-                out[sel] = res
+        out = _convolve_matrix(np.vstack(rows), delays, ctx)
 
     with profile.phase("mix"):
-        # Term weights and per-term convolution retentions were folded into
-        # the rows in phase A, so the mix is one contiguous segment sum
-        # followed by a batched normalization (plus clipping FFT noise).
-        # np.add.reduceat walks segments one ufunc reduction at a time;
-        # summing runs of equal-length segments through a reshape is much
-        # faster, and most segments are a single row (one delay kernel).
-        np.maximum(out, 0.0, out=out)
         n_seg = len(segments)
         counts = [0] * n_seg
         for idx in range(n_seg - 1):
             counts[idx] = segments[idx + 1][2] - segments[idx][2]
         counts[-1] = out.shape[0] - segments[-1][2]
-        mixed = np.empty((n_seg, grid.n))
-        seg = pos = 0
-        while seg < n_seg:
-            count = counts[seg]
-            run = seg + 1
-            while run < n_seg and counts[run] == count:
-                run += 1
-            block = out[pos:pos + (run - seg) * count]
-            if count == 1:
-                mixed[seg:run] = block
-            else:
-                mixed[seg:run] = block.reshape(run - seg, count,
-                                               grid.n).sum(axis=1)
-            pos += (run - seg) * count
-            seg = run
-        ints = trapezoid_rows(mixed, dt)
-        if np.any(ints <= 0.0):
-            raise ValueError("cannot normalize an empty density")
-        # Mass audit: retention-corrected segments should integrate to
-        # their occurrence weight, BUFF/NOT segments to 1.0; anything lost
-        # beyond FFT noise is mass the grid shift/convolution clipped.
         expected = np.array([seg[4] for seg in segments])
-        ctx.record_mass(expected - ints, expected, "level mix")
-        mixed /= ints[:, None]
-        # NaN/Inf sentinel: downstream rows bypass GridDensity validation
-        # (``from_trusted``), so this is the fast path's divergence check.
-        profile.finite_checks += 1
-        if not np.isfinite(mixed).all():
-            raise ValueError(
-                "non-finite density after level mix (NaN/Inf sentinel: a "
-                "grid operation diverged)")
+        mixed = _mix_rows(out, counts, expected, ctx)
 
     results: List[List[Optional[Tuple[float, np.ndarray]]]] = [
         [None, None] for _ in gates]

@@ -1,0 +1,147 @@
+"""Schema of the ``BENCH_scenario_sweep.json`` trajectory artifact.
+
+``benchmarks/test_bench_scenario.py`` measures the scenario-batched
+backend against the looped fast engine over a trajectory of grid sizes
+and writes the result as machine-readable JSON (CI uploads it as a build
+artifact).  This module is the single source of truth for that format:
+the writer validates before writing and ``tests/test_bench_schema.py``
+pins the schema itself, so a format drift fails fast on both ends.
+
+Validation prefers `jsonschema <https://python-jsonschema.readthedocs.io>`_
+when importable and falls back to an equivalent structural check — the
+schema is deliberately simple enough to verify by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+try:                                        # pragma: no cover - optional
+    import jsonschema                       # type: ignore[import-untyped]
+except ImportError:                         # pragma: no cover
+    jsonschema = None
+
+#: JSON-Schema (draft 7 subset) of the scenario-sweep benchmark artifact.
+SCENARIO_SWEEP_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["report", "version", "circuit", "n_scenarios",
+                 "algebra", "headline", "trajectory"],
+    "properties": {
+        "report": {"const": "spsta-scenario-sweep"},
+        "version": {"type": "integer", "minimum": 1},
+        "circuit": {"type": "string", "minLength": 1},
+        "n_scenarios": {"type": "integer", "minimum": 1},
+        "algebra": {"type": "string", "minLength": 1},
+        "repeats": {"type": "integer", "minimum": 1},
+        "headline": {
+            "type": "object",
+            "required": ["grid_n", "speedup"],
+            "properties": {
+                "grid_n": {"type": "integer", "minimum": 8},
+                "speedup": {"type": "number", "exclusiveMinimum": 0},
+            },
+        },
+        "trajectory": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["grid", "batched_seconds", "looped_seconds",
+                             "speedup"],
+                "properties": {
+                    "grid": {
+                        "type": "object",
+                        "required": ["start", "stop", "n"],
+                        "properties": {
+                            "start": {"type": "number"},
+                            "stop": {"type": "number"},
+                            "n": {"type": "integer", "minimum": 8},
+                        },
+                    },
+                    "batched_seconds": {"type": "number",
+                                        "exclusiveMinimum": 0},
+                    "looped_seconds": {"type": "number",
+                                       "exclusiveMinimum": 0},
+                    "speedup": {"type": "number", "exclusiveMinimum": 0},
+                },
+            },
+        },
+    },
+}
+
+#: Bump on breaking format changes (mirrors the lint report convention).
+SCENARIO_SWEEP_VERSION = 1
+
+
+def _fail(message: str) -> None:
+    raise ValueError(f"BENCH_scenario_sweep payload invalid: {message}")
+
+
+def _check_number(obj: Dict[str, Any], key: str, positive: bool = False,
+                  where: str = "") -> None:
+    value = obj.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(f"{where}{key} must be a number, got {value!r}")
+    if positive and value <= 0:
+        _fail(f"{where}{key} must be > 0, got {value!r}")
+
+
+def _validate_fallback(payload: Dict[str, Any]) -> None:
+    """Structural validation mirroring :data:`SCENARIO_SWEEP_SCHEMA`."""
+    if not isinstance(payload, dict):
+        _fail("top level must be an object")
+    for key in SCENARIO_SWEEP_SCHEMA["required"]:
+        if key not in payload:
+            _fail(f"missing required key {key!r}")
+    if payload["report"] != "spsta-scenario-sweep":
+        _fail(f"report must be 'spsta-scenario-sweep', "
+              f"got {payload['report']!r}")
+    if not isinstance(payload["version"], int) or payload["version"] < 1:
+        _fail("version must be an integer >= 1")
+    for key in ("circuit", "algebra"):
+        if not isinstance(payload[key], str) or not payload[key]:
+            _fail(f"{key} must be a non-empty string")
+    if not isinstance(payload["n_scenarios"], int) \
+            or payload["n_scenarios"] < 1:
+        _fail("n_scenarios must be an integer >= 1")
+    headline = payload["headline"]
+    if not isinstance(headline, dict):
+        _fail("headline must be an object")
+    if not isinstance(headline.get("grid_n"), int):
+        _fail("headline.grid_n must be an integer")
+    _check_number(headline, "speedup", positive=True, where="headline.")
+    trajectory = payload["trajectory"]
+    if not isinstance(trajectory, list) or not trajectory:
+        _fail("trajectory must be a non-empty array")
+    for i, point in enumerate(trajectory):
+        where = f"trajectory[{i}]."
+        if not isinstance(point, dict):
+            _fail(f"trajectory[{i}] must be an object")
+        grid = point.get("grid")
+        if not isinstance(grid, dict):
+            _fail(f"{where}grid must be an object")
+        _check_number(grid, "start", where=where + "grid.")
+        _check_number(grid, "stop", where=where + "grid.")
+        if not isinstance(grid.get("n"), int) or grid["n"] < 8:
+            _fail(f"{where}grid.n must be an integer >= 8")
+        for key in ("batched_seconds", "looped_seconds", "speedup"):
+            _check_number(point, key, positive=True, where=where)
+
+
+def validate_scenario_sweep(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` if ``payload`` violates the artifact schema."""
+    if jsonschema is not None:
+        try:
+            jsonschema.validate(payload, SCENARIO_SWEEP_SCHEMA)
+        except jsonschema.ValidationError as exc:
+            raise ValueError(
+                f"BENCH_scenario_sweep payload invalid: {exc.message}"
+            ) from exc
+        return
+    _validate_fallback(payload)
+
+
+def trajectory_speedups(payload: Dict[str, Any]) -> List[float]:
+    """The per-grid speedups, in trajectory order (payload assumed valid)."""
+    return [point["speedup"] for point in payload["trajectory"]]

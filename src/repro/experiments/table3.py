@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 import time
-from typing import List, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -117,6 +117,78 @@ def run_table3(config: InputStats,
                                scalar_seconds, shard_summary,
                                profile_summary))
     return rows
+
+
+@dataclass(frozen=True)
+class ConfigSweepRow:
+    """One circuit's config-sweep timing through the batched backend.
+
+    ``looped_seconds`` is NaN when the per-config reference loop was not
+    timed (``compare_looped=False``).
+    """
+
+    circuit: str
+    configs: Tuple[str, ...]
+    batched_seconds: float
+    looped_seconds: float = float("nan")
+
+    @property
+    def speedup(self) -> float:
+        return self.looped_seconds / self.batched_seconds
+
+
+def run_config_sweep(configs: Mapping[str, InputStats],
+                     circuits: Sequence[str] = TABLE_CIRCUITS,
+                     delay_model: DelayModel = UnitDelay(),
+                     compare_looped: bool = True) -> List[ConfigSweepRow]:
+    """The Table 3 config sweep routed through the batched backend.
+
+    Historically the CONFIG (I) / CONFIG (II) sweep reran the whole
+    analysis per configuration (the ``errors`` command still shows that
+    shape for Table 2).  Here each circuit compiles once and all
+    configurations execute as one :func:`run_scenario_batch` call;
+    ``compare_looped=True`` also times the per-config
+    ``run_spsta(engine="fast")`` loop the sweep replaced.
+    """
+    from repro.core.scenario import (
+        run_scenario_batch,
+        run_scenarios_looped,
+        scenarios_from_stats,
+    )
+
+    rows: List[ConfigSweepRow] = []
+    names = tuple(configs)
+    for name in circuits:
+        netlist = benchmark_circuit(name)
+        scenarios = scenarios_from_stats(configs, delay_model)
+        t0 = time.perf_counter()
+        run_scenario_batch(netlist, scenarios)
+        t1 = time.perf_counter()
+        looped_seconds = float("nan")
+        if compare_looped:
+            run_scenarios_looped(netlist, scenarios)
+            looped_seconds = time.perf_counter() - t1
+        rows.append(ConfigSweepRow(name, names, t1 - t0, looped_seconds))
+    return rows
+
+
+def format_config_sweep(rows: Sequence[ConfigSweepRow],
+                        title: str = "Table 3 config sweep "
+                                     "(batched backend, seconds)") -> str:
+    lines = [
+        title,
+        f"{'test':>7} | {'configs':>12} | {'batched':>9} | "
+        f"{'looped':>9} | {'speedup':>8}",
+        "-" * 58,
+    ]
+    for row in rows:
+        no_loop = row.looped_seconds != row.looped_seconds
+        looped = "   --    " if no_loop else f"{row.looped_seconds:>9.4f}"
+        speedup = "   --   " if no_loop else f"{row.speedup:>7.1f}x"
+        lines.append(
+            f"{row.circuit:>7} | {','.join(row.configs):>12} | "
+            f"{row.batched_seconds:>9.4f} | {looped} | {speedup}")
+    return "\n".join(lines)
 
 
 def _time_scalar_mc(netlist, config: InputStats, trials: int, seed: int,

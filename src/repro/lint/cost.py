@@ -33,7 +33,8 @@ def _capped_power(base: int, exponent: int) -> int:
 
 def cost_diagnostics(netlist: "Netlist",
                      config: "LintConfig") -> List[Diagnostic]:
-    """SP201 parity blowups, SP202 subset-table widths, SP203 estimates."""
+    """SP201 parity blowups, SP202 subset-table widths, SP203 estimates,
+    SP204 scenario-sweep memory footprint."""
     diagnostics: List[Diagnostic] = []
     subset_terms = 0
     parity_assignments = 0
@@ -74,23 +75,72 @@ def cost_diagnostics(netlist: "Netlist",
                                "repro.netlist.transform.decompose_fanin "
                                "to trade modelling granularity for "
                                "exponential runtime"))
+    # The analytic (SPSTA) cost repeats per scenario of a batched sweep:
+    # subset DP, parity enumeration, convolve and mix all scale ~linearly
+    # with N even though compile/launch/weight tables are shared.
+    n_scenarios = max(1, config.n_scenarios)
+    swept_subset_terms = min(subset_terms * n_scenarios, _COUNT_CAP)
+    swept_parity = min(parity_assignments * n_scenarios, _COUNT_CAP)
     mc_cost = config.trials * len(netlist.combinational_gates)
-    over_budget = (subset_terms > config.subset_term_budget
+    over_budget = (swept_subset_terms > config.subset_term_budget
                    or mc_cost > config.mc_cost_budget)
     severity = Severity.WARNING if over_budget else Severity.INFO
+    scenario_note = (f" across {n_scenarios} scenarios"
+                     if n_scenarios > 1 else "")
     diagnostics.append(Diagnostic(
         rule="SP203", severity=severity,
-        message=f"estimated engine cost: {subset_terms:,} Eq. 11 subset "
-                f"terms, {parity_assignments:,} parity assignments, "
-                f"{mc_cost:,} Monte Carlo gate evaluations at "
-                f"{config.trials:,} trials"
+        message=f"estimated engine cost: {swept_subset_terms:,} Eq. 11 "
+                f"subset terms, {swept_parity:,} parity "
+                f"assignments{scenario_note}, {mc_cost:,} Monte Carlo "
+                f"gate evaluations at {config.trials:,} trials"
                 + (" — over budget" if over_budget else ""),
-        data={"eq11_subset_terms": subset_terms,
-              "parity_assignments": parity_assignments,
+        data={"eq11_subset_terms": swept_subset_terms,
+              "parity_assignments": swept_parity,
+              "n_scenarios": n_scenarios,
+              "subset_terms_per_scenario": subset_terms,
               "mc_trials": config.trials,
               "mc_gate_evaluations": mc_cost,
               "subset_term_budget": config.subset_term_budget,
               "mc_cost_budget": config.mc_cost_budget},
-        suggestion=("lower --trials, shard the Monte Carlo run, or "
-                    "decompose wide gates" if over_budget else None)))
+        suggestion=("lower --trials, shard the Monte Carlo run, reduce "
+                    "the scenario count, or decompose wide gates"
+                    if over_budget else None)))
+    diagnostics.extend(_scenario_memory(netlist, config, n_scenarios))
     return diagnostics
+
+
+def _scenario_memory(netlist: "Netlist", config: "LintConfig",
+                     n_scenarios: int) -> List[Diagnostic]:
+    """SP204: a grid sweep's stacked-block footprint, priced up front.
+
+    ``run_scenario_batch`` holds one ``(n_scenarios, bins)`` float64
+    block per occurring net direction; with ``keep="all"`` every net
+    stays live, so the peak is ~``n_scenarios × bins × 2·nets × 8``
+    bytes.  Needs a grid to know ``bins``; silent otherwise, and for a
+    single scenario under budget (plain runs never hit this).
+    """
+    grid = config.grid
+    if grid is None:
+        return []
+    bins = int(getattr(grid, "n"))
+    n_nets = len(netlist.nets)
+    footprint = n_scenarios * bins * 2 * n_nets * 8
+    over = footprint > config.scenario_memory_budget
+    if not over and n_scenarios <= 1:
+        return []
+    return [Diagnostic(
+        rule="SP204",
+        severity=Severity.WARNING if over else Severity.INFO,
+        message=f"scenario sweep holds ~{footprint / 1024 ** 2:,.0f} MiB "
+                f"of grid blocks ({n_scenarios} scenarios x {bins} bins "
+                f"x {n_nets} nets x 2 directions)"
+                + (f" — exceeds the "
+                   f"{config.scenario_memory_budget / 1024 ** 2:,.0f} MiB "
+                   f"budget" if over else ""),
+        data={"n_scenarios": n_scenarios, "bins": bins, "nets": n_nets,
+              "footprint_bytes": footprint,
+              "budget_bytes": config.scenario_memory_budget},
+        suggestion=("run_scenario_batch(..., keep='endpoints') frees "
+                    "interior blocks after their last fan-out level; "
+                    "otherwise coarsen the grid or split the scenario "
+                    "set" if over else None))]

@@ -58,8 +58,12 @@ class LintConfig:
     Mirrors the knobs of an actual run: the parity enumeration cap and
     Monte Carlo trial count (SP2xx), and the input statistics, delay
     model, and time grid (SP303's support bounds).  ``grid=None`` skips
-    the grid-coverage prediction.  ``disabled`` switches whole rules off;
-    ``k_sigma`` is the support-bound width and matches the Gaussian
+    the grid-coverage prediction.  ``n_scenarios`` is the scenario count
+    of a batched sweep (``repro.core.scenario``): the SP203 analytic
+    cost scales roughly linearly with it, and SP204 prices the sweep's
+    ``n_scenarios × bins × nets`` grid-block footprint against
+    ``scenario_memory_budget`` bytes.  ``disabled`` switches whole rules
+    off; ``k_sigma`` is the support-bound width and matches the Gaussian
     kernel window of the grid engines.
     """
 
@@ -68,6 +72,8 @@ class LintConfig:
     subset_term_budget: int = 5_000_000
     trials: int = 10_000
     mc_cost_budget: int = 1_000_000_000
+    n_scenarios: int = 1
+    scenario_memory_budget: int = 2 * 1024 ** 3
     input_stats: InputStats = CONFIG_I
     delay_model: DelayModel = UnitDelay()
     grid: Optional[object] = None     # repro.stats.grid.TimeGrid

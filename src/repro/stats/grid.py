@@ -337,7 +337,8 @@ def shift_retention_vector(bins: int, n: int, dt: float) -> np.ndarray:
 def cdf_rows(rows: np.ndarray, dt: float) -> np.ndarray:
     """Cumulative trapezoid integral of each row (same shape), matching
     :meth:`GridDensity.cdf_values` bin for bin."""
-    out = np.zeros_like(rows)
+    out = np.empty_like(rows)
+    out[:, 0] = 0.0
     np.cumsum((rows[:, 1:] + rows[:, :-1]) * (0.5 * dt), axis=1,
               out=out[:, 1:])
     return out

@@ -1,12 +1,14 @@
 """Differential conformance sweep over every engine pair.
 
 One :func:`verify_circuit` call runs a circuit through all six SPSTA
-engine/algebra combinations plus both Monte Carlo simulators, then checks
-every pair named in :data:`repro.verify.policies.POLICIES` net by net:
+engine/algebra combinations, the scenario-batched backend
+(:mod:`repro.core.scenario`) on every algebra, plus both Monte Carlo
+simulators, then checks every pair named in
+:data:`repro.verify.policies.POLICIES` net by net:
 
-- replication pairs (``fast-vs-naive/*``, ``wave-vs-stream/mc``) over
-  every net — the engines share their mathematics, so any visible
-  disagreement is a bug;
+- replication pairs (``fast-vs-naive/*``, ``batched-vs-fast/*``,
+  ``wave-vs-stream/mc``) over every net — the engines share their
+  mathematics, so any visible disagreement is a bug;
 - abstraction pairs (``*-vs-grid``) and statistical pairs (``*-vs-mc``)
   over the netlist's endpoints, where the tolerance policy encodes the
   modelling error the pair is *allowed* to have.
@@ -31,9 +33,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.corners import Corner, ScaledDelay
 from repro.core.delay import DelayModel, NormalDelay, UnitDelay
 from repro.core.inputs import CONFIG_I, InputStats
 from repro.core.profiling import SpstaProfile
+from repro.core.scenario import Scenario, run_scenario_batch
 from repro.core.spsta import (
     GridAlgebra,
     MixtureAlgebra,
@@ -321,6 +325,21 @@ def verify_circuit(netlist: Netlist,
                 engine=engine, profile=profile)
             profiles[(algebra_name, engine)] = profile
 
+    # The scenario-batched backend: the nominal scenario reruns the
+    # direct engines' exact workload, and a derated companion scenario
+    # rides along so the stacked executor is exercised with real
+    # cross-scenario batching (b=2), not just the degenerate case.
+    scenarios = (Scenario("nominal", config, delay_model),
+                 Scenario("derate", config,
+                          ScaledDelay(delay_model, Corner("derate", 1.1))))
+    batched_runs: Dict[str, SpstaResult] = {}
+    for algebra_name, factory in algebra_factories.items():
+        profile = SpstaProfile()
+        sweep = run_scenario_batch(netlist, scenarios, factory(),
+                                   profile=profile)
+        batched_runs[algebra_name] = sweep.result_for("nominal")
+        profiles[(algebra_name, "batched")] = profile
+
     mc_wave = run_monte_carlo(netlist, config, trials, delay_model,
                               rng=np.random.default_rng(seed))
     mc_stream = run_monte_carlo(netlist, config, trials, delay_model,
@@ -345,9 +364,18 @@ def verify_circuit(netlist: Netlist,
             policy, all_nets,
             _spsta_stats(runs[(algebra_name, "fast")]),
             _spsta_stats(runs[(algebra_name, "naive")])))
+    for algebra_name in ("moment", "mixture", "grid"):
+        policy = POLICIES[f"batched-vs-fast/{algebra_name}"]
+        checks.append(_compare_pair(
+            policy, all_nets,
+            _spsta_stats(batched_runs[algebra_name]),
+            _spsta_stats(runs[(algebra_name, "fast")])))
     checks.append(_compare_pair(
         POLICIES["wave-vs-stream/mc"], mc_nets,
         _mc_stats(mc_wave), _mc_stats(mc_stream)))
+    checks.append(_compare_pair(
+        POLICIES["batched-vs-mc"], endpoints,
+        _spsta_stats(batched_runs["grid"]), _mc_stats(mc_wave)))
     for pair in ("moment-vs-grid", "mixture-vs-grid",
                  "moment-vs-mc", "mixture-vs-mc", "grid-vs-mc"):
         policy = POLICIES[pair]
@@ -359,7 +387,7 @@ def verify_circuit(netlist: Netlist,
     guardrail = {"mass_checks": 0.0, "clipped_mass": 0.0,
                  "clip_events": 0.0, "max_clip_fraction": 0.0,
                  "finite_checks": 0.0}
-    for engine in ("naive", "fast"):
+    for engine in ("naive", "fast", "batched"):
         profile = profiles[("grid", engine)]
         guardrail["mass_checks"] += profile.mass_checks
         guardrail["clipped_mass"] += profile.clipped_mass

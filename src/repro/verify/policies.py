@@ -122,5 +122,31 @@ POLICIES: Dict[str, TolerancePolicy] = {
                         "independence approximation.",
             abs_probability=0.16, abs_mean=0.55, abs_std=0.55,
             min_occurrences=200, endpoints_only=True),
+        TolerancePolicy(
+            pair="batched-vs-fast/moment",
+            description="The scenario-batched backend replays the fast "
+                        "engine's closed-form fold sequence over shared "
+                        "group state: bit-exact.",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
+            pair="batched-vs-fast/mixture",
+            description="As batched-vs-fast/moment — the generic walk is "
+                        "shared, only setup is amortized: bit-exact.",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
+            pair="batched-vs-fast/grid",
+            description="Cross-scenario stacking regroups the grid "
+                        "engine's batched divisions and segment sums; "
+                        "weights agree to 1e-12, moments to 1e-9 "
+                        "(tests/test_scenario_batch.py pins the same "
+                        "bounds).",
+            abs_probability=1e-12, abs_mean=1e-9, abs_std=1e-9),
+        TolerancePolicy(
+            pair="batched-vs-mc",
+            description="The batched grid backend against the sampling "
+                        "oracle: same regime as grid-vs-mc (sampling "
+                        "noise plus the independence approximation).",
+            abs_probability=0.16, abs_mean=0.55, abs_std=0.55,
+            min_occurrences=200, endpoints_only=True),
     )
 }

@@ -1,0 +1,140 @@
+"""Schema tests for the ``BENCH_scenario_sweep.json`` artifact format.
+
+Both validation paths are exercised — the `jsonschema`-backed one and
+the dependency-free structural fallback — against the same payloads, so
+the two cannot drift apart.  The committed artifact itself is validated
+too: a format change that forgets to regenerate it fails here.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import bench_schema
+from repro.experiments.bench_schema import (
+    SCENARIO_SWEEP_VERSION,
+    trajectory_speedups,
+    validate_scenario_sweep,
+)
+
+ARTIFACT = (Path(__file__).resolve().parent.parent
+            / "benchmarks" / "results" / "BENCH_scenario_sweep.json")
+
+
+def _valid_payload() -> dict:
+    point = {
+        "grid": {"start": -8.0, "stop": 45.0, "n": 32},
+        "batched_seconds": 0.5,
+        "looped_seconds": 6.5,
+        "speedup": 13.0,
+    }
+    return {
+        "report": "spsta-scenario-sweep",
+        "version": SCENARIO_SWEEP_VERSION,
+        "circuit": "s1196",
+        "n_scenarios": 64,
+        "algebra": "grid",
+        "repeats": 3,
+        "headline": {"grid_n": 32, "speedup": 13.0},
+        "trajectory": [point],
+    }
+
+
+def _mutations():
+    """(label, mutator) pairs, each producing one schema violation."""
+    def drop(key):
+        def mutate(p):
+            del p[key]
+        return mutate
+
+    def set_(key, value):
+        def mutate(p):
+            p[key] = value
+        return mutate
+
+    def in_point(key, value):
+        def mutate(p):
+            p["trajectory"][0][key] = value
+        return mutate
+
+    return [
+        ("missing report", drop("report")),
+        ("missing trajectory", drop("trajectory")),
+        ("wrong report tag", set_("report", "spsta-lint")),
+        ("version zero", set_("version", 0)),
+        ("empty circuit", set_("circuit", "")),
+        ("n_scenarios zero", set_("n_scenarios", 0)),
+        ("empty trajectory", set_("trajectory", [])),
+        ("headline missing speedup", set_("headline", {"grid_n": 32})),
+        ("negative batched seconds", in_point("batched_seconds", -1.0)),
+        ("zero speedup", in_point("speedup", 0.0)),
+        ("string looped seconds", in_point("looped_seconds", "fast")),
+        ("grid missing n",
+         in_point("grid", {"start": -8.0, "stop": 45.0})),
+    ]
+
+
+@pytest.fixture(params=["jsonschema", "fallback"])
+def validator(request, monkeypatch):
+    """Run each test against both validation backends."""
+    if request.param == "jsonschema":
+        if bench_schema.jsonschema is None:
+            pytest.skip("jsonschema not installed")
+    else:
+        monkeypatch.setattr(bench_schema, "jsonschema", None)
+    return validate_scenario_sweep
+
+
+class TestValidation:
+    def test_valid_payload_passes(self, validator):
+        validator(_valid_payload())
+
+    def test_repeats_is_optional(self, validator):
+        payload = _valid_payload()
+        del payload["repeats"]
+        validator(payload)
+
+    @pytest.mark.parametrize("label,mutate", _mutations(),
+                             ids=[m[0] for m in _mutations()])
+    def test_invalid_payload_rejected(self, validator, label, mutate):
+        payload = copy.deepcopy(_valid_payload())
+        mutate(payload)
+        with pytest.raises(ValueError, match="payload invalid"):
+            validator(payload)
+
+
+class TestCommittedArtifact:
+    def test_artifact_exists(self):
+        assert ARTIFACT.is_file(), (
+            "benchmarks/results/BENCH_scenario_sweep.json missing — "
+            "run `pytest benchmarks/test_bench_scenario.py` to regenerate")
+
+    def test_artifact_validates(self, validator):
+        validator(json.loads(ARTIFACT.read_text()))
+
+    def test_artifact_headline_matches_trajectory(self):
+        payload = json.loads(ARTIFACT.read_text())
+        headline = payload["headline"]
+        match = [p for p in payload["trajectory"]
+                 if p["grid"]["n"] == headline["grid_n"]]
+        assert len(match) == 1
+        assert match[0]["speedup"] == headline["speedup"]
+
+    def test_artifact_records_the_target_sweep(self):
+        payload = json.loads(ARTIFACT.read_text())
+        assert payload["circuit"] == "s1196"
+        assert payload["n_scenarios"] == 64
+
+
+class TestHelpers:
+    def test_trajectory_speedups_order(self):
+        payload = _valid_payload()
+        payload["trajectory"] = [
+            dict(payload["trajectory"][0], speedup=s)
+            for s in (13.0, 10.7, 4.8)
+        ]
+        assert trajectory_speedups(payload) == [13.0, 10.7, 4.8]

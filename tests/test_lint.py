@@ -264,6 +264,57 @@ class TestCost:
         assert est.severity is Severity.WARNING
         assert "over budget" in est.message
 
+    def test_cost_estimate_scales_with_scenario_count(self):
+        base = run_lint(diamond(), LintConfig()).select("SP203")[0]
+        swept = run_lint(diamond(),
+                         LintConfig(n_scenarios=64)).select("SP203")[0]
+        assert swept.data["n_scenarios"] == 64
+        assert (swept.data["eq11_subset_terms"]
+                == 64 * base.data["eq11_subset_terms"])
+        assert (swept.data["subset_terms_per_scenario"]
+                == base.data["eq11_subset_terms"])
+        # MC cost is per-run, not per-scenario: the sweep batches the
+        # analytic engines only.
+        assert (swept.data["mc_gate_evaluations"]
+                == base.data["mc_gate_evaluations"])
+
+    def test_scenario_count_can_push_over_budget(self):
+        config = LintConfig(n_scenarios=1_000_000,
+                            subset_term_budget=5_000_000)
+        (est,) = run_lint(diamond(), config).select("SP203")
+        assert est.severity is Severity.WARNING
+        assert "reduce the scenario count" in est.suggestion
+
+
+class TestScenarioMemory:
+    GRID = TimeGrid(-8.0, 45.0, 2048)
+
+    def test_silent_without_a_grid(self):
+        report = run_lint(diamond(), LintConfig(n_scenarios=64))
+        assert not report.select("SP204")
+
+    def test_silent_for_single_scenario_under_budget(self):
+        report = run_lint(diamond(), LintConfig(grid=self.GRID))
+        assert not report.select("SP204")
+
+    def test_multi_scenario_sweep_reports_footprint(self):
+        report = run_lint(diamond(),
+                          LintConfig(n_scenarios=64, grid=self.GRID))
+        (diag,) = report.select("SP204")
+        assert diag.severity is Severity.INFO
+        # 4 nets (x, a, b, y) x 2 directions x 64 scenarios x 2048 bins.
+        assert diag.data["footprint_bytes"] == 64 * 2048 * 2 * 4 * 8
+        assert diag.data["nets"] == 4
+        assert diag.suggestion is None
+
+    def test_oversized_sweep_warns_with_keep_endpoints_fix(self):
+        config = LintConfig(n_scenarios=4096, grid=self.GRID,
+                            scenario_memory_budget=1024 ** 2)
+        (diag,) = run_lint(diamond(), config).select("SP204")
+        assert diag.severity is Severity.WARNING
+        assert "exceeds" in diag.message
+        assert "keep='endpoints'" in diag.suggestion
+
 
 # -- SP301/SP302 reconvergent fanout ---------------------------------------
 
@@ -470,6 +521,13 @@ class TestGoldenReports:
     def test_golden(self, name, build):
         golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
         assert run_lint(build(), LintConfig()).to_dict() == golden
+
+    def test_golden_scenario_sweep(self):
+        """The 64-scenario grid-sweep report (SP203 scaling + SP204)."""
+        golden = json.loads(
+            (GOLDEN_DIR / "diamond_sweep.json").read_text())
+        config = LintConfig(n_scenarios=64, grid=TimeGrid(-8.0, 45.0, 2048))
+        assert run_lint(diamond(), config).to_dict() == golden
 
 
 # -- healthy circuits lint clean -------------------------------------------

@@ -82,12 +82,14 @@ class TestPolicies:
         expected = {"fast-vs-naive/moment", "fast-vs-naive/mixture",
                     "fast-vs-naive/grid", "wave-vs-stream/mc",
                     "moment-vs-grid", "mixture-vs-grid",
-                    "moment-vs-mc", "mixture-vs-mc", "grid-vs-mc"}
+                    "moment-vs-mc", "mixture-vs-mc", "grid-vs-mc",
+                    "batched-vs-fast/moment", "batched-vs-fast/mixture",
+                    "batched-vs-fast/grid", "batched-vs-mc"}
         assert set(POLICIES) == expected
 
     def test_replication_pairs_are_tightest(self):
         for name, policy in POLICIES.items():
-            if name.startswith("fast-vs-naive"):
+            if name.startswith(("fast-vs-naive", "batched-vs-fast")):
                 assert policy.abs_probability <= 1e-9, name
                 assert not policy.endpoints_only, name
             if name.endswith("-vs-mc") and "stream" not in name:
