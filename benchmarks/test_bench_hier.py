@@ -1,0 +1,165 @@
+"""Benchmark F3: hierarchical partition-parallel analysis at scale.
+
+Writes ``benchmarks/results/BENCH_hier_scale.json`` — the scale
+trajectory of ``repro.hier`` against the flat fast engine on tiled
+synthetic circuits (``repro.netlist.generator.TiledProfile``), 2x10^4 to
+10^6 gates, grid algebra, 8 workers.  The payload is validated against
+``repro.experiments.bench_schema`` before it hits disk.
+
+Each (engine, size) sample runs in a fresh subprocess (the
+``test_bench_scenario.py`` protocol) so allocator state from one run
+cannot skew another — and so each point's peak RSS is its own.  Unlike
+the millisecond-scale scenario sweep, every sample here runs for whole
+seconds, so a single run per cell is within noise of a median of three
+and keeps the 10^6-gate point affordable; ``repeats`` in the payload
+records that protocol.
+
+The trajectory tells the honest story: at 2x10^4 gates the partition /
+canonicalization overhead eats most of the win; at 10^5 (the headline
+point) region dedup amortizes it away; at 10^6 the flat engine has no
+baseline to lose to — holding one grid density per net per direction
+would need ~8 GiB against the 2 GiB budget, so only the hierarchical
+run (which retains boundary-pin state and streams region interiors
+through the worker pool) completes at all.  Its measured peak RSS is
+asserted under the budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+import subprocess
+import sys
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.bench_schema import (
+    HIER_SCALE_VERSION,
+    validate_hier_scale,
+)
+
+WORKERS = 8
+TILE_VARIANTS = 2
+MEMORY_BUDGET_BYTES = 2 * 1024 ** 3
+MIN_SPEEDUP = 4.0  # the acceptance floor for the headline point
+HEADLINE_GATES = 100_000
+REPEATS = 1        # seconds-long samples; see module docstring
+
+#: (total gates, tiles, combinational gates per tile, grid bins,
+#:  flat baseline feasible?).  Each tile adds 4 DFFs, so
+#: n_tiles * (gates_per_tile + 4) == n_gates exactly.
+POINTS = (
+    (20_000, 8, 2_496, 512, True),
+    (100_000, 16, 6_246, 512, True),
+    (1_000_000, 32, 31_246, 512, False),
+)
+
+_RUNNER = """
+import json
+import resource
+import time
+
+from repro.core.inputs import CONFIG_I
+from repro.core.spsta import GridAlgebra, run_spsta
+from repro.hier import AlgebraSpec, run_hier
+from repro.netlist.generator import TiledProfile, generate_tiled_circuit
+from repro.stats.grid import TimeGrid
+
+mode, n_tiles, gates_per_tile, grid_n = (
+    {mode!r}, {n_tiles!r}, {gates_per_tile!r}, {grid_n!r})
+profile = TiledProfile(name="scale", n_tiles=n_tiles,
+                       gates_per_tile=gates_per_tile,
+                       tile_variants={tile_variants!r}, seed=0)
+netlist = generate_tiled_circuit(profile)
+grid = TimeGrid(-8.0, float(profile.depth * 2), grid_n)
+t0 = time.perf_counter()
+if mode == "hier":
+    run = run_hier(netlist, CONFIG_I, algebra_spec=AlgebraSpec.grid(grid),
+                   n_regions=n_tiles, workers={workers!r},
+                   keep="interface")
+    seconds = time.perf_counter() - t0
+    extra = {{"complete": run.complete, "dedup_hits": run.dedup_hits,
+              "n_regions": run.partition.n_regions}}
+else:
+    run_spsta(netlist, CONFIG_I, algebra=GridAlgebra(grid))
+    seconds = time.perf_counter() - t0
+    extra = {{}}
+rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps(dict(seconds=seconds, peak_rss_bytes=rss_kb * 1024,
+                      n_comb=len(netlist.combinational_gates), **extra)))
+"""
+
+
+def _run_isolated(mode: str, n_tiles: int, gates_per_tile: int,
+                  grid_n: int) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH", "")) \
+        + env.get("PYTHONPATH", "")
+    script = _RUNNER.format(mode=mode, n_tiles=n_tiles,
+                            gates_per_tile=gates_per_tile, grid_n=grid_n,
+                            tile_variants=TILE_VARIANTS, workers=WORKERS)
+    out = subprocess.run([sys.executable, "-c", script], env=env,
+                         capture_output=True, text=True, check=True)
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def _projected_flat_bytes(n_comb: int, grid_n: int) -> int:
+    # The flat grid engine holds one float64 density per net and
+    # direction for the whole design at once.
+    return n_comb * 2 * grid_n * 8
+
+
+def test_hier_scale_trajectory_artifact(results_dir):
+    trajectory = []
+    for n_gates, n_tiles, gates_per_tile, grid_n, flat_feasible in POINTS:
+        hier = _run_isolated("hier", n_tiles, gates_per_tile, grid_n)
+        assert hier["complete"], f"{n_gates}-gate hier run left regions"
+        point = {
+            "n_gates": n_gates,
+            "n_regions": hier["n_regions"],
+            "grid_n": grid_n,
+            "hier_seconds": hier["seconds"],
+            "peak_rss_bytes": hier["peak_rss_bytes"],
+            "complete": True,
+            "dedup_hits": hier["dedup_hits"],
+        }
+        if flat_feasible:
+            flat = _run_isolated("flat", n_tiles, gates_per_tile, grid_n)
+            point["flat_seconds"] = flat["seconds"]
+            point["speedup"] = flat["seconds"] / hier["seconds"]
+        else:
+            projected = _projected_flat_bytes(hier["n_comb"], grid_n)
+            assert projected > MEMORY_BUDGET_BYTES
+            point["flat_seconds"] = None
+            point["speedup"] = None
+            point["flat_infeasible_reason"] = (
+                f"flat grid state is ~{projected / 1024 ** 3:.1f} GiB "
+                f"({hier['n_comb']} nets x 2 directions x {grid_n} bins "
+                f"x 8 B) against the "
+                f"{MEMORY_BUDGET_BYTES / 1024 ** 3:.0f} GiB budget")
+            assert hier["peak_rss_bytes"] < MEMORY_BUDGET_BYTES, (
+                f"10^6-gate hier run peaked at "
+                f"{hier['peak_rss_bytes'] / 1024 ** 3:.2f} GiB")
+        trajectory.append(point)
+
+    headline = next(point for point in trajectory
+                    if point["n_gates"] == HEADLINE_GATES)
+    payload = {
+        "report": "spsta-hier-scale",
+        "version": HIER_SCALE_VERSION,
+        "workers": WORKERS,
+        "algebra": "grid",
+        "memory_budget_bytes": MEMORY_BUDGET_BYTES,
+        "repeats": REPEATS,
+        "headline": {"n_gates": HEADLINE_GATES,
+                     "speedup": headline["speedup"]},
+        "trajectory": trajectory,
+    }
+    validate_hier_scale(payload)
+    save_artifact(results_dir, "BENCH_hier_scale.json",
+                  json.dumps(payload, indent=2))
+    assert headline["speedup"] >= MIN_SPEEDUP, (
+        f"hier at {HEADLINE_GATES} gates / {WORKERS} workers: only "
+        f"{headline['speedup']:.2f}x over the flat fast engine "
+        f"(floor {MIN_SPEEDUP:.0f}x)")

@@ -10,6 +10,8 @@ Subcommands:
 - ``slack`` — per-net slack and slack histogram.
 - ``testability`` — COP measures and optional BDD-miter ATPG.
 - ``sweep`` — scenario-batched multi-corner sweep (docs/performance.md).
+- ``hier`` — hierarchical partition-parallel analysis with interface-model
+  caching (docs/performance.md, "Hierarchical analysis").
 - ``verify`` — cross-engine differential conformance sweep (JSON report).
 - ``lint`` — static circuit & configuration analysis (docs/linting.md).
 - ``stats`` — structural statistics of a circuit.
@@ -123,8 +125,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"  STA bounds: [{lo:.2f}, {hi:.2f}]")
     ssta = run_ssta(netlist)
     spsta_profile = SpstaProfile() if args.profile else None
-    spsta = run_spsta(netlist, config, engine=args.engine,
-                      workers=args.spsta_workers, profile=spsta_profile)
+    partitions = args.partition if args.partition else (
+        4 if args.hier else 0)
+    if partitions:
+        if args.engine != "fast":
+            raise SystemExit(
+                "--partition/--hier run the fast engine per region; "
+                "drop --engine naive")
+        from repro.hier import run_hier
+        hier_run = run_hier(netlist, config, n_regions=partitions,
+                            workers=args.spsta_workers,
+                            profile=spsta_profile)
+        part = hier_run.partition
+        print(f"  hierarchical: {part.n_regions} regions in "
+              f"{len(part.waves)} waves "
+              f"({hier_run.dedup_hits} dedup hits)")
+        spsta = hier_run.result
+    else:
+        spsta = run_spsta(netlist, config, engine=args.engine,
+                          workers=args.spsta_workers,
+                          profile=spsta_profile)
     mc = None
     if args.trials > 0:
         fault = _mc_fault_args(args)
@@ -495,6 +515,126 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hier(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.spsta import run_spsta
+    from repro.hier import AlgebraSpec, InterfaceModelStore, run_hier
+
+    netlist = _load_circuit(args.circuit)
+    config = _config(args.config)
+    grid = None
+    if args.algebra == "grid":
+        grid = _parse_grid_spec(args.grid)
+        spec = AlgebraSpec.grid(grid)
+    elif args.algebra == "mixture":
+        spec = AlgebraSpec.mixture()
+    else:
+        spec = AlgebraSpec.moment()
+    store = InterfaceModelStore(args.cache) if args.cache else None
+    retry = (RetryPolicy(max_attempts=args.retries + 1)
+             if args.retries else None)
+    profile = SpstaProfile() if args.profile else None
+
+    t0 = time.perf_counter()
+    run = run_hier(netlist, config, algebra_spec=spec,
+                   n_regions=args.partitions, workers=args.workers,
+                   keep=args.keep, store=store, retry=retry,
+                   deadline=args.deadline, profile=profile)
+    hier_seconds = time.perf_counter() - t0
+    partition = run.partition
+
+    report = {
+        "circuit": netlist.name,
+        "algebra": args.algebra,
+        "partitions": args.partitions,
+        "workers": args.workers,
+        "keep": args.keep,
+        "seconds": hier_seconds,
+        "complete": run.complete,
+        "deadline_expired": run.deadline_expired,
+        "pending_regions": list(run.pending_regions),
+        "cache": {"hits": run.cache_hits, "misses": run.cache_misses,
+                  "dedup_hits": run.dedup_hits},
+        "partition": {
+            "n_regions": partition.n_regions,
+            "n_edges": len(partition.edges),
+            "waves": [list(wave) for wave in partition.waves],
+            "max_boundary_width": partition.max_boundary_width,
+            "regions": [{"index": r.index, "gates": r.n_gates,
+                         "inputs": len(r.inputs),
+                         "cut_inputs": len(r.cut_inputs),
+                         "outputs": len(r.outputs)}
+                        for r in partition.regions]},
+        "regions": [{"index": r.index, "gates": r.n_gates,
+                     "source": r.source,
+                     "seconds": round(r.seconds, 6),
+                     "attempts": r.attempts}
+                    for r in run.reports],
+        "endpoints": [
+            {"net": net, "direction": direction,
+             "probability": p, "mean": mean, "std": std}
+            for net, direction, p, mean, std
+            in run.endpoint_rows(netlist)],
+    }
+    if grid is not None:
+        report["grid"] = {"start": grid.start, "stop": grid.stop,
+                          "n": grid.n}
+    if args.compare_flat:
+        t0 = time.perf_counter()
+        flat = run_spsta(netlist, config, algebra=spec.build())
+        flat_seconds = time.perf_counter() - t0
+        worst = {"probability": 0.0, "mean": 0.0, "std": 0.0}
+        for net, direction, p, mean, std in run.endpoint_rows(netlist):
+            fp, fmean, fstd = flat.report(net, direction)
+            worst["probability"] = max(worst["probability"], abs(p - fp))
+            if all(map(np.isfinite, (mean, fmean))):
+                worst["mean"] = max(worst["mean"], abs(mean - fmean))
+                worst["std"] = max(worst["std"], abs(std - fstd))
+        report["compare_flat"] = {
+            "flat_seconds": flat_seconds,
+            "speedup": (flat_seconds / hier_seconds
+                        if hier_seconds > 0 else float("inf")),
+            "max_endpoint_delta": worst}
+
+    if args.json:
+        text = json.dumps(report, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"wrote {args.json}")
+    if args.json != "-":
+        print(partition.summary())
+        for region_report in run.reports:
+            print("  " + region_report.format())
+        cache_text = (f", cache {run.cache_hits} hits / "
+                      f"{run.cache_misses} misses" if store else "")
+        print(f"{netlist.name}: {args.partitions} partitions on "
+              f"{args.workers} workers ({args.algebra}) in "
+              f"{hier_seconds:.2f}s; {run.dedup_hits} dedup "
+              f"hits{cache_text}")
+        if not run.complete:
+            print(f"  deadline expired: regions "
+                  f"{', '.join(map(str, run.pending_regions))} pending "
+                  f"(rerun with --cache to resume)")
+        for entry in report["endpoints"][:8]:
+            print(f"  {entry['net']:>12} {entry['direction']:>4}: "
+                  f"P={entry['probability']:.3f} "
+                  f"mu={entry['mean']:.3f} sd={entry['std']:.3f}")
+        if args.compare_flat:
+            cmp = report["compare_flat"]
+            deltas = cmp["max_endpoint_delta"]
+            print(f"  flat fast engine: {cmp['flat_seconds']:.2f}s "
+                  f"(speedup {cmp['speedup']:.2f}x), worst endpoint "
+                  f"deltas P={deltas['probability']:.3g} "
+                  f"mu={deltas['mean']:.3g} sd={deltas['std']:.3g}")
+    if profile is not None:
+        print(profile.render())
+    return 0 if run.complete else 3
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintConfig,
@@ -519,6 +659,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             max_parity_fanin=args.max_parity_fanin,
             n_scenarios=args.scenarios,
             grid=_parse_grid_spec(args.grid) if args.grid else None,
+            n_partitions=args.partitions,
+            n_workers=args.lint_workers,
             disabled=frozenset(args.disable.split(","))
             if args.disable else frozenset())
         report = run_lint(netlist, config, baseline)
@@ -609,6 +751,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-lint", action="store_true",
                          help="skip the preflight lint (error-level "
                               "diagnostics abort the run)")
+    analyze.add_argument("--partition", type=int, default=0, metavar="N",
+                         help="run SPSTA hierarchically over N regions "
+                              "(repro.hier; see 'spsta hier' for the "
+                              "full control surface)")
+    analyze.add_argument("--hier", action="store_true",
+                         help="shorthand for --partition 4")
     add_mc_engine_args(analyze)
     add_spsta_engine_args(analyze)
     analyze.set_defaults(func=_cmd_analyze)
@@ -623,6 +771,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "estimate prices")
     lint.add_argument("--max-parity-fanin", type=int, default=10,
                       help="parity 4^k enumeration cap for SP201")
+    lint.add_argument("--partitions", type=int, default=1,
+                      help="price a hierarchical run with this many "
+                           "regions (SP110 boundary width, SP205 "
+                           "per-region memory / schedule bound)")
+    lint.add_argument("--lint-workers", type=int, default=1,
+                      help="worker count the SP205 schedule prediction "
+                           "assumes")
     lint.add_argument("--scenarios", type=int, default=1,
                       help="scenario count a batched sweep would run; "
                            "scales the SP203 cost estimate and the SP204 "
@@ -710,6 +865,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--profile", action="store_true",
                        help="print sweep phase timings and work counters")
     sweep.set_defaults(func=_cmd_sweep)
+
+    hier = sub.add_parser(
+        "hier",
+        help="hierarchical partition-parallel analysis with "
+             "interface-model caching")
+    hier.add_argument("circuit", help="benchmark name or .bench path")
+    hier.add_argument("--config", default="I", help="input stats: I or II")
+    hier.add_argument("--partitions", type=int, default=4,
+                      help="target region count (DFF-boundary cut, "
+                           "level-band fallback)")
+    hier.add_argument("--workers", type=int, default=1,
+                      help="process pool size for independent regions "
+                           "of one wave")
+    hier.add_argument("--algebra", choices=("moments", "mixture", "grid"),
+                      default="moments",
+                      help="arrival-time algebra per region")
+    hier.add_argument("--grid", default="-8:60:2048",
+                      help="TimeGrid as START:STOP:N for --algebra grid")
+    hier.add_argument("--keep", choices=("interface", "all"),
+                      default="interface",
+                      help="merged nets: boundary/endpoint pins only "
+                           "(memory-bounded) or every region net")
+    hier.add_argument("--cache", metavar="DIR",
+                      help="content-addressed interface-model store; "
+                           "reruns and isomorphic regions hit the cache")
+    hier.add_argument("--retries", type=int, default=0,
+                      help="per-region retry attempts after the first "
+                           "try (docs/robustness.md)")
+    hier.add_argument("--deadline", type=float, metavar="SECONDS",
+                      help="stop dispatching regions after this budget; "
+                           "completed regions merge, the rest report "
+                           "pending (exit 3)")
+    hier.add_argument("--compare-flat", action="store_true",
+                      help="also run the flat fast engine and report "
+                           "speedup and worst endpoint deltas")
+    hier.add_argument("--json",
+                      help="write the JSON report to this path ('-' for "
+                           "stdout)")
+    hier.add_argument("--profile", action="store_true",
+                      help="print merged phase timings and work counters")
+    hier.set_defaults(func=_cmd_hier)
 
     verify = sub.add_parser(
         "verify",

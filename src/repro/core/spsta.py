@@ -326,7 +326,10 @@ def run_spsta(netlist: Netlist,
               engine: str = "fast",
               workers: int = 1,
               profile: Optional[SpstaProfile] = None,
-              max_parity_fanin: Optional[int] = None) -> SpstaResult[D]:
+              max_parity_fanin: Optional[int] = None,
+              seed_tops: Optional[
+                  Mapping[str, Tuple[Prob4, NetTops[D]]]] = None,
+              ) -> SpstaResult[D]:
     """Run SPSTA over a netlist.
 
     ``stats`` is a single :class:`InputStats` asserted at every launch point
@@ -346,6 +349,14 @@ def run_spsta(netlist: Netlist,
     :class:`~repro.core.profiling.SpstaProfile` populated during the run
     (one is always attached to the result).  ``max_parity_fanin`` overrides
     :data:`MAX_PARITY_FANIN`, the guard against the 4^k parity blowup.
+
+    ``seed_tops`` pre-seeds selected launch points with externally
+    computed ``(Prob4, NetTops)`` pairs instead of deriving them from
+    ``stats`` — the hook the hierarchical analyzer (:mod:`repro.hier`)
+    uses to assert upstream boundary TOPs at a region's cut pins.  Launch
+    points absent from the mapping fall back to ``stats`` unchanged, so a
+    flat run (``seed_tops=None``) is bit-identical to the historical
+    behaviour.
     """
     if algebra is None:
         algebra = MomentAlgebra()
@@ -353,7 +364,8 @@ def run_spsta(netlist: Netlist,
         from repro.core.spsta_fast import run_spsta_fast
         return run_spsta_fast(netlist, stats, delay_model, algebra,
                               workers=workers, profile=profile,
-                              max_parity_fanin=max_parity_fanin)
+                              max_parity_fanin=max_parity_fanin,
+                              seed_tops=seed_tops)
     if engine != "naive":
         raise ValueError(f"unknown engine {engine!r} (use 'fast' or 'naive')")
 
@@ -369,7 +381,8 @@ def run_spsta(netlist: Netlist,
     prob4: Dict[str, Prob4] = {}
     tops: Dict[str, NetTops[D]] = {}
     with profile.phase("launch"):
-        launch_tops(netlist, stats, algebra, prob4, tops)
+        launch_tops(netlist, stats, algebra, prob4, tops,
+                    seeds=seed_tops)
 
     with profile.phase("propagate"):
         for gate in netlist.combinational_gates:
@@ -388,10 +401,22 @@ def launch_tops(netlist: Netlist,
                 stats: Union[InputStats, Mapping[str, InputStats]],
                 algebra: TopAlgebra[D],
                 prob4: Dict[str, Prob4],
-                tops: Dict[str, NetTops[D]]) -> None:
+                tops: Dict[str, NetTops[D]],
+                seeds: Optional[
+                    Mapping[str, Tuple[Prob4, NetTops[D]]]] = None) -> None:
     """Assert launch-point statistics into ``prob4``/``tops`` (shared by the
-    naive and fast engines so both start from identical TOPs)."""
+    naive and fast engines so both start from identical TOPs).
+
+    ``seeds`` overrides individual launch points with pre-computed
+    ``(Prob4, NetTops)`` pairs — the boundary pins of a hierarchical
+    region carry their upstream TOPs verbatim instead of fresh launch
+    statistics."""
     for net in netlist.launch_points:
+        if seeds is not None and net in seeds:
+            seed_prob4, seed_nettops = seeds[net]
+            prob4[net] = seed_prob4
+            tops[net] = seed_nettops
+            continue
         s = stats if isinstance(stats, InputStats) else stats[net]
         prob4[net] = s.prob4
         rise = (TopFunction(s.prob4.p_rise,

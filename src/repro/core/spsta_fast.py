@@ -1042,11 +1042,15 @@ def run_spsta_fast(netlist: Netlist,
                    *,
                    workers: int = 1,
                    profile: Optional[SpstaProfile] = None,
-                   max_parity_fanin: Optional[int] = None) -> SpstaResult:
+                   max_parity_fanin: Optional[int] = None,
+                   seed_tops: Optional[
+                       Mapping[str, Tuple[Prob4, NetTops]]] = None,
+                   ) -> SpstaResult:
     """Levelized fast SPSTA sweep (see module docstring).
 
     Called through ``run_spsta(..., engine="fast")``; not meant to be
-    invoked directly.
+    invoked directly.  ``seed_tops`` pre-seeds boundary launch points
+    (see :func:`repro.core.spsta.run_spsta`).
     """
     if profile is None:
         profile = SpstaProfile()
@@ -1065,7 +1069,7 @@ def run_spsta_fast(netlist: Netlist,
         levels = netlist.levels
     profile.levels = len(levels)
     with profile.phase("launch"):
-        launch_tops(netlist, stats, algebra, prob4, tops)
+        launch_tops(netlist, stats, algebra, prob4, tops, seeds=seed_tops)
 
     if isinstance(algebra, GridAlgebra):
         _propagate_grid(netlist, levels, prob4, tops, delay_model, algebra,

@@ -1,11 +1,22 @@
-"""Schema of the ``BENCH_scenario_sweep.json`` trajectory artifact.
+"""Schemas of the machine-readable benchmark-trajectory artifacts.
 
 ``benchmarks/test_bench_scenario.py`` measures the scenario-batched
 backend against the looped fast engine over a trajectory of grid sizes
-and writes the result as machine-readable JSON (CI uploads it as a build
-artifact).  This module is the single source of truth for that format:
-the writer validates before writing and ``tests/test_bench_schema.py``
-pins the schema itself, so a format drift fails fast on both ends.
+and writes ``BENCH_scenario_sweep.json``;
+``benchmarks/test_bench_hier.py`` measures the hierarchical partition
+scheduler against the flat fast engine over a trajectory of circuit
+sizes (10^4 to 10^6 gates) and writes ``BENCH_hier_scale.json`` (CI
+uploads both as build artifacts).  This module is the single source of
+truth for those formats: the writers validate before writing and
+``tests/test_bench_schema.py`` pins the schemas themselves, so a format
+drift fails fast on both ends.
+
+In the hier-scale trajectory a point's ``flat_seconds`` (and hence
+``speedup``) may be ``null``: at the top of the trajectory the flat
+engine's whole-design state no longer fits the memory budget, so there
+is no baseline to run — the point instead carries a
+``flat_infeasible_reason`` recording the projected footprint.  The
+validator enforces that null-consistency.
 
 Validation prefers `jsonschema <https://python-jsonschema.readthedocs.io>`_
 when importable and falls back to an equivalent structural check — the
@@ -145,3 +156,168 @@ def validate_scenario_sweep(payload: Dict[str, Any]) -> None:
 def trajectory_speedups(payload: Dict[str, Any]) -> List[float]:
     """The per-grid speedups, in trajectory order (payload assumed valid)."""
     return [point["speedup"] for point in payload["trajectory"]]
+
+
+#: JSON-Schema (draft 7 subset) of the hier-scale benchmark artifact.
+#: ``flat_seconds``/``speedup`` are nullable — see the module docstring;
+#: the cross-field consistency between them is checked by
+#: :func:`validate_hier_scale` (draft-07 conditionals would obscure an
+#: otherwise hand-checkable schema).
+HIER_SCALE_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["report", "version", "workers", "algebra",
+                 "memory_budget_bytes", "headline", "trajectory"],
+    "properties": {
+        "report": {"const": "spsta-hier-scale"},
+        "version": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 1},
+        "algebra": {"type": "string", "minLength": 1},
+        "memory_budget_bytes": {"type": "integer", "exclusiveMinimum": 0},
+        "repeats": {"type": "integer", "minimum": 1},
+        "headline": {
+            "type": "object",
+            "required": ["n_gates", "speedup"],
+            "properties": {
+                "n_gates": {"type": "integer", "minimum": 1},
+                "speedup": {"type": "number", "exclusiveMinimum": 0},
+            },
+        },
+        "trajectory": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["n_gates", "n_regions", "grid_n",
+                             "hier_seconds", "flat_seconds", "speedup",
+                             "peak_rss_bytes", "complete"],
+                "properties": {
+                    "n_gates": {"type": "integer", "minimum": 1},
+                    "n_regions": {"type": "integer", "minimum": 1},
+                    "grid_n": {"type": "integer", "minimum": 8},
+                    "hier_seconds": {"type": "number",
+                                     "exclusiveMinimum": 0},
+                    "flat_seconds": {"type": ["number", "null"],
+                                     "exclusiveMinimum": 0},
+                    "speedup": {"type": ["number", "null"],
+                                "exclusiveMinimum": 0},
+                    "flat_infeasible_reason": {"type": "string",
+                                               "minLength": 1},
+                    "peak_rss_bytes": {"type": "integer",
+                                       "exclusiveMinimum": 0},
+                    "complete": {"const": True},
+                    "dedup_hits": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+    },
+}
+
+#: Bump on breaking format changes.
+HIER_SCALE_VERSION = 1
+
+
+def _hier_fail(message: str) -> None:
+    raise ValueError(f"BENCH_hier_scale payload invalid: {message}")
+
+
+def _check_nullable_number(obj: Dict[str, Any], key: str,
+                           where: str) -> None:
+    value = obj.get(key)
+    if value is None:
+        return
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _hier_fail(f"{where}{key} must be a number or null, got {value!r}")
+    if value <= 0:
+        _hier_fail(f"{where}{key} must be > 0, got {value!r}")
+
+
+def _validate_hier_fallback(payload: Dict[str, Any]) -> None:
+    """Structural validation mirroring :data:`HIER_SCALE_SCHEMA`."""
+    if not isinstance(payload, dict):
+        _hier_fail("top level must be an object")
+    for key in HIER_SCALE_SCHEMA["required"]:
+        if key not in payload:
+            _hier_fail(f"missing required key {key!r}")
+    if payload["report"] != "spsta-hier-scale":
+        _hier_fail(f"report must be 'spsta-hier-scale', "
+                   f"got {payload['report']!r}")
+    if not isinstance(payload["version"], int) or payload["version"] < 1:
+        _hier_fail("version must be an integer >= 1")
+    if not isinstance(payload["workers"], int) or payload["workers"] < 1:
+        _hier_fail("workers must be an integer >= 1")
+    if not isinstance(payload["algebra"], str) or not payload["algebra"]:
+        _hier_fail("algebra must be a non-empty string")
+    budget = payload["memory_budget_bytes"]
+    if not isinstance(budget, int) or isinstance(budget, bool) \
+            or budget <= 0:
+        _hier_fail("memory_budget_bytes must be an integer > 0")
+    headline = payload["headline"]
+    if not isinstance(headline, dict):
+        _hier_fail("headline must be an object")
+    if not isinstance(headline.get("n_gates"), int) \
+            or headline["n_gates"] < 1:
+        _hier_fail("headline.n_gates must be an integer >= 1")
+    value = headline.get("speedup")
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0:
+        _hier_fail("headline.speedup must be a number > 0")
+    trajectory = payload["trajectory"]
+    if not isinstance(trajectory, list) or not trajectory:
+        _hier_fail("trajectory must be a non-empty array")
+    for i, point in enumerate(trajectory):
+        where = f"trajectory[{i}]."
+        if not isinstance(point, dict):
+            _hier_fail(f"trajectory[{i}] must be an object")
+        for key in ("n_gates", "n_regions", "grid_n", "peak_rss_bytes"):
+            value = point.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                _hier_fail(f"{where}{key} must be an integer >= 1")
+        if point["grid_n"] < 8:
+            _hier_fail(f"{where}grid_n must be an integer >= 8")
+        value = point.get("hier_seconds")
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value <= 0:
+            _hier_fail(f"{where}hier_seconds must be a number > 0")
+        if "flat_seconds" not in point or "speedup" not in point:
+            _hier_fail(f"{where}flat_seconds and speedup are required")
+        _check_nullable_number(point, "flat_seconds", where)
+        _check_nullable_number(point, "speedup", where)
+        if point.get("complete") is not True:
+            _hier_fail(f"{where}complete must be true")
+
+
+def validate_hier_scale(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` if ``payload`` violates the artifact schema.
+
+    On top of the structural schema, enforces the null-consistency the
+    format promises: ``flat_seconds`` and ``speedup`` are null together,
+    and a null baseline must carry a ``flat_infeasible_reason``.
+    """
+    if jsonschema is not None:
+        try:
+            jsonschema.validate(payload, HIER_SCALE_SCHEMA)
+        except jsonschema.ValidationError as exc:
+            raise ValueError(
+                f"BENCH_hier_scale payload invalid: {exc.message}"
+            ) from exc
+    else:
+        _validate_hier_fallback(payload)
+    for i, point in enumerate(payload["trajectory"]):
+        where = f"trajectory[{i}]."
+        flat_null = point["flat_seconds"] is None
+        if flat_null != (point["speedup"] is None):
+            _hier_fail(f"{where}flat_seconds and speedup must be "
+                       f"null together")
+        if flat_null and not point.get("flat_infeasible_reason"):
+            _hier_fail(f"{where}flat_infeasible_reason is required when "
+                       f"flat_seconds is null")
+
+
+def hier_speedups(payload: Dict[str, Any]) -> Dict[int, float]:
+    """Measured speedups by gate count, flat-infeasible points omitted
+    (payload assumed valid)."""
+    return {point["n_gates"]: point["speedup"]
+            for point in payload["trajectory"]
+            if point["speedup"] is not None}

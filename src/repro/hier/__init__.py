@@ -1,0 +1,35 @@
+"""Hierarchical partition-parallel SPSTA (see ``docs/performance.md``).
+
+Cuts a netlist into regions at register boundaries (plus level-band cuts
+for monolithic blobs), extracts a reusable :class:`InterfaceModel` of TOP
+functions at each region's boundary pins, schedules independent regions
+onto the shard worker pool, and stitches the boundary distributions back
+into a whole-design result.  The per-region engine is the unmodified fast
+engine seeded through ``run_spsta(..., seed_tops=...)``, so partitioned
+results match flat results bit-exactly for the closed-form algebras and
+within batching rounding for the grid algebra (policy ``hier-vs-flat``).
+"""
+
+from repro.hier.model import (
+    AlgebraSpec,
+    InterfaceModel,
+    canonical_region,
+    interface_key,
+    region_delay_digest,
+    seed_digest,
+)
+from repro.hier.scheduler import HierRun, RegionReport, run_hier
+from repro.hier.store import InterfaceModelStore
+
+__all__ = [
+    "AlgebraSpec",
+    "HierRun",
+    "InterfaceModel",
+    "InterfaceModelStore",
+    "RegionReport",
+    "canonical_region",
+    "interface_key",
+    "region_delay_digest",
+    "run_hier",
+    "seed_digest",
+]

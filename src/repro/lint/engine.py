@@ -42,6 +42,7 @@ from repro.lint.diagnostics import (
     Severity,
     max_severity,
 )
+from repro.lint.hier import hier_diagnostics
 from repro.lint.structural import structural_warnings
 
 if TYPE_CHECKING:
@@ -62,9 +63,14 @@ class LintConfig:
     of a batched sweep (``repro.core.scenario``): the SP203 analytic
     cost scales roughly linearly with it, and SP204 prices the sweep's
     ``n_scenarios × bins × nets`` grid-block footprint against
-    ``scenario_memory_budget`` bytes.  ``disabled`` switches whole rules
-    off; ``k_sigma`` is the support-bound width and matches the Gaussian
-    kernel window of the grid engines.
+    ``scenario_memory_budget`` bytes.  ``n_partitions``/``n_workers``
+    describe a hierarchical run: when ``n_partitions > 1`` the SP110 /
+    SP205 rules partition the netlist exactly as ``repro.hier`` would
+    and price boundary width, per-region peak memory (against
+    ``hier_memory_budget``), and the wave-schedule speedup bound.
+    ``disabled`` switches whole rules off; ``k_sigma`` is the
+    support-bound width and matches the Gaussian kernel window of the
+    grid engines.
     """
 
     max_parity_fanin: int = 10
@@ -79,6 +85,10 @@ class LintConfig:
     grid: Optional[object] = None     # repro.stats.grid.TimeGrid
     k_sigma: float = 6.0
     max_reports: int = 20
+    n_partitions: int = 1
+    n_workers: int = 1
+    hier_memory_budget: int = 2 * 1024 ** 3
+    boundary_width_ratio: float = 0.5
     disabled: FrozenSet[str] = frozenset()
 
 
@@ -90,6 +100,7 @@ RULE_FAMILIES: Tuple[Tuple[str, RuleCheck], ...] = (
     ("structural", lambda netlist, config: structural_warnings(netlist)),
     ("cost", cost_diagnostics),
     ("accuracy", accuracy_diagnostics),
+    ("hier", hier_diagnostics),
 )
 
 

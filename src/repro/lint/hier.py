@@ -1,0 +1,140 @@
+"""Hierarchical-analysis rules: partition shape and scheduling cost.
+
+Active only when the configuration asks for a partitioned run
+(``n_partitions > 1``): the rules partition the netlist exactly as
+``repro.hier.run_hier`` would and price the result before any region is
+dispatched.
+
+``SP110`` flags pathological boundary width — a region whose cut
+surface rivals its gate count exports an interface model as expensive
+as recomputing the region, so the partition count should drop (or the
+cut move to a register boundary).  ``SP205`` predicts the per-region
+peak memory of the worker pool and the wave-schedule speedup bound for
+the requested worker count, warning when the configured memory budget
+cannot hold the concurrent region footprints.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import TYPE_CHECKING, List
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintConfig
+    from repro.netlist.core import Netlist
+
+#: At most this many SP110 region reports per run (worst first).
+_MAX_BOUNDARY_REPORTS = 5
+
+#: Closed-form algebras carry a few floats per TOP; grid rows carry
+#: ``bins`` float64s per direction.  Used when no grid is configured.
+_CLOSED_FORM_TOP_BYTES = 64
+
+
+def hier_diagnostics(netlist: "Netlist",
+                     config: "LintConfig") -> List[Diagnostic]:
+    """SP110 boundary width, SP205 region memory / worker cost."""
+    if config.n_partitions <= 1:
+        return []
+    from repro.netlist.partition import partition_netlist
+
+    partition = partition_netlist(netlist, config.n_partitions)
+    diagnostics = _boundary_width(partition, config)
+    diagnostics.extend(_schedule_cost(netlist, partition, config))
+    return diagnostics
+
+
+def _boundary_width(partition: object,
+                    config: "LintConfig") -> List[Diagnostic]:
+    """SP110: regions whose cut surface rivals their gate count."""
+    from repro.netlist.partition import Partition
+
+    assert isinstance(partition, Partition)
+    offenders = []
+    for region in partition.regions:
+        width = region.boundary_width
+        limit = max(1.0, config.boundary_width_ratio * region.n_gates)
+        if width > limit:
+            offenders.append((width / max(region.n_gates, 1), region))
+    offenders.sort(key=lambda pair: -pair[0])
+    diagnostics: List[Diagnostic] = []
+    for ratio, region in offenders[:_MAX_BOUNDARY_REPORTS]:
+        diagnostics.append(Diagnostic(
+            rule="SP110", severity=Severity.WARNING,
+            net=f"region{region.index}",
+            message=f"pathological boundary: region {region.index} has "
+                    f"{region.boundary_width} boundary pins for "
+                    f"{region.n_gates} gates (ratio {ratio:.2f} > "
+                    f"{config.boundary_width_ratio:.2f}); its interface "
+                    f"model costs as much as recomputing the region",
+            data={"region": region.index,
+                  "boundary_pins": region.boundary_width,
+                  "gates": region.n_gates,
+                  "ratio": round(ratio, 4),
+                  "threshold": config.boundary_width_ratio},
+            suggestion="lower --partitions so cuts stay on register "
+                       "boundaries, or restructure the blob the level-"
+                       "band fallback had to slice"))
+    return diagnostics
+
+
+def _schedule_cost(netlist: "Netlist", partition: object,
+                   config: "LintConfig") -> List[Diagnostic]:
+    """SP205: per-region peak memory and the wave-parallel speedup bound.
+
+    A region worker holds every region net's TOP rows live (the fast
+    engine keeps all nets of its sub-netlist), so the pool's peak is
+    ``workers × max-region footprint``.  The wave schedule's runtime
+    bound is ``sum over waves of ceil(regions/workers) × max region
+    gates`` — the speedup prediction the benchmark should reproduce.
+    """
+    from repro.netlist.partition import Partition
+
+    assert isinstance(partition, Partition)
+    workers = max(1, config.n_workers)
+    grid = config.grid
+    bins = int(getattr(grid, "n")) if grid is not None else 0
+    per_top = bins * 8 if grid is not None else _CLOSED_FORM_TOP_BYTES
+
+    footprints = [
+        (region.n_gates + len(region.inputs)) * 2 * per_top
+        for region in partition.regions]
+    max_footprint = max(footprints)
+    concurrent = min(workers, max(len(wave)
+                                  for wave in partition.waves))
+    peak = concurrent * max_footprint
+
+    total_gates = sum(region.n_gates for region in partition.regions)
+    bound_gates = 0
+    for wave in partition.waves:
+        wave_max = max(partition.regions[index].n_gates
+                       for index in wave)
+        bound_gates += ceil(len(wave) / workers) * wave_max
+    speedup_bound = total_gates / max(bound_gates, 1)
+
+    over = peak > config.hier_memory_budget
+    severity = Severity.WARNING if over else Severity.INFO
+    return [Diagnostic(
+        rule="SP205", severity=severity,
+        message=f"hier schedule: {partition.n_regions} regions in "
+                f"{len(partition.waves)} waves on {workers} workers; "
+                f"peak ~{peak / 1024 ** 2:,.0f} MiB "
+                f"({concurrent} concurrent x "
+                f"{max_footprint / 1024 ** 2:,.0f} MiB max region), "
+                f"speedup bound {speedup_bound:.1f}x"
+                + (f" — exceeds the "
+                   f"{config.hier_memory_budget / 1024 ** 2:,.0f} MiB "
+                   f"budget" if over else ""),
+        data={"n_regions": partition.n_regions,
+              "n_waves": len(partition.waves),
+              "workers": workers,
+              "max_region_footprint_bytes": max_footprint,
+              "peak_bytes": peak,
+              "budget_bytes": config.hier_memory_budget,
+              "speedup_bound": round(speedup_bound, 3),
+              "grid_bins": bins},
+        suggestion=("reduce --workers, raise --partitions so regions "
+                    "shrink, or run keep='interface' to bound exports "
+                    "to boundary pins" if over else None))]

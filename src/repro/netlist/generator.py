@@ -28,7 +28,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.logic.gates import GateType
 from repro.netlist.core import Gate, Netlist
@@ -73,7 +75,16 @@ class GeneratorProfile:
 
 
 def generate_circuit(profile: GeneratorProfile) -> Netlist:
-    """Build the synthetic netlist for ``profile`` (deterministic)."""
+    """Build the synthetic netlist for ``profile`` (deterministic).
+
+    The construction keeps incremental indexes instead of rebuilding
+    per-gate scans — the not-yet-consumed net pool of each level, the
+    level-weight vectors of ``earlier_net``, and the stitching host
+    candidates are all maintained as gates land.  Every random draw
+    happens in the same order with the same arguments as the historical
+    per-gate-scan construction, so the output netlist is bit-identical
+    for any profile (pinned by ``tests/test_generator_equivalence.py``).
+    """
     rng = random.Random(profile.seed)
     counter = 0
 
@@ -88,7 +99,50 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
     # levels[d] = nets whose unit-delay depth is exactly d.
     levels: Dict[int, List[str]] = {0: list(inputs) + list(dff_outputs)}
     gates: List[Gate] = []
-    consumed: set = set()  # nets already read by some gate
+    consumed: Set[str] = set()  # nets already read by some gate
+
+    # Incremental indexes (pure bookkeeping — no RNG involvement):
+    # per-level insertion-ordered pools of unconsumed nets (dict order ==
+    # append-order-filtered list, so draws match the historical
+    # ``[n for n in pool if n not in consumed]`` rebuild), with a lazily
+    # materialized list cache, plus the level of every net and a version
+    # counter for the hoisted ``earlier_net`` weight vectors.
+    level_of: Dict[str, int] = {net: 0 for net in levels[0]}
+    unused_pools: Dict[int, Dict[str, None]] = {
+        0: dict.fromkeys(levels[0])}
+    unused_cache: Dict[int, List[str]] = {}
+    levels_version = 0
+    weights_cache: Dict[int, Tuple[int, List[int], List[float]]] = {}
+
+    def register(net: str, level: int) -> None:
+        nonlocal levels_version
+        pool = levels.get(level)
+        if pool is None:
+            levels[level] = pool = []
+            levels_version += 1
+        pool.append(net)
+        level_of[net] = level
+        if net not in consumed:
+            unused_pools.setdefault(level, {})[net] = None
+            unused_cache.pop(level, None)
+
+    def consume(nets: List[str]) -> None:
+        for net in nets:
+            if net in consumed:
+                continue
+            consumed.add(net)
+            level = level_of[net]
+            pool = unused_pools.get(level)
+            if pool is not None and net in pool:
+                del pool[net]
+                unused_cache.pop(level, None)
+
+    def unused_at(level: int) -> List[str]:
+        cached = unused_cache.get(level)
+        if cached is None:
+            cached = list(unused_pools.get(level, ()))
+            unused_cache[level] = cached
+        return cached
 
     def pick_gate_type(fanin: int) -> GateType:
         if fanin == 1:
@@ -102,18 +156,24 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
         """A random net from any level strictly below ``level``, biased to
         recent levels (connected cones) and to not-yet-consumed nets (so few
         gate outputs end up dangling)."""
-        candidate_levels = [d for d in range(level) if levels.get(d)]
-        weights = [1.0 + 3.0 * d / max(level, 1) for d in candidate_levels]
+        entry = weights_cache.get(level)
+        if entry is None or entry[0] != levels_version:
+            candidate_levels = [d for d in range(level) if levels.get(d)]
+            weights = [1.0 + 3.0 * d / max(level, 1)
+                       for d in candidate_levels]
+            entry = (levels_version, candidate_levels, weights)
+            weights_cache[level] = entry
+        _, candidate_levels, weights = entry
         chosen = rng.choices(candidate_levels, weights)[0]
         pool = levels[chosen]
-        unused = [n for n in pool if n not in consumed]
+        unused = unused_at(chosen)
         if unused and rng.random() < 0.7:
             return rng.choice(unused)
         return rng.choice(pool)
 
     def prev_level_net(level: int) -> str:
         pool = levels[level - 1]
-        unused = [n for n in pool if n not in consumed]
+        unused = unused_at(level - 1)
         if unused and rng.random() < 0.7:
             return rng.choice(unused)
         return rng.choice(pool)
@@ -130,8 +190,8 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
                 break  # tolerate an occasional smaller fan-in
         gate = Gate(fresh("G"), gate_type, tuple(sources))
         gates.append(gate)
-        consumed.update(sources)
-        levels.setdefault(level, []).append(gate.name)
+        consume(sources)
+        register(gate.name, level)
         return gate
 
     # 1. the spine guarantees the target depth exactly and mimics how the
@@ -166,8 +226,8 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
                                     _SINGLE_INPUT_WEIGHTS)[0]
             gate = Gate(fresh("G"), gate_type, (net,))
             gates.append(gate)
-            consumed.add(net)
-            levels.setdefault(step, []).append(gate.name)
+            consume([net])
+            register(gate.name, step)
             spine_names.add(gate.name)
             net = gate.name
         return net
@@ -185,8 +245,8 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
                 gate_type = pick_gate_type(1)
         gate = Gate(fresh("G"), gate_type, tuple(sources))
         gates.append(gate)
-        consumed.update(sources)
-        levels.setdefault(level, []).append(gate.name)
+        consume(sources)
+        register(gate.name, level)
         spine_prev = gate.name
         spine_names.add(gate.name)
 
@@ -205,10 +265,8 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
         add_gate(level)
 
     # 3. sinks: DFF data inputs and primary outputs prefer unused outputs.
-    used: set = set()
-    for gate in gates:
-        used.update(gate.inputs)
-    dangling = [g.name for g in gates if g.name not in used]
+    # ``consumed`` is exactly the union of all gate fan-ins by construction.
+    dangling = [g.name for g in gates if g.name not in consumed]
     rng.shuffle(dangling)
     deepest = max(levels), levels[max(levels)]
 
@@ -229,27 +287,264 @@ def generate_circuit(profile: GeneratorProfile) -> Netlist:
             outputs.append(net)
 
     # 4. stitch leftover dangling outputs into downstream gates (fan-in cap),
-    #    so the circuit has no unobservable logic.
+    #    so the circuit has no unobservable logic.  Host candidates (multi-
+    #    input, off-spine, under the fan-in cap) are indexed name-sorted per
+    #    level up front; the merged host list of each dangling level is
+    #    cached and only rebuilt when a patch fills a host to the cap.  The
+    #    historical scan filtered ``net not in g.inputs`` against the
+    #    *current* gate map; a dangling net has no consumers and is visited
+    #    exactly once, so only nets stitched earlier in this very loop could
+    #    trip that filter — tracked in ``stitched``.
     if dangling:
-        gate_level = {net: lvl for lvl, nets in levels.items()
-                      for net in nets}
         by_name = {g.name: g for g in gates}
+        host_names_by_level: Dict[int, List[str]] = {}
+        for gate in gates:
+            if (len(gate.inputs) < _MAX_FANIN
+                    and gate.gate_type not in (GateType.NOT, GateType.BUFF)
+                    and gate.name not in spine_names):  # keep spine clean
+                host_names_by_level.setdefault(
+                    level_of[gate.name], []).append(gate.name)
+        for names in host_names_by_level.values():
+            names.sort()
+        hosts_cache: Dict[int, List[str]] = {}
+        stitched: Set[str] = set()
+
+        def hosts_above(lvl: int) -> List[str]:
+            cached = hosts_cache.get(lvl)
+            if cached is None:
+                cached = sorted(
+                    name
+                    for host_level, names in host_names_by_level.items()
+                    if host_level > lvl
+                    for name in names)
+                hosts_cache[lvl] = cached
+            return cached
+
         for net in dangling:
-            lvl = gate_level.get(net, 0)
-            # Select hosts from the *current* gate map: a host patched for an
-            # earlier dangling net must keep that net when patched again.
-            hosts = [g for g in by_name.values()
-                     if gate_level.get(g.name, 0) > lvl
-                     and len(g.inputs) < _MAX_FANIN
-                     and g.gate_type not in (GateType.NOT, GateType.BUFF)
-                     and g.name not in spine_names  # keep the spine clean
-                     and net not in g.inputs]
+            lvl = level_of.get(net, 0)
+            hosts = hosts_above(lvl)
+            if net in stitched:
+                hosts = [name for name in hosts
+                         if net not in by_name[name].inputs]
             if hosts:
-                host = rng.choice(sorted(hosts, key=lambda g: g.name))
-                by_name[host.name] = Gate(host.name, host.gate_type,
-                                          host.inputs + (net,))
+                host = by_name[rng.choice(hosts)]
+                patched = Gate(host.name, host.gate_type,
+                               host.inputs + (net,))
+                by_name[host.name] = patched
+                stitched.add(net)
+                if len(patched.inputs) >= _MAX_FANIN:
+                    host_names_by_level[level_of[host.name]].remove(
+                        host.name)
+                    hosts_cache.clear()
             elif net not in outputs:
                 outputs.append(net)  # last resort: observe it as a PO
         gates = [by_name[g.name] for g in gates]
 
     return Netlist(profile.name, inputs, outputs, gates + dff_gates)
+
+
+@dataclass(frozen=True)
+class TiledProfile:
+    """Recipe for a tile-replicated scale circuit (10^5 - 10^6 gates).
+
+    ``n_tiles`` mutually disconnected tiles, each a single weakly
+    connected combinational block of ``gates_per_tile`` gates feeding
+    its own DFF bank; only ``tile_variants`` distinct structures exist,
+    instantiated round-robin under per-tile net-name prefixes.  The
+    partitioner therefore assigns one region per tile, and the
+    hierarchical scheduler's interface-model dedup analyzes each variant
+    exactly once — the workload the scale benchmark measures.
+    """
+
+    name: str
+    n_tiles: int
+    gates_per_tile: int
+    inputs_per_tile: int = 8
+    dffs_per_tile: int = 4
+    depth: int = 12
+    seed: int = 0
+    tile_variants: int = 2
+    xor_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_tiles < 1:
+            raise ValueError("need at least one tile")
+        if self.depth < 2:
+            raise ValueError("tile depth must be >= 2")
+        if self.gates_per_tile < self.depth:
+            raise ValueError(
+                f"{self.name}: gates_per_tile ({self.gates_per_tile}) "
+                f"must cover the tile depth ({self.depth})")
+        if self.inputs_per_tile < 1:
+            raise ValueError("need at least one input per tile")
+        if self.dffs_per_tile < 0:
+            raise ValueError("dffs_per_tile must be >= 0")
+        if not 1 <= self.tile_variants <= self.n_tiles:
+            raise ValueError("tile_variants must be in [1, n_tiles]")
+        if not 0.0 <= self.xor_fraction <= 1.0:
+            raise ValueError("xor_fraction must be in [0, 1]")
+
+    @property
+    def n_gates(self) -> int:
+        """Total gate count including the per-tile DFF banks."""
+        return self.n_tiles * (self.gates_per_tile + self.dffs_per_tile)
+
+
+@dataclass(frozen=True)
+class _TileTemplate:
+    """One tile variant: structure over pool/gate indices, no names.
+
+    Source tokens are ints: ``tok < n_pool`` is pool pin ``tok``
+    (primary inputs first, then DFF outputs); otherwise the token is
+    ``n_pool + q`` for the template gate at construction position ``q``.
+    """
+
+    pool_suffixes: Tuple[str, ...]
+    gate_suffixes: Tuple[str, ...]
+    gates: Tuple[Tuple[GateType, Tuple[int, ...]], ...]
+    dff_data: Tuple[int, ...]      # template gate positions
+    output_positions: Tuple[int, ...]
+
+
+def _tile_template(profile: TiledProfile, variant: int) -> _TileTemplate:
+    """Build one tile variant with vectorized (numpy) structure draws.
+
+    Levels, fan-ins, gate types, and source indices are drawn as whole
+    arrays; the only per-gate Python work is assembling the final token
+    tuples.  Every gate at level ``L >= 2`` draws its first source from
+    a gate at level ``L - 1`` (level 1 holds only the spine root), which
+    makes the tile one weakly connected component by induction.
+    """
+    rng = np.random.default_rng((profile.seed, variant))
+    n_gates = profile.gates_per_tile
+    n_pool = profile.inputs_per_tile + profile.dffs_per_tile
+    depth = profile.depth
+
+    # Levels: a spine chain pins 1..depth; scatter gates land on 2..depth
+    # with a shallow bias (deep gates have no room for consumers).
+    level = np.empty(n_gates, dtype=np.int64)
+    level[:depth] = np.arange(1, depth + 1)
+    if n_gates > depth:
+        band = np.arange(2, depth + 1)
+        weights = (depth + 1.0 - band)
+        weights /= weights.sum()
+        level[depth:] = rng.choice(band, size=n_gates - depth, p=weights)
+
+    # Construction (template) order is stable level order, so sources
+    # always point at earlier template positions.
+    order = np.argsort(level, kind="stable")
+    position = np.empty(n_gates, dtype=np.int64)
+    position[order] = np.arange(n_gates)
+    sorted_levels = level[order]
+    # below[L] = number of gates at levels < L.
+    below = np.searchsorted(sorted_levels, np.arange(depth + 2))
+
+    fanin = np.full(n_gates, 2, dtype=np.int64)
+    if n_gates > depth:
+        fanin[depth:] = rng.choice(
+            _FANIN_CHOICES, size=n_gates - depth, p=_FANIN_WEIGHTS)
+
+    # First source: the spine is a hard chain; scatter gate at level L
+    # draws uniformly from the gates at L - 1.
+    first = np.empty(n_gates, dtype=np.int64)     # original gate index
+    first[0] = -1                                 # pool pin, drawn below
+    first[1:depth] = np.arange(depth - 1)
+    first_pool = int(rng.integers(n_pool))
+    if n_gates > depth:
+        lo = below[level[depth:] - 1]
+        hi = below[level[depth:]]
+        pick = lo + (rng.random(n_gates - depth) * (hi - lo)).astype(
+            np.int64)
+        first[depth:] = order[pick]
+
+    # Extra sources: any pool pin or any gate at a lower level.
+    max_extra = int(fanin.max()) - 1
+    bound = n_pool + below[level]
+    extra = (rng.random((n_gates, max(max_extra, 1)))
+             * bound[:, None]).astype(np.int64)
+
+    # Gate types, drawn as arrays.
+    multi = rng.choice(len(_MULTI_INPUT_TYPES), size=n_gates,
+                       p=np.array(_MULTI_INPUT_WEIGHTS))
+    single = rng.choice(len(_SINGLE_INPUT_TYPES), size=n_gates,
+                        p=np.array(_SINGLE_INPUT_WEIGHTS))
+    xor_draw = rng.random(n_gates)
+    xor_kind = rng.integers(2, size=n_gates)
+
+    gates: List[Tuple[GateType, Tuple[int, ...]]] = []
+    for pos in range(n_gates):
+        j = int(order[pos])
+        if j == 0:
+            tokens = [first_pool]
+        else:
+            tokens = [n_pool + int(position[first[j]])]
+        for e in range(int(fanin[j]) - 1):
+            raw = int(extra[j, e])
+            tok = raw if raw < n_pool else n_pool + int(position[order[
+                raw - n_pool]])
+            if tok not in tokens:
+                tokens.append(tok)
+        if len(tokens) == 1:
+            gate_type = _SINGLE_INPUT_TYPES[int(single[j])]
+        elif (profile.xor_fraction > 0.0 and len(tokens) == 2
+                and xor_draw[j] < profile.xor_fraction):
+            gate_type = (GateType.XOR, GateType.XNOR)[int(xor_kind[j])]
+        else:
+            gate_type = _MULTI_INPUT_TYPES[int(multi[j])]
+        gates.append((gate_type, tuple(tokens)))
+
+    # DFF data taps prefer deep gates (distinct where possible).
+    deep = np.flatnonzero(sorted_levels >= max(depth // 2, 2))
+    if deep.size == 0:
+        deep = np.arange(n_gates)
+    n_dffs = profile.dffs_per_tile
+    dff_data = tuple(
+        int(q) for q in rng.choice(
+            deep, size=n_dffs, replace=n_dffs > deep.size))
+
+    consumed = np.zeros(n_gates, dtype=bool)
+    for _, tokens in gates:
+        for tok in tokens:
+            if tok >= n_pool:
+                consumed[tok - n_pool] = True
+    for q in dff_data:
+        consumed[q] = True
+    output_positions = tuple(int(q) for q in np.flatnonzero(~consumed))
+
+    pool_suffixes = tuple(
+        [f"I{k}" for k in range(profile.inputs_per_tile)]
+        + [f"L{d}" for d in range(n_dffs)])
+    gate_suffixes = tuple(f"G{q}" for q in range(n_gates))
+    return _TileTemplate(pool_suffixes, gate_suffixes, tuple(gates),
+                         dff_data, output_positions)
+
+
+def generate_tiled_circuit(profile: TiledProfile) -> Netlist:
+    """Instantiate the tile templates into one flat netlist.
+
+    Deterministic in ``profile`` alone; tile ``t`` uses variant
+    ``t % tile_variants`` under the net-name prefix ``t{t}_``, so tiles
+    of one variant are isomorphic under the canonical-region relabeling
+    (same declared input order, same construction order).
+    """
+    templates = [_tile_template(profile, v)
+                 for v in range(profile.tile_variants)]
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    n_pool = profile.inputs_per_tile + profile.dffs_per_tile
+    for tile in range(profile.n_tiles):
+        template = templates[tile % profile.tile_variants]
+        prefix = f"t{tile}_"
+        pool = [prefix + s for s in template.pool_suffixes]
+        names = [prefix + s for s in template.gate_suffixes]
+        inputs.extend(pool[:profile.inputs_per_tile])
+        for q, (gate_type, tokens) in enumerate(template.gates):
+            gates.append(Gate(names[q], gate_type, tuple(
+                pool[tok] if tok < n_pool else names[tok - n_pool]
+                for tok in tokens)))
+        for d, data_q in enumerate(template.dff_data):
+            gates.append(Gate(pool[profile.inputs_per_tile + d],
+                              GateType.DFF, (names[data_q],)))
+        outputs.extend(names[q] for q in template.output_positions)
+    return Netlist(profile.name, inputs, outputs, gates)

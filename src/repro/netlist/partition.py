@@ -1,0 +1,340 @@
+"""Netlist partitioning for hierarchical analysis (see :mod:`repro.hier`).
+
+SPSTA's cycle-based model re-asserts fresh launch statistics at every DFF
+output, so sequential elements already cut the timing graph: the only
+dependencies between partitions of the *combinational* gate graph are
+combinational nets crossing a cut.  The partitioner exploits this in two
+layers:
+
+1. **Register-boundary cut** — the weakly-connected components of the
+   combinational gate graph (edges are gate-driven nets only; shared
+   launch points impose no ordering) are the natural atomic units.  When
+   the netlist decomposes into at least as many components as requested
+   regions, components are bin-packed into regions and the region DAG has
+   *no* edges — every region can be analyzed independently.
+
+2. **Level-band min-cut fallback** — a monolithic combinational blob is
+   split along logic-level bands, choosing the cut levels with the fewest
+   crossing gate-driven nets (all timing-graph edges point from lower to
+   higher levels, so any level cut is a valid DAG cut).  Crossing nets
+   become boundary pins: the upstream region exports their TOPs, the
+   downstream region seeds them via ``run_spsta(..., seed_tops=...)``.
+
+Every region materializes as an ordinary :class:`~repro.netlist.core.Netlist`
+whose primary inputs are its boundary-in pins, so the existing engines run
+per region unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.logic.gates import GateType
+from repro.netlist.core import Gate, Netlist
+
+
+@dataclass(frozen=True)
+class Region:
+    """One partition of the combinational gate graph.
+
+    ``gates`` lists the member gate names in full-netlist topological
+    order.  ``inputs`` are the nets read but not driven inside the region
+    — genuine launch points of the parent netlist plus cut nets driven by
+    upstream regions; ``cut_inputs`` is the latter subset.  ``outputs``
+    are the region-driven nets visible outside: cut nets read by other
+    regions, endpoint nets, and dangling gate outputs (so the sub-netlist
+    observes everything the flat analysis would).
+    """
+
+    index: int
+    gates: Tuple[str, ...]
+    inputs: Tuple[str, ...]
+    cut_inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def boundary_width(self) -> int:
+        """Total boundary pins — the size of the region's interface."""
+        return len(self.inputs) + len(self.outputs)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A full partitioning: regions plus the region dependency DAG.
+
+    ``edges`` holds ``(producer, consumer)`` region-index pairs — consumer
+    regions seed the producer's exported TOPs at their cut pins.  ``waves``
+    groups region indices by DAG depth: all regions of one wave are
+    mutually independent and may run concurrently.
+    """
+
+    netlist_name: str
+    regions: Tuple[Region, ...]
+    edges: Tuple[Tuple[int, int], ...]
+    waves: Tuple[Tuple[int, ...], ...] = field(default=())
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def max_boundary_width(self) -> int:
+        return max((r.boundary_width for r in self.regions), default=0)
+
+    def summary(self) -> str:
+        lines = [f"partition of {self.netlist_name}: "
+                 f"{self.n_regions} regions, {len(self.edges)} edges, "
+                 f"{len(self.waves)} waves"]
+        for region in self.regions:
+            lines.append(
+                f"  region {region.index}: {region.n_gates} gates, "
+                f"{len(region.inputs)} in ({len(region.cut_inputs)} cut), "
+                f"{len(region.outputs)} out")
+        return "\n".join(lines)
+
+
+def subnetlist(netlist: Netlist, region: Region) -> Netlist:
+    """Materialize one region as a standalone :class:`Netlist`.
+
+    Boundary-in pins become primary inputs; region gates keep their names
+    and connectivity, so per-net results transfer back verbatim.
+    """
+    gates = [netlist.gates[name] for name in region.gates]
+    return Netlist(f"{netlist.name}#r{region.index}",
+                   region.inputs, region.outputs, gates)
+
+
+@dataclass(frozen=True)
+class RegionView:
+    """Validation-free view of a region, for content addressing.
+
+    Exposes exactly the :class:`~repro.netlist.core.Netlist` attributes
+    the interface-model digests consume.  Building a real sub-netlist
+    re-runs structural validation and topological sorting per region —
+    at a million gates that alone costs more than analyzing a cached
+    region — so the scheduler hashes this view and only materializes
+    :func:`subnetlist` for regions it actually dispatches.  ``gates``
+    keeps the region's member order, which is the parent netlist's
+    topological order restricted to the region (itself a valid
+    topological order, and identical across isomorphic regions).
+    """
+
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    combinational_gates: Tuple[Gate, ...]
+
+
+def region_view(netlist: Netlist, region: Region) -> RegionView:
+    """The digestable :class:`RegionView` of ``region``."""
+    return RegionView(
+        inputs=region.inputs, outputs=region.outputs,
+        combinational_gates=tuple(netlist.gates[name]
+                                  for name in region.gates))
+
+
+def _components(comb: Sequence[Gate],
+                driven: Set[str]) -> List[List[int]]:
+    """Weakly-connected components over gate-driven-net edges.
+
+    Union-find over gate positions; two gates connect iff one reads the
+    net the other drives.  Launch points are not ``driven`` and never
+    merge components (their TOPs are asserted, not propagated).
+    """
+    parent = list(range(len(comb)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    position = {gate.name: i for i, gate in enumerate(comb)}
+    for i, gate in enumerate(comb):
+        for src in gate.inputs:
+            if src in driven:
+                union(i, position[src])
+    buckets: Dict[int, List[int]] = {}
+    for i in range(len(comb)):
+        buckets.setdefault(find(i), []).append(i)
+    # Deterministic order: by first (topologically earliest) member.
+    return sorted(buckets.values(), key=lambda members: members[0])
+
+
+def _pack_components(components: List[List[int]],
+                     n_regions: int) -> List[List[int]]:
+    """Longest-processing-time bin-packing of components into regions.
+
+    Components are placed largest-first onto the lightest bin (ties by
+    bin index), which keeps replicated-tile workloads balanced *and*
+    deterministic; member lists stay topologically sorted.
+    """
+    bins: List[List[int]] = [[] for _ in range(n_regions)]
+    loads = [0] * n_regions
+    order = sorted(range(len(components)),
+                   key=lambda c: (-len(components[c]), c))
+    for c in order:
+        target = min(range(n_regions), key=lambda b: (loads[b], b))
+        bins[target].extend(components[c])
+        loads[target] += len(components[c])
+    packed = [sorted(members) for members in bins if members]
+    return sorted(packed, key=lambda members: members[0])
+
+
+def _level_bands(comb: Sequence[Gate], members: List[int],
+                 levels: Dict[str, int], n_bands: int) -> List[List[int]]:
+    """Split one component into level bands minimizing crossing nets.
+
+    ``crossing[c]`` counts gate-driven nets produced at level <= c and
+    consumed above it; the ``n_bands - 1`` cheapest distinct cut levels
+    (that leave every band non-empty) become the band edges.
+    """
+    if n_bands <= 1 or len(members) <= 1:
+        return [members]
+    member_set = {comb[i].name for i in members}
+    max_level = max(levels[comb[i].name] for i in members)
+    if max_level < 2:
+        return [members]
+    # crossing[c] = nets driven at level <= c with a consumer at level > c;
+    # derived from the max consumer level of each driven net.
+    crossing = [0] * max_level
+    max_consumer: Dict[str, int] = {}
+    for i in members:
+        gate = comb[i]
+        for src in gate.inputs:
+            if src in member_set:
+                lvl = levels[gate.name]
+                if lvl > max_consumer.get(src, -1):
+                    max_consumer[src] = lvl
+    for name, top in max_consumer.items():
+        for c in range(levels[name], min(top, max_level)):
+            if 1 <= c <= max_level - 1:
+                crossing[c] += 1
+    candidates = sorted(range(1, max_level),
+                        key=lambda c: (crossing[c], c))
+    cuts = sorted(candidates[:min(n_bands - 1, len(candidates))])
+    bands: List[List[int]] = [[] for _ in range(len(cuts) + 1)]
+    for i in members:
+        lvl = levels[comb[i].name]
+        band = 0
+        for cut in cuts:
+            if lvl > cut:
+                band += 1
+            else:
+                break
+        bands[band].append(i)
+    return [band for band in bands if band]
+
+
+def partition_netlist(netlist: Netlist, n_regions: int) -> Partition:
+    """Cut ``netlist`` into at most ``n_regions`` regions.
+
+    Register boundaries come for free (DFF outputs restart as launch
+    points); independent combinational components are bin-packed, and a
+    too-coarse decomposition falls back to level-band cuts of the largest
+    regions (see module docstring).  The result always has between 1 and
+    ``n_regions`` regions, each non-empty, covering every combinational
+    gate exactly once.
+    """
+    if n_regions < 1:
+        raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+    comb = netlist.combinational_gates
+    if not comb:
+        raise ValueError(
+            f"{netlist.name} has no combinational gates to partition")
+    n_regions = min(n_regions, len(comb))
+    driven = {gate.name for gate in comb}
+    components = _components(comb, driven)
+
+    if len(components) >= n_regions:
+        groups = _pack_components(components, n_regions)
+    else:
+        # Too few components: split the largest ones along level bands
+        # until the region budget is met (or no component can split).
+        levels = {gate.name: lvl
+                  for lvl, level in enumerate(netlist.levels)
+                  for gate in level}
+        groups = list(components)
+        while len(groups) < n_regions:
+            groups.sort(key=lambda members: (-len(members), members[0]))
+            largest = groups[0]
+            want = n_regions - len(groups) + 1
+            bands = _level_bands(comb, largest, levels, want)
+            if len(bands) <= 1:
+                break
+            groups = bands + groups[1:]
+        groups = sorted((sorted(members) for members in groups),
+                        key=lambda members: members[0])
+
+    return _build_partition(netlist, comb, groups)
+
+
+def _build_partition(netlist: Netlist, comb: Sequence[Gate],
+                     groups: List[List[int]]) -> Partition:
+    """Assemble regions, boundary pins, DAG edges, and waves."""
+    region_of: Dict[str, int] = {}
+    for r, members in enumerate(groups):
+        for i in members:
+            region_of[comb[i].name] = r
+    endpoints = set(netlist.endpoints)
+    # External readers: DFF data pins read combinational nets too.
+    dff_reads = {g.inputs[0] for g in netlist.dffs}
+
+    regions: List[Region] = []
+    edges: Set[Tuple[int, int]] = set()
+    for r, members in enumerate(groups):
+        names = tuple(comb[i].name for i in members)
+        inside = set(names)
+        inputs: List[str] = []
+        cut_inputs: List[str] = []
+        seen_in: Set[str] = set()
+        for i in members:
+            for src in comb[i].inputs:
+                if src in inside or src in seen_in:
+                    continue
+                seen_in.add(src)
+                inputs.append(src)
+                producer = region_of.get(src)
+                if producer is not None:
+                    cut_inputs.append(src)
+                    edges.add((producer, r))
+        outputs: List[str] = []
+        for i in members:
+            name = comb[i].name
+            exported = (name in endpoints or name in dff_reads
+                        or any(region_of.get(sink) != r
+                               for sink in netlist.fanouts(name)))
+            # Dangling outputs stay observable (sub-netlist validity).
+            if exported or not netlist.fanouts(name):
+                outputs.append(name)
+        regions.append(Region(index=r, gates=names,
+                              inputs=tuple(sorted(inputs)),
+                              cut_inputs=tuple(sorted(cut_inputs)),
+                              outputs=tuple(outputs)))
+
+    # Longest-path wave assignment over the region DAG.
+    depth = [0] * len(groups)
+    changed = True
+    while changed:
+        changed = False
+        for producer, consumer in edges:
+            if depth[consumer] < depth[producer] + 1:
+                depth[consumer] = depth[producer] + 1
+                changed = True
+    waves: Dict[int, List[int]] = {}
+    for r, d in enumerate(depth):
+        waves.setdefault(d, []).append(r)
+    wave_tuple = tuple(tuple(sorted(waves[d])) for d in sorted(waves))
+    return Partition(netlist_name=netlist.name,
+                     regions=tuple(regions),
+                     edges=tuple(sorted(edges)),
+                     waves=wave_tuple)

@@ -2,13 +2,15 @@
 
 One :func:`verify_circuit` call runs a circuit through all six SPSTA
 engine/algebra combinations, the scenario-batched backend
-(:mod:`repro.core.scenario`) on every algebra, plus both Monte Carlo
-simulators, then checks every pair named in
+(:mod:`repro.core.scenario`) on every algebra, the hierarchical
+partition scheduler (:mod:`repro.hier`, ``keep="all"``) on every
+algebra, plus both Monte Carlo simulators, then checks every pair named
+in
 :data:`repro.verify.policies.POLICIES` net by net:
 
 - replication pairs (``fast-vs-naive/*``, ``batched-vs-fast/*``,
-  ``wave-vs-stream/mc``) over every net — the engines share their
-  mathematics, so any visible disagreement is a bug;
+  ``hier-vs-flat/*``, ``wave-vs-stream/mc``) over every net — the
+  engines share their mathematics, so any visible disagreement is a bug;
 - abstraction pairs (``*-vs-grid``) and statistical pairs (``*-vs-mc``)
   over the netlist's endpoints, where the tolerance policy encodes the
   modelling error the pair is *allowed* to have.
@@ -45,6 +47,7 @@ from repro.core.spsta import (
     SpstaResult,
     run_spsta,
 )
+from repro.hier import AlgebraSpec, run_hier
 from repro.lint.engine import LintConfig, preflight as lint_preflight
 from repro.netlist.analysis import net_depths
 from repro.netlist.benchmarks import benchmark_circuit
@@ -68,6 +71,11 @@ GRID_BINS_PER_UNIT = 32
 #: so launch densities (N(0,1) tails) and delay spread stay on-grid; with
 #: it, the mass guardrail passing is a *property of the sweep*, not luck.
 GRID_MARGIN = 8.0
+
+#: Region count used for the sweep's hierarchical runs: enough that every
+#: bundled bench actually splits (multi-region DAG, real boundary pins)
+#: while staying fast on the fuzzed circuits.
+HIER_SWEEP_REGIONS = 3
 
 DEFAULT_TRIALS = 20_000
 DEFAULT_BENCHES: Tuple[str, ...] = ("s27", "s208")
@@ -340,6 +348,19 @@ def verify_circuit(netlist: Netlist,
         batched_runs[algebra_name] = sweep.result_for("nominal")
         profiles[(algebra_name, "batched")] = profile
 
+    # The hierarchical scheduler, keep="all", so every interior net of
+    # every region lands in the merged result and the hier-vs-flat
+    # policies compare the complete net set, not just boundaries.
+    hier_runs: Dict[str, SpstaResult] = {}
+    for algebra_name, factory in algebra_factories.items():
+        profile = SpstaProfile()
+        spec = AlgebraSpec.from_algebra(factory())
+        hier_runs[algebra_name] = run_hier(
+            netlist, config, delay_model, spec,
+            n_regions=HIER_SWEEP_REGIONS, keep="all",
+            profile=profile).result
+        profiles[(algebra_name, "hier")] = profile
+
     mc_wave = run_monte_carlo(netlist, config, trials, delay_model,
                               rng=np.random.default_rng(seed))
     mc_stream = run_monte_carlo(netlist, config, trials, delay_model,
@@ -370,6 +391,12 @@ def verify_circuit(netlist: Netlist,
             policy, all_nets,
             _spsta_stats(batched_runs[algebra_name]),
             _spsta_stats(runs[(algebra_name, "fast")])))
+    for algebra_name in ("moment", "mixture", "grid"):
+        policy = POLICIES[f"hier-vs-flat/{algebra_name}"]
+        checks.append(_compare_pair(
+            policy, all_nets,
+            _spsta_stats(hier_runs[algebra_name]),
+            _spsta_stats(runs[(algebra_name, "fast")])))
     checks.append(_compare_pair(
         POLICIES["wave-vs-stream/mc"], mc_nets,
         _mc_stats(mc_wave), _mc_stats(mc_stream)))
@@ -387,7 +414,7 @@ def verify_circuit(netlist: Netlist,
     guardrail = {"mass_checks": 0.0, "clipped_mass": 0.0,
                  "clip_events": 0.0, "max_clip_fraction": 0.0,
                  "finite_checks": 0.0}
-    for engine in ("naive", "fast", "batched"):
+    for engine in ("naive", "fast", "batched", "hier"):
         profile = profiles[("grid", engine)]
         guardrail["mass_checks"] += profile.mass_checks
         guardrail["clipped_mass"] += profile.clipped_mass

@@ -148,5 +148,26 @@ POLICIES: Dict[str, TolerancePolicy] = {
                         "noise plus the independence approximation).",
             abs_probability=0.16, abs_mean=0.55, abs_std=0.55,
             min_occurrences=200, endpoints_only=True),
+        TolerancePolicy(
+            pair="hier-vs-flat/moment",
+            description="Each region rerun is the unmodified fast engine "
+                        "seeded with exact upstream boundary TOPs, and "
+                        "DFF cuts add no cross-region timing terms: "
+                        "bit-exact.",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
+            pair="hier-vs-flat/mixture",
+            description="As hier-vs-flat/moment — region boundaries only "
+                        "reorder the per-gate fold boundaries the fast "
+                        "engine already uses: bit-exact.",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
+            pair="hier-vs-flat/grid",
+            description="Region boundaries regroup the grid engine's "
+                        "level batches exactly like the scenario-batched "
+                        "stacking; same bounds as batched-vs-fast/grid "
+                        "(measured deviation on the bundled benches: "
+                        "0.0).",
+            abs_probability=1e-12, abs_mean=1e-9, abs_std=1e-9),
     )
 }

@@ -1,9 +1,11 @@
-"""Schema tests for the ``BENCH_scenario_sweep.json`` artifact format.
+"""Schema tests for the benchmark-trajectory artifact formats.
 
+Covers ``BENCH_scenario_sweep.json`` and ``BENCH_hier_scale.json``.
 Both validation paths are exercised — the `jsonschema`-backed one and
 the dependency-free structural fallback — against the same payloads, so
-the two cannot drift apart.  The committed artifact itself is validated
-too: a format change that forgets to regenerate it fails here.
+the two cannot drift apart.  The committed artifacts themselves are
+validated too: a format change that forgets to regenerate them fails
+here.
 """
 
 from __future__ import annotations
@@ -16,13 +18,18 @@ import pytest
 
 from repro.experiments import bench_schema
 from repro.experiments.bench_schema import (
+    HIER_SCALE_VERSION,
     SCENARIO_SWEEP_VERSION,
+    hier_speedups,
     trajectory_speedups,
+    validate_hier_scale,
     validate_scenario_sweep,
 )
 
-ARTIFACT = (Path(__file__).resolve().parent.parent
-            / "benchmarks" / "results" / "BENCH_scenario_sweep.json")
+RESULTS = (Path(__file__).resolve().parent.parent
+           / "benchmarks" / "results")
+ARTIFACT = RESULTS / "BENCH_scenario_sweep.json"
+HIER_ARTIFACT = RESULTS / "BENCH_hier_scale.json"
 
 
 def _valid_payload() -> dict:
@@ -138,3 +145,138 @@ class TestHelpers:
             for s in (13.0, 10.7, 4.8)
         ]
         assert trajectory_speedups(payload) == [13.0, 10.7, 4.8]
+
+
+def _valid_hier_payload() -> dict:
+    measured = {
+        "n_gates": 100_000, "n_regions": 16, "grid_n": 512,
+        "hier_seconds": 4.2, "flat_seconds": 24.1, "speedup": 5.7,
+        "peak_rss_bytes": 150 * 1024 ** 2, "complete": True,
+        "dedup_hits": 14,
+    }
+    infeasible = {
+        "n_gates": 1_000_000, "n_regions": 32, "grid_n": 512,
+        "hier_seconds": 39.0, "flat_seconds": None, "speedup": None,
+        "flat_infeasible_reason": "flat grid state exceeds the budget",
+        "peak_rss_bytes": 761 * 1024 ** 2, "complete": True,
+        "dedup_hits": 30,
+    }
+    return {
+        "report": "spsta-hier-scale",
+        "version": HIER_SCALE_VERSION,
+        "workers": 8,
+        "algebra": "grid",
+        "memory_budget_bytes": 2 * 1024 ** 3,
+        "repeats": 1,
+        "headline": {"n_gates": 100_000, "speedup": 5.7},
+        "trajectory": [measured, infeasible],
+    }
+
+
+def _hier_mutations():
+    """(label, mutator) pairs, each producing one schema violation."""
+    def drop(key):
+        def mutate(p):
+            del p[key]
+        return mutate
+
+    def set_(key, value):
+        def mutate(p):
+            p[key] = value
+        return mutate
+
+    def in_point(index, key, value):
+        def mutate(p):
+            p["trajectory"][index][key] = value
+        return mutate
+
+    def drop_in_point(index, key):
+        def mutate(p):
+            del p["trajectory"][index][key]
+        return mutate
+
+    return [
+        ("missing report", drop("report")),
+        ("wrong report tag", set_("report", "spsta-scenario-sweep")),
+        ("version zero", set_("version", 0)),
+        ("workers zero", set_("workers", 0)),
+        ("empty algebra", set_("algebra", "")),
+        ("missing budget", drop("memory_budget_bytes")),
+        ("zero budget", set_("memory_budget_bytes", 0)),
+        ("empty trajectory", set_("trajectory", [])),
+        ("headline missing speedup",
+         set_("headline", {"n_gates": 100_000})),
+        ("negative hier seconds", in_point(0, "hier_seconds", -1.0)),
+        ("zero speedup", in_point(0, "speedup", 0.0)),
+        ("string flat seconds", in_point(0, "flat_seconds", "slow")),
+        ("incomplete run", in_point(0, "complete", False)),
+        ("missing flat_seconds", drop_in_point(0, "flat_seconds")),
+        ("null flat with measured speedup",
+         in_point(1, "speedup", 5.0)),
+        ("null flat without reason",
+         drop_in_point(1, "flat_infeasible_reason")),
+        ("measured flat with null speedup",
+         in_point(0, "speedup", None)),
+    ]
+
+
+@pytest.fixture(params=["jsonschema", "fallback"])
+def hier_validator(request, monkeypatch):
+    """Run each hier-scale test against both validation backends."""
+    if request.param == "jsonschema":
+        if bench_schema.jsonschema is None:
+            pytest.skip("jsonschema not installed")
+    else:
+        monkeypatch.setattr(bench_schema, "jsonschema", None)
+    return validate_hier_scale
+
+
+class TestHierScaleValidation:
+    def test_valid_payload_passes(self, hier_validator):
+        hier_validator(_valid_hier_payload())
+
+    def test_optional_keys_may_be_absent(self, hier_validator):
+        payload = _valid_hier_payload()
+        del payload["repeats"]
+        del payload["trajectory"][0]["dedup_hits"]
+        hier_validator(payload)
+
+    @pytest.mark.parametrize("label,mutate", _hier_mutations(),
+                             ids=[m[0] for m in _hier_mutations()])
+    def test_invalid_payload_rejected(self, hier_validator, label, mutate):
+        payload = copy.deepcopy(_valid_hier_payload())
+        mutate(payload)
+        with pytest.raises(ValueError, match="payload invalid"):
+            hier_validator(payload)
+
+
+class TestCommittedHierArtifact:
+    def test_artifact_exists(self):
+        assert HIER_ARTIFACT.is_file(), (
+            "benchmarks/results/BENCH_hier_scale.json missing — run "
+            "`pytest benchmarks/test_bench_hier.py` to regenerate")
+
+    def test_artifact_validates(self, hier_validator):
+        hier_validator(json.loads(HIER_ARTIFACT.read_text()))
+
+    def test_artifact_headline_meets_the_acceptance_floor(self):
+        payload = json.loads(HIER_ARTIFACT.read_text())
+        assert payload["headline"]["n_gates"] == 100_000
+        assert payload["workers"] == 8
+        assert payload["headline"]["speedup"] >= 4.0
+        speedups = hier_speedups(payload)
+        assert speedups[100_000] == payload["headline"]["speedup"]
+
+    def test_artifact_million_gate_point_fits_the_budget(self):
+        payload = json.loads(HIER_ARTIFACT.read_text())
+        point = next(p for p in payload["trajectory"]
+                     if p["n_gates"] == 1_000_000)
+        assert point["complete"] is True
+        assert point["flat_seconds"] is None
+        assert point["peak_rss_bytes"] < payload["memory_budget_bytes"]
+
+
+class TestHierHelpers:
+    def test_hier_speedups_skips_infeasible_points(self):
+        payload = _valid_hier_payload()
+        assert hier_speedups(payload) == {100_000: 5.7}

@@ -61,6 +61,52 @@ class TestCommands:
         assert "Error vs Monte Carlo" in out
 
 
+class TestHierCommand:
+    def test_hier_report(self, capsys):
+        assert main(["hier", "s27", "--partitions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "partition of s27" in out
+        assert "3 partitions" in out
+
+    def test_hier_json_and_compare_flat(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "hier.json"
+        assert main(["hier", "s208", "--partitions", "4",
+                     "--compare-flat", "--json", str(path)]) == 0
+        report = json.loads(path.read_text())
+        assert report["partition"]["n_regions"] == 4
+        assert report["complete"] is True
+        deltas = report["compare_flat"]["max_endpoint_delta"]
+        assert deltas["probability"] == 0.0
+        assert deltas["mean"] == 0.0
+
+    def test_hier_cache_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["hier", "s27", "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["hier", "s27", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "cache 4 hits / 0 misses" in out
+
+    def test_analyze_partition_matches_flat(self, capsys):
+        assert main(["analyze", "s27", "--partition", "3",
+                     "--trials", "0"]) == 0
+        hier_out = capsys.readouterr().out
+        assert "hierarchical: 3 regions" in hier_out
+        assert main(["analyze", "s27", "--trials", "0"]) == 0
+        flat_out = capsys.readouterr().out
+        hier_rows = [line for line in hier_out.splitlines()
+                     if "SPSTA" in line or "signal probability" in line]
+        flat_rows = [line for line in flat_out.splitlines()
+                     if "SPSTA" in line or "signal probability" in line]
+        assert hier_rows == flat_rows
+
+    def test_analyze_partition_rejects_naive_engine(self):
+        with pytest.raises(SystemExit, match="fast engine"):
+            main(["analyze", "s27", "--partition", "2",
+                  "--engine", "naive", "--trials", "0"])
+
+
 class TestConvertGenerateSlack:
     def test_convert_bench_to_verilog_and_back(self, tmp_path, capsys):
         from repro.cli import main

@@ -511,6 +511,57 @@ class TestEngine:
             assert diag["severity"] in ("error", "warning", "info")
 
 
+class TestHierRules:
+    """SP110 boundary width and SP205 schedule cost (hier family)."""
+
+    def test_silent_without_partitioning(self):
+        report = run_lint(benchmark_circuit("s1238"), LintConfig())
+        assert not report.select("SP110")
+        assert not report.select("SP205")
+
+    def test_sp205_reports_schedule(self):
+        config = LintConfig(n_partitions=4, n_workers=8,
+                            grid=TimeGrid(-5.0, 60.0, 256))
+        report = run_lint(benchmark_circuit("s1238"), config)
+        findings = report.select("SP205")
+        assert len(findings) == 1
+        data = findings[0].data
+        assert data["n_regions"] == 4
+        assert data["workers"] == 8
+        assert data["speedup_bound"] >= 1.0
+        assert data["peak_bytes"] <= data["budget_bytes"]
+        assert findings[0].severity is Severity.INFO
+
+    def test_sp205_warns_over_budget(self):
+        config = LintConfig(n_partitions=4, n_workers=4,
+                            grid=TimeGrid(-5.0, 60.0, 2048),
+                            hier_memory_budget=1024)
+        report = run_lint(benchmark_circuit("s1238"), config)
+        finding = report.select("SP205")[0]
+        assert finding.severity is Severity.WARNING
+        assert finding.suggestion is not None
+
+    def test_sp110_flags_pathological_boundaries(self):
+        # Slicing a monolithic blob into 7 level bands yields regions
+        # whose cut surface rivals their gate count.
+        report = run_lint(benchmark_circuit("s1238"),
+                          LintConfig(n_partitions=7))
+        findings = report.select("SP110")
+        assert findings
+        for finding in findings:
+            assert finding.data["ratio"] > finding.data["threshold"]
+        # DFF-boundary cuts on a tiled circuit stay clean.
+        from repro.netlist.generator import (
+            TiledProfile,
+            generate_tiled_circuit,
+        )
+        tiled = generate_tiled_circuit(TiledProfile(
+            "lint_tiles", n_tiles=4, gates_per_tile=400, depth=8,
+            seed=1))
+        clean = run_lint(tiled, LintConfig(n_partitions=4))
+        assert not clean.select("SP110")
+
+
 class TestGoldenReports:
     """The full JSON report of each fixture, pinned byte for byte."""
 

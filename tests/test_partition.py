@@ -1,0 +1,129 @@
+"""Tests for repro.netlist.partition — region cuts and the region DAG.
+
+The partitioner's contract: every combinational gate lands in exactly one
+region, cut inputs are exported by an upstream region, the wave schedule
+respects the region DAG, and every region materializes as a valid
+standalone :class:`~repro.netlist.core.Netlist`.  DFF-separated
+components must partition with *no* cross-region edges; a monolithic
+blob must fall back to level-band cuts whose edges all point forward.
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.netlist.benchmarks import benchmark_circuit, benchmark_names
+from repro.netlist.core import Netlist
+from repro.netlist.generator import (
+    GeneratorProfile,
+    TiledProfile,
+    generate_circuit,
+    generate_tiled_circuit,
+)
+from repro.netlist.partition import partition_netlist, subnetlist
+
+
+def check_partition_invariants(netlist: Netlist, partition) -> None:
+    """Structural soundness of a partition, independent of how it was cut."""
+    comb = [g.name for g in netlist.combinational_gates]
+    covered = [name for region in partition.regions
+               for name in region.gates]
+    assert sorted(covered) == sorted(comb)      # exact cover, no dupes
+
+    wave_of = {}
+    for depth, wave in enumerate(partition.waves):
+        for index in wave:
+            wave_of[index] = depth
+    assert sorted(wave_of) == list(range(partition.n_regions))
+    for producer, consumer in partition.edges:
+        assert wave_of[producer] < wave_of[consumer], (producer, consumer)
+
+    exported = {net for region in partition.regions
+                for net in region.outputs}
+    for region in partition.regions:
+        inside = set(region.gates)
+        for name in region.gates:
+            for src in netlist.gates[name].inputs:
+                if src not in inside:
+                    assert src in region.inputs, (region.index, src)
+        for net in region.cut_inputs:
+            assert net in region.inputs
+            assert net in exported              # someone upstream drives it
+        # Region materializes as a standalone, valid netlist.
+        sub = subnetlist(netlist, region)
+        assert len(sub.combinational_gates) == region.n_gates
+
+    # Gate-driven endpoints stay observable (keep="interface" reports them).
+    driven = set(comb)
+    for net in netlist.endpoints:
+        if net in driven:
+            assert net in exported, net
+
+
+class TestBenchPartitions:
+    @pytest.mark.parametrize("name", benchmark_names())
+    @pytest.mark.parametrize("k", (2, 4, 7))
+    def test_invariants(self, name, k):
+        netlist = benchmark_circuit(name)
+        partition = partition_netlist(netlist, k)
+        check_partition_invariants(netlist, partition)
+        assert 1 <= partition.n_regions <= k
+
+    def test_single_region_is_whole_netlist(self):
+        netlist = benchmark_circuit("s298")
+        partition = partition_netlist(netlist, 1)
+        assert partition.n_regions == 1
+        assert partition.edges == ()
+        assert (len(partition.regions[0].gates)
+                == len(netlist.combinational_gates))
+
+    def test_level_band_fallback_produces_edges(self):
+        # s1238's combinational logic is one large component, so cutting
+        # it into 4 forces level-band cuts — a chained region DAG.
+        partition = partition_netlist(benchmark_circuit("s1238"), 4)
+        assert partition.n_regions == 4
+        assert len(partition.edges) >= partition.n_regions - 1
+        assert all(len(region.cut_inputs) > 0
+                   for region in partition.regions[1:])
+
+
+class TestDffBoundaryCut:
+    def test_tiled_circuit_cuts_without_edges(self):
+        profile = TiledProfile(name="tiles", n_tiles=6, gates_per_tile=40,
+                               seed=3)
+        netlist = generate_tiled_circuit(profile)
+        partition = partition_netlist(netlist, 6)
+        check_partition_invariants(netlist, partition)
+        assert partition.n_regions == 6
+        assert partition.edges == ()            # DFF cuts cost nothing
+        assert len(partition.waves) == 1        # fully parallel
+        assert all(not region.cut_inputs for region in partition.regions)
+
+    def test_components_pack_into_fewer_regions(self):
+        profile = TiledProfile(name="tiles", n_tiles=8, gates_per_tile=30,
+                               seed=1)
+        netlist = generate_tiled_circuit(profile)
+        partition = partition_netlist(netlist, 3)
+        check_partition_invariants(netlist, partition)
+        assert partition.n_regions == 3
+        assert partition.edges == ()
+        # LPT packing keeps regions balanced: 8 equal tiles over 3 bins.
+        sizes = sorted(region.n_gates for region in partition.regions)
+        assert sizes[-1] <= 3 * (profile.gates_per_tile
+                                 + profile.dffs_per_tile)
+
+
+class TestPropertyRandomCircuits:
+    @given(seed=st.integers(0, 2 ** 16),
+           n_gates=st.integers(20, 60),
+           depth=st.integers(3, 7),
+           n_dffs=st.integers(0, 8),
+           k=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold(self, seed, n_gates, depth, n_dffs, k):
+        profile = GeneratorProfile(
+            name="prop", n_inputs=6, n_outputs=4, n_dffs=n_dffs,
+            n_gates=n_gates, depth=depth, seed=seed)
+        netlist = generate_circuit(profile)
+        partition = partition_netlist(netlist, k)
+        check_partition_invariants(netlist, partition)
+        assert 1 <= partition.n_regions <= k

@@ -84,12 +84,15 @@ class TestPolicies:
                     "moment-vs-grid", "mixture-vs-grid",
                     "moment-vs-mc", "mixture-vs-mc", "grid-vs-mc",
                     "batched-vs-fast/moment", "batched-vs-fast/mixture",
-                    "batched-vs-fast/grid", "batched-vs-mc"}
+                    "batched-vs-fast/grid", "batched-vs-mc",
+                    "hier-vs-flat/moment", "hier-vs-flat/mixture",
+                    "hier-vs-flat/grid"}
         assert set(POLICIES) == expected
 
     def test_replication_pairs_are_tightest(self):
         for name, policy in POLICIES.items():
-            if name.startswith(("fast-vs-naive", "batched-vs-fast")):
+            if name.startswith(("fast-vs-naive", "batched-vs-fast",
+                                "hier-vs-flat")):
                 assert policy.abs_probability <= 1e-9, name
                 assert not policy.endpoints_only, name
             if name.endswith("-vs-mc") and "stream" not in name:
