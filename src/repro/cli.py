@@ -326,6 +326,85 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.spsta import MixtureAlgebra, MomentAlgebra
+    from repro.opt import optimize_spsta
+
+    netlist = _load_circuit(args.circuit)
+    algebra = (MixtureAlgebra() if args.algebra == "mixture"
+               else MomentAlgebra())
+    result = optimize_spsta(
+        netlist, args.clock_period, metric=args.metric,
+        k_sigma=args.k_sigma, target_yield=args.target_yield,
+        max_area=args.max_area, size_step=args.size_step,
+        max_size=args.max_size, base_delay=args.base_delay,
+        delay_sigma=args.delay_sigma, stats=_config(args.config),
+        algebra=algebra, max_iterations=args.max_iterations,
+        anneal=args.anneal, anneal_moves=args.anneal_moves,
+        rng=np.random.default_rng(args.seed),
+        mc_validate=args.mc_validate, verify_moves=args.verify_moves)
+
+    n_gates = len(netlist.combinational_gates)
+    applied = sum(2 - m.accepted for m in result.moves)
+    target = (f"target {args.target_yield:g}" if result.metric == "yield"
+              else f"clock {args.clock_period:g}")
+    print(f"{netlist.name}: {result.metric} "
+          f"{result.metric_before:.6g} -> {result.metric_after:.6g} "
+          f"({'met' if result.met_target else 'missed'} {target})")
+    print(f"  area cost {result.area_cost:g} / {args.max_area:g}, "
+          f"{len(result.sizes)} gates resized, "
+          f"{result.accepted_moves} accepted moves "
+          f"({result.iterations} greedy, {result.anneal_moves_run} anneal)")
+    print(f"  incremental re-timing: {result.recomputed_gates} gate "
+          f"evaluations for {applied} delay edits "
+          f"(full-pass-per-move: {applied * n_gates})")
+    if result.verified_moves:
+        print(f"  conformance: {result.verified_moves} moves verified "
+              f"bit-exact against a full pass")
+    if result.mc_validation is not None:
+        mc = result.mc_validation
+        print(f"  MC oracle: joint yield {mc.joint_yield:.4f} "
+              f"over {mc.trials} shared trials")
+
+    if args.json:
+        payload = {
+            "report": "spsta-optimize",
+            "circuit": netlist.name,
+            "metric": result.metric,
+            "clock_period": args.clock_period,
+            "metric_before": result.metric_before,
+            "metric_after": result.metric_after,
+            "met_target": result.met_target,
+            "area_cost": result.area_cost,
+            "max_area": args.max_area,
+            "sizes": dict(result.sizes),
+            "iterations": result.iterations,
+            "anneal_moves_run": result.anneal_moves_run,
+            "accepted_moves": result.accepted_moves,
+            "recomputed_gates": result.recomputed_gates,
+            "full_pass_equivalent_gates": applied * n_gates,
+            "verified_moves": result.verified_moves,
+            "mc_validation": (
+                None if result.mc_validation is None else
+                {"trials": result.mc_validation.trials,
+                 "joint_yield": result.mc_validation.joint_yield}),
+            "moves": [{"phase": m.phase, "gate": m.gate, "size": m.size,
+                       "accepted": m.accepted,
+                       "metric_after": m.metric_after,
+                       "recomputed": m.recomputed}
+                      for m in result.moves],
+        }
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text)
+            print(f"wrote {args.json}")
+    return 0
+
+
 def _parse_grid_spec(spec: str):
     from repro.stats.grid import TimeGrid
 
@@ -921,6 +1000,54 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--config", default="I", help="input stats: I or II")
     verify.add_argument("--json", help="write the JSON report to this path")
     verify.set_defaults(func=_cmd_verify)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="SPSTA-in-the-loop gate sizing with incremental re-timing "
+             "(docs/optimization.md)")
+    optimize.add_argument("circuit")
+    optimize.add_argument("--clock-period", type=float, required=True,
+                          help="clock period the metric is evaluated at")
+    optimize.add_argument("--metric", choices=("yield", "mean-ksigma"),
+                          default="yield",
+                          help="cost: per-endpoint on-time yield product, "
+                               "or worst endpoint mean + k*sigma")
+    optimize.add_argument("--k-sigma", type=float, default=3.0,
+                          help="k for the mean-ksigma metric and the "
+                               "critical-path back-trace")
+    optimize.add_argument("--target-yield", type=float, default=0.95,
+                          help="stop once the yield metric reaches this")
+    optimize.add_argument("--max-area", type=float, default=20.0,
+                          help="upsizing budget: sum of (size - 1)")
+    optimize.add_argument("--size-step", type=float, default=0.5)
+    optimize.add_argument("--max-size", type=float, default=4.0)
+    optimize.add_argument("--base-delay", type=float, default=1.0,
+                          help="nominal unsized gate delay")
+    optimize.add_argument("--delay-sigma", type=float, default=0.1,
+                          help="unsized gate delay sigma (scales 1/size)")
+    optimize.add_argument("--config", default="I", help="input stats: I/II")
+    optimize.add_argument("--algebra", choices=("moments", "mixture"),
+                          default="moments",
+                          help="SPSTA algebra the cost is computed under")
+    optimize.add_argument("--max-iterations", type=int, default=60,
+                          help="greedy move budget")
+    optimize.add_argument("--anneal", action="store_true",
+                          help="refine with a simulated-annealing schedule")
+    optimize.add_argument("--anneal-moves", type=int, default=120,
+                          help="annealing proposal budget")
+    optimize.add_argument("--seed", type=int, default=0,
+                          help="seed for annealing and MC validation")
+    optimize.add_argument("--mc-validate", type=int, default=0,
+                          metavar="TRIALS",
+                          help="validate the final point with a "
+                               "shared-trial Monte Carlo joint yield")
+    optimize.add_argument("--verify-moves", action="store_true",
+                          help="assert every move's incremental state "
+                               "bit-exact against a full pass (slow)")
+    optimize.add_argument("--json",
+                          help="write a JSON report to this path "
+                               "('-' for stdout)")
+    optimize.set_defaults(func=_cmd_optimize)
 
     report = sub.add_parser("report",
                             help="per-endpoint slack/miss-probability report")

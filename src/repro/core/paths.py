@@ -64,9 +64,10 @@ def k_longest_paths(netlist: Netlist, k: int = 10,
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    endpoint_set = set(netlist.endpoints)
     endpoints = [endpoint] if endpoint is not None else list(netlist.endpoints)
     for net in endpoints:
-        if net not in set(netlist.endpoints):
+        if net not in endpoint_set:
             raise ValueError(f"{net} is not an endpoint of {netlist.name}")
 
     # Upper bound on arrival at each net (mean delays), for pruning.

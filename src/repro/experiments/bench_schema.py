@@ -321,3 +321,128 @@ def hier_speedups(payload: Dict[str, Any]) -> Dict[int, float]:
     return {point["n_gates"]: point["speedup"]
             for point in payload["trajectory"]
             if point["speedup"] is not None}
+
+
+#: JSON-Schema (draft 7 subset) of the optimizer-loop benchmark artifact
+#: (``benchmarks/test_bench_opt.py`` -> ``BENCH_opt_loop.json``): the same
+#: optimizer move schedule re-timed incrementally per move vs with a full
+#: analysis per move, per circuit.
+OPT_LOOP_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["report", "version", "algebra", "metric", "headline",
+                 "circuits"],
+    "properties": {
+        "report": {"const": "spsta-opt-loop"},
+        "version": {"type": "integer", "minimum": 1},
+        "algebra": {"type": "string", "minLength": 1},
+        "metric": {"type": "string", "minLength": 1},
+        "repeats": {"type": "integer", "minimum": 1},
+        "headline": {
+            "type": "object",
+            "required": ["circuit", "speedup"],
+            "properties": {
+                "circuit": {"type": "string", "minLength": 1},
+                "speedup": {"type": "number", "exclusiveMinimum": 0},
+            },
+        },
+        "circuits": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["circuit", "n_gates", "moves",
+                             "incremental_seconds", "full_seconds",
+                             "speedup", "recomputed_gates",
+                             "full_gate_evals"],
+                "properties": {
+                    "circuit": {"type": "string", "minLength": 1},
+                    "n_gates": {"type": "integer", "minimum": 1},
+                    "moves": {"type": "integer", "minimum": 1},
+                    "incremental_seconds": {"type": "number",
+                                            "exclusiveMinimum": 0},
+                    "full_seconds": {"type": "number",
+                                     "exclusiveMinimum": 0},
+                    "speedup": {"type": "number", "exclusiveMinimum": 0},
+                    "recomputed_gates": {"type": "integer", "minimum": 1},
+                    "full_gate_evals": {"type": "integer", "minimum": 1},
+                },
+            },
+        },
+    },
+}
+
+#: Bump on breaking format changes.
+OPT_LOOP_VERSION = 1
+
+
+def _opt_fail(message: str) -> None:
+    raise ValueError(f"BENCH_opt_loop payload invalid: {message}")
+
+
+def _validate_opt_fallback(payload: Dict[str, Any]) -> None:
+    """Structural validation mirroring :data:`OPT_LOOP_SCHEMA`."""
+    if not isinstance(payload, dict):
+        _opt_fail("top level must be an object")
+    for key in OPT_LOOP_SCHEMA["required"]:
+        if key not in payload:
+            _opt_fail(f"missing required key {key!r}")
+    if payload["report"] != "spsta-opt-loop":
+        _opt_fail(f"report must be 'spsta-opt-loop', "
+                  f"got {payload['report']!r}")
+    if not isinstance(payload["version"], int) or payload["version"] < 1:
+        _opt_fail("version must be an integer >= 1")
+    for key in ("algebra", "metric"):
+        if not isinstance(payload[key], str) or not payload[key]:
+            _opt_fail(f"{key} must be a non-empty string")
+    headline = payload["headline"]
+    if not isinstance(headline, dict):
+        _opt_fail("headline must be an object")
+    if not isinstance(headline.get("circuit"), str) \
+            or not headline["circuit"]:
+        _opt_fail("headline.circuit must be a non-empty string")
+    value = headline.get("speedup")
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0:
+        _opt_fail("headline.speedup must be a number > 0")
+    circuits = payload["circuits"]
+    if not isinstance(circuits, list) or not circuits:
+        _opt_fail("circuits must be a non-empty array")
+    for i, point in enumerate(circuits):
+        where = f"circuits[{i}]."
+        if not isinstance(point, dict):
+            _opt_fail(f"circuits[{i}] must be an object")
+        if not isinstance(point.get("circuit"), str) \
+                or not point["circuit"]:
+            _opt_fail(f"{where}circuit must be a non-empty string")
+        for key in ("n_gates", "moves", "recomputed_gates",
+                    "full_gate_evals"):
+            value = point.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                _opt_fail(f"{where}{key} must be an integer >= 1")
+        for key in ("incremental_seconds", "full_seconds", "speedup"):
+            value = point.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value <= 0:
+                _opt_fail(f"{where}{key} must be a number > 0")
+
+
+def validate_opt_loop(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` if ``payload`` violates the artifact schema."""
+    if jsonschema is not None:
+        try:
+            jsonschema.validate(payload, OPT_LOOP_SCHEMA)
+        except jsonschema.ValidationError as exc:
+            raise ValueError(
+                f"BENCH_opt_loop payload invalid: {exc.message}"
+            ) from exc
+        return
+    _validate_opt_fallback(payload)
+
+
+def opt_speedups(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Measured incremental-vs-full speedups by circuit name (payload
+    assumed valid)."""
+    return {point["circuit"]: point["speedup"]
+            for point in payload["circuits"]}

@@ -5,8 +5,31 @@
   engine (correlation-aware yield) in the evaluation loop.  Demonstrates
   the "suitable for optimization" property the paper credits block-based
   engines with (Sec. 1).
+- :mod:`repro.opt.spsta_opt` — the SPSTA-in-the-loop optimizer: a yield or
+  mean+k·sigma cost from the SPSTA endpoint TOPs, incremental cone
+  re-timing per move (:mod:`repro.core.incremental_spsta`), variational
+  move gradients, optional simulated annealing, and a Monte Carlo joint
+  yield oracle for the final point (see ``docs/optimization.md``).
 """
 
 from repro.opt.sizing import SizedDelay, SizingResult, optimize_sizing
+from repro.opt.spsta_opt import (
+    McValidation,
+    Move,
+    SizedNormalDelay,
+    SpstaSizingResult,
+    optimize_spsta,
+    validate_with_mc,
+)
 
-__all__ = ["SizedDelay", "SizingResult", "optimize_sizing"]
+__all__ = [
+    "McValidation",
+    "Move",
+    "SizedDelay",
+    "SizedNormalDelay",
+    "SizingResult",
+    "SpstaSizingResult",
+    "optimize_sizing",
+    "optimize_spsta",
+    "validate_with_mc",
+]

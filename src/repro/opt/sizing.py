@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.paths import k_longest_paths
 from repro.core.variational import ProcessSpace, run_variational, timing_yield
 from repro.netlist.core import Gate, Netlist
+from repro.sim.parallel import seed_sequence_of
 from repro.stats.normal import Normal
 
 
@@ -45,7 +46,7 @@ class SizedDelay:
 
     def area(self) -> float:
         """Total upsizing cost: sum of (size - 1) over resized gates."""
-        return sum(s - 1.0 for s in self.sizes.values())
+        return _area(self.sizes)
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,11 @@ def optimize_sizing(netlist: Netlist,
         raise ValueError("clock_period must be > 0")
     if rng is None:
         rng = np.random.default_rng(0)
+    # Common random numbers: every evaluation replays the same child
+    # stream of the caller's generator, so trial-vs-current comparisons
+    # are not swamped by independent sampling noise, while different
+    # caller rngs still give different (deterministic) yields.
+    eval_seed = seed_sequence_of(rng).spawn(1)[0]
     space = ProcessSpace(("P",))
     endpoints = list(netlist.endpoints)
     sizes: Dict[str, float] = {}
@@ -97,14 +103,13 @@ def optimize_sizing(netlist: Netlist,
         result = run_variational(netlist, model)
         return timing_yield(result, endpoints, clock_period,
                             n_samples=yield_samples,
-                            rng=np.random.default_rng(7))
+                            rng=np.random.default_rng(eval_seed))
 
     yield_before = evaluate(sizes)
     current_yield = yield_before
     iterations = 0
     stalled = 0
-    while (current_yield < target_yield and iterations < max_iterations
-           and _area(sizes) < max_area):
+    while current_yield < target_yield and iterations < max_iterations:
         iterations += 1
         candidate = _best_candidate(netlist, sizes, base_delay, size_step,
                                     max_size, n_paths)
@@ -113,6 +118,11 @@ def optimize_sizing(netlist: Netlist,
         trial = dict(sizes)
         trial[candidate] = min(trial.get(candidate, 1.0) + size_step,
                                max_size)
+        # Budget-check the *trial*, not the pre-move state: checking
+        # before applying let the final area overshoot max_area by up to
+        # size_step.
+        if _area(trial) > max_area:
+            break
         trial_yield = evaluate(trial)
         # Fixing ONE of several parallel critical paths often leaves the
         # joint yield flat until its siblings are fixed too; tolerate a

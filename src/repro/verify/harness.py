@@ -39,6 +39,7 @@ from repro.core.corners import Corner, ScaledDelay
 from repro.core.delay import DelayModel, NormalDelay, UnitDelay
 from repro.core.inputs import CONFIG_I, InputStats
 from repro.core.profiling import SpstaProfile
+from repro.core.incremental_spsta import IncrementalSpsta
 from repro.core.scenario import Scenario, run_scenario_batch
 from repro.core.spsta import (
     GridAlgebra,
@@ -56,6 +57,7 @@ from repro.netlist.generator import GeneratorProfile, generate_circuit
 from repro.sim.montecarlo import run_monte_carlo
 from repro.sim.parallel import RetryPolicy
 from repro.stats.grid import TimeGrid
+from repro.stats.normal import Normal
 from repro.verify.policies import (
     GUARDRAIL_MAX_CLIP_FRACTION,
     POLICIES,
@@ -273,6 +275,18 @@ def _compare_pair(policy: TolerancePolicy, nets: Sequence[str],
     return check
 
 
+def _move_schedule(netlist: Netlist) -> List[str]:
+    """Deterministic optimizer-style move targets for the incremental
+    check: gates at the 20/50/80% marks of the topological order, so the
+    repaired cones span shallow, mid, and deep fan-out."""
+    gates = [g.name for g in netlist.combinational_gates]
+    if not gates:
+        return []
+    picks = [gates[(len(gates) * fraction) // 10]
+             for fraction in (2, 5, 8)]
+    return list(dict.fromkeys(picks))
+
+
 def sweep_grid_for(netlist: Netlist) -> TimeGrid:
     """The conformance sweep's grid for a circuit: unit-delay-aligned pitch
     (:data:`GRID_BINS_PER_UNIT` bins per time unit) spanning the circuit's
@@ -361,6 +375,24 @@ def verify_circuit(netlist: Netlist,
             profile=profile).result
         profiles[(algebra_name, "hier")] = profile
 
+    # The incremental SPSTA engine: replay an optimizer-style move
+    # schedule (overrides spread across the topological order, plus one
+    # revert) through the worklist repair, then rerun a fresh naive full
+    # pass over the *same* effective delays.  The incremental-vs-full
+    # policies are bit-exact for every algebra, which is what licenses
+    # `optimize_spsta` to trust per-move cone repair.
+    incremental_runs: Dict[str, Tuple[SpstaResult, SpstaResult]] = {}
+    schedule = _move_schedule(netlist)
+    for algebra_name, factory in algebra_factories.items():
+        inc = IncrementalSpsta(netlist, config, delay_model, factory())
+        for i, gate_name in enumerate(schedule):
+            inc.set_delay(gate_name, Normal(1.2 + 0.05 * i, 0.03))
+        if schedule:
+            inc.clear_delay(schedule[0])
+        full = run_spsta(netlist, config, inc.effective_delay_model(),
+                         factory(), engine="naive")
+        incremental_runs[algebra_name] = (inc.result(), full)
+
     mc_wave = run_monte_carlo(netlist, config, trials, delay_model,
                               rng=np.random.default_rng(seed))
     mc_stream = run_monte_carlo(netlist, config, trials, delay_model,
@@ -397,6 +429,12 @@ def verify_circuit(netlist: Netlist,
             policy, all_nets,
             _spsta_stats(hier_runs[algebra_name]),
             _spsta_stats(runs[(algebra_name, "fast")])))
+    for algebra_name in ("moment", "mixture", "grid"):
+        policy = POLICIES[f"incremental-vs-full/{algebra_name}"]
+        inc_result, full_result = incremental_runs[algebra_name]
+        checks.append(_compare_pair(
+            policy, all_nets,
+            _spsta_stats(inc_result), _spsta_stats(full_result)))
     checks.append(_compare_pair(
         POLICIES["wave-vs-stream/mc"], mc_nets,
         _mc_stats(mc_wave), _mc_stats(mc_stream)))

@@ -162,6 +162,29 @@ POLICIES: Dict[str, TolerancePolicy] = {
                         "engine already uses: bit-exact.",
             abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
         TolerancePolicy(
+            pair="incremental-vs-full/moment",
+            description="Worklist cone repair calls the naive engine's "
+                        "per-gate kernel on identical inputs in "
+                        "topological order, and exact-equality early "
+                        "termination cannot hide a change: bit-exact "
+                        "after every optimizer-style move.",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
+            pair="incremental-vs-full/mixture",
+            description="As incremental-vs-full/moment — the mixture "
+                        "component tuples compare exactly, so stopping "
+                        "at an unchanged gate is provably safe: "
+                        "bit-exact.",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
+            pair="incremental-vs-full/grid",
+            description="Same per-gate kernel and evaluation order; the "
+                        "kernel cache memoizes values, never changes "
+                        "them, so the grid algebra repairs bit-exactly "
+                        "too (measured deviation on the bundled "
+                        "benches: 0.0).",
+            abs_probability=0.0, abs_mean=0.0, abs_std=0.0),
+        TolerancePolicy(
             pair="hier-vs-flat/grid",
             description="Region boundaries regroup the grid engine's "
                         "level batches exactly like the scenario-batched "

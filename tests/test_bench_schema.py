@@ -1,6 +1,7 @@
 """Schema tests for the benchmark-trajectory artifact formats.
 
-Covers ``BENCH_scenario_sweep.json`` and ``BENCH_hier_scale.json``.
+Covers ``BENCH_scenario_sweep.json``, ``BENCH_hier_scale.json`` and
+``BENCH_opt_loop.json``.
 Both validation paths are exercised — the `jsonschema`-backed one and
 the dependency-free structural fallback — against the same payloads, so
 the two cannot drift apart.  The committed artifacts themselves are
@@ -19,10 +20,13 @@ import pytest
 from repro.experiments import bench_schema
 from repro.experiments.bench_schema import (
     HIER_SCALE_VERSION,
+    OPT_LOOP_VERSION,
     SCENARIO_SWEEP_VERSION,
     hier_speedups,
+    opt_speedups,
     trajectory_speedups,
     validate_hier_scale,
+    validate_opt_loop,
     validate_scenario_sweep,
 )
 
@@ -30,6 +34,7 @@ RESULTS = (Path(__file__).resolve().parent.parent
            / "benchmarks" / "results")
 ARTIFACT = RESULTS / "BENCH_scenario_sweep.json"
 HIER_ARTIFACT = RESULTS / "BENCH_hier_scale.json"
+OPT_ARTIFACT = RESULTS / "BENCH_opt_loop.json"
 
 
 def _valid_payload() -> dict:
@@ -280,3 +285,127 @@ class TestHierHelpers:
     def test_hier_speedups_skips_infeasible_points(self):
         payload = _valid_hier_payload()
         assert hier_speedups(payload) == {100_000: 5.7}
+
+
+def _valid_opt_payload() -> dict:
+    point = {
+        "circuit": "s1196",
+        "n_gates": 529,
+        "moves": 60,
+        "incremental_seconds": 0.6,
+        "full_seconds": 5.5,
+        "speedup": 9.2,
+        "recomputed_gates": 3600,
+        "full_gate_evals": 31740,
+    }
+    return {
+        "report": "spsta-opt-loop",
+        "version": OPT_LOOP_VERSION,
+        "algebra": "moment",
+        "metric": "yield",
+        "repeats": 3,
+        "headline": {"circuit": "s1196", "speedup": 9.2},
+        "circuits": [point],
+    }
+
+
+def _opt_mutations():
+    """(label, mutator) pairs, each producing one schema violation."""
+    def drop(key):
+        def mutate(p):
+            del p[key]
+        return mutate
+
+    def set_(key, value):
+        def mutate(p):
+            p[key] = value
+        return mutate
+
+    def in_point(key, value):
+        def mutate(p):
+            p["circuits"][0][key] = value
+        return mutate
+
+    return [
+        ("missing report", drop("report")),
+        ("missing circuits", drop("circuits")),
+        ("wrong report tag", set_("report", "spsta-hier-scale")),
+        ("version zero", set_("version", 0)),
+        ("empty algebra", set_("algebra", "")),
+        ("empty metric", set_("metric", "")),
+        ("empty circuits", set_("circuits", [])),
+        ("headline missing speedup", set_("headline",
+                                          {"circuit": "s1196"})),
+        ("empty circuit name", in_point("circuit", "")),
+        ("n_gates zero", in_point("n_gates", 0)),
+        ("moves zero", in_point("moves", 0)),
+        ("negative incremental seconds",
+         in_point("incremental_seconds", -1.0)),
+        ("zero speedup", in_point("speedup", 0.0)),
+        ("string full seconds", in_point("full_seconds", "slow")),
+        ("fractional recomputed gates",
+         in_point("recomputed_gates", 3.5)),
+    ]
+
+
+@pytest.fixture(params=["jsonschema", "fallback"])
+def opt_validator(request, monkeypatch):
+    """Run each opt-loop test against both validation backends."""
+    if request.param == "jsonschema":
+        if bench_schema.jsonschema is None:
+            pytest.skip("jsonschema not installed")
+    else:
+        monkeypatch.setattr(bench_schema, "jsonschema", None)
+    return validate_opt_loop
+
+
+class TestOptLoopValidation:
+    def test_valid_payload_passes(self, opt_validator):
+        opt_validator(_valid_opt_payload())
+
+    def test_repeats_is_optional(self, opt_validator):
+        payload = _valid_opt_payload()
+        del payload["repeats"]
+        opt_validator(payload)
+
+    @pytest.mark.parametrize("label,mutate", _opt_mutations(),
+                             ids=[m[0] for m in _opt_mutations()])
+    def test_invalid_payload_rejected(self, opt_validator, label, mutate):
+        payload = copy.deepcopy(_valid_opt_payload())
+        mutate(payload)
+        with pytest.raises(ValueError, match="payload invalid"):
+            opt_validator(payload)
+
+
+class TestCommittedOptArtifact:
+    def test_artifact_exists(self):
+        assert OPT_ARTIFACT.is_file(), (
+            "benchmarks/results/BENCH_opt_loop.json missing — run "
+            "`pytest benchmarks/test_bench_opt.py` to regenerate")
+
+    def test_artifact_validates(self, opt_validator):
+        opt_validator(json.loads(OPT_ARTIFACT.read_text()))
+
+    def test_artifact_headline_meets_the_acceptance_floor(self):
+        payload = json.loads(OPT_ARTIFACT.read_text())
+        assert payload["headline"]["circuit"] == "s1196"
+        assert payload["headline"]["speedup"] >= 5.0
+        speedups = opt_speedups(payload)
+        assert speedups["s1196"] == payload["headline"]["speedup"]
+        assert set(speedups) == {"s1196", "s9234"}
+
+    def test_artifact_work_accounting_is_consistent(self):
+        payload = json.loads(OPT_ARTIFACT.read_text())
+        for point in payload["circuits"]:
+            # The full baseline recomputes every gate per applied edit;
+            # the incremental side must have done strictly less work.
+            assert point["full_gate_evals"] % point["n_gates"] == 0
+            assert point["recomputed_gates"] < point["full_gate_evals"]
+
+
+class TestOptHelpers:
+    def test_opt_speedups_by_circuit(self):
+        payload = _valid_opt_payload()
+        payload["circuits"].append(
+            dict(payload["circuits"][0], circuit="s9234", speedup=5.7))
+        assert opt_speedups(payload) == {"s1196": 9.2, "s9234": 5.7}

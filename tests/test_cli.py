@@ -155,6 +155,37 @@ class TestConvertGenerateSlack:
         assert "histogram" in out
 
 
+class TestOptimizeCommand:
+    def test_optimize_report(self, capsys):
+        assert main(["optimize", "s298", "--clock-period", "5",
+                     "--target-yield", "0.999", "--max-area", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "yield" in out
+        assert "incremental re-timing" in out
+
+    def test_optimize_json_verify_and_mc(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "opt.json"
+        assert main(["optimize", "s27", "--clock-period", "3.5",
+                     "--target-yield", "0.999", "--max-area", "4",
+                     "--algebra", "mixture", "--verify-moves",
+                     "--mc-validate", "2000", "--seed", "3",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified bit-exact" in out
+        assert "MC oracle" in out
+        report = json.loads(path.read_text())
+        assert report["report"] == "spsta-optimize"
+        assert report["metric_after"] >= report["metric_before"]
+        assert report["area_cost"] <= 4.0
+        assert report["mc_validation"]["trials"] == 2000
+        assert report["verified_moves"] == len([
+            m for m in report["moves"]]) + len([
+                m for m in report["moves"] if not m["accepted"]])
+        assert report["recomputed_gates"] <= \
+            report["full_pass_equivalent_gates"]
+
+
 class TestTestabilityCommand:
     def test_testability(self, capsys):
         from repro.cli import main

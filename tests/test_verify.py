@@ -86,13 +86,16 @@ class TestPolicies:
                     "batched-vs-fast/moment", "batched-vs-fast/mixture",
                     "batched-vs-fast/grid", "batched-vs-mc",
                     "hier-vs-flat/moment", "hier-vs-flat/mixture",
-                    "hier-vs-flat/grid"}
+                    "hier-vs-flat/grid",
+                    "incremental-vs-full/moment",
+                    "incremental-vs-full/mixture",
+                    "incremental-vs-full/grid"}
         assert set(POLICIES) == expected
 
     def test_replication_pairs_are_tightest(self):
         for name, policy in POLICIES.items():
             if name.startswith(("fast-vs-naive", "batched-vs-fast",
-                                "hier-vs-flat")):
+                                "hier-vs-flat", "incremental-vs-full")):
                 assert policy.abs_probability <= 1e-9, name
                 assert not policy.endpoints_only, name
             if name.endswith("-vs-mc") and "stream" not in name:
