@@ -1,0 +1,90 @@
+"""Benchmark F4: bounds-certified optimizer pruning.
+
+Writes ``benchmarks/results/BENCH_bounds_pruning.json`` — the same
+``optimize_spsta`` mean-ksigma run executed twice per circuit, with and
+without the certified interval pruning of :mod:`repro.bounds`.  Unlike
+the other benchmark artifacts the headline claim is a *certificate*,
+not a speedup: the payload records how many gates and endpoints the
+static pass provably excluded and asserts (in-process, then again via
+the schema's ``identical: const true``) that both runs produced
+bit-identical move sequences, sizes, and final metric — the
+"sound pruning changes nothing" guarantee of docs/optimization.md.
+
+Clock periods sit just above each bench's certified lower criticality
+bound, so the optimizer has real work to do while the bounds pass can
+still separate a non-trivial share of endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.bench_schema import (
+    BOUNDS_PRUNING_VERSION,
+    validate_bounds_pruning,
+)
+from repro.netlist.benchmarks import benchmark_circuit
+from repro.opt import optimize_spsta
+
+#: (circuit, clock period, greedy move budget) — parameters where the
+#: static pass certifies at least one never-critical cone (pinned by the
+#: schema's ``pruned_candidates >= 1`` floor).
+CIRCUITS = (("s1196", 16.5, 40), ("s9234", 15.0, 16))
+HEADLINE_CIRCUIT = CIRCUITS[0][0]
+K_SIGMA = 3.0
+SEED = 0
+
+
+def _run(netlist, clock: float, budget: int, pruning: bool):
+    t0 = time.perf_counter()
+    result = optimize_spsta(
+        netlist, clock_period=clock, metric="mean-ksigma",
+        k_sigma=K_SIGMA, max_iterations=budget,
+        rng=np.random.default_rng(SEED), bounds_pruning=pruning)
+    return result, time.perf_counter() - t0
+
+
+def test_bounds_pruning_artifact(results_dir):
+    points = []
+    for circuit, clock, budget in CIRCUITS:
+        netlist = benchmark_circuit(circuit)
+        pruned, pruned_s = _run(netlist, clock, budget, pruning=True)
+        plain, plain_s = _run(netlist, clock, budget, pruning=False)
+        identical = (dict(pruned.sizes) == dict(plain.sizes)
+                     and pruned.moves == plain.moves
+                     and pruned.metric_after == plain.metric_after)
+        assert identical, \
+            f"{circuit}: pruning changed the optimization outcome"
+        assert pruned.pruned_candidates > 0, \
+            f"{circuit}: static pass certified nothing at clock {clock}"
+        points.append({
+            "circuit": circuit,
+            "n_gates": len(list(netlist.combinational_gates)),
+            "n_endpoints": len(netlist.endpoints),
+            "clock_period": clock,
+            "pruned_candidates": pruned.pruned_candidates,
+            "pruned_endpoints": pruned.pruned_endpoints,
+            "moves": len(pruned.moves),
+            "identical": identical,
+            "pruned_seconds": pruned_s,
+            "unpruned_seconds": plain_s,
+        })
+    headline = points[0]
+    payload = {
+        "report": "spsta-bounds-pruning",
+        "version": BOUNDS_PRUNING_VERSION,
+        "algebra": "moment",
+        "metric": "mean-ksigma",
+        "k_sigma": K_SIGMA,
+        "headline": {"circuit": HEADLINE_CIRCUIT,
+                     "pruned_candidates": headline["pruned_candidates"],
+                     "identical": headline["identical"]},
+        "circuits": points,
+    }
+    validate_bounds_pruning(payload)
+    save_artifact(results_dir, "BENCH_bounds_pruning.json",
+                  json.dumps(payload, indent=2))

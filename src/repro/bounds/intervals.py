@@ -1,0 +1,151 @@
+"""Interval domain for two-value signal probability (Eq. 5).
+
+Two transfer functions per gate type:
+
+- :func:`gate_interval_independent` — sound **and tight** when the gate's
+  inputs are independent (the stem sweep certifies this when no fan-out
+  stem lands on two input cones).  Each op mirrors
+  :func:`repro.core.probability.gate_signal_probability` expression for
+  expression, so on point inputs (``lo == hi``) the result is
+  bit-identical to the point propagation — intervals collapse to width 0
+  on fanout-free circuits with no floating-point slack.
+
+- :func:`gate_interval_frechet` — sound under **any** joint distribution
+  of the inputs (Fréchet–Hoeffding bounds), used where reconvergence
+  makes independence unprovable and the BDD collapse is too expensive.
+  The independence corners must *not* be intersected in: under
+  dependence the true probability can sit outside them.
+
+All outputs are clamped to ``[0, 1]``; the clamp is a no-op on the
+independent path for in-range inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.logic.gates import GateSpec, GateType, gate_spec
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed probability interval ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.lo <= self.hi <= 1.0):
+            raise ValueError(f"invalid probability interval "
+                             f"[{self.lo}, {self.hi}]")
+
+    @staticmethod
+    def point(p: float) -> "Interval":
+        return Interval(p, p)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def complement(self) -> "Interval":
+        """Interval of ``1 - X`` — exact, mirrors ``1.0 - p``."""
+        return Interval(1.0 - self.hi, 1.0 - self.lo)
+
+    def contains(self, p: float, slack: float = 0.0) -> bool:
+        return self.lo - slack <= p <= self.hi + slack
+
+
+def _prod(values: Iterable[float]) -> float:
+    acc = 1.0
+    for v in values:
+        acc *= v
+    return acc
+
+
+def _clamp(lo: float, hi: float) -> Interval:
+    return Interval(min(max(lo, 0.0), 1.0), min(max(hi, 0.0), 1.0))
+
+
+def gate_interval_independent(gate_type: GateType,
+                              inputs: Sequence[Interval]) -> Interval:
+    """Output interval of one gate whose inputs are independent.
+
+    Monotone gates (AND/OR cores) evaluate the closed form at the
+    matching corner; the parity fold is bilinear per step, so its
+    extrema sit on corners of each ``(partial, input)`` box.
+    """
+    spec: GateSpec = gate_spec(gate_type)
+    spec.validate_arity(len(inputs))
+    if gate_type is GateType.BUFF:
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return inputs[0].complement()
+    if gate_type in (GateType.AND, GateType.NAND):
+        lo = _prod(x.lo for x in inputs)
+        hi = _prod(x.hi for x in inputs)
+        result = Interval(lo, hi)
+        return result.complement() if spec.inverting else result
+    if gate_type in (GateType.OR, GateType.NOR):
+        zero_lo = _prod(1.0 - x.hi for x in inputs)
+        zero_hi = _prod(1.0 - x.lo for x in inputs)
+        zeros = Interval(zero_lo, zero_hi)
+        return zeros if spec.inverting else zeros.complement()
+    # Parity: fold the two-value XOR probability, corner-evaluating the
+    # bilinear step p*(1-x) + (1-p)*x over each (p, x) box.
+    acc = Interval.point(0.0)
+    for x in inputs:
+        corners = [p * (1.0 - v) + (1.0 - p) * v
+                   for p in (acc.lo, acc.hi) for v in (x.lo, x.hi)]
+        acc = _clamp(min(corners), max(corners))
+    return acc.complement() if spec.inverting else acc
+
+
+def gate_interval_frechet(gate_type: GateType,
+                          inputs: Sequence[Interval]) -> Interval:
+    """Output interval valid under any joint input distribution.
+
+    AND of events: ``P(all) in [max(0, sum p_i - (k-1)), min p_i]``;
+    OR: ``P(any) in [max p_i, min(1, sum p_i)]`` — the Fréchet–Hoeffding
+    bounds.  Parity folds the pairwise XOR identity ``P(xor) = p + q -
+    2 P(and)`` with the AND term swept over its Fréchet range.
+    """
+    spec = gate_spec(gate_type)
+    spec.validate_arity(len(inputs))
+    if gate_type is GateType.BUFF:
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return inputs[0].complement()
+    if gate_type in (GateType.AND, GateType.NAND):
+        lo = max(0.0, sum(x.lo for x in inputs) - (len(inputs) - 1))
+        hi = min(x.hi for x in inputs)
+        result = _clamp(lo, max(lo, hi))
+        return result.complement() if spec.inverting else result
+    if gate_type in (GateType.OR, GateType.NOR):
+        lo = max(x.lo for x in inputs)
+        hi = min(1.0, sum(x.hi for x in inputs))
+        result = _clamp(lo, max(lo, hi))
+        return result.complement() if spec.inverting else result
+    acc = Interval.point(0.0)
+    for x in inputs:
+        acc = _xor_frechet(acc, x)
+    return acc.complement() if spec.inverting else acc
+
+
+def _xor_frechet(p: Interval, q: Interval) -> Interval:
+    # min over joints of |P(p) - P(q)|, then over the box:
+    lo = max(0.0, p.lo - q.hi, q.lo - p.hi)
+    # max over joints is min(s, 2 - s) with s = P(p) + P(q):
+    s_lo = p.lo + q.lo
+    s_hi = p.hi + q.hi
+    if s_lo <= 1.0 <= s_hi:
+        hi = 1.0
+    elif s_hi < 1.0:
+        hi = s_hi
+    else:
+        hi = 2.0 - s_lo
+    return _clamp(lo, max(lo, hi))

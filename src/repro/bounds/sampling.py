@@ -1,0 +1,52 @@
+"""Monte Carlo estimation of two-value signal probabilities.
+
+The statistical half of the bounds-containment check: draw random input
+patterns from the launch probabilities, evaluate the netlist with exact
+Boolean semantics (the vectorized evaluator shared with the fault
+oracle in :mod:`repro.testability.cop`), and report per-net frequencies
+of logic one.  A sound interval must contain the estimate to within the
+two-sided Hoeffding slack ``sqrt(ln(2/delta) / (2 n))`` except with
+probability ``delta`` per net.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.testability.cop import eval_gate
+
+
+def hoeffding_slack(trials: int, delta: float = 1e-9) -> float:
+    """Two-sided Hoeffding half-width: ``P(|p_hat - p| > slack) <=
+    delta`` for a Bernoulli mean over ``trials`` draws."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * trials))
+
+
+def sample_signal_probabilities(
+        netlist: Netlist,
+        launch: Union[float, Mapping[str, float]] = 0.5,
+        trials: int = 20_000,
+        rng: Optional[np.random.Generator] = None) -> Dict[str, float]:
+    """Per-net frequency of logic one over ``trials`` random patterns."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    def prob(net: str) -> float:
+        return (float(launch) if isinstance(launch, (int, float))
+                else float(launch[net]))
+
+    values: Dict[str, np.ndarray] = {
+        net: rng.random(trials) < prob(net)
+        for net in netlist.launch_points}
+    for gate in netlist.combinational_gates:
+        ins = [values[src] for src in gate.inputs]
+        values[gate.name] = eval_gate(gate.gate_type, ins)
+    return {net: float(bits.mean()) for net, bits in values.items()}

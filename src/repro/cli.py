@@ -14,6 +14,8 @@ Subcommands:
   caching (docs/performance.md, "Hierarchical analysis").
 - ``verify`` — cross-engine differential conformance sweep (JSON report).
 - ``lint`` — static circuit & configuration analysis (docs/linting.md).
+- ``bounds`` — certified signal-probability intervals and arrival-time
+  bound boxes from one static pass (docs/theory.md, "Interval bounds").
 - ``stats`` — structural statistics of a circuit.
 - ``generate`` / ``convert`` — synthesize circuits; .bench <-> Verilog.
 
@@ -118,6 +120,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print("preflight lint failed; fix the errors above or rerun "
                   "with --no-lint")
             return 1
+        from repro.bounds import compute_bounds
+        certified = compute_bounds(netlist, stats=config)
+        constants = sum(1 for iv in certified.sp.values()
+                        if iv.is_point and iv.lo in (0.0, 1.0))
+        regimes = certified.regime_counts
+        print(f"{netlist.name}: certified bounds — "
+              f"{constants} constant nets, regimes "
+              f"{regimes['independent']} independent / {regimes['bdd']} "
+              f"bdd / {regimes['frechet']} frechet, worst-endpoint "
+              f"criticality >= {certified.critical_lower:.2f} "
+              f"(k={certified.k_sigma:g})")
     endpoint, depth = critical_endpoint(netlist)
     print(f"{netlist.name}: critical endpoint {endpoint} (depth {depth})")
     sta = run_sta(netlist)
@@ -344,7 +357,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         algebra=algebra, max_iterations=args.max_iterations,
         anneal=args.anneal, anneal_moves=args.anneal_moves,
         rng=np.random.default_rng(args.seed),
-        mc_validate=args.mc_validate, verify_moves=args.verify_moves)
+        mc_validate=args.mc_validate, verify_moves=args.verify_moves,
+        bounds_pruning=not args.no_bounds_pruning)
 
     n_gates = len(netlist.combinational_gates)
     applied = sum(2 - m.accepted for m in result.moves)
@@ -360,6 +374,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(f"  incremental re-timing: {result.recomputed_gates} gate "
           f"evaluations for {applied} delay edits "
           f"(full-pass-per-move: {applied * n_gates})")
+    if result.bounds_pruning:
+        print(f"  bounds pruning: {result.pruned_candidates} gates and "
+              f"{result.pruned_endpoints} endpoints certified "
+              f"non-critical over the whole sizing box (result "
+              f"bit-identical by construction)")
     if result.verified_moves:
         print(f"  conformance: {result.verified_moves} moves verified "
               f"bit-exact against a full pass")
@@ -385,6 +404,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             "accepted_moves": result.accepted_moves,
             "recomputed_gates": result.recomputed_gates,
             "full_pass_equivalent_gates": applied * n_gates,
+            "bounds_pruning": result.bounds_pruning,
+            "pruned_candidates": result.pruned_candidates,
+            "pruned_endpoints": result.pruned_endpoints,
             "verified_moves": result.verified_moves,
             "mc_validation": (
                 None if result.mc_validation is None else
@@ -740,6 +762,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             grid=_parse_grid_spec(args.grid) if args.grid else None,
             n_partitions=args.partitions,
             n_workers=args.lint_workers,
+            clock_period=args.clock_period,
             disabled=frozenset(args.disable.split(","))
             if args.disable else frozenset())
         report = run_lint(netlist, config, baseline)
@@ -757,6 +780,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.fail_on == "never":
         return 0
     return 0 if report.passed(Severity.parse(args.fail_on)) else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bounds import compute_bounds
+
+    netlist = _load_circuit(args.circuit)
+    result = compute_bounds(
+        netlist, stats=_config(args.config), k_sigma=args.k_sigma,
+        clock_period=args.clock_period,
+        max_cone_inputs=args.max_cone_inputs,
+        max_bdd_nodes=args.max_bdd_nodes)
+
+    regimes = result.regime_counts
+    widths = [iv.width for iv in result.sp.values()]
+    constants = sum(1 for iv in result.sp.values()
+                    if iv.is_point and iv.lo in (0.0, 1.0))
+    print(f"{netlist.name}: certified bounds over {len(result.sp)} nets "
+          f"(k={args.k_sigma:g})")
+    print(f"  SP regimes: {regimes['independent']} independent, "
+          f"{regimes['bdd']} bdd-exact, {regimes['frechet']} frechet"
+          f"{' (node cap hit)' if result.bdd_exhausted else ''}")
+    print(f"  SP widths: max {max(widths):.4f}, "
+          f"mean {sum(widths) / len(widths):.4f}; "
+          f"{constants} certified-constant nets")
+    print(f"  worst-endpoint criticality >= {result.critical_lower:.3f}")
+    ranked = sorted(result.endpoint_criticality.items(),
+                    key=lambda item: -item[1][1])
+    for net, (lo, hi) in ranked[:args.endpoints]:
+        print(f"  {net:>12}: criticality in [{lo:.3f}, {hi:.3f}]")
+    if args.clock_period is not None:
+        lo, hi = result.yield_bounds(args.clock_period)
+        never = result.never_critical_endpoints(args.clock_period)
+        pruned = result.non_critical_gates(args.clock_period)
+        print(f"  at clock {args.clock_period:g}: timing yield in "
+              f"[{lo:.4f}, {hi:.4f}], {len(never)} endpoints and "
+              f"{len(pruned)} gates certified non-critical")
+    if args.json:
+        text = json.dumps(result.to_dict(), indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -864,6 +933,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--grid",
                       help="TimeGrid as START:STOP:N (e.g. -8:60:2048); "
                            "enables the SP303 grid-coverage prediction")
+    lint.add_argument("--clock-period", type=float, default=None,
+                      help="clock period for the SP404/SP405 bounds "
+                           "rules (static yield bounds and the "
+                           "non-critical-cone threshold)")
     lint.add_argument("--json",
                       help="write the JSON report to this path ('-' for "
                            "stdout)")
@@ -1041,6 +1114,10 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="TRIALS",
                           help="validate the final point with a "
                                "shared-trial Monte Carlo joint yield")
+    optimize.add_argument("--no-bounds-pruning", action="store_true",
+                          help="disable the certified bounds pruning "
+                               "preflight (mean-ksigma metric; the "
+                               "result is bit-identical either way)")
     optimize.add_argument("--verify-moves", action="store_true",
                           help="assert every move's incremental state "
                                "bit-exact against a full pass (slow)")
@@ -1048,6 +1125,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a JSON report to this path "
                                "('-' for stdout)")
     optimize.set_defaults(func=_cmd_optimize)
+
+    bounds = sub.add_parser(
+        "bounds",
+        help="certified SP intervals and arrival bound boxes "
+             "(one static pass, no simulation)")
+    bounds.add_argument("circuit", help="benchmark name or .bench path")
+    bounds.add_argument("--config", default="I", help="input stats: I or II")
+    bounds.add_argument("--k-sigma", type=float, default=3.0,
+                        help="k for the criticality bounds mu + k*sigma")
+    bounds.add_argument("--clock-period", type=float, default=None,
+                        help="also report static yield bounds and the "
+                             "certified non-critical set at this clock")
+    bounds.add_argument("--max-cone-inputs", type=int, default=10,
+                        help="launch-support cap for BDD-exact collapse "
+                             "of reconvergent cones")
+    bounds.add_argument("--max-bdd-nodes", type=int, default=100_000,
+                        help="shared node budget for all cone collapses")
+    bounds.add_argument("--endpoints", type=int, default=5,
+                        help="endpoints to list (widest bound first)")
+    bounds.add_argument("--json",
+                        help="write the JSON report to this path "
+                             "('-' for stdout)")
+    bounds.set_defaults(func=_cmd_bounds)
 
     report = sub.add_parser("report",
                             help="per-endpoint slack/miss-probability report")

@@ -446,3 +446,148 @@ def opt_speedups(payload: Dict[str, Any]) -> Dict[str, float]:
     assumed valid)."""
     return {point["circuit"]: point["speedup"]
             for point in payload["circuits"]}
+
+
+#: JSON-Schema (draft 7 subset) of the bounds-pruning benchmark artifact
+#: (``benchmarks/test_bench_bounds.py`` -> ``BENCH_bounds_pruning.json``):
+#: the same ``optimize_spsta`` mean-ksigma run executed with and without
+#: the certified interval pruning of :mod:`repro.bounds`.  The headline
+#: claim is not a speedup but a *certificate*: ``identical`` asserts the
+#: two runs produced bit-identical moves and final metric while
+#: ``pruned_candidates`` gates were provably excluded — so it is pinned
+#: ``const true`` and ``pruned_candidates`` has a floor of 1 (an artifact
+#: that pruned nothing, or changed the result, does not validate).
+BOUNDS_PRUNING_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["report", "version", "algebra", "metric", "k_sigma",
+                 "headline", "circuits"],
+    "properties": {
+        "report": {"const": "spsta-bounds-pruning"},
+        "version": {"type": "integer", "minimum": 1},
+        "algebra": {"type": "string", "minLength": 1},
+        "metric": {"const": "mean-ksigma"},
+        "k_sigma": {"type": "number", "exclusiveMinimum": 0},
+        "headline": {
+            "type": "object",
+            "required": ["circuit", "pruned_candidates", "identical"],
+            "properties": {
+                "circuit": {"type": "string", "minLength": 1},
+                "pruned_candidates": {"type": "integer", "minimum": 1},
+                "identical": {"const": True},
+            },
+        },
+        "circuits": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["circuit", "n_gates", "n_endpoints",
+                             "clock_period", "pruned_candidates",
+                             "pruned_endpoints", "moves", "identical",
+                             "pruned_seconds", "unpruned_seconds"],
+                "properties": {
+                    "circuit": {"type": "string", "minLength": 1},
+                    "n_gates": {"type": "integer", "minimum": 1},
+                    "n_endpoints": {"type": "integer", "minimum": 1},
+                    "clock_period": {"type": "number",
+                                     "exclusiveMinimum": 0},
+                    "pruned_candidates": {"type": "integer", "minimum": 1},
+                    "pruned_endpoints": {"type": "integer", "minimum": 0},
+                    "moves": {"type": "integer", "minimum": 0},
+                    "identical": {"const": True},
+                    "pruned_seconds": {"type": "number",
+                                       "exclusiveMinimum": 0},
+                    "unpruned_seconds": {"type": "number",
+                                         "exclusiveMinimum": 0},
+                },
+            },
+        },
+    },
+}
+
+#: Bump on breaking format changes.
+BOUNDS_PRUNING_VERSION = 1
+
+
+def _bounds_fail(message: str) -> None:
+    raise ValueError(f"BENCH_bounds_pruning payload invalid: {message}")
+
+
+def _validate_bounds_fallback(payload: Dict[str, Any]) -> None:
+    """Structural validation mirroring :data:`BOUNDS_PRUNING_SCHEMA`."""
+    if not isinstance(payload, dict):
+        _bounds_fail("top level must be an object")
+    for key in BOUNDS_PRUNING_SCHEMA["required"]:
+        if key not in payload:
+            _bounds_fail(f"missing required key {key!r}")
+    if payload["report"] != "spsta-bounds-pruning":
+        _bounds_fail(f"report must be 'spsta-bounds-pruning', "
+                     f"got {payload['report']!r}")
+    if not isinstance(payload["version"], int) or payload["version"] < 1:
+        _bounds_fail("version must be an integer >= 1")
+    if not isinstance(payload["algebra"], str) or not payload["algebra"]:
+        _bounds_fail("algebra must be a non-empty string")
+    if payload["metric"] != "mean-ksigma":
+        _bounds_fail(f"metric must be 'mean-ksigma', "
+                     f"got {payload['metric']!r}")
+    k_sigma = payload["k_sigma"]
+    if not isinstance(k_sigma, (int, float)) or isinstance(k_sigma, bool) \
+            or k_sigma <= 0:
+        _bounds_fail("k_sigma must be a number > 0")
+    headline = payload["headline"]
+    if not isinstance(headline, dict):
+        _bounds_fail("headline must be an object")
+    if not isinstance(headline.get("circuit"), str) \
+            or not headline["circuit"]:
+        _bounds_fail("headline.circuit must be a non-empty string")
+    value = headline.get("pruned_candidates")
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        _bounds_fail("headline.pruned_candidates must be an integer >= 1")
+    if headline.get("identical") is not True:
+        _bounds_fail("headline.identical must be true")
+    circuits = payload["circuits"]
+    if not isinstance(circuits, list) or not circuits:
+        _bounds_fail("circuits must be a non-empty array")
+    for i, point in enumerate(circuits):
+        where = f"circuits[{i}]."
+        if not isinstance(point, dict):
+            _bounds_fail(f"circuits[{i}] must be an object")
+        if not isinstance(point.get("circuit"), str) \
+                or not point["circuit"]:
+            _bounds_fail(f"{where}circuit must be a non-empty string")
+        for key, floor in (("n_gates", 1), ("n_endpoints", 1),
+                           ("pruned_candidates", 1),
+                           ("pruned_endpoints", 0), ("moves", 0)):
+            value = point.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < floor:
+                _bounds_fail(f"{where}{key} must be an integer "
+                             f">= {floor}")
+        for key in ("clock_period", "pruned_seconds", "unpruned_seconds"):
+            value = point.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value <= 0:
+                _bounds_fail(f"{where}{key} must be a number > 0")
+        if point.get("identical") is not True:
+            _bounds_fail(f"{where}identical must be true")
+
+
+def validate_bounds_pruning(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` if ``payload`` violates the artifact schema."""
+    if jsonschema is not None:
+        try:
+            jsonschema.validate(payload, BOUNDS_PRUNING_SCHEMA)
+        except jsonschema.ValidationError as exc:
+            raise ValueError(
+                f"BENCH_bounds_pruning payload invalid: {exc.message}"
+            ) from exc
+        return
+    _validate_bounds_fallback(payload)
+
+
+def pruned_fractions(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Fraction of gates certified never-critical, by circuit (payload
+    assumed valid)."""
+    return {point["circuit"]: point["pruned_candidates"] / point["n_gates"]
+            for point in payload["circuits"]}

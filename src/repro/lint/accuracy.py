@@ -24,16 +24,19 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
-import numpy as np
-
+from repro.bounds.stems import StemRecord, find_reconvergence
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.logic.gates import GateType
-from repro.netlist.analysis import net_depths
 from repro.stats.normal import norm_cdf
 
 if TYPE_CHECKING:
     from repro.lint.engine import LintConfig
     from repro.netlist.core import Netlist
+
+__all__ = [
+    "StemRecord", "find_reconvergence", "accuracy_diagnostics",
+    "reconvergence_diagnostics", "endpoint_support_bounds",
+    "grid_coverage_diagnostics",
+]
 
 
 def accuracy_diagnostics(netlist: "Netlist",
@@ -45,101 +48,10 @@ def accuracy_diagnostics(netlist: "Netlist",
 
 
 # -- SP301/SP302: reconvergent fanout ------------------------------------
-
-
-class StemRecord:
-    """Aggregated reconvergence facts for one fan-out stem."""
-
-    __slots__ = ("stem", "first_gate", "n_gates", "max_depth")
-
-    def __init__(self, stem: str, first_gate: str, depth: int) -> None:
-        self.stem = stem
-        self.first_gate = first_gate
-        self.n_gates = 1
-        self.max_depth = depth
-
-
-def find_reconvergence(
-    netlist: "Netlist",
-) -> Tuple[Dict[str, StemRecord], Dict[str, Dict[str, int]]]:
-    """Reconvergent stems and per-endpoint correlation metrics.
-
-    Returns ``(stems, endpoint_metrics)`` where ``stems`` maps each
-    reconvergent stem net to its :class:`StemRecord` and
-    ``endpoint_metrics`` maps each affected endpoint to
-    ``{"reconvergent_stems": n, "max_correlation_depth": d}``.
-
-    One levelized sweep with packed-uint64 bitsets: per gate, a stem seen
-    on two input cones lands in the ``seen_twice`` mask.  O(nets x stems /
-    64) words — a few MB even for the s9234-class profiles.
-    """
-    stems = [net for net in netlist.nets
-             if sum(1 for sink in netlist.fanouts(net)
-                    if netlist.gates[sink].gate_type is not GateType.DFF) >= 2]
-    if not stems:
-        return {}, {}
-    stem_bit = {net: i for i, net in enumerate(stems)}
-    words = (len(stems) + 63) // 64
-    zero = np.zeros(words, dtype=np.uint64)
-    depths = net_depths(netlist)
-
-    masks: Dict[str, np.ndarray] = {}
-    recon: Dict[str, np.ndarray] = {}
-    event_depth: Dict[str, int] = {}
-    records: Dict[str, StemRecord] = {}
-
-    def mask_of(net: str) -> np.ndarray:
-        mask = masks.get(net, zero)
-        if net in stem_bit:
-            mask = mask.copy()
-            bit = stem_bit[net]
-            mask[bit >> 6] |= np.uint64(1 << (bit & 63))
-        return mask
-
-    for gate in netlist.combinational_gates:
-        seen_once = zero
-        seen_twice = zero
-        acc_recon = zero
-        acc_event = 0
-        for src in gate.inputs:
-            m = mask_of(src)
-            seen_twice = seen_twice | (seen_once & m)
-            seen_once = seen_once | m
-            acc_recon = acc_recon | recon.get(src, zero)
-            acc_event = max(acc_event, event_depth.get(src, 0))
-        if seen_twice.any():
-            for bit in _set_bits(seen_twice):
-                stem = stems[bit]
-                depth = depths[gate.name] - depths[stem]
-                record = records.get(stem)
-                if record is None:
-                    records[stem] = StemRecord(stem, gate.name, depth)
-                else:
-                    record.n_gates += 1
-                    record.max_depth = max(record.max_depth, depth)
-                acc_event = max(acc_event, depth)
-            acc_recon = acc_recon | seen_twice
-        masks[gate.name] = seen_once
-        recon[gate.name] = acc_recon
-        event_depth[gate.name] = acc_event
-
-    endpoint_metrics: Dict[str, Dict[str, int]] = {}
-    for endpoint in netlist.endpoints:
-        n = int(_popcount(recon.get(endpoint, zero)))
-        if n:
-            endpoint_metrics[endpoint] = {
-                "reconvergent_stems": n,
-                "max_correlation_depth": event_depth.get(endpoint, 0)}
-    return records, endpoint_metrics
-
-
-def _set_bits(mask: np.ndarray) -> List[int]:
-    bits = np.unpackbits(mask.view(np.uint8), bitorder="little")
-    return [int(b) for b in np.nonzero(bits)[0]]
-
-
-def _popcount(mask: np.ndarray) -> int:
-    return int(np.unpackbits(mask.view(np.uint8)).sum())
+#
+# The packed-uint64 stem sweep itself lives in ``repro.bounds.stems``
+# (shared with the bounds engine's regime classifier); ``StemRecord`` and
+# ``find_reconvergence`` are re-exported above for compatibility.
 
 
 def reconvergence_diagnostics(netlist: "Netlist",

@@ -1,0 +1,154 @@
+"""SP4xx bounds rules: certified facts from the interval engine.
+
+Every SP4xx finding is backed by a *sound* interval from
+:func:`repro.bounds.compute_bounds` — unlike the SP3xx predictions
+these are certificates, not heuristics:
+
+- **SP401** (warning) — near-constant net: the certified interval sits
+  within ``near_constant_eps`` of a rail without being exactly on it.
+  The net carries almost no information and its transitions contribute
+  almost nothing to timing or power.
+- **SP402** (info) — statically untestable stuck-at fault: a net
+  certified exactly constant under launch probabilities strictly inside
+  (0, 1) is constant for *every* input vector, so the matching stuck-at
+  fault can never be detected.
+- **SP403** (warning) — dead logic: a gate output whose interval has
+  width zero at 0 or 1; the gate and its exclusive fan-in cone compute
+  a constant.
+- **SP404** (info) — certified non-critical cones: gates provably
+  absent from every critical path at the analysis threshold (the clock
+  period when configured, else the certified lower bound on the worst
+  endpoint criticality).
+- **SP405** (info) — static timing-yield bounds at the configured clock
+  period (Cantelli + union bound; see docs/theory.md).
+
+The rules run only when the family is registered (``bounds`` in
+:data:`repro.lint.engine.RULE_FAMILIES`) and honor ``disabled`` like
+every other rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.bounds.engine import BoundsResult, compute_bounds
+from repro.lint.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintConfig
+    from repro.netlist.core import Netlist
+
+
+def bounds_diagnostics(netlist: "Netlist",
+                       config: "LintConfig") -> List[Diagnostic]:
+    result = compute_bounds(
+        netlist,
+        stats=config.input_stats,
+        delay_model=config.delay_model,
+        k_sigma=config.k_sigma,
+        clock_period=config.clock_period,
+        max_cone_inputs=config.max_cone_inputs,
+        max_bdd_nodes=config.max_bdd_nodes)
+    diagnostics = _sp_diagnostics(netlist, config, result)
+    diagnostics.extend(_criticality_diagnostics(netlist, config, result))
+    return diagnostics
+
+
+def _sp_diagnostics(netlist: "Netlist", config: "LintConfig",
+                    result: BoundsResult) -> List[Diagnostic]:
+    eps = config.near_constant_eps
+    launch_interior = all(
+        0.0 < result.sp[net].lo and result.sp[net].hi < 1.0
+        for net in netlist.launch_points)
+    near: List[Tuple[str, float, float]] = []
+    diagnostics: List[Diagnostic] = []
+    for gate in netlist.combinational_gates:
+        net = gate.name
+        interval = result.sp[net]
+        constant_zero = interval.hi == 0.0
+        constant_one = interval.lo == 1.0
+        if constant_zero or constant_one:
+            value = 1 if constant_one else 0
+            regime = result.regimes[net]
+            diagnostics.append(Diagnostic(
+                rule="SP403", severity=Severity.WARNING, net=net,
+                gate=net,
+                message=f"dead logic: gate {net} output is certified "
+                        f"constant {value} (zero-width interval, "
+                        f"{regime} regime); the gate and its exclusive "
+                        f"fan-in cone compute a constant",
+                data={"value": value, "regime": regime},
+                suggestion="fold the constant and remove the cone, or "
+                           "check for a miswired input"))
+            if launch_interior:
+                diagnostics.append(Diagnostic(
+                    rule="SP402", severity=Severity.INFO, net=net,
+                    message=f"statically untestable fault: {net} "
+                            f"stuck-at-{value} is undetectable — the "
+                            f"net is {value} for every input vector",
+                    data={"stuck_at": value, "regime": regime},
+                    suggestion="exclude the fault from ATPG targets "
+                               "and coverage denominators"))
+            continue
+        if interval.hi <= eps or interval.lo >= 1.0 - eps:
+            near.append((net, interval.lo, interval.hi))
+    near.sort(key=lambda item: (min(item[2], 1.0 - item[1]), item[0]))
+    for net, lo, hi in near[:config.max_reports]:
+        rail = 1 if lo >= 1.0 - eps else 0
+        diagnostics.append(Diagnostic(
+            rule="SP401", severity=Severity.WARNING, net=net,
+            message=f"near-constant net: certified signal probability "
+                    f"in [{lo:.3e}, {hi:.3e}], within "
+                    f"{eps:g} of constant {rail}",
+            data={"lo": lo, "hi": hi, "rail": rail,
+                  "epsilon": eps},
+            suggestion="transitions here are vanishingly rare; consider "
+                       "constant-folding or re-encoding the cone"))
+    if len(near) > config.max_reports:
+        rest = len(near) - config.max_reports
+        diagnostics.append(Diagnostic(
+            rule="SP401", severity=Severity.INFO,
+            message=f"{rest} further near-constant net"
+                    f"{'s' if rest != 1 else ''} suppressed "
+                    f"(reporting cap {config.max_reports})",
+            data={"suppressed_nets": rest, "total": len(near)}))
+    return diagnostics
+
+
+def _criticality_diagnostics(netlist: "Netlist", config: "LintConfig",
+                             result: BoundsResult) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    threshold = (config.clock_period if config.clock_period is not None
+                 else result.critical_lower)
+    non_critical = result.non_critical_gates(threshold)
+    if non_critical:
+        never = result.never_critical_endpoints(threshold)
+        n_gates = sum(1 for _ in netlist.combinational_gates)
+        diagnostics.append(Diagnostic(
+            rule="SP404", severity=Severity.INFO,
+            message=f"certified non-critical cones: {len(non_critical)} "
+                    f"of {n_gates} gates provably never sit on a "
+                    f"critical path at threshold {threshold:.3f} "
+                    f"({len(never)} endpoints certified never-worst)",
+            data={"threshold": threshold,
+                  "non_critical_gates": len(non_critical),
+                  "never_critical_endpoints": len(never),
+                  "total_gates": n_gates,
+                  "critical_lower": result.critical_lower,
+                  "k_sigma": config.k_sigma},
+            suggestion="the optimizer skips these automatically; "
+                       "incremental re-analysis can too"))
+    if config.clock_period is not None:
+        lo, hi = result.yield_bounds(config.clock_period)
+        diagnostics.append(Diagnostic(
+            rule="SP405", severity=Severity.INFO,
+            message=f"static yield bounds at clock "
+                    f"{config.clock_period:g}: timing yield in "
+                    f"[{lo:.4f}, {hi:.4f}] before any engine run "
+                    f"(Cantelli tails + union bound; upper bound "
+                    f"assumes worst-case activity)",
+            data={"clock_period": config.clock_period,
+                  "yield_lo": lo, "yield_hi": hi},
+            suggestion="a zero lower bound is uninformative, not "
+                       "failing: run spsta analyze for the real yield"))
+    return diagnostics

@@ -35,6 +35,7 @@ from typing import (
 from repro.core.delay import DelayModel, UnitDelay
 from repro.core.inputs import CONFIG_I, InputStats
 from repro.lint.accuracy import accuracy_diagnostics
+from repro.lint.bounds_rules import bounds_diagnostics
 from repro.lint.cost import cost_diagnostics
 from repro.lint.diagnostics import (
     Diagnostic,
@@ -49,7 +50,8 @@ if TYPE_CHECKING:
     from repro.netlist.core import Netlist
 
 #: JSON schema version of the lint report (bump on breaking changes).
-SCHEMA_VERSION = 1
+#: v2: the SP4xx bounds family joined the report.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -71,6 +73,12 @@ class LintConfig:
     ``disabled`` switches whole rules off; ``k_sigma`` is the
     support-bound width and matches the Gaussian kernel window of the
     grid engines.
+
+    The SP4xx bounds rules add: ``clock_period`` (enables the SP405
+    static yield bounds and anchors the SP404 non-critical threshold),
+    ``near_constant_eps`` (SP401's rail distance), and the interval
+    engine's cone-collapse budget ``max_cone_inputs`` /
+    ``max_bdd_nodes``.
     """
 
     max_parity_fanin: int = 10
@@ -89,6 +97,10 @@ class LintConfig:
     n_workers: int = 1
     hier_memory_budget: int = 2 * 1024 ** 3
     boundary_width_ratio: float = 0.5
+    clock_period: Optional[float] = None
+    near_constant_eps: float = 1e-6
+    max_cone_inputs: int = 10
+    max_bdd_nodes: int = 100_000
     disabled: FrozenSet[str] = frozenset()
 
 
@@ -101,6 +113,7 @@ RULE_FAMILIES: Tuple[Tuple[str, RuleCheck], ...] = (
     ("cost", cost_diagnostics),
     ("accuracy", accuracy_diagnostics),
     ("hier", hier_diagnostics),
+    ("bounds", bounds_diagnostics),
 )
 
 

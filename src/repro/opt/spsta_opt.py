@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.bounds.engine import DelayBounds, compute_bounds
 from repro.core.delay import NormalDelay
 from repro.core.incremental_spsta import (
     IncrementalSpsta,
@@ -111,6 +112,9 @@ class SpstaSizingResult:
     moves: Tuple[Move, ...] = ()
     verified_moves: int = 0           # per-move conformance checks run
     mc_validation: Optional[McValidation] = None
+    bounds_pruning: bool = False      # certified pruning was active
+    pruned_candidates: int = 0        # gates certified never-critical
+    pruned_endpoints: int = 0         # endpoints dropped from worst scans
 
 
 def optimize_spsta(netlist: Netlist,
@@ -135,7 +139,8 @@ def optimize_spsta(netlist: Netlist,
                    rng: Optional[np.random.Generator] = None,
                    mc_validate: int = 0,
                    verify_moves: bool = False,
-                   retime: str = "incremental") -> SpstaSizingResult:
+                   retime: str = "incremental",
+                   bounds_pruning: bool = True) -> SpstaSizingResult:
     """Size gates until the SPSTA metric meets its target.
 
     ``metric="yield"`` maximizes the product over endpoints of
@@ -153,6 +158,19 @@ def optimize_spsta(netlist: Netlist,
     the ``incremental-vs-full`` conformance guarantee, paid for at one
     full analysis per move.  ``retime="full"`` forces that
     full-analysis-per-move repair pattern (benchmark baseline).
+
+    ``bounds_pruning`` (mean-ksigma metric only; a documented no-op for
+    yield, whose late probability is not monotone in sigma) runs one
+    static interval pass (:func:`repro.bounds.compute_bounds`) over the
+    delay box every reachable sizing lives in.  Endpoints whose upper
+    criticality bound sits below ``clock_period`` can never be the
+    worst endpoint while the loop runs (the loop only runs while the
+    worst severity exceeds the clock), so they are dropped from the
+    worst-endpoint scans; gates whose entire fan-out cone consists of
+    such endpoints can never appear on a critical-path backtrace and
+    are dropped from the candidate sets.  Both exclusions are provable
+    no-ops on the chosen moves: results are bit-identical with pruning
+    on or off (the cost function always scans every endpoint).
     """
     if clock_period <= 0.0:
         raise ValueError("clock_period must be > 0")
@@ -178,6 +196,24 @@ def optimize_spsta(netlist: Netlist,
     endpoints = list(netlist.endpoints)
     comb = {g.name for g in netlist.combinational_gates}
     full_mode = retime == "full"
+
+    # -- certified pruning (static, valid for every reachable sizing) ----
+    pruning_active = bounds_pruning and metric == "mean-ksigma"
+    prunable: frozenset = frozenset()
+    scan_endpoints = endpoints
+    if pruning_active:
+        sizing_box = DelayBounds(base_delay / max_size, base_delay,
+                                 delay_sigma / max_size, delay_sigma)
+        # The moment algebra admits the tighter Gaussian transfer
+        # functions; the mixture algebra only the distribution-free box.
+        bounds_mode = ("moment" if isinstance(algebra, MomentAlgebra)
+                       else "any")
+        static = compute_bounds(
+            netlist, stats=stats, k_sigma=k_sigma, include_sp=False,
+            delay_bounds=lambda gate: sizing_box, mode=bounds_mode)
+        never = set(static.never_critical_endpoints(clock_period))
+        prunable = frozenset(static.non_critical_gates(clock_period))
+        scan_endpoints = [net for net in endpoints if net not in never]
 
     state = {"recomputed": 0, "verified": 0}
     moves: List[Move] = []
@@ -213,13 +249,13 @@ def optimize_spsta(netlist: Netlist,
     # -- greedy critical-cone phase --------------------------------------
     while iterations < max_iterations and not met(current):
         iterations += 1
-        endpoint = _worst_endpoint(inc, endpoints, clock_period, metric,
-                                   k_sigma)
+        endpoint = _worst_endpoint(inc, scan_endpoints, clock_period,
+                                   metric, k_sigma)
         if endpoint is None:
             break
         path = _critical_path(inc, endpoint, comb, k_sigma)
         candidates = [g for g in path
-                      if sizes.get(g, 1.0) < max_size
+                      if g not in prunable and sizes.get(g, 1.0) < max_size
                       ][:GRADIENT_CANDIDATE_CAP]
         if not candidates:
             break
@@ -266,7 +302,7 @@ def optimize_spsta(netlist: Netlist,
         for _ in range(anneal_moves):
             if met(current):
                 break
-            endpoint = _worst_endpoint(inc, endpoints, clock_period,
+            endpoint = _worst_endpoint(inc, scan_endpoints, clock_period,
                                        metric, k_sigma)
             if endpoint is None:
                 break
@@ -319,7 +355,10 @@ def optimize_spsta(netlist: Netlist,
         accepted_moves=sum(1 for m in moves if m.accepted),
         met_target=met(current), recomputed_gates=state["recomputed"],
         moves=tuple(moves), verified_moves=state["verified"],
-        mc_validation=mc_validation)
+        mc_validation=mc_validation,
+        bounds_pruning=pruning_active,
+        pruned_candidates=len(prunable),
+        pruned_endpoints=len(endpoints) - len(scan_endpoints))
 
 
 def validate_with_mc(netlist: Netlist, delay_model: SizedNormalDelay,

@@ -26,7 +26,7 @@ import numpy as np
 from repro.logic.bdd import FALSE, TRUE, BDDManager
 from repro.netlist.core import Netlist
 from repro.power.density import build_net_bdds
-from repro.testability.cop import Fault, _eval_gate
+from repro.testability.cop import Fault, eval_gate
 
 
 @dataclass(frozen=True)
@@ -114,7 +114,7 @@ def _settle(netlist: Netlist, assignment: Dict[str, int],
         values[net] = v
     for gate in netlist.combinational_gates:
         ins = [np.array([bool(values[src])]) for src in gate.inputs]
-        out = int(_eval_gate(gate.gate_type, ins)[0])
+        out = int(eval_gate(gate.gate_type, ins)[0])
         if fault is not None and gate.name == fault.net:
             out = fault.stuck_at
         values[gate.name] = out

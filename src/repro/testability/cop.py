@@ -144,7 +144,7 @@ def simulate_fault_detection(
             values[net] = v
         for gate in netlist.combinational_gates:
             ins = [values[src] for src in gate.inputs]
-            out = _eval_gate(gate.gate_type, ins)
+            out = eval_gate(gate.gate_type, ins)
             if faulty and gate.name == fault.net:
                 out = np.full(n_patterns, bool(fault.stuck_at))
             values[gate.name] = out
@@ -158,8 +158,14 @@ def simulate_fault_detection(
     return float(detected.mean())
 
 
-def _eval_gate(gate_type: GateType,
-               inputs: Sequence[np.ndarray]) -> np.ndarray:
+def eval_gate(gate_type: GateType,
+              inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized two-value gate evaluation over boolean pattern arrays.
+
+    The exact-semantics sampler shared by the fault-detection oracle
+    above and the bounds-containment Monte Carlo check
+    (:mod:`repro.bounds.sampling`).
+    """
     spec = gate_spec(gate_type)
     if gate_type is GateType.BUFF:
         return inputs[0].copy()

@@ -20,14 +20,18 @@ from repro.verify.harness import (
     verify_circuit,
 )
 from repro.verify.policies import (
+    CONTAINMENT_POLICIES,
     GUARDRAIL_MAX_CLIP_FRACTION,
     POLICIES,
+    ContainmentPolicy,
     TolerancePolicy,
 )
 
 __all__ = [
     "CircuitConformance",
     "ConformanceReport",
+    "CONTAINMENT_POLICIES",
+    "ContainmentPolicy",
     "Divergence",
     "GUARDRAIL_MAX_CLIP_FRACTION",
     "PairCheck",

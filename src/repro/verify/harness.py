@@ -13,7 +13,12 @@ in
   engines share their mathematics, so any visible disagreement is a bug;
 - abstraction pairs (``*-vs-grid``) and statistical pairs (``*-vs-mc``)
   over the netlist's endpoints, where the tolerance policy encodes the
-  modelling error the pair is *allowed* to have.
+  modelling error the pair is *allowed* to have;
+- containment policies (``bounds-vs-bdd/exact``, size-gated, slack 0;
+  ``bounds-vs-mc/hoeffding``) over every net — the certified SP
+  intervals of :func:`repro.bounds.compute_bounds` must *contain* the
+  reference, because a sound bound that excludes an exact value is a
+  soundness bug, not modelling error.
 
 The sweep also enforces the stats layer's numerical guardrails: the grid
 runs must actually exercise the mass-conservation accounting
@@ -31,7 +36,16 @@ from dataclasses import dataclass, field
 import json
 import math
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -58,9 +72,18 @@ from repro.sim.montecarlo import run_monte_carlo
 from repro.sim.parallel import RetryPolicy
 from repro.stats.grid import TimeGrid
 from repro.stats.normal import Normal
+from repro.bounds import (
+    Interval,
+    compute_bounds,
+    hoeffding_slack,
+    sample_signal_probabilities,
+)
+from repro.logic.bdd import BDDManager
 from repro.verify.policies import (
+    CONTAINMENT_POLICIES,
     GUARDRAIL_MAX_CLIP_FRACTION,
     POLICIES,
+    ContainmentPolicy,
     TolerancePolicy,
 )
 
@@ -197,6 +220,10 @@ class ConformanceReport:
                                     "min_occurrences": p.min_occurrences,
                                     "endpoints_only": p.endpoints_only}
                              for name, p in POLICIES.items()},
+                "containment_policies": {
+                    name: {"slack": c.slack, "delta": c.delta,
+                           "max_launch_points": c.max_launch_points}
+                    for name, c in CONTAINMENT_POLICIES.items()},
                 "circuits": [circuit.to_dict()
                              for circuit in self.circuits]}
 
@@ -273,6 +300,62 @@ def _compare_pair(policy: TolerancePolicy, nets: Sequence[str],
             record(net, direction, "mean", mean_a, mean_b, policy.abs_mean)
             record(net, direction, "std", std_a, std_b, policy.abs_std)
     return check
+
+
+def _containment_check(policy: ContainmentPolicy,
+                       intervals: Dict[str, Interval],
+                       reference: Dict[str, float],
+                       slack: float) -> PairCheck:
+    """Assert every reference value lands inside its certified interval
+    (widened by ``slack``).  The recorded delta is the escape distance —
+    0 for every contained net — so ``max_delta`` doubles as an audit of
+    how close the references come to the certified edges."""
+    check = PairCheck(pair=policy.pair, n_nets=len(reference),
+                      n_comparisons=0,
+                      max_delta={"probability": 0.0, "mean": 0.0,
+                                 "std": 0.0})
+    for net, value in reference.items():
+        interval = intervals[net]
+        escape = max(interval.lo - slack - value,
+                     value - interval.hi - slack, 0.0)
+        check.n_comparisons += 1
+        check.max_delta["probability"] = max(
+            check.max_delta["probability"], escape)
+        if escape > 0.0:
+            nearest = (interval.lo if value < interval.lo
+                       else interval.hi)
+            check.divergences.append(Divergence(
+                pair=policy.pair, net=net, direction="value",
+                metric="probability", value_a=value, value_b=nearest,
+                delta=escape, tolerance=slack))
+    return check
+
+
+#: Node budget for the containment sweep's global BDD collapse; circuits
+#: under the launch-point gate of ``bounds-vs-bdd/exact`` stay far below
+#: it, and hitting it skips the exact check rather than failing the run.
+_CONTAINMENT_BDD_NODES = 1 << 20
+
+
+def _exact_signal_probabilities(
+        netlist: Netlist, launch: Union[float, Mapping[str, float]],
+        ) -> Optional[Dict[str, float]]:
+    """Exact per-net SP via one shared global BDD, or None if the node
+    budget is exhausted."""
+    manager = BDDManager(max_nodes=_CONTAINMENT_BDD_NODES)
+    funcs: Dict[str, int] = {}
+    try:
+        for net in netlist.launch_points:
+            funcs[net] = manager.var(net)
+        for gate in netlist.combinational_gates:
+            funcs[gate.name] = manager.apply_gate(
+                gate.gate_type, [funcs[src] for src in gate.inputs])
+    except MemoryError:
+        return None
+    probs = {net: (launch if isinstance(launch, float) else launch[net])
+             for net in netlist.launch_points}
+    return {net: manager.signal_probability(f, probs)
+            for net, f in funcs.items()}
 
 
 def _move_schedule(netlist: Netlist) -> List[str]:
@@ -448,6 +531,28 @@ def verify_circuit(netlist: Netlist,
         nets = endpoints if policy.endpoints_only else all_nets
         checks.append(_compare_pair(policy, nets,
                                     sides[name_a][0], sides[name_b][0]))
+
+    # Containment: the certified SP intervals of the bounds engine must
+    # contain an exact-BDD reference (slack 0, size-gated) and a sampled
+    # reference (Hoeffding slack) — soundness, not tolerance, so any
+    # escape fails the sweep.
+    launch_sp = config.signal_probability
+    certified = compute_bounds(netlist, stats=config)
+    bdd_policy = CONTAINMENT_POLICIES["bounds-vs-bdd/exact"]
+    if (bdd_policy.max_launch_points is None
+            or len(netlist.launch_points) <= bdd_policy.max_launch_points):
+        exact = _exact_signal_probabilities(netlist, launch_sp)
+        if exact is not None:
+            checks.append(_containment_check(
+                bdd_policy, certified.sp, exact, bdd_policy.slack))
+    mc_policy = CONTAINMENT_POLICIES["bounds-vs-mc/hoeffding"]
+    assert mc_policy.delta is not None
+    sampled = sample_signal_probabilities(
+        netlist, launch=launch_sp, trials=trials,
+        rng=np.random.default_rng(seed))
+    checks.append(_containment_check(
+        mc_policy, certified.sp, sampled,
+        hoeffding_slack(trials, mc_policy.delta)))
 
     guardrail = {"mass_checks": 0.0, "clipped_mass": 0.0,
                  "clip_events": 0.0, "max_clip_fraction": 0.0,

@@ -20,6 +20,14 @@ policy.  Three regimes:
   use tolerances sized for the default trial budget *plus* the independence
   approximation's error on reconvergent circuits (paper Sec. 4).
 
+A fourth regime covers the interval bounds engine (``repro.bounds``):
+**containment** policies (:data:`CONTAINMENT_POLICIES`) do not compare
+two point estimates — they assert that a certified interval *contains*
+a reference value.  A sound bound admits no tolerance: the exact-BDD
+reference must land inside at slack 0, and the sampling reference only
+gets the Hoeffding half-width its finite trial count mathematically
+requires.  Any violation is a soundness bug, never "modelling error".
+
 Tolerances are calibrated on the sweep's own evaluation set (seeds 0-2,
 s27/s208); they are conformance bounds for that set, not universal error
 guarantees.
@@ -28,7 +36,7 @@ guarantees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 #: A run fails outright if any grid engine clips more than this fraction of
 #: a density's mass off the grid edge (tracks
@@ -192,5 +200,53 @@ POLICIES: Dict[str, TolerancePolicy] = {
                         "(measured deviation on the bundled benches: "
                         "0.0).",
             abs_probability=1e-12, abs_mean=1e-9, abs_std=1e-9),
+    )
+}
+
+
+@dataclass(frozen=True)
+class ContainmentPolicy:
+    """One containment check: a certified interval must contain a
+    reference value.
+
+    ``slack`` widens the interval on both sides before the check; it is
+    0 when the reference is exact and a Hoeffding half-width (computed
+    from the trial budget at confidence ``1 - delta``) when the
+    reference is sampled.  ``max_launch_points`` gates the exact-BDD
+    reference to circuits whose global BDD is guaranteed tractable;
+    wider circuits simply skip that policy (the sampled one still
+    runs).
+    """
+
+    pair: str
+    description: str
+    slack: float = 0.0
+    delta: Optional[float] = None
+    max_launch_points: Optional[int] = None
+
+
+#: Hoeffding failure probability per net for the sampled reference: at
+#: 20k trials the half-width is ~0.0231, and a whole sweep's worth of
+#: nets has under 1e-4 odds of a single spurious failure.
+CONTAINMENT_DELTA = 1e-9
+
+CONTAINMENT_POLICIES: Dict[str, ContainmentPolicy] = {
+    policy.pair: policy for policy in (
+        ContainmentPolicy(
+            pair="bounds-vs-bdd/exact",
+            description="The certified SP interval must contain the "
+                        "exact signal probability from a global BDD "
+                        "collapse.  Soundness admits no tolerance: "
+                        "slack 0.  Gated to circuits whose launch "
+                        "support keeps the global BDD tractable.",
+            slack=0.0, max_launch_points=40),
+        ContainmentPolicy(
+            pair="bounds-vs-mc/hoeffding",
+            description="The certified SP interval, widened by the "
+                        "two-sided Hoeffding half-width of the trial "
+                        "budget, must contain the sampled per-net "
+                        "one-frequency.  Runs on every circuit "
+                        "regardless of width.",
+            delta=CONTAINMENT_DELTA),
     )
 }

@@ -1,7 +1,7 @@
 """Schema tests for the benchmark-trajectory artifact formats.
 
-Covers ``BENCH_scenario_sweep.json``, ``BENCH_hier_scale.json`` and
-``BENCH_opt_loop.json``.
+Covers ``BENCH_scenario_sweep.json``, ``BENCH_hier_scale.json``,
+``BENCH_opt_loop.json`` and ``BENCH_bounds_pruning.json``.
 Both validation paths are exercised — the `jsonschema`-backed one and
 the dependency-free structural fallback — against the same payloads, so
 the two cannot drift apart.  The committed artifacts themselves are
@@ -19,12 +19,15 @@ import pytest
 
 from repro.experiments import bench_schema
 from repro.experiments.bench_schema import (
+    BOUNDS_PRUNING_VERSION,
     HIER_SCALE_VERSION,
     OPT_LOOP_VERSION,
     SCENARIO_SWEEP_VERSION,
     hier_speedups,
     opt_speedups,
+    pruned_fractions,
     trajectory_speedups,
+    validate_bounds_pruning,
     validate_hier_scale,
     validate_opt_loop,
     validate_scenario_sweep,
@@ -35,6 +38,7 @@ RESULTS = (Path(__file__).resolve().parent.parent
 ARTIFACT = RESULTS / "BENCH_scenario_sweep.json"
 HIER_ARTIFACT = RESULTS / "BENCH_hier_scale.json"
 OPT_ARTIFACT = RESULTS / "BENCH_opt_loop.json"
+BOUNDS_ARTIFACT = RESULTS / "BENCH_bounds_pruning.json"
 
 
 def _valid_payload() -> dict:
@@ -409,3 +413,129 @@ class TestOptHelpers:
         payload["circuits"].append(
             dict(payload["circuits"][0], circuit="s9234", speedup=5.7))
         assert opt_speedups(payload) == {"s1196": 9.2, "s9234": 5.7}
+
+
+def _valid_bounds_payload() -> dict:
+    point = {
+        "circuit": "s1196",
+        "n_gates": 529,
+        "n_endpoints": 36,
+        "clock_period": 16.5,
+        "pruned_candidates": 3,
+        "pruned_endpoints": 1,
+        "moves": 4,
+        "identical": True,
+        "pruned_seconds": 0.2,
+        "unpruned_seconds": 0.25,
+    }
+    return {
+        "report": "spsta-bounds-pruning",
+        "version": BOUNDS_PRUNING_VERSION,
+        "algebra": "moment",
+        "metric": "mean-ksigma",
+        "k_sigma": 3.0,
+        "headline": {"circuit": "s1196", "pruned_candidates": 3,
+                     "identical": True},
+        "circuits": [point],
+    }
+
+
+def _bounds_mutations():
+    """(label, mutator) pairs, each producing one schema violation."""
+    def drop(key):
+        def mutate(p):
+            del p[key]
+        return mutate
+
+    def set_(key, value):
+        def mutate(p):
+            p[key] = value
+        return mutate
+
+    def in_point(key, value):
+        def mutate(p):
+            p["circuits"][0][key] = value
+        return mutate
+
+    return [
+        ("missing report", drop("report")),
+        ("missing circuits", drop("circuits")),
+        ("wrong report tag", set_("report", "spsta-opt-loop")),
+        ("version zero", set_("version", 0)),
+        ("empty algebra", set_("algebra", "")),
+        ("wrong metric", set_("metric", "yield")),
+        ("k_sigma zero", set_("k_sigma", 0.0)),
+        ("empty circuits", set_("circuits", [])),
+        ("headline not identical",
+         set_("headline", {"circuit": "s1196", "pruned_candidates": 3,
+                           "identical": False})),
+        ("headline pruned nothing",
+         set_("headline", {"circuit": "s1196", "pruned_candidates": 0,
+                           "identical": True})),
+        ("empty circuit name", in_point("circuit", "")),
+        ("n_gates zero", in_point("n_gates", 0)),
+        ("n_endpoints zero", in_point("n_endpoints", 0)),
+        ("clock period zero", in_point("clock_period", 0.0)),
+        ("pruned nothing", in_point("pruned_candidates", 0)),
+        ("negative pruned endpoints", in_point("pruned_endpoints", -1)),
+        ("result not identical", in_point("identical", False)),
+        ("negative pruned seconds", in_point("pruned_seconds", -1.0)),
+        ("string unpruned seconds", in_point("unpruned_seconds", "slow")),
+    ]
+
+
+@pytest.fixture(params=["jsonschema", "fallback"])
+def bounds_validator(request, monkeypatch):
+    """Run each bounds-pruning test against both validation backends."""
+    if request.param == "jsonschema":
+        if bench_schema.jsonschema is None:
+            pytest.skip("jsonschema not installed")
+    else:
+        monkeypatch.setattr(bench_schema, "jsonschema", None)
+    return validate_bounds_pruning
+
+
+class TestBoundsPruningValidation:
+    def test_valid_payload_passes(self, bounds_validator):
+        bounds_validator(_valid_bounds_payload())
+
+    @pytest.mark.parametrize("label,mutate", _bounds_mutations(),
+                             ids=[m[0] for m in _bounds_mutations()])
+    def test_invalid_payload_rejected(self, bounds_validator, label,
+                                      mutate):
+        payload = copy.deepcopy(_valid_bounds_payload())
+        mutate(payload)
+        with pytest.raises(ValueError, match="payload invalid"):
+            bounds_validator(payload)
+
+
+class TestCommittedBoundsArtifact:
+    def test_artifact_exists(self):
+        assert BOUNDS_ARTIFACT.is_file(), (
+            "benchmarks/results/BENCH_bounds_pruning.json missing — run "
+            "`pytest benchmarks/test_bench_bounds.py` to regenerate")
+
+    def test_artifact_validates(self, bounds_validator):
+        bounds_validator(json.loads(BOUNDS_ARTIFACT.read_text()))
+
+    def test_artifact_certifies_pruning_on_both_circuits(self):
+        payload = json.loads(BOUNDS_ARTIFACT.read_text())
+        by_circuit = {p["circuit"]: p for p in payload["circuits"]}
+        assert set(by_circuit) == {"s1196", "s9234"}
+        for point in by_circuit.values():
+            assert point["identical"] is True
+            assert point["pruned_candidates"] >= 1
+        assert payload["headline"]["circuit"] == "s1196"
+        assert (payload["headline"]["pruned_candidates"]
+                == by_circuit["s1196"]["pruned_candidates"])
+
+
+class TestBoundsHelpers:
+    def test_pruned_fractions_by_circuit(self):
+        payload = _valid_bounds_payload()
+        payload["circuits"].append(
+            dict(payload["circuits"][0], circuit="s9234", n_gates=5597,
+                 pruned_candidates=6))
+        fractions = pruned_fractions(payload)
+        assert fractions["s1196"] == pytest.approx(3 / 529)
+        assert fractions["s9234"] == pytest.approx(6 / 5597)

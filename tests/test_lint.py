@@ -463,7 +463,7 @@ class TestEngine:
 
     def test_disabled_rule_is_dropped(self):
         report = run_lint(diamond(), LintConfig(disabled=frozenset(
-            {"SP301", "SP302", "SP203"})))
+            {"SP301", "SP302", "SP203", "SP402", "SP403"})))
         assert not report.diagnostics
 
     def test_baseline_round_trip(self, tmp_path):
@@ -499,7 +499,7 @@ class TestEngine:
     def test_json_schema(self):
         payload = json.loads(run_lint(diamond(), LintConfig()).to_json())
         assert payload["report"] == "spsta-lint"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["circuit"] == "diamond"
         assert payload["constructible"] is True
         assert set(payload["counts"]) == {"error", "warning", "info"}

@@ -8,13 +8,19 @@ import pytest
 from repro.cli import main
 from repro.netlist.benchmarks import benchmark_circuit
 from repro.verify import (
+    CONTAINMENT_POLICIES,
     GUARDRAIL_MAX_CLIP_FRACTION,
     POLICIES,
     run_conformance,
     verify_circuit,
 )
-from repro.verify.harness import _compare_pair, fuzz_profiles, sweep_grid_for
-from repro.verify.policies import TolerancePolicy
+from repro.verify.harness import (
+    _compare_pair,
+    _containment_check,
+    fuzz_profiles,
+    sweep_grid_for,
+)
+from repro.verify.policies import ContainmentPolicy, TolerancePolicy
 
 
 def _stats_table(table):
@@ -104,6 +110,42 @@ class TestPolicies:
     def test_guardrail_threshold_positive(self):
         assert 0.0 < GUARDRAIL_MAX_CLIP_FRACTION <= 1e-3
 
+    def test_containment_policies_registered(self):
+        assert set(CONTAINMENT_POLICIES) == {"bounds-vs-bdd/exact",
+                                             "bounds-vs-mc/hoeffding"}
+        exact = CONTAINMENT_POLICIES["bounds-vs-bdd/exact"]
+        assert exact.slack == 0.0          # soundness admits no tolerance
+        assert exact.max_launch_points is not None
+        sampled = CONTAINMENT_POLICIES["bounds-vs-mc/hoeffding"]
+        assert sampled.delta is not None and 0.0 < sampled.delta < 1.0
+
+
+class TestContainmentCheck:
+    POLICY = ContainmentPolicy(pair="bounds-vs-test", description="test")
+
+    def test_contained_passes(self):
+        from repro.bounds import Interval
+        intervals = {"y": Interval(0.2, 0.6)}
+        check = _containment_check(self.POLICY, intervals, {"y": 0.4}, 0.0)
+        assert check.passed
+        assert check.n_comparisons == 1
+        assert check.max_delta["probability"] == 0.0
+
+    def test_escape_detected_with_distance(self):
+        from repro.bounds import Interval
+        intervals = {"y": Interval(0.2, 0.6)}
+        check = _containment_check(self.POLICY, intervals, {"y": 0.7}, 0.0)
+        assert not check.passed
+        [divergence] = check.divergences
+        assert divergence.delta == pytest.approx(0.1)
+        assert divergence.value_b == pytest.approx(0.6)
+
+    def test_slack_widens_the_interval(self):
+        from repro.bounds import Interval
+        intervals = {"y": Interval(0.2, 0.6)}
+        check = _containment_check(self.POLICY, intervals, {"y": 0.7}, 0.2)
+        assert check.passed
+
 
 class TestVerifyCircuit:
     def test_s27_conforms(self):
@@ -111,9 +153,12 @@ class TestVerifyCircuit:
                                      trials=4000, seed=0)
         assert conformance.passed, conformance.to_dict()
         assert conformance.guardrail["mass_checks"] > 0
-        assert len(conformance.checks) == len(POLICIES)
+        # s27 is under the BDD containment gate, so both containment
+        # checks run on top of the tolerance pairs.
+        assert len(conformance.checks) == (len(POLICIES)
+                                           + len(CONTAINMENT_POLICIES))
         pairs = {check.pair for check in conformance.checks}
-        assert pairs == set(POLICIES)
+        assert pairs == set(POLICIES) | set(CONTAINMENT_POLICIES)
 
     def test_sweep_grid_pitch_divides_unit_delay(self):
         grid = sweep_grid_for(benchmark_circuit("s27"))
@@ -135,6 +180,8 @@ class TestRunConformance:
         assert payload["passed"] is True
         assert len(payload["circuits"]) == 2
         assert set(payload["policies"]) == set(POLICIES)
+        assert (set(payload["containment_policies"])
+                == set(CONTAINMENT_POLICIES))
         rendered = report.render()
         assert "PASS" in rendered and "s27" in rendered
 
