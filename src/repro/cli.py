@@ -839,6 +839,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        Server,
+        ServeOptions,
+        run_canary,
+        serve_http,
+        serve_stdio,
+    )
+    from repro.serve.daemon import _SessionLog
+
+    if args.canary:
+        passed, rendered = run_canary(trials=args.canary_trials)
+        print(rendered, file=sys.stderr)
+        if not passed:
+            print("canary conformance check FAILED; refusing to serve",
+                  file=sys.stderr)
+            return 1
+        print("canary conformance check passed", file=sys.stderr)
+    server = Server(ServeOptions(
+        fail_on=args.fail_on,
+        cache_entries=args.cache_entries,
+        cache_dir=args.cache,
+        max_request_bytes=args.max_request_bytes,
+        default_config=args.config,
+        default_algebra=args.algebra,
+        default_grid=args.grid))
+    if args.session_log:
+        server.session_log = _SessionLog(Path(args.session_log))
+    if args.http is not None:
+        print(f"spsta serve: HTTP on {args.host}:{args.http}",
+              file=sys.stderr)
+        return serve_http(server, args.host, args.http)
+    return serve_stdio(server)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     stats = circuit_stats(_load_circuit(args.circuit))
     print(f"{stats.name}: {stats.n_inputs} PI, {stats.n_outputs} PO, "
@@ -1200,6 +1235,45 @@ def build_parser() -> argparse.ArgumentParser:
     slack.add_argument("circuit")
     slack.add_argument("--clock", type=float, required=True)
     slack.set_defaults(func=_cmd_slack)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived incremental analysis daemon (JSON over "
+             "stdio, or HTTP with --http)")
+    serve.add_argument("--config", choices=("I", "II"), default="I",
+                       help="default input statistics configuration")
+    serve.add_argument("--algebra",
+                       choices=("moments", "mixture", "grid"),
+                       default="moments",
+                       help="default arrival-time algebra")
+    serve.add_argument("--grid", default="-8:60:2048",
+                       help="default grid spec START:STOP:N for "
+                            "--algebra grid")
+    serve.add_argument("--fail-on", choices=("error", "warning", "never"),
+                       default="error",
+                       help="lint-preflight severity that rejects a "
+                            "circuit (never disables the preflight)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="in-memory result-cache LRU capacity")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="on-disk result cache shared across "
+                            "restarts and workers")
+    serve.add_argument("--max-request-bytes", type=int,
+                       default=1 << 20,
+                       help="refuse requests larger than this")
+    serve.add_argument("--session-log", default=None, metavar="FILE",
+                       help="append every request/response pair as "
+                            "JSON Lines")
+    serve.add_argument("--canary", action="store_true",
+                       help="run the conformance harness on s27 before "
+                            "serving; refuse to start on divergence")
+    serve.add_argument("--canary-trials", type=int, default=4000,
+                       help="Monte Carlo trials for the --canary check")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve HTTP on PORT instead of stdio")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --http")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

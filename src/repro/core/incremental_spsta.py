@@ -327,6 +327,13 @@ class _OverrideDelays:
         self.base = base
         self._overrides = overrides
 
+    def fingerprint_payload(self) -> object:
+        """Canonical identity for :func:`repro.sim.checkpoint.
+        delay_fingerprint`: the base model plus the override mapping
+        (hashed in sorted-key order), so two override stacks that apply
+        the same delays fingerprint equally regardless of edit order."""
+        return (self.base, dict(self._overrides))
+
     def delay(self, gate) -> Normal:
         override = self._overrides.get(gate.name)
         if override is not None:

@@ -18,20 +18,27 @@ error — the property ``tests/test_hier.py`` pins with a corruption test.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 import hashlib
 import json
 import logging
 import os
 from pathlib import Path
 import pickle
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from repro.hier.model import InterfaceModel
 from repro.sim.faults import maybe_exit_after_persist
 
+try:  # advisory manifest locking (POSIX; no-op where unavailable)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 logger = logging.getLogger(__name__)
 
 MANIFEST_NAME = "manifest.json"
+LOCK_NAME = "manifest.lock"
 MANIFEST_FORMAT = "spsta-hier-cache"
 MANIFEST_VERSION = 1
 
@@ -54,9 +61,15 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
 class InterfaceModelStore:
     """One cache directory of interface models.
 
-    All writes happen in the parent process (the scheduler persists from
-    its ``on_result`` hook), so no cross-process locking is needed; the
-    manifest is rewritten atomically after every entry.
+    Within one run all writes happen in the parent process (the
+    scheduler persists from its ``on_result`` hook), but *several
+    processes* may share a cache directory — concurrent ``spsta hier``
+    runs, or ``spsta serve`` workers pointed at the same ``--cache``.
+    Each manifest rewrite therefore happens under an advisory
+    ``fcntl`` lock and **merges** the entries already on disk with this
+    process's view before writing, so a concurrent ``put`` can never
+    drop another process's manifest entries (content addressing makes
+    the merge conflict-free: equal keys name equal payloads).
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -144,23 +157,64 @@ class InterfaceModelStore:
         """Persist one model atomically and update the manifest.
 
         The payload lands (rename) before the manifest names it, so a
-        kill between the writes only costs the not-yet-listed entry."""
+        kill between the writes only costs the not-yet-listed entry.
+        The manifest update itself runs under the advisory lock and
+        merges concurrent writers' entries (see the class docstring)."""
         payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
         path = self.entry_path(model.key)
         _atomic_write_bytes(path, payload)
-        self._entries[model.key] = {
-            "file": path.name,
-            "sha256": hashlib.sha256(payload).hexdigest(),
-        }
-        self._write_manifest()
+        with self._manifest_lock():
+            self._merge_disk_entries()
+            self._entries[model.key] = {
+                "file": path.name,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            }
+            self._write_manifest()
         maybe_exit_after_persist(len(self._entries))
 
     # -- internals ----------------------------------------------------------
 
+    @contextmanager
+    def _manifest_lock(self) -> Iterator[None]:
+        """Exclusive advisory lock over manifest read-modify-write.
+
+        Locks a sidecar file (never the manifest itself — that is
+        replaced atomically, which would orphan the lock inode)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self.directory / LOCK_NAME, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _merge_disk_entries(self, drop: Optional[str] = None) -> None:
+        """Fold manifest entries another process persisted into ours.
+
+        Must run under :meth:`_manifest_lock`.  Ours win on key collision
+        (same key => same content anyway); ``drop`` names a key being
+        discarded right now, which must not be resurrected from disk.
+        """
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return
+        if (not isinstance(manifest, dict)
+                or manifest.get("format") != MANIFEST_FORMAT
+                or not isinstance(manifest.get("entries"), dict)):
+            return
+        for key, entry in manifest["entries"].items():
+            if key != drop and key not in self._entries:
+                self._entries[str(key)] = dict(entry)
+
     def _drop(self, key: str) -> None:
         self.misses += 1
-        self._entries.pop(key, None)
-        self._write_manifest()
+        with self._manifest_lock():
+            self._merge_disk_entries(drop=key)
+            self._entries.pop(key, None)
+            self._write_manifest()
 
     def _write_manifest(self) -> None:
         manifest = {

@@ -1,0 +1,276 @@
+"""Result cache of the ``spsta serve`` daemon.
+
+Two tiers with one key space (the fingerprint keys of
+:mod:`repro.serve.daemon`):
+
+- an in-memory LRU bounded by ``max_entries`` — the warm-query fast
+  path, evicting least-recently-used entries past the cap;
+- an optional on-disk tier (``--cache DIR``) so a *restarted* daemon —
+  or a concurrent worker sharing the directory — starts warm.  Writes
+  are atomic and the manifest update runs under the same advisory-lock
+  merge-on-write discipline as :class:`repro.hier.store.
+  InterfaceModelStore`, so concurrent workers cannot drop each other's
+  entries.
+
+Entries are stored as the *serialized* result payload and deserialized
+on hit, so a hit returns exactly what ``json`` round-trips — the
+bit-identical-payload guarantee the serve tests pin.  Keys are
+content-addressed (they pin circuit structure, stats, delay, algebra,
+and request shape), so a key hit is always a semantic hit and stale
+entries cannot exist; corruption is survivable (a bad disk entry is
+dropped and reported as a miss).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+import hashlib
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+try:  # advisory manifest locking (POSIX; no-op where unavailable)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
+
+MANIFEST_NAME = "manifest.json"
+LOCK_NAME = "manifest.lock"
+MANIFEST_FORMAT = "spsta-serve-cache"
+MANIFEST_VERSION = 1
+
+
+class ServeCacheError(RuntimeError):
+    """The directory is not a usable serve result cache (a manifest of a
+    different format — refuse to clobber foreign data)."""
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write-temp-then-rename so readers never observe a partial file."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ResultCache:
+    """LRU result cache with an optional shared on-disk tier."""
+
+    def __init__(self, max_entries: int = 256,
+                 directory: Optional[Union[str, Path]] = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        #: key -> (serialized result text, circuit tag)
+        self._memory: "OrderedDict[str, tuple[str, str]]" = OrderedDict()
+        self._disk: Dict[str, Dict[str, str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        if self.directory is not None:
+            self._open_disk()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def disk_entries(self) -> int:
+        return len(self._disk)
+
+    # -- cache protocol -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result payload for ``key``, or None (miss).
+
+        A memory hit refreshes LRU recency; a disk hit is promoted into
+        memory.  Either way the caller receives ``json.loads`` of the
+        stored text — byte-identical serialization on every hit.
+        """
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return json.loads(entry[0])
+        text = self._disk_read(key)
+        if text is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            tag = self._disk[key].get("circuit", "")
+            self._remember(key, text, tag)
+            return json.loads(text)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: Dict[str, Any],
+            circuit: str = "") -> None:
+        """Cache one result payload under ``key``.
+
+        ``circuit`` tags the entry for :meth:`invalidate_circuit`.  The
+        payload is serialized once here; hits replay that serialization.
+        """
+        text = json.dumps(result, sort_keys=True)
+        self._remember(key, text, circuit)
+        if self.directory is not None:
+            self._disk_write(key, text, circuit)
+
+    def invalidate_circuit(self, circuit: str) -> int:
+        """Drop every entry tagged with ``circuit``; returns the count."""
+        victims = [key for key, (_, tag) in self._memory.items()
+                   if tag == circuit]
+        for key in victims:
+            del self._memory[key]
+        if self.directory is not None:
+            disk_victims = [key for key, entry in self._disk.items()
+                            if entry.get("circuit") == circuit]
+            for key in disk_victims:
+                path = self.directory / self._disk[key]["file"]
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            if disk_victims:
+                with self._manifest_lock():
+                    self._merge_disk_manifest(drop=frozenset(disk_victims))
+                    for key in disk_victims:
+                        self._disk.pop(key, None)
+                    self._write_manifest()
+            victims.extend(k for k in disk_victims if k not in victims)
+        return len(victims)
+
+    # -- memory tier --------------------------------------------------------
+
+    def _remember(self, key: str, text: str, tag: str) -> None:
+        self._memory[key] = (text, tag)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    # -- disk tier ----------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"rs_{key[:32]}.json"
+
+    @property
+    def manifest_path(self) -> Path:
+        assert self.directory is not None
+        return self.directory / MANIFEST_NAME
+
+    def _open_disk(self) -> None:
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if not self.manifest_path.exists():
+            with self._manifest_lock():
+                self._merge_disk_manifest()
+                self._write_manifest()
+            return
+        manifest = self._read_manifest()
+        if manifest is None:
+            raise ServeCacheError(
+                f"{self.manifest_path} is not a {MANIFEST_FORMAT} "
+                f"manifest — refusing to use the directory as a cache")
+        self._disk = {str(key): dict(entry)
+                      for key, entry in manifest["entries"].items()}
+
+    def _read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        if (not isinstance(manifest, dict)
+                or manifest.get("format") != MANIFEST_FORMAT
+                or not isinstance(manifest.get("entries"), dict)):
+            return None
+        return manifest
+
+    def _disk_read(self, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        entry = self._disk.get(key)
+        if entry is None:
+            return None
+        path = self.directory / entry["file"]
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            logger.warning("serve-cache payload %s missing; dropping",
+                           path)
+            self._disk_drop(key)
+            return None
+        if hashlib.sha256(payload).hexdigest() != entry["sha256"]:
+            logger.warning("serve-cache payload %s fails its checksum; "
+                           "dropping corrupt entry", path)
+            self._disk_drop(key)
+            return None
+        try:
+            text = payload.decode()
+            json.loads(text)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            logger.warning("serve-cache payload %s is not JSON; dropping",
+                           path)
+            self._disk_drop(key)
+            return None
+        return text
+
+    def _disk_write(self, key: str, text: str, circuit: str) -> None:
+        path = self.entry_path(key)
+        payload = text.encode()
+        _atomic_write_bytes(path, payload)
+        with self._manifest_lock():
+            self._merge_disk_manifest()
+            self._disk[key] = {
+                "file": path.name,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "circuit": circuit,
+            }
+            self._write_manifest()
+
+    def _disk_drop(self, key: str) -> None:
+        with self._manifest_lock():
+            self._merge_disk_manifest(drop=frozenset((key,)))
+            self._disk.pop(key, None)
+            self._write_manifest()
+
+    @contextmanager
+    def _manifest_lock(self) -> Iterator[None]:
+        """Exclusive advisory lock over manifest read-modify-write."""
+        assert self.directory is not None
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self.directory / LOCK_NAME, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _merge_disk_manifest(
+            self, drop: frozenset = frozenset()) -> None:
+        """Fold entries another worker persisted into ours (under lock)."""
+        manifest = self._read_manifest()
+        if manifest is None:
+            return
+        for key, entry in manifest["entries"].items():
+            if key not in drop and key not in self._disk:
+                self._disk[str(key)] = dict(entry)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "entries": {key: self._disk[key]
+                        for key in sorted(self._disk)},
+        }
+        _atomic_write_bytes(self.manifest_path,
+                            (json.dumps(manifest, indent=2) + "\n").encode())

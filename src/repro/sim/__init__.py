@@ -33,7 +33,11 @@ from repro.sim.checkpoint import (
     CheckpointKey,
     CheckpointMismatchError,
     CheckpointStore,
+    canonical_form,
     circuit_fingerprint,
+    delay_fingerprint,
+    stats_fingerprint,
+    value_fingerprint,
 )
 from repro.sim.faults import (
     CrashShard,
@@ -87,7 +91,11 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointKey",
     "CheckpointStore",
+    "canonical_form",
     "circuit_fingerprint",
+    "delay_fingerprint",
+    "stats_fingerprint",
+    "value_fingerprint",
     "FaultInjector",
     "CrashShard",
     "HangShard",

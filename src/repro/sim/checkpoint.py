@@ -23,7 +23,7 @@ the differential guarantee ``tests/test_faults.py`` enforces.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields, is_dataclass
 import hashlib
 import json
 import os
@@ -78,21 +78,84 @@ def circuit_fingerprint(netlist: Netlist) -> str:
     return h.hexdigest()
 
 
+def canonical_form(value: object) -> object:
+    """A nested, order-independent structure whose repr is canonical.
+
+    ``repr(model)`` is *not* a safe fingerprint basis: a mapping-bearing
+    model (``FrozenDelays``, ``SizedNormalDelay``, per-launch-point stats
+    dicts) reprs its mapping in **insertion order**, so two equal models
+    built from differently-ordered dicts repr — and therefore hash —
+    differently.  This function recurses instead:
+
+    - objects exposing ``fingerprint_payload()`` contribute their class
+      name plus the canonical form of that payload (the hook for
+      non-dataclass models such as delay-override wrappers);
+    - dataclass instances contribute their class name plus every field
+      (by :func:`dataclasses.fields` order) canonicalized recursively;
+    - ``Mapping`` values contribute their items in **sorted-key order**;
+    - sequences recurse elementwise; sets are sorted;
+    - numpy scalars collapse to their Python values, numpy arrays to
+      (shape, dtype, content digest);
+    - scalars pass through, anything else falls back to ``repr``.
+
+    Equal values therefore canonicalize equally no matter how their
+    mappings were built, and the form is stable across processes (no
+    ids, no hash randomization — string keys sort lexically).
+    """
+    payload_fn = getattr(value, "fingerprint_payload", None)
+    if callable(payload_fn):
+        return (type(value).__qualname__, canonical_form(payload_fn()))
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__qualname__,
+                tuple((f.name, canonical_form(getattr(value, f.name)))
+                      for f in fields(value)))
+    if isinstance(value, Mapping):
+        return ("mapping",
+                tuple(sorted((repr(key), canonical_form(item))
+                             for key, item in value.items())))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(canonical_form(item))
+                                    for item in value)))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical_form(item) for item in value))
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return ("ndarray", value.shape, data.dtype.str,
+                hashlib.sha256(data.tobytes()).hexdigest())
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, (str, bytes, int, float, bool, type(None))):
+        return value
+    return repr(value)
+
+
+def value_fingerprint(value: object) -> str:
+    """SHA-256 over :func:`canonical_form` — the generic fingerprint."""
+    return hashlib.sha256(repr(canonical_form(value)).encode()).hexdigest()
+
+
 def stats_fingerprint(
         stats: Union[InputStats, Mapping[str, InputStats]]) -> str:
-    """SHA-256 over the launch-point statistics (dataclass reprs are
-    canonical: field order is fixed and values are plain floats)."""
-    if isinstance(stats, InputStats):
-        text = repr(stats)
-    else:
-        text = repr(sorted((net, repr(s)) for net, s in stats.items()))
-    return hashlib.sha256(text.encode()).hexdigest()
+    """SHA-256 over the launch-point statistics.
+
+    Canonical under mapping-key reordering: a per-launch-point dict
+    fingerprints by sorted net name, and each :class:`InputStats` by its
+    dataclass fields — equal statistics always fingerprint equally.
+    """
+    return value_fingerprint(stats)
 
 
 def delay_fingerprint(delay_model: DelayModel) -> str:
-    """SHA-256 over the delay model's repr (the bundled models are frozen
-    dataclasses, so repr is a faithful canonical form)."""
-    return hashlib.sha256(repr(delay_model).encode()).hexdigest()
+    """SHA-256 over the delay model's canonical form.
+
+    Dataclass fields are hashed recursively with ``Mapping`` values in
+    sorted-key order, so mapping-bearing models
+    (:class:`~repro.core.nldm.FrozenDelays`,
+    :class:`~repro.opt.spsta_opt.SizedNormalDelay`, ...) built from
+    differently-ordered dicts — which compare equal — fingerprint
+    equally, and semantically identical checkpoint resumes are accepted.
+    """
+    return value_fingerprint(delay_model)
 
 
 def seed_fingerprint(seq: Optional[np.random.SeedSequence]) -> str:

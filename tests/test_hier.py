@@ -11,6 +11,7 @@ deadline semantics.
 """
 
 import math
+import multiprocessing
 from operator import itemgetter
 
 from hypothesis import given, settings, strategies as st
@@ -199,6 +200,73 @@ class TestInterfaceCache:
                          n_regions=3, store=store)
         assert again.cache_hits == 0
         assert len(store) > n_moment
+
+
+def _race_puts(directory, prefix, count, barrier):
+    """Worker: open the shared store and hammer it with distinct puts."""
+    from repro.hier.model import InterfaceModel
+
+    store = InterfaceModelStore(directory)
+    barrier.wait()  # maximize manifest-write interleaving
+    for i in range(count):
+        key = f"{prefix}{i:04d}".ljust(40, "0")
+        store.put(InterfaceModel(key=key, region_digest="d",
+                                 pins={}, seconds=0.0))
+
+
+class TestConcurrentPuts:
+    """Two processes sharing a cache directory must not lose entries.
+
+    Before the advisory manifest lock, each process rewrote the manifest
+    from its private view, so interleaved puts dropped the other
+    process's entries (last writer wins).  Under the lock + merge-on-
+    write, every put from both processes must survive in the manifest
+    and be loadable by a fresh store.
+    """
+
+    N_PER_PROC = 12
+
+    def test_two_processes_racing_puts_lose_nothing(self, tmp_path):
+        directory = tmp_path / "cache"
+        InterfaceModelStore(directory)  # create the manifest up front
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        procs = [ctx.Process(target=_race_puts,
+                             args=(str(directory), prefix,
+                                   self.N_PER_PROC, barrier))
+                 for prefix in ("aa", "bb")]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        fresh = InterfaceModelStore(directory)
+        assert len(fresh) == 2 * self.N_PER_PROC
+        for prefix in ("aa", "bb"):
+            for i in range(self.N_PER_PROC):
+                key = f"{prefix}{i:04d}".ljust(40, "0")
+                model = fresh.get(key)
+                assert model is not None and model.key == key
+
+    def test_merge_preserves_foreign_entries_on_drop(self, tmp_path):
+        """_drop of a corrupt entry must not erase other processes'
+        manifest entries persisted since we last read it."""
+        from repro.hier.model import InterfaceModel
+
+        directory = tmp_path / "cache"
+        ours = InterfaceModelStore(directory)
+        ours.put(InterfaceModel(key="mine".ljust(40, "0"),
+                                region_digest="d", pins={}, seconds=0.0))
+        theirs = InterfaceModelStore(directory)
+        theirs.put(InterfaceModel(key="other".ljust(40, "0"),
+                                  region_digest="d", pins={}, seconds=0.0))
+        # Corrupt our payload so our next get() drops it.
+        path = ours.entry_path("mine".ljust(40, "0"))
+        path.write_bytes(b"garbage")
+        assert ours.get("mine".ljust(40, "0")) is None
+        fresh = InterfaceModelStore(directory)
+        assert fresh.get("other".ljust(40, "0")) is not None
+        assert fresh.get("mine".ljust(40, "0")) is None
 
 
 class TestDedup:
